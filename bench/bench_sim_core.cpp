@@ -1,0 +1,104 @@
+// E11: harness-overhead baselines — microbenchmarks of the simulation
+// substrate itself (ProcessSet algebra, RNG, message buffer, raw
+// simulator step throughput), so the protocol benches can be read net of
+// harness cost.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "common/process_set.h"
+#include "common/rng.h"
+#include "sim/network.h"
+#include "sim/process.h"
+
+namespace wfd::bench {
+namespace {
+
+void BM_ProcessSetIntersect(benchmark::State& state) {
+  Rng rng(1);
+  ProcessSet a = ProcessSet::from_raw(rng.next());
+  ProcessSet b = ProcessSet::from_raw(rng.next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersects(b));
+    benchmark::DoNotOptimize(a.set_union(b));
+    benchmark::DoNotOptimize(a.is_subset_of(b));
+  }
+}
+BENCHMARK(BM_ProcessSetIntersect);
+
+void BM_ProcessSetMembers(benchmark::State& state) {
+  ProcessSet s = ProcessSet::from_raw(0xdeadbeefcafef00dULL);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.members());
+  }
+}
+BENCHMARK(BM_ProcessSetMembers);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngBelow(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.below(12345));
+  }
+}
+BENCHMARK(BM_RngBelow);
+
+struct NopPayload final : sim::Payload {};
+
+void BM_NetworkSendTake(benchmark::State& state) {
+  sim::Network net;
+  auto payload = sim::make_payload<NopPayload>();
+  for (auto _ : state) {
+    sim::Envelope e;
+    e.from = 0;
+    e.to = 1;
+    e.payload = payload;
+    const auto id = net.send(std::move(e));
+    benchmark::DoNotOptimize(net.take(id));
+  }
+}
+BENCHMARK(BM_NetworkSendTake);
+
+class ChatterProcess : public sim::Process {
+ public:
+  void on_step(sim::Context& ctx, const sim::Envelope* msg) override {
+    if (msg == nullptr || count_++ % 4 == 0) {
+      ctx.send((ctx.self() + 1) % ctx.n(), sim::make_payload<NopPayload>());
+    }
+  }
+
+ private:
+  int count_ = 0;
+};
+
+void BM_SimulatorSteps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::SimConfig cfg;
+    cfg.n = n;
+    cfg.max_steps = 20000;
+    cfg.seed = 3;
+    sim::Simulator s(cfg, sim::FailurePattern(n),
+                     std::make_unique<fd::NullOracle>(), random_sched());
+    for (int i = 0; i < n; ++i) s.add_process<ChatterProcess>();
+    s.set_halt_on_done(false);
+    const auto res = s.run();
+    benchmark::DoNotOptimize(res);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(res.steps));
+  }
+}
+BENCHMARK(BM_SimulatorSteps)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace wfd::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Shared builders for the benchmark harness. Each bench binary prints a
+// deterministic "shape table" for its experiment (the analogue of the
+// paper's reported results — see EXPERIMENTS.md) and then runs
+// google-benchmark timing loops for the same configurations.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fd/fs_oracle.h"
+#include "fd/omega_oracle.h"
+#include "fd/oracle.h"
+#include "fd/psi_oracle.h"
+#include "fd/sigma_oracle.h"
+#include "sim/environment.h"
+#include "sim/module.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+
+namespace wfd::bench {
+
+inline std::unique_ptr<fd::Oracle> omega_sigma_oracle(Time stab) {
+  fd::OmegaOracle::Options oo;
+  oo.max_stabilization = stab;
+  fd::SigmaOracle::Options so;
+  so.max_stabilization = stab;
+  return std::make_unique<fd::TupleOracle>(
+      std::make_unique<fd::OmegaOracle>(oo),
+      std::make_unique<fd::SigmaOracle>(so));
+}
+
+inline std::unique_ptr<fd::Oracle> sigma_oracle(Time stab) {
+  fd::SigmaOracle::Options so;
+  so.max_stabilization = stab;
+  return std::make_unique<fd::SigmaOracle>(so);
+}
+
+inline std::unique_ptr<fd::Oracle> psi_fs_oracle(fd::PsiOracle::Branch branch,
+                                                 Time stab) {
+  fd::PsiOracle::Options po;
+  po.branch = branch;
+  po.max_switch_spread = stab;
+  po.omega.max_stabilization = stab;
+  po.sigma.max_stabilization = stab;
+  fd::FsOracle::Options fo;
+  fo.max_reaction_lag = stab;
+  return std::make_unique<fd::TupleOracle>(
+      std::make_unique<fd::PsiOracle>(po),
+      std::make_unique<fd::FsOracle>(fo));
+}
+
+inline std::unique_ptr<sim::Scheduler> random_sched() {
+  return std::make_unique<sim::RandomFairScheduler>();
+}
+
+/// Crash the first `crashes` processes, spread over [0, by).
+inline sim::FailurePattern staggered_crashes(int n, int crashes, Time by) {
+  sim::FailurePattern f(n);
+  for (int i = 0; i < crashes; ++i) {
+    f.crash_at(i, (by * static_cast<Time>(i + 1)) /
+                      static_cast<Time>(crashes + 1));
+  }
+  return f;
+}
+
+/// Aggregate over per-seed measurements.
+struct Series {
+  std::vector<double> values;
+  void add(double v) { values.push_back(v); }
+  [[nodiscard]] double mean() const {
+    if (values.empty()) return 0.0;
+    return std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+  }
+  [[nodiscard]] double max() const {
+    double m = 0.0;
+    for (double v : values) m = std::max(m, v);
+    return m;
+  }
+};
+
+inline void table_header(const char* title, const char* columns) {
+  std::printf("\n=== %s ===\n%s\n", title, columns);
+}
+
+}  // namespace wfd::bench

@@ -1,0 +1,26 @@
+// Application-level messages for the broadcast layer: identified by
+// (origin, sequence number), carrying an opaque int64 body. Identity
+// drives deduplication and deterministic batch ordering.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace wfd::broadcast {
+
+struct AppMessage {
+  ProcessId origin = kNoProcess;
+  std::uint64_t seq = 0;
+  std::int64_t body = 0;
+
+  friend bool operator==(const AppMessage& a, const AppMessage& b) {
+    return a.origin == b.origin && a.seq == b.seq;
+  }
+  friend auto operator<=>(const AppMessage& a, const AppMessage& b) {
+    if (auto c = a.origin <=> b.origin; c != 0) return c;
+    return a.seq <=> b.seq;
+  }
+};
+
+}  // namespace wfd::broadcast

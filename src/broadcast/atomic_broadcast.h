@@ -1,0 +1,131 @@
+// Atomic (total-order) broadcast from consensus — Chandra-Toueg [4],
+// Section 4 there: the constructive half of "atomic broadcast and
+// consensus are equivalent", and the engine behind Lamport/Schneider
+// state-machine replication [17, 21] that Corollary 3 leans on.
+//
+// Messages are disseminated with uniform reliable broadcast; ordering is
+// agreed in rounds: in round k every participant proposes its current
+// set of URB-delivered-but-unordered messages to consensus instance k,
+// and everyone TO-delivers the decided batch (minus what it already
+// delivered) in deterministic (origin, seq) order. Sequential rounds
+// plus consensus agreement give a common delivery prefix at all
+// processes; URB's agreement plus round repetition give liveness for
+// every message a correct process broadcasts.
+//
+// The consensus instances run on (Omega, Sigma) by default (so the whole
+// stack works in any environment), or on whatever FdSource is wired in.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "broadcast/app_message.h"
+#include "broadcast/reliable_broadcast.h"
+#include "common/check.h"
+#include "consensus/omega_sigma_consensus.h"
+#include "sim/module.h"
+
+namespace wfd::broadcast {
+
+class AtomicBroadcastModule : public sim::Module {
+ public:
+  using DeliverCb = std::function<void(const AppMessage&)>;
+  using Batch = std::vector<AppMessage>;
+  using RoundConsensus = consensus::OmegaSigmaConsensusModule<Batch>;
+
+  void set_deliver(DeliverCb cb) { deliver_ = std::move(cb); }
+
+  /// Totally-ordered broadcast; may be called outside a step.
+  void abcast(std::int64_t body) { ensure_urb().urb_broadcast(body); }
+
+  /// The TO-delivered sequence so far (a prefix-consistent log across
+  /// all processes).
+  [[nodiscard]] const std::vector<AppMessage>& delivered_log() const {
+    return log_;
+  }
+  [[nodiscard]] std::uint64_t rounds_completed() const { return round_; }
+
+  /// False while messages are known but not yet ordered (keeps runs
+  /// alive until the log drains).
+  [[nodiscard]] bool done() const override { return unordered_.empty(); }
+
+  void on_start() override { ensure_urb(); }
+
+  void on_message(ProcessId, const sim::Payload& msg) override {
+    if (const auto* m = sim::payload_cast<AnnounceRound>(msg)) {
+      join_round(m->round);
+    }
+  }
+
+  void on_tick() override {
+    // Start/advance ordering rounds whenever something awaits ordering.
+    if (!unordered_.empty() && joined_.count(round_) == 0) {
+      join_round(round_);
+      broadcast(sim::make_payload<AnnounceRound>(round_),
+                /*include_self=*/false);
+    }
+  }
+
+ private:
+  struct AnnounceRound final : sim::Payload {
+    explicit AnnounceRound(std::uint64_t r) : round(r) {}
+    std::uint64_t round;
+  };
+
+  UrbModule& ensure_urb() {
+    if (urb_ == nullptr) {
+      urb_ = &host().add_module<UrbModule>(name() + "/urb");
+      urb_->set_deliver([this](const AppMessage& m) { on_urb_deliver(m); });
+    }
+    return *urb_;
+  }
+
+  void on_urb_deliver(const AppMessage& m) {
+    if (ordered_.count(m) == 0) unordered_.insert(m);
+  }
+
+  void join_round(std::uint64_t k) {
+    if (!joined_.insert(k).second) return;
+    auto& inst = host().template add_module<RoundConsensus>(
+        name() + "/round/" + std::to_string(k));
+    inst.propose(Batch(unordered_.begin(), unordered_.end()),
+                 [this, k](const Batch& decided) {
+                   on_round_decided(k, decided);
+                 });
+  }
+
+  void on_round_decided(std::uint64_t k, const Batch& decided) {
+    decisions_[k] = decided;
+    // Apply rounds strictly in order.
+    for (;;) {
+      auto it = decisions_.find(round_);
+      if (it == decisions_.end()) return;
+      Batch batch = it->second;
+      decisions_.erase(it);
+      ++round_;
+      std::sort(batch.begin(), batch.end());
+      for (const AppMessage& m : batch) {
+        if (!ordered_.insert(m).second) continue;  // Already TO-delivered.
+        unordered_.erase(m);
+        log_.push_back(m);
+        if (deliver_) deliver_(m);
+      }
+    }
+  }
+
+  UrbModule* urb_ = nullptr;
+  DeliverCb deliver_;
+  std::set<AppMessage> unordered_;  ///< URB-delivered, not yet ordered.
+  std::set<AppMessage> ordered_;
+  std::vector<AppMessage> log_;
+  std::uint64_t round_ = 0;  ///< Next round to apply.
+  std::set<std::uint64_t> joined_;
+  std::map<std::uint64_t, Batch> decisions_;
+};
+
+}  // namespace wfd::broadcast

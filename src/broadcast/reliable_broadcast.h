@@ -1,0 +1,89 @@
+// Uniform reliable broadcast (URB), detector-free, any environment.
+//
+// Echo algorithm: on the first receipt of a message, relay it to
+// everyone and deliver it. Because a step is atomic (the relay happens
+// in the same step as the delivery), even a process that crashes right
+// after delivering has already relayed — so if ANY process delivers m,
+// every correct process eventually receives and delivers m: uniform
+// agreement. Validity (a correct broadcaster's messages get delivered
+// everywhere) and integrity (each message delivered at most once, and
+// only if broadcast) follow from reliable links and (origin, seq)
+// deduplication.
+//
+// This is the dissemination substrate under the atomic broadcast module.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "broadcast/app_message.h"
+#include "common/check.h"
+#include "sim/module.h"
+
+namespace wfd::broadcast {
+
+class UrbModule : public sim::Module {
+ public:
+  using DeliverCb = std::function<void(const AppMessage&)>;
+
+  /// Register the delivery upcall (invoked within the host's steps).
+  void set_deliver(DeliverCb cb) { deliver_ = std::move(cb); }
+
+  /// Broadcast a new message; may be called outside a step. Returns the
+  /// message's sequence number at this origin.
+  std::uint64_t urb_broadcast(std::int64_t body) {
+    AppMessage m;
+    m.origin = kNoProcess;  // Resolved to self() at the sending tick.
+    m.seq = next_seq_++;
+    m.body = body;
+    outbox_.push_back(m);
+    return m.seq;
+  }
+
+  [[nodiscard]] std::uint64_t delivered_count() const { return delivered_n_; }
+  [[nodiscard]] const std::vector<AppMessage>& delivered_log() const {
+    return log_;
+  }
+
+  void on_message(ProcessId, const sim::Payload& msg) override {
+    if (const auto* e = sim::payload_cast<Echo>(msg)) {
+      handle(e->message);
+    }
+  }
+
+  void on_tick() override {
+    while (!outbox_.empty()) {
+      AppMessage m = outbox_.front();
+      outbox_.erase(outbox_.begin());
+      m.origin = self();
+      handle(m);  // Relays to all and delivers locally, atomically.
+    }
+  }
+
+ private:
+  struct Echo final : sim::Payload {
+    explicit Echo(AppMessage m) : message(m) {}
+    AppMessage message;
+  };
+
+  void handle(const AppMessage& m) {
+    if (!seen_.insert(std::make_pair(m.origin, m.seq)).second) return;
+    // Relay first (same atomic step), then deliver: whoever delivers has
+    // relayed — this is what makes agreement uniform.
+    broadcast(sim::make_payload<Echo>(m), /*include_self=*/false);
+    log_.push_back(m);
+    ++delivered_n_;
+    if (deliver_) deliver_(m);
+  }
+
+  DeliverCb deliver_;
+  std::uint64_t next_seq_ = 1;
+  std::vector<AppMessage> outbox_;
+  std::set<std::pair<ProcessId, std::uint64_t>> seen_;
+  std::vector<AppMessage> log_;
+  std::uint64_t delivered_n_ = 0;
+};
+
+}  // namespace wfd::broadcast

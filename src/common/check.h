@@ -1,0 +1,26 @@
+// Assertion helpers. Invariant violations in the harness are programming
+// errors, so they abort with a message rather than throwing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wfd::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "WFD_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace wfd::detail
+
+#define WFD_CHECK(expr)                                          \
+  do {                                                           \
+    if (!(expr)) ::wfd::detail::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#define WFD_CHECK_MSG(expr, msg)                                 \
+  do {                                                           \
+    if (!(expr)) ::wfd::detail::check_failed(msg, __FILE__, __LINE__); \
+  } while (0)

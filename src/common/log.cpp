@@ -1,0 +1,34 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace wfd {
+namespace {
+LogLevel g_level = LogLevel::kOff;
+}
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& line) {
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kInfo:
+      tag = "I";
+      break;
+    case LogLevel::kDebug:
+      tag = "D";
+      break;
+    case LogLevel::kTrace:
+      tag = "T";
+      break;
+    case LogLevel::kOff:
+      return;
+  }
+  std::fprintf(stderr, "[wfd:%s] %s\n", tag, line.c_str());
+}
+
+}  // namespace detail
+}  // namespace wfd

@@ -1,0 +1,34 @@
+// Minimal leveled logger for debugging simulated runs. Off by default;
+// tests flip it on when diagnosing a failing schedule.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wfd {
+
+enum class LogLevel { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+/// Global log threshold; messages above it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& line);
+}
+
+}  // namespace wfd
+
+#define WFD_LOG(level, expr)                                     \
+  do {                                                           \
+    if (static_cast<int>(level) <=                               \
+        static_cast<int>(::wfd::log_level())) {                  \
+      std::ostringstream wfd_log_os;                             \
+      wfd_log_os << expr;                                        \
+      ::wfd::detail::log_line(level, wfd_log_os.str());          \
+    }                                                            \
+  } while (0)
+
+#define WFD_INFO(expr) WFD_LOG(::wfd::LogLevel::kInfo, expr)
+#define WFD_DEBUG(expr) WFD_LOG(::wfd::LogLevel::kDebug, expr)
+#define WFD_TRACE(expr) WFD_LOG(::wfd::LogLevel::kTrace, expr)

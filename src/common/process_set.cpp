@@ -1,0 +1,25 @@
+#include "common/process_set.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace wfd {
+
+std::string ProcessSet::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const ProcessSet& s) {
+  os << '{';
+  bool first = true;
+  for (ProcessId p : s.members()) {
+    if (!first) os << ',';
+    os << p;
+    first = false;
+  }
+  return os << '}';
+}
+
+}  // namespace wfd

@@ -1,0 +1,119 @@
+// A set of processes, represented as a 64-bit mask.
+//
+// Quorum intersection tests (the heart of Sigma) are a single AND; this
+// matters because property tests check intersection across every pair of
+// outputs ever produced in a run.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace wfd {
+
+/// A subset of the processes 0..n-1 (n <= kMaxProcesses).
+class ProcessSet {
+ public:
+  constexpr ProcessSet() = default;
+
+  ProcessSet(std::initializer_list<ProcessId> ids) {
+    for (ProcessId p : ids) insert(p);
+  }
+
+  /// The full set {0, .., n-1}.
+  static ProcessSet full(int n) {
+    WFD_CHECK(n >= 0 && n <= kMaxProcesses);
+    ProcessSet s;
+    s.bits_ = (n == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+    return s;
+  }
+
+  static constexpr ProcessSet empty_set() { return ProcessSet{}; }
+
+  void insert(ProcessId p) {
+    WFD_CHECK(p >= 0 && p < kMaxProcesses);
+    bits_ |= std::uint64_t{1} << p;
+  }
+
+  void erase(ProcessId p) {
+    WFD_CHECK(p >= 0 && p < kMaxProcesses);
+    bits_ &= ~(std::uint64_t{1} << p);
+  }
+
+  [[nodiscard]] bool contains(ProcessId p) const {
+    if (p < 0 || p >= kMaxProcesses) return false;
+    return (bits_ >> p) & 1;
+  }
+
+  [[nodiscard]] bool empty() const { return bits_ == 0; }
+  [[nodiscard]] int size() const { return __builtin_popcountll(bits_); }
+
+  [[nodiscard]] bool intersects(const ProcessSet& o) const {
+    return (bits_ & o.bits_) != 0;
+  }
+
+  [[nodiscard]] bool is_subset_of(const ProcessSet& o) const {
+    return (bits_ & ~o.bits_) == 0;
+  }
+
+  [[nodiscard]] ProcessSet set_union(const ProcessSet& o) const {
+    ProcessSet r;
+    r.bits_ = bits_ | o.bits_;
+    return r;
+  }
+
+  [[nodiscard]] ProcessSet set_intersection(const ProcessSet& o) const {
+    ProcessSet r;
+    r.bits_ = bits_ & o.bits_;
+    return r;
+  }
+
+  [[nodiscard]] ProcessSet set_difference(const ProcessSet& o) const {
+    ProcessSet r;
+    r.bits_ = bits_ & ~o.bits_;
+    return r;
+  }
+
+  /// Smallest member, or kNoProcess if empty.
+  [[nodiscard]] ProcessId min() const {
+    if (bits_ == 0) return kNoProcess;
+    return __builtin_ctzll(bits_);
+  }
+
+  /// Members in increasing order.
+  [[nodiscard]] std::vector<ProcessId> members() const {
+    std::vector<ProcessId> out;
+    out.reserve(static_cast<std::size_t>(size()));
+    std::uint64_t b = bits_;
+    while (b != 0) {
+      out.push_back(__builtin_ctzll(b));
+      b &= b - 1;
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t raw() const { return bits_; }
+
+  static ProcessSet from_raw(std::uint64_t bits) {
+    ProcessSet s;
+    s.bits_ = bits;
+    return s;
+  }
+
+  friend bool operator==(const ProcessSet&, const ProcessSet&) = default;
+
+  /// Render as "{0,2,5}".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const ProcessSet& s);
+
+}  // namespace wfd

@@ -1,0 +1,51 @@
+// Deterministic, splittable random number generator.
+//
+// Every source of nondeterminism in a run (scheduling, delays, oracle
+// history choices) draws from an Rng seeded from the run's seed, so any
+// run can be replayed exactly from (algorithm, environment, seed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace wfd {
+
+/// xoshiro256** with a splitmix64 seeding stage.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Pick a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    WFD_CHECK(!v.empty());
+    return v[below(v.size())];
+  }
+
+  /// Derive an independent child generator (for sub-components).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace wfd

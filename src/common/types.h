@@ -1,0 +1,30 @@
+// Core scalar types shared across the library.
+//
+// The model follows the paper exactly: a system of n processes named
+// 0..n-1, a discrete global clock (step index) that processes cannot
+// observe, and crash failures only.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace wfd {
+
+/// Identifier of a process; processes are named 0..n-1.
+using ProcessId = int;
+
+/// Virtual global time: the index of a step in the run. Processes never
+/// observe this value; it exists only in the harness (the paper's
+/// "discrete global clock used only for presentational convenience").
+using Time = std::uint64_t;
+
+/// Sentinel for "never" (e.g. a process that never crashes).
+inline constexpr Time kNever = std::numeric_limits<Time>::max();
+
+/// Sentinel for "no process".
+inline constexpr ProcessId kNoProcess = -1;
+
+/// Upper bound on system size supported by ProcessSet's fixed bitset.
+inline constexpr int kMaxProcesses = 64;
+
+}  // namespace wfd

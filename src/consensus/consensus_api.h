@@ -1,0 +1,28 @@
+// Common interface of all consensus implementations in the library
+// (message-passing (Omega, Sigma) consensus and register-based
+// consensus), so higher layers — quittable consensus, NBAC, the
+// replicated state machine — can stack on either.
+#pragma once
+
+#include <functional>
+
+namespace wfd::consensus {
+
+template <typename V>
+class ConsensusApi {
+ public:
+  using DecideCb = std::function<void(const V&)>;
+
+  virtual ~ConsensusApi() = default;
+
+  /// Propose a value; cb runs (within a later step of the host process)
+  /// when this process decides. Each process proposes at most once.
+  virtual void propose(const V& value, DecideCb cb) = 0;
+
+  [[nodiscard]] virtual bool decided() const = 0;
+
+  /// Valid only when decided().
+  [[nodiscard]] virtual const V& decision() const = 0;
+};
+
+}  // namespace wfd::consensus

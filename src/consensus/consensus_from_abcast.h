@@ -1,0 +1,66 @@
+// Consensus from atomic broadcast — the trivial direction of the
+// Chandra-Toueg equivalence [4]: abcast your proposal and decide the
+// value of the FIRST message in the total order. Uniform agreement is
+// the total-order property; validity holds because only proposals are
+// broadcast; termination follows from abcast's liveness.
+#pragma once
+
+#include <cstdint>
+
+#include "broadcast/atomic_broadcast.h"
+#include "common/check.h"
+#include "consensus/consensus_api.h"
+#include "sim/module.h"
+
+namespace wfd::consensus {
+
+class ConsensusFromAbcastModule : public sim::Module,
+                                  public ConsensusApi<std::int64_t> {
+ public:
+  using DecideCb = ConsensusApi<std::int64_t>::DecideCb;
+
+  void propose(const std::int64_t& value, DecideCb cb) override {
+    WFD_CHECK_MSG(!proposed_, "propose called twice");
+    proposed_ = true;
+    cb_ = std::move(cb);
+    ensure_abcast().abcast(value);
+  }
+
+  [[nodiscard]] bool decided() const override { return decided_; }
+  [[nodiscard]] const std::int64_t& decision() const override {
+    WFD_CHECK(decided_);
+    return decision_;
+  }
+  [[nodiscard]] bool done() const override { return !proposed_ || decided_; }
+
+  void on_start() override { ensure_abcast(); }
+  void on_message(ProcessId, const sim::Payload&) override {}
+
+ private:
+  broadcast::AtomicBroadcastModule& ensure_abcast() {
+    if (ab_ == nullptr) {
+      ab_ = &host().add_module<broadcast::AtomicBroadcastModule>(
+          name() + "/ab");
+      ab_->set_deliver([this](const broadcast::AppMessage& m) {
+        if (decided_) return;
+        decided_ = true;
+        decision_ = m.body;
+        emit("decide", 0);
+        if (cb_) {
+          auto cb = std::move(cb_);
+          cb_ = nullptr;
+          cb(decision_);
+        }
+      });
+    }
+    return *ab_;
+  }
+
+  broadcast::AtomicBroadcastModule* ab_ = nullptr;
+  bool proposed_ = false;
+  DecideCb cb_;
+  bool decided_ = false;
+  std::int64_t decision_ = 0;
+};
+
+}  // namespace wfd::consensus

@@ -1,0 +1,284 @@
+// Consensus from (Omega, Sigma) in any environment (Corollary 2).
+//
+// A Paxos-style single-decree protocol in which every "wait for a
+// majority" is replaced by "wait until the replier set contains a quorum
+// output by Sigma", and leadership is gated by Omega:
+//
+//  - Safety needs only the intersection property of Sigma: the quorum
+//    that accepts a value in round r intersects the quorum probed by any
+//    higher round's prepare, so a decided value is locked — in ANY
+//    environment, under ANY asynchrony.
+//  - Liveness needs Omega's eventual leadership plus Sigma's
+//    completeness: eventually a single correct leader retries unopposed
+//    and its quorums consist of correct processes, so its round closes.
+//
+// Rounds are partitioned across processes (round r belongs to process
+// r mod n); a leader only starts rounds it owns, and retries with a
+// higher owned round when an attempt stalls.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/check.h"
+#include "common/process_set.h"
+#include "consensus/consensus_api.h"
+#include "sim/module.h"
+#include "sim/payload.h"
+
+namespace wfd::consensus {
+
+/// Where the protocol's quorums come from.
+enum class ConsensusQuorumRule {
+  kSigma,     ///< Quorums from the Sigma component (any environment).
+  kMajority,  ///< Strict majorities — the classical Chandra-Toueg [4]
+              ///< setting: live only when a majority is correct, which is
+              ///< exactly why Omega alone is weakest only there.
+};
+
+template <typename V>
+class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
+ public:
+  struct Options {
+    /// Own-step stall threshold before a leader retries with a higher
+    /// round; 0 = 16 * n.
+    Time retry_interval = 0;
+    ConsensusQuorumRule quorum_rule = ConsensusQuorumRule::kSigma;
+  };
+
+  using typename ConsensusApi<V>::DecideCb;
+
+  OmegaSigmaConsensusModule() : OmegaSigmaConsensusModule(Options{}) {}
+  explicit OmegaSigmaConsensusModule(Options opt) : opt_(opt) {}
+
+  void propose(const V& value, DecideCb cb) override {
+    WFD_CHECK_MSG(!proposed_, "propose called twice");
+    proposed_ = true;
+    proposal_ = value;
+    if (decided_) {
+      // The decision can precede the local propose: a Decide broadcast
+      // may have been replayed when this module instance was created.
+      if (cb) cb(decision_);
+      return;
+    }
+    cb_ = std::move(cb);
+  }
+
+  [[nodiscard]] bool decided() const override { return decided_; }
+  [[nodiscard]] const V& decision() const override {
+    WFD_CHECK(decided_);
+    return decision_;
+  }
+
+  [[nodiscard]] bool done() const override { return !proposed_ || decided_; }
+
+  /// Leader rounds started by this process (protocol cost metric).
+  [[nodiscard]] std::uint64_t rounds_started() const { return rounds_; }
+
+  void on_message(ProcessId from, const sim::Payload& msg) override {
+    if (decided_) {
+      // Late joiners and retrying leaders learn the decision directly.
+      if (sim::payload_cast<Prepare>(msg) != nullptr ||
+          sim::payload_cast<Accept>(msg) != nullptr) {
+        send(from, sim::make_payload<Decide>(decision_));
+      }
+      return;
+    }
+    if (const auto* m = sim::payload_cast<Prepare>(msg)) {
+      if (m->round > promised_) {
+        promised_ = m->round;
+        send(from, sim::make_payload<Promise>(m->round, accepted_round_,
+                                              accepted_val_));
+      } else {
+        send(from, sim::make_payload<Nack>(m->round, promised_));
+      }
+      return;
+    }
+    if (const auto* m = sim::payload_cast<Promise>(msg)) {
+      if (!leading_ || m->round != round_ || phase_ != 1) return;
+      repliers_.insert(from);
+      if (m->accepted_val.has_value() && m->accepted_round > best_round_) {
+        best_round_ = m->accepted_round;
+        best_val_ = m->accepted_val;
+      }
+      maybe_advance();
+      return;
+    }
+    if (const auto* m = sim::payload_cast<Accept>(msg)) {
+      if (m->round >= promised_) {
+        promised_ = m->round;
+        accepted_round_ = m->round;
+        accepted_val_ = m->value;
+        send(from, sim::make_payload<Accepted>(m->round));
+      } else {
+        send(from, sim::make_payload<Nack>(m->round, promised_));
+      }
+      return;
+    }
+    if (const auto* m = sim::payload_cast<Accepted>(msg)) {
+      if (!leading_ || m->round != round_ || phase_ != 2) return;
+      repliers_.insert(from);
+      maybe_advance();
+      return;
+    }
+    if (const auto* m = sim::payload_cast<Nack>(msg)) {
+      if (leading_ && m->round == round_) {
+        // Our round lost; remember the competing round and retry later.
+        max_seen_ = std::max(max_seen_, m->promised);
+        leading_ = false;
+      }
+      return;
+    }
+    if (const auto* m = sim::payload_cast<Decide>(msg)) {
+      decide(m->value);
+      return;
+    }
+  }
+
+  void on_tick() override {
+    if (!proposed_ || decided_) return;
+    const auto v = detector();
+    if (!v.omega.has_value()) return;
+    const bool is_leader = (*v.omega == self());
+    if (!is_leader) {
+      stall_ = 0;
+      return;
+    }
+    if (leading_) {
+      maybe_advance();  // A fresh Sigma sample may complete the phase.
+      const Time retry =
+          opt_.retry_interval != 0 ? opt_.retry_interval
+                                   : static_cast<Time>(16 * n());
+      if (++stall_ >= retry) {
+        leading_ = false;  // Stalled: give up this round, start a new one.
+      }
+      return;
+    }
+    start_round();
+  }
+
+ private:
+  using Round = std::uint64_t;
+
+  struct Prepare final : sim::Payload {
+    explicit Prepare(Round r) : round(r) {}
+    Round round;
+  };
+  struct Promise final : sim::Payload {
+    Promise(Round r, Round ar, std::optional<V> av)
+        : round(r), accepted_round(ar), accepted_val(std::move(av)) {}
+    Round round;
+    Round accepted_round;
+    std::optional<V> accepted_val;
+  };
+  struct Accept final : sim::Payload {
+    Accept(Round r, V v) : round(r), value(std::move(v)) {}
+    Round round;
+    V value;
+  };
+  struct Accepted final : sim::Payload {
+    explicit Accepted(Round r) : round(r) {}
+    Round round;
+  };
+  struct Nack final : sim::Payload {
+    Nack(Round r, Round p) : round(r), promised(p) {}
+    Round round;
+    Round promised;
+  };
+  struct Decide final : sim::Payload {
+    explicit Decide(V v) : value(std::move(v)) {}
+    V value;
+  };
+
+  /// Smallest round owned by self strictly greater than `after`.
+  [[nodiscard]] Round next_own_round(Round after) const {
+    const Round base = (after / static_cast<Round>(n())) + 1;
+    return base * static_cast<Round>(n()) + static_cast<Round>(self());
+  }
+
+  void start_round() {
+    round_ = next_own_round(std::max({max_seen_, promised_, round_}));
+    max_seen_ = round_;
+    ++rounds_;
+    leading_ = true;
+    phase_ = 1;
+    stall_ = 0;
+    repliers_ = ProcessSet{};
+    best_round_ = 0;
+    best_val_.reset();
+    broadcast(sim::make_payload<Prepare>(round_));
+  }
+
+  [[nodiscard]] bool have_quorum() const {
+    switch (opt_.quorum_rule) {
+      case ConsensusQuorumRule::kMajority:
+        return 2 * repliers_.size() > n();
+      case ConsensusQuorumRule::kSigma: {
+        const auto v = detector();
+        return v.sigma.has_value() && v.sigma->is_subset_of(repliers_);
+      }
+    }
+    return false;
+  }
+
+  void maybe_advance() {
+    if (!leading_ || !have_quorum()) return;
+    if (phase_ == 1) {
+      phase_ = 2;
+      stall_ = 0;
+      repliers_ = ProcessSet{};
+      const V value = best_val_.has_value() ? *best_val_ : proposal_;
+      chosen_ = value;
+      broadcast(sim::make_payload<Accept>(round_, value));
+      return;
+    }
+    // Phase 2 closed on a quorum: the value is decided. The broadcast
+    // happens in this same atomic step, so every process is informed
+    // even if this leader crashes right after.
+    broadcast(sim::make_payload<Decide>(chosen_));
+    decide(chosen_);
+  }
+
+  void decide(const V& v) {
+    if (decided_) return;
+    decided_ = true;
+    decision_ = v;
+    leading_ = false;
+    emit("decide", 0);
+    if (cb_) {
+      auto cb = std::move(cb_);
+      cb_ = nullptr;
+      cb(decision_);
+    }
+  }
+
+  Options opt_;
+
+  // Proposer state.
+  bool proposed_ = false;
+  V proposal_{};
+  DecideCb cb_;
+
+  // Acceptor state.
+  Round promised_ = 0;
+  Round accepted_round_ = 0;
+  std::optional<V> accepted_val_;
+
+  // Leader state.
+  bool leading_ = false;
+  int phase_ = 0;
+  Round round_ = 0;
+  Round max_seen_ = 0;
+  Time stall_ = 0;
+  ProcessSet repliers_;
+  Round best_round_ = 0;
+  std::optional<V> best_val_;
+  V chosen_{};
+  std::uint64_t rounds_ = 0;
+
+  // Outcome.
+  bool decided_ = false;
+  V decision_{};
+};
+
+}  // namespace wfd::consensus

@@ -1,0 +1,247 @@
+// Consensus from atomic registers plus Omega (Lo-Hadzilacos [19]) —
+// the construction behind Corollary 2: implement registers out of Sigma
+// (Theorem 1), then consensus out of registers and Omega.
+//
+// The shared-memory protocol is single-decree Disk-Paxos-style
+// (one single-writer "ballot block" register per process):
+//
+//   leader p, owned round r:
+//     phase 1: write own block with mbal = r; read all n blocks;
+//              abort if any block joined a round > r; otherwise adopt the
+//              value of the highest-ballot accepted block (or p's own
+//              proposal if none);
+//     phase 2: write own block with bal = r and the adopted value;
+//              read all n blocks again; abort if any block joined a
+//              round > r; otherwise the value is decided.
+//
+// Leadership is gated by Omega, and an aborted/stalled attempt retries
+// with a higher owned round, so after Omega stabilises a single correct
+// leader drives an attempt that no one disturbs, and it terminates.
+// Deciders announce the decision with one broadcast.
+//
+// The registers themselves are the library's ABD modules, so the full
+// stack exercised here is: Sigma -> atomic registers -> (+ Omega)
+// consensus, in any environment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "consensus/consensus_api.h"
+#include "reg/abd_register.h"
+#include "sim/module.h"
+
+namespace wfd::consensus {
+
+/// Contents of one process's ballot-block register.
+template <typename V>
+struct BallotBlock {
+  std::uint64_t mbal = 0;  ///< Highest round the owner has joined.
+  std::uint64_t bal = 0;   ///< Round of the accepted value.
+  std::optional<V> val;    ///< Accepted value, if any.
+  std::optional<V> decided;
+};
+
+template <typename V>
+class RegisterConsensusModule : public sim::Module, public ConsensusApi<V> {
+ public:
+  using typename ConsensusApi<V>::DecideCb;
+  using Register = reg::AbdRegisterModule<BallotBlock<V>>;
+
+  struct Options {
+    /// Own-step stall threshold before a leader retries; 0 = 64 * n
+    /// (register operations take several message delays each).
+    Time retry_interval = 0;
+  };
+
+  explicit RegisterConsensusModule(std::vector<Register*> registers)
+      : RegisterConsensusModule(std::move(registers), Options{}) {}
+
+  RegisterConsensusModule(std::vector<Register*> registers, Options opt)
+      : opt_(opt), regs_(std::move(registers)) {
+    WFD_CHECK(!regs_.empty());
+    for (auto* r : regs_) WFD_CHECK(r != nullptr);
+  }
+
+  void propose(const V& value, DecideCb cb) override {
+    WFD_CHECK_MSG(!proposed_, "propose called twice");
+    proposed_ = true;
+    proposal_ = value;
+    if (decided_) {
+      // A Decide broadcast may have arrived before the local propose.
+      if (cb) cb(decision_);
+      return;
+    }
+    cb_ = std::move(cb);
+  }
+
+  [[nodiscard]] bool decided() const override { return decided_; }
+  [[nodiscard]] const V& decision() const override {
+    WFD_CHECK(decided_);
+    return decision_;
+  }
+  [[nodiscard]] bool done() const override { return !proposed_ || decided_; }
+
+  [[nodiscard]] std::uint64_t rounds_started() const { return rounds_; }
+
+  void on_message(ProcessId, const sim::Payload& msg) override {
+    if (const auto* m = sim::payload_cast<DecideMsg>(msg)) {
+      decide(m->value);
+    }
+  }
+
+  void on_tick() override {
+    if (!proposed_ || decided_ || in_flight_) return;
+    WFD_CHECK_MSG(static_cast<int>(regs_.size()) == n(),
+                  "one ballot-block register per process required");
+    const auto v = detector();
+    if (!v.omega.has_value() || *v.omega != self()) {
+      stall_ = 0;
+      return;
+    }
+    if (attempt_active_) {
+      const Time retry = opt_.retry_interval != 0
+                             ? opt_.retry_interval
+                             : static_cast<Time>(64 * n());
+      if (++stall_ >= retry) attempt_active_ = false;
+      return;
+    }
+    start_attempt();
+  }
+
+ private:
+  struct DecideMsg final : sim::Payload {
+    explicit DecideMsg(V v) : value(std::move(v)) {}
+    V value;
+  };
+
+  [[nodiscard]] std::uint64_t next_own_round(std::uint64_t after) const {
+    const std::uint64_t nn = static_cast<std::uint64_t>(n());
+    return (after / nn + 1) * nn + static_cast<std::uint64_t>(self());
+  }
+
+  Register& own_reg() { return *regs_[static_cast<std::size_t>(self())]; }
+
+  void start_attempt() {
+    round_ = next_own_round(std::max(round_, max_seen_));
+    max_seen_ = round_;
+    ++rounds_;
+    ++attempt_;
+    attempt_active_ = true;
+    stall_ = 0;
+    const std::uint64_t a = attempt_;
+
+    // Phase 1 write: join round `round_` on our own block.
+    block_.mbal = round_;
+    in_flight_ = true;
+    own_reg().write(block_, [this, a] {
+      in_flight_ = false;
+      if (a != attempt_ || decided_) return;
+      best_bal_ = 0;
+      best_val_.reset();
+      read_chain(a, /*reg_index=*/0, /*phase=*/1);
+    });
+  }
+
+  /// Sequentially read blocks reg_index..n-1; then finish the phase.
+  void read_chain(std::uint64_t a, int reg_index, int phase) {
+    if (a != attempt_ || decided_) return;
+    if (reg_index >= n()) {
+      if (phase == 1) {
+        finish_phase1(a);
+      } else {
+        finish_phase2(a);
+      }
+      return;
+    }
+    in_flight_ = true;
+    regs_[static_cast<std::size_t>(reg_index)]->read(
+        [this, a, reg_index, phase](const BallotBlock<V>& b) {
+          in_flight_ = false;
+          if (a != attempt_ || decided_) return;
+          if (b.decided.has_value()) {
+            // Someone already decided; adopt and announce.
+            broadcast(sim::make_payload<DecideMsg>(*b.decided));
+            decide(*b.decided);
+            return;
+          }
+          if (b.mbal > round_) {
+            max_seen_ = std::max(max_seen_, b.mbal);
+            attempt_active_ = false;  // Lost the round; retry higher.
+            return;
+          }
+          if (b.val.has_value() && b.bal > best_bal_) {
+            best_bal_ = b.bal;
+            best_val_ = b.val;
+          }
+          read_chain(a, reg_index + 1, phase);
+        });
+  }
+
+  void finish_phase1(std::uint64_t a) {
+    // Adopt the highest accepted value seen, or our own proposal.
+    chosen_ = best_val_.has_value() ? *best_val_ : proposal_;
+    block_.mbal = round_;
+    block_.bal = round_;
+    block_.val = chosen_;
+    in_flight_ = true;
+    own_reg().write(block_, [this, a] {
+      in_flight_ = false;
+      if (a != attempt_ || decided_) return;
+      best_bal_ = 0;
+      best_val_.reset();
+      read_chain(a, 0, /*phase=*/2);
+    });
+  }
+
+  void finish_phase2(std::uint64_t a) {
+    // No higher round interfered between our two scans: decided.
+    block_.decided = chosen_;
+    in_flight_ = true;
+    own_reg().write(block_, [this, a] {
+      in_flight_ = false;
+      if (a != attempt_) return;
+      broadcast(sim::make_payload<DecideMsg>(chosen_));
+      decide(chosen_);
+    });
+  }
+
+  void decide(const V& v) {
+    if (decided_) return;
+    decided_ = true;
+    decision_ = v;
+    attempt_active_ = false;
+    emit("decide", 0);
+    if (cb_) {
+      auto cb = std::move(cb_);
+      cb_ = nullptr;
+      cb(decision_);
+    }
+  }
+
+  Options opt_;
+  std::vector<Register*> regs_;
+
+  bool proposed_ = false;
+  V proposal_{};
+  DecideCb cb_;
+
+  BallotBlock<V> block_;  ///< Our own block's latest written contents.
+  bool attempt_active_ = false;
+  bool in_flight_ = false;
+  std::uint64_t attempt_ = 0;
+  std::uint64_t round_ = 0;
+  std::uint64_t max_seen_ = 0;
+  Time stall_ = 0;
+  std::uint64_t best_bal_ = 0;
+  std::optional<V> best_val_;
+  V chosen_{};
+  std::uint64_t rounds_ = 0;
+
+  bool decided_ = false;
+  V decision_{};
+};
+
+}  // namespace wfd::consensus

@@ -1,0 +1,72 @@
+#include "extract/participant_tracker.h"
+
+#include <memory>
+
+#include "common/check.h"
+
+namespace wfd::extract {
+
+void ParticipantTracker::begin_write(std::uint64_t k) {
+  WriteId id{self_, k};
+  ProcessSet initial;
+  initial.insert(self_);
+  carried_[id] = initial;
+}
+
+ProcessSet ParticipantTracker::end_write(std::uint64_t k) {
+  WriteId id{self_, k};
+  auto it = carried_.find(id);
+  WFD_CHECK_MSG(it != carried_.end(), "end_write without begin_write");
+  ProcessSet participants = it->second;
+  carried_.erase(it);
+  auto& done = completed_[self_];
+  done = std::max(done, k);
+  return participants;
+}
+
+sim::MessageMetaPtr ParticipantTracker::outgoing_meta() {
+  if (carried_.empty() && completed_.empty()) return nullptr;
+  auto meta = std::make_shared<ParticipationMeta>();
+  meta->carried = carried_;
+  meta->completed = completed_;
+  return meta;
+}
+
+void ParticipantTracker::incoming_meta(ProcessId /*from*/,
+                                       const sim::MessageMeta& meta) {
+  const auto* m = dynamic_cast<const ParticipationMeta*>(&meta);
+  if (m == nullptr) return;
+  // Garbage collection first: learn about completed writes.
+  for (const auto& [writer, k] : m->completed) {
+    auto& done = completed_[writer];
+    done = std::max(done, k);
+  }
+  for (const auto& [id, participants] : m->carried) {
+    auto done_it = completed_.find(id.writer);
+    if (done_it != completed_.end() && done_it->second >= id.k) {
+      continue;  // Write already finished; its set is frozen elsewhere.
+    }
+    // Receiving a tagged message makes this process a participant: its
+    // current event causally follows the write's invocation.
+    ProcessSet& mine = carried_[id];
+    mine = mine.set_union(participants);
+    mine.insert(self_);
+  }
+  // Drop any local tags that are now known complete.
+  for (auto it = carried_.begin(); it != carried_.end();) {
+    auto done_it = completed_.find(it->first.writer);
+    if (done_it != completed_.end() && done_it->second >= it->first.k &&
+        it->first.writer != self_) {
+      it = carried_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+ProcessSet ParticipantTracker::known_participants(WriteId id) const {
+  auto it = carried_.find(id);
+  return it == carried_.end() ? ProcessSet{} : it->second;
+}
+
+}  // namespace wfd::extract

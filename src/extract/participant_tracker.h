@@ -1,0 +1,67 @@
+// Causal participation tracking for the Figure 1 extraction.
+//
+// The extraction needs, for each write operation w on register Reg_i, the
+// participant set P_i(k) = { p_j : some event of p_j lies causally
+// between w's invocation and w's response } (Lamport's happens-before
+// [17]). The tracker implements the paper's tagging scheme at the
+// transport level: while a write (i, k) is active, every message sent by
+// a process that has (transitively) heard of it carries the tag (i, k)
+// together with the set of processes known to have participated; a
+// process receiving a tagged message becomes a participant itself and
+// propagates the enlarged set. Because participation knowledge flows
+// along exactly the causal chains the definition quantifies over, the
+// writer's accumulated set at the write's response equals P_i(k).
+//
+// Metadata for completed writes is garbage-collected via piggybacked
+// per-writer completion counters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/process_set.h"
+#include "sim/process.h"
+
+namespace wfd::extract {
+
+/// Identifies the k-th write of process i.
+struct WriteId {
+  ProcessId writer = kNoProcess;
+  std::uint64_t k = 0;
+  friend bool operator==(const WriteId&, const WriteId&) = default;
+  friend auto operator<=>(const WriteId&, const WriteId&) = default;
+};
+
+/// The piggybacked metadata: active write tags with their known
+/// participant sets, and completion counters for garbage collection.
+struct ParticipationMeta final : sim::MessageMeta {
+  std::map<WriteId, ProcessSet> carried;
+  std::map<ProcessId, std::uint64_t> completed;
+};
+
+class ParticipantTracker : public sim::TransportInstrument {
+ public:
+  explicit ParticipantTracker(ProcessId self) : self_(self) {}
+
+  /// Writer-side: mark the start of write (self, k).
+  void begin_write(std::uint64_t k);
+
+  /// Writer-side: mark the end of write (self, k); returns P_self(k) and
+  /// garbage-collects the tag.
+  ProcessSet end_write(std::uint64_t k);
+
+  /// TransportInstrument: tag every outgoing message with the active
+  /// writes this process participates in.
+  sim::MessageMetaPtr outgoing_meta() override;
+  void incoming_meta(ProcessId from, const sim::MessageMeta& meta) override;
+
+  /// Current known participants of an active write (for tests).
+  [[nodiscard]] ProcessSet known_participants(WriteId id) const;
+
+ private:
+  ProcessId self_;
+  std::map<WriteId, ProcessSet> carried_;
+  std::map<ProcessId, std::uint64_t> completed_;
+};
+
+}  // namespace wfd::extract

@@ -1,0 +1,76 @@
+// Deterministic sandbox simulation of a QC algorithm along a DAG path —
+// the "simulated runs of A" of the Figure 3 extraction (task 1, line 6,
+// and the Sigma loop, lines 26-32).
+//
+// A script is a sequence of (process, detector value) pairs taken from a
+// path of the sample DAG. The sandbox replays the given QC algorithm
+// from an initial configuration (a proposal per process) applying the
+// script: at step k, process script[k].p takes one atomic step, receives
+// its oldest pending message (or lambda if none) and sees detector value
+// script[k].value. The replay is a pure function of (algorithm,
+// proposals, script) — which is exactly why different processes
+// simulating the same data reach the same conclusions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/process_set.h"
+#include "extract/sample_dag.h"
+#include "sim/simulator.h"
+
+namespace wfd::extract {
+
+/// One scripted step.
+struct ScriptStep {
+  ProcessId p = kNoProcess;
+  fd::FdValue value;
+
+  friend bool operator==(const ScriptStep& a, const ScriptStep& b) {
+    return a.p == b.p && a.value == b.value;
+  }
+};
+
+/// Decision code in sandbox runs: 0/1 for values, kQuitDecision for Q.
+inline constexpr int kQuitDecision = -2;
+
+/// How to instantiate and observe the QC algorithm A under test.
+struct SandboxSpec {
+  int n = 0;
+  /// Build the A stack into the (empty) inner simulator; processes must
+  /// propose `proposals[i]` (0/1).
+  std::function<void(sim::Simulator&, const std::vector<int>& proposals)>
+      build;
+  /// Decision of process p in the inner simulator, if reached
+  /// (0/1/kQuitDecision).
+  std::function<std::optional<int>(sim::Simulator&, ProcessId)> decision_of;
+};
+
+struct SandboxResult {
+  /// The observer's decision, if reached within the script.
+  std::optional<int> decision;
+  /// 1-based script length after which the observer first decided
+  /// (script.size() + 1 when it never did).
+  std::size_t decided_after = 0;
+  /// Processes that took at least one step within the first
+  /// `decided_after` steps (the whole script if no decision).
+  ProcessSet steppers;
+};
+
+/// Replay `script` from the initial configuration `proposals` and watch
+/// process `observer`.
+SandboxResult run_sandbox(const SandboxSpec& spec,
+                          const std::vector<int>& proposals,
+                          const std::vector<ScriptStep>& script,
+                          ProcessId observer);
+
+/// The initial configuration of the i-th tree of the simulation forest:
+/// processes 0..i-1 propose 1, the rest propose 0 (i in 0..n).
+std::vector<int> forest_initial_config(int n, int i);
+
+/// Convenience: turn DAG nodes into script steps.
+std::vector<ScriptStep> to_script(const std::vector<DagNode>& nodes);
+
+}  // namespace wfd::extract

@@ -1,0 +1,71 @@
+#include "extract/sample_dag.h"
+
+#include <algorithm>
+
+namespace wfd::extract {
+
+const DagNode& SampleDag::add_sample(ProcessId p, fd::FdValue v) {
+  WFD_CHECK(p >= 0 && p < n_);
+  DagNode node;
+  node.p = p;
+  node.value = std::move(v);
+  node.vc.resize(static_cast<std::size_t>(n_));
+  for (ProcessId q = 0; q < n_; ++q) {
+    node.vc[static_cast<std::size_t>(q)] = known(q);
+  }
+  node.seq = known(p) + 1;
+  node.vc[static_cast<std::size_t>(p)] = node.seq;
+  auto& vec = by_proc_[static_cast<std::size_t>(p)];
+  vec.push_back(std::move(node));
+  ++total_;
+  return vec.back();
+}
+
+void SampleDag::merge(const std::vector<DagNode>& nodes) {
+  for (const DagNode& node : nodes) {
+    WFD_CHECK(node.p >= 0 && node.p < n_);
+    auto& vec = by_proc_[static_cast<std::size_t>(node.p)];
+    if (node.seq == static_cast<std::uint64_t>(vec.size()) + 1) {
+      vec.push_back(node);
+      ++total_;
+    }
+    // Earlier seq: already known (snapshots are per-process prefixes).
+    // A gap cannot occur within one snapshot because snapshots list each
+    // process's nodes in sequence order; across snapshots, merge order
+    // preserves the prefix property.
+  }
+}
+
+std::vector<DagNode> SampleDag::snapshot() const {
+  std::vector<DagNode> out;
+  out.reserve(static_cast<std::size_t>(total_));
+  for (const auto& vec : by_proc_) {
+    out.insert(out.end(), vec.begin(), vec.end());
+  }
+  return out;
+}
+
+std::vector<DagNode> SampleDag::canonical_spine() const {
+  std::vector<const DagNode*> order;
+  order.reserve(static_cast<std::size_t>(total_));
+  for (const auto& vec : by_proc_) {
+    for (const auto& node : vec) order.push_back(&node);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const DagNode* a, const DagNode* b) {
+              const auto wa = a->weight();
+              const auto wb = b->weight();
+              if (wa != wb) return wa < wb;
+              if (a->p != b->p) return a->p < b->p;
+              return a->seq < b->seq;
+            });
+  std::vector<DagNode> spine;
+  for (const DagNode* node : order) {
+    if (spine.empty() || precedes(spine.back(), *node)) {
+      spine.push_back(*node);
+    }
+  }
+  return spine;
+}
+
+}  // namespace wfd::extract

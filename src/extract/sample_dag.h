@@ -1,0 +1,94 @@
+// The DAG of failure-detector samples used by the Figure 3 extraction
+// (built "exactly as in [3]", Chandra-Hadzilacos-Toueg).
+//
+// Each process repeatedly samples its local detector module and records
+// a node (process, sequence number, value); when a node is created,
+// edges run from every node currently in the creator's DAG to the new
+// node. DAGs are exchanged by gossip and merged. Snapshots are causally
+// closed (a node always travels together with its ancestors), so a
+// node's ancestry is captured exactly by a vector clock: node x precedes
+// node y iff y's clock covers x.
+//
+// The extraction simulates runs of the given QC algorithm along *paths*
+// of the DAG. The canonical path ("spine") is the deterministic greedy
+// filter of the canonical linear extension (nodes ordered by total clock
+// weight); since it is a pure function of the DAG's contents, the spines
+// of any two processes converge node by node as their DAGs converge —
+// which is what makes the extracted outputs agree eventually.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "fd/values.h"
+
+namespace wfd::extract {
+
+struct DagNode {
+  ProcessId p = kNoProcess;
+  std::uint64_t seq = 0;  ///< 1-based per-process sample counter.
+  fd::FdValue value;
+  /// vc[q] = highest sequence number of q's samples known when this node
+  /// was created (vc[p] == seq).
+  std::vector<std::uint64_t> vc;
+
+  /// Total clock weight; strictly increases along DAG edges, so sorting
+  /// by (weight, p, seq) is a linear extension of reachability.
+  [[nodiscard]] std::uint64_t weight() const {
+    std::uint64_t w = 0;
+    for (auto s : vc) w += s;
+    return w;
+  }
+};
+
+class SampleDag {
+ public:
+  explicit SampleDag(int n) : n_(n), by_proc_(static_cast<std::size_t>(n)) {
+    WFD_CHECK(n >= 1 && n <= kMaxProcesses);
+  }
+
+  [[nodiscard]] int n() const { return n_; }
+
+  /// Record a fresh local sample of process p; returns the new node.
+  const DagNode& add_sample(ProcessId p, fd::FdValue v);
+
+  /// Merge a (causally closed) snapshot received by gossip.
+  void merge(const std::vector<DagNode>& nodes);
+
+  /// All nodes (per-process prefixes, concatenated).
+  [[nodiscard]] std::vector<DagNode> snapshot() const;
+
+  /// Nodes of process q known so far.
+  [[nodiscard]] std::uint64_t known(ProcessId q) const {
+    return static_cast<std::uint64_t>(
+        by_proc_[static_cast<std::size_t>(q)].size());
+  }
+
+  [[nodiscard]] std::uint64_t size() const { return total_; }
+
+  [[nodiscard]] const DagNode& get(ProcessId q, std::uint64_t seq) const {
+    WFD_CHECK(seq >= 1 && seq <= known(q));
+    return by_proc_[static_cast<std::size_t>(q)][static_cast<std::size_t>(seq - 1)];
+  }
+
+  /// Whether a precedes b (a path of edges leads from a to b).
+  [[nodiscard]] static bool precedes(const DagNode& a, const DagNode& b) {
+    if (a.p == b.p) return a.seq < b.seq;
+    return b.vc[static_cast<std::size_t>(a.p)] >= a.seq;
+  }
+
+  /// The canonical path through the DAG: the greedy reachability filter
+  /// of the canonical linear extension. Deterministic in the DAG's
+  /// contents. Appending new nodes can only change the suffix past the
+  /// last "stale" insertion, so prefixes stabilise as gossip catches up.
+  [[nodiscard]] std::vector<DagNode> canonical_spine() const;
+
+ private:
+  int n_;
+  std::vector<std::vector<DagNode>> by_proc_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace wfd::extract

@@ -1,0 +1,37 @@
+#include "extract/sim_forest.h"
+
+namespace wfd::extract {
+
+ForestAnalysis analyze_forest(const SandboxSpec& spec,
+                              const std::vector<ScriptStep>& script,
+                              ProcessId observer) {
+  ForestAnalysis out;
+  out.trees.resize(static_cast<std::size_t>(spec.n) + 1);
+  out.all_decided = true;
+  for (int i = 0; i <= spec.n; ++i) {
+    const auto res =
+        run_sandbox(spec, forest_initial_config(spec.n, i), script, observer);
+    auto& tree = out.trees[static_cast<std::size_t>(i)];
+    tree.decision = res.decision;
+    if (res.decision.has_value()) {
+      tree.deciding_prefix.assign(script.begin(),
+                                  script.begin() + static_cast<std::ptrdiff_t>(
+                                                       res.decided_after));
+      if (*res.decision == kQuitDecision) out.any_quit = true;
+    } else {
+      out.all_decided = false;
+    }
+  }
+  if (!out.all_decided || out.any_quit) return out;
+  for (int i = 1; i <= spec.n; ++i) {
+    if (*out.trees[static_cast<std::size_t>(i - 1)].decision == 0 &&
+        *out.trees[static_cast<std::size_t>(i)].decision == 1) {
+      out.critical_index = i;
+      out.leader = static_cast<ProcessId>(i - 1);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace wfd::extract

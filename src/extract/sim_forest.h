@@ -1,0 +1,46 @@
+// Simulation-forest analysis for the Figure 3 extraction.
+//
+// The forest has n+1 trees; tree i grows runs of the QC algorithm A from
+// the initial configuration in which processes 0..i-1 propose 1 and the
+// rest propose 0. This bounded implementation simulates each tree along
+// one fair branch — the canonical spine of the sample DAG (every correct
+// process appears infinitely often on it, so A's Termination guarantees
+// a decision in every tree; see DESIGN.md for the fidelity notes).
+//
+// The Omega candidate is read off the decision flip: tree 0 (all propose
+// 0) decides 0 and tree n (all propose 1) decides 1 by Validity, so some
+// adjacent pair (i-1, i) decides differently; the configurations differ
+// only in the proposal of process i-1, so that process's input was
+// adopted — the paper's univalent critical index, whose pivotal process
+// the extraction elects.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "extract/qc_sandbox.h"
+
+namespace wfd::extract {
+
+struct TreeOutcome {
+  std::optional<int> decision;          ///< 0 / 1 / kQuitDecision.
+  std::vector<ScriptStep> deciding_prefix;  ///< Script up to the decision.
+};
+
+struct ForestAnalysis {
+  std::vector<TreeOutcome> trees;  ///< n+1 entries.
+  bool all_decided = false;
+  bool any_quit = false;
+  /// Valid when all_decided && !any_quit: the smallest i with
+  /// d_{i-1} == 0 and d_i == 1, and the corresponding leader (i-1).
+  int critical_index = -1;
+  ProcessId leader = kNoProcess;
+};
+
+/// Simulate all n+1 trees of the forest along `script` and analyse the
+/// decisions of process `observer`.
+ForestAnalysis analyze_forest(const SandboxSpec& spec,
+                              const std::vector<ScriptStep>& script,
+                              ProcessId observer);
+
+}  // namespace wfd::extract

@@ -1,0 +1,131 @@
+#include "fd/classic_oracles.h"
+
+#include "common/check.h"
+
+namespace wfd::fd {
+namespace {
+
+Time resolve_stab(Time configured, Time horizon) {
+  return configured == kNever ? std::max<Time>(1, horizon / 8)
+                              : std::max<Time>(1, configured);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------------ P
+
+void PerfectOracle::begin_run(const sim::FailurePattern& f, std::uint64_t seed,
+                              Time horizon) {
+  (void)horizon;
+  rng_.reseed(seed);
+  pattern_ = f;
+  lag_.assign(static_cast<std::size_t>(f.n()), 0);
+  for (auto& l : lag_) l = rng_.below(std::max<Time>(1, opt_.max_detection_lag));
+}
+
+FdValue PerfectOracle::query(ProcessId p, Time t) {
+  const Time lag = lag_[static_cast<std::size_t>(p)];
+  FdValue v;
+  // F(t - lag) is a subset of F(t): never suspects an alive process.
+  v.suspected = pattern_.crashed_by(t >= lag ? t - lag : 0);
+  return v;
+}
+
+// ------------------------------------------------------------------------ S
+
+void StrongOracle::begin_run(const sim::FailurePattern& f, std::uint64_t seed,
+                             Time horizon) {
+  (void)horizon;
+  rng_.reseed(seed);
+  pattern_ = f;
+  const ProcessSet correct = f.correct();
+  WFD_CHECK(!correct.empty());
+  if (opt_.fixed_trusted != kNoProcess) {
+    WFD_CHECK(correct.contains(opt_.fixed_trusted));
+    trusted_ = opt_.fixed_trusted;
+  } else {
+    trusted_ = rng_.pick(correct.members());
+  }
+  lag_.assign(static_cast<std::size_t>(f.n()), 0);
+  for (auto& l : lag_) {
+    l = rng_.below(std::max<Time>(1, opt_.max_detection_lag));
+  }
+}
+
+FdValue StrongOracle::query(ProcessId p, Time t) {
+  const Time lag = lag_[static_cast<std::size_t>(p)];
+  // Crashed processes (lagged view) plus arbitrary wrong suspicions of
+  // anyone except the trusted process: weak accuracy is perpetual, so
+  // the trusted process must never appear.
+  ProcessSet s = pattern_.crashed_by(t >= lag ? t - lag : 0);
+  for (ProcessId q : pattern_.correct().members()) {
+    if (q != trusted_ && rng_.chance(1, 8)) s.insert(q);
+  }
+  s.erase(trusted_);
+  FdValue v;
+  v.suspected = s;
+  return v;
+}
+
+// ---------------------------------------------------------------------- <>P
+
+void EventuallyPerfectOracle::begin_run(const sim::FailurePattern& f,
+                                        std::uint64_t seed, Time horizon) {
+  rng_.reseed(seed);
+  pattern_ = f;
+  const Time stab = resolve_stab(opt_.max_stabilization, horizon);
+  converge_at_.assign(static_cast<std::size_t>(f.n()), 0);
+  for (auto& t : converge_at_) t = rng_.below(stab);
+  lag_.assign(static_cast<std::size_t>(f.n()), 0);
+  for (auto& l : lag_) l = rng_.below(std::max<Time>(1, opt_.max_detection_lag));
+}
+
+FdValue EventuallyPerfectOracle::query(ProcessId p, Time t) {
+  FdValue v;
+  if (t < converge_at_[static_cast<std::size_t>(p)]) {
+    // Arbitrary (possibly wrong) suspicions.
+    v.suspected = ProcessSet::from_raw(
+        rng_.next() & ProcessSet::full(pattern_.n()).raw());
+    return v;
+  }
+  const Time lag = lag_[static_cast<std::size_t>(p)];
+  // After convergence the lagged view must still cover everything that is
+  // ever going to crash once it has crashed; using F(max(t-lag,0)) gives
+  // eventual strong completeness and eventual strong accuracy.
+  v.suspected = pattern_.crashed_by(t >= lag ? t - lag : 0);
+  return v;
+}
+
+// ---------------------------------------------------------------------- <>S
+
+void EventuallyStrongOracle::begin_run(const sim::FailurePattern& f,
+                                       std::uint64_t seed, Time horizon) {
+  rng_.reseed(seed);
+  pattern_ = f;
+  const ProcessSet correct = f.correct();
+  WFD_CHECK(!correct.empty());
+  trusted_ = rng_.pick(correct.members());
+  const Time stab = resolve_stab(opt_.max_stabilization, horizon);
+  converge_at_.assign(static_cast<std::size_t>(f.n()), 0);
+  for (auto& t : converge_at_) t = rng_.below(stab);
+}
+
+FdValue EventuallyStrongOracle::query(ProcessId p, Time t) {
+  FdValue v;
+  if (t < converge_at_[static_cast<std::size_t>(p)]) {
+    v.suspected = ProcessSet::from_raw(
+        rng_.next() & ProcessSet::full(pattern_.n()).raw());
+    return v;
+  }
+  // All faulty processes suspected; the trusted correct process never
+  // suspected; other correct processes may be wrongly suspected forever.
+  ProcessSet s = pattern_.faulty();
+  for (ProcessId q : pattern_.correct().members()) {
+    if (q != trusted_ && rng_.chance(1, 4)) s.insert(q);
+  }
+  s.erase(trusted_);
+  v.suspected = s;
+  return v;
+}
+
+}  // namespace wfd::fd

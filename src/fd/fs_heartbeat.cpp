@@ -1,0 +1,54 @@
+#include "fd/fs_heartbeat.h"
+
+#include "sim/payload.h"
+
+namespace wfd::fd {
+namespace {
+
+struct FsBeat final : sim::Payload {};
+struct FsRed final : sim::Payload {};
+
+}  // namespace
+
+void FsHeartbeatModule::on_start() {
+  period_ = (opt_.period != 0) ? opt_.period : static_cast<Time>(4 * n());
+  timeout_ = (opt_.timeout != 0) ? opt_.timeout : 64 * period_;
+  deadline_.assign(static_cast<std::size_t>(n()), timeout_);
+  next_beat_ = 0;
+}
+
+void FsHeartbeatModule::on_message(ProcessId from, const sim::Payload& msg) {
+  if (sim::payload_cast<FsBeat>(msg) != nullptr) {
+    deadline_[static_cast<std::size_t>(from)] = tick_ + timeout_;
+    return;
+  }
+  if (sim::payload_cast<FsRed>(msg) != nullptr && !red_) {
+    red_ = true;
+    broadcast(sim::make_payload<FsRed>(), /*include_self=*/false);
+  }
+}
+
+void FsHeartbeatModule::on_tick() {
+  ++tick_;
+  if (red_) return;  // Red is permanent; heartbeats no longer matter.
+  if (tick_ >= next_beat_) {
+    broadcast(sim::make_payload<FsBeat>(), /*include_self=*/false);
+    next_beat_ = tick_ + period_;
+  }
+  for (ProcessId q = 0; q < n(); ++q) {
+    if (q == self()) continue;
+    if (tick_ > deadline_[static_cast<std::size_t>(q)]) {
+      red_ = true;
+      broadcast(sim::make_payload<FsRed>(), /*include_self=*/false);
+      break;
+    }
+  }
+}
+
+FdValue FsHeartbeatModule::fd_value() const {
+  FdValue v;
+  v.fs = red_ ? FsColor::kRed : FsColor::kGreen;
+  return v;
+}
+
+}  // namespace wfd::fd

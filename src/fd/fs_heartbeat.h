@@ -1,0 +1,54 @@
+// A message-passing implementation of the failure signal FS for
+// synchronous runs (RoundRobinScheduler from time 0, or
+// PartialSynchronyScheduler with gst = 0): heartbeats with a *safe*
+// timeout — one large enough that a missed deadline can only mean a real
+// crash. On the first missed deadline the module turns red, broadcasts
+// the signal (so every correct process turns red too) and stays red.
+//
+// FS is not implementable in asynchronous runs: a red output caused by a
+// slow-but-alive process would violate the "red implies a failure
+// occurred" clause. The accuracy property therefore holds only under the
+// synchronous scheduler; the negative test exhibits the violation under
+// an asynchronous one with an aggressive timeout.
+#pragma once
+
+#include <vector>
+
+#include "sim/module.h"
+
+namespace wfd::fd {
+
+class FsHeartbeatModule : public sim::Module, public sim::FdSource {
+ public:
+  struct Options {
+    /// Own-step period between heartbeats; 0 = 4 * n.
+    Time period = 0;
+    /// Own-step timeout; 0 = a safe bound for the round-robin scheduler
+    /// (64 * period). Set small to demonstrate the asynchronous failure.
+    Time timeout = 0;
+  };
+
+  FsHeartbeatModule() : FsHeartbeatModule(Options{}) {}
+  explicit FsHeartbeatModule(Options opt) : opt_(opt) {}
+
+  void on_start() override;
+  void on_message(ProcessId from, const sim::Payload& msg) override;
+  void on_tick() override;
+
+  /// FdSource: fs = red once any peer missed its (safe) deadline or a
+  /// red signal arrived.
+  [[nodiscard]] FdValue fd_value() const override;
+
+  [[nodiscard]] bool red() const { return red_; }
+
+ private:
+  Options opt_;
+  Time period_ = 0;
+  Time timeout_ = 0;
+  Time tick_ = 0;
+  Time next_beat_ = 0;
+  std::vector<Time> deadline_;
+  bool red_ = false;
+};
+
+}  // namespace wfd::fd

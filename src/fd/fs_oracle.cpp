@@ -1,0 +1,28 @@
+#include "fd/fs_oracle.h"
+
+namespace wfd::fd {
+
+void FsOracle::begin_run(const sim::FailurePattern& f, std::uint64_t seed,
+                         Time horizon) {
+  rng_.reseed(seed);
+  n_ = f.n();
+  red_at_.assign(static_cast<std::size_t>(n_), kNever);
+  const Time first_crash = f.first_crash_time();
+  if (first_crash == kNever) return;  // Crash-free: green forever.
+  const Time max_lag = (opt_.max_reaction_lag == kNever)
+                           ? std::max<Time>(1, horizon / 8)
+                           : std::max<Time>(1, opt_.max_reaction_lag);
+  for (auto& t : red_at_) {
+    // Red only from the first crash onwards, plus a bounded random lag.
+    t = first_crash + rng_.below(max_lag);
+  }
+}
+
+FdValue FsOracle::query(ProcessId p, Time t) {
+  FdValue v;
+  v.fs = (t >= red_at_[static_cast<std::size_t>(p)]) ? FsColor::kRed
+                                                     : FsColor::kGreen;
+  return v;
+}
+
+}  // namespace wfd::fd

@@ -1,0 +1,38 @@
+// Oracle for the failure signal detector FS.
+//
+// Definition (paper, Section 2): red at time t implies F(t) is non-empty;
+// and if any process is faulty, every correct process eventually outputs
+// red permanently.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "fd/oracle.h"
+
+namespace wfd::fd {
+
+class FsOracle : public Oracle {
+ public:
+  struct Options {
+    /// Upper bound on the per-process lag between the first crash and the
+    /// permanent switch to red; kNever = horizon / 8.
+    Time max_reaction_lag = kNever;
+  };
+
+  FsOracle() : FsOracle(Options{}) {}
+  explicit FsOracle(Options opt) : opt_(opt), rng_(0) {}
+
+  void begin_run(const sim::FailurePattern& f, std::uint64_t seed,
+                 Time horizon) override;
+  FdValue query(ProcessId p, Time t) override;
+  [[nodiscard]] std::string name() const override { return "FS"; }
+
+ private:
+  Options opt_;
+  Rng rng_;
+  int n_ = 0;
+  std::vector<Time> red_at_;  ///< kNever when the pattern is crash-free.
+};
+
+}  // namespace wfd::fd

@@ -1,0 +1,360 @@
+#include "fd/history_checker.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace wfd::fd {
+namespace {
+
+using sim::FdSampleRecord;
+using sim::FailurePattern;
+
+std::string at(ProcessId p, Time t) {
+  std::ostringstream os;
+  os << " (process " << p << ", time " << t << ")";
+  return os.str();
+}
+
+/// Split samples per process, preserving time order.
+std::vector<std::vector<FdSampleRecord>> per_process(
+    const std::vector<FdSampleRecord>& samples, int n) {
+  std::vector<std::vector<FdSampleRecord>> out(static_cast<std::size_t>(n));
+  for (const auto& s : samples) {
+    WFD_CHECK(s.p >= 0 && s.p < n);
+    out[static_cast<std::size_t>(s.p)].push_back(s);
+  }
+  return out;
+}
+
+}  // namespace
+
+CheckResult check_omega_history(const std::vector<FdSampleRecord>& samples,
+                                const FailurePattern& f) {
+  const auto by_p = per_process(samples, f.n());
+  const ProcessSet correct = f.correct();
+
+  // Candidate leader: the final output of the first correct process that
+  // has samples. The definition requires one common eventual leader, so
+  // any correct process's final value must be it.
+  ProcessId candidate = kNoProcess;
+  for (ProcessId p : correct.members()) {
+    const auto& seq = by_p[static_cast<std::size_t>(p)];
+    if (seq.empty()) continue;
+    if (!seq.back().value.omega.has_value()) {
+      return CheckResult::failure("sample lacks an omega component" +
+                                  at(p, seq.back().t));
+    }
+    candidate = *seq.back().value.omega;
+    break;
+  }
+  if (candidate == kNoProcess) {
+    return CheckResult::failure("no samples at any correct process");
+  }
+  if (!correct.contains(candidate)) {
+    std::ostringstream os;
+    os << "eventual leader " << candidate << " is not correct";
+    return CheckResult::failure(os.str());
+  }
+
+  Time witness = 0;
+  for (ProcessId p : correct.members()) {
+    const auto& seq = by_p[static_cast<std::size_t>(p)];
+    if (seq.empty()) {
+      std::ostringstream os;
+      os << "correct process " << p << " has no samples";
+      return CheckResult::failure(os.str());
+    }
+    bool saw_candidate_suffix = false;
+    for (auto it = seq.rbegin(); it != seq.rend(); ++it) {
+      if (!it->value.omega.has_value()) {
+        return CheckResult::failure("sample lacks an omega component" +
+                                    at(p, it->t));
+      }
+      if (*it->value.omega != candidate) {
+        witness = std::max(witness, it->t + 1);
+        break;
+      }
+      saw_candidate_suffix = true;
+    }
+    if (!saw_candidate_suffix) {
+      std::ostringstream os;
+      os << "correct process " << p << " never converged to leader "
+         << candidate;
+      return CheckResult::failure(os.str());
+    }
+  }
+  CheckResult r;
+  r.witness_time = witness;
+  return r;
+}
+
+CheckResult check_sigma_history(const std::vector<FdSampleRecord>& samples,
+                                const FailurePattern& f) {
+  // Intersection: across ALL samples, at all processes and times.
+  std::vector<std::uint64_t> distinct;
+  for (const auto& s : samples) {
+    if (!s.value.sigma.has_value()) {
+      return CheckResult::failure("sample lacks a sigma component" +
+                                  at(s.p, s.t));
+    }
+    const std::uint64_t mask = s.value.sigma->raw();
+    if (std::find(distinct.begin(), distinct.end(), mask) == distinct.end()) {
+      distinct.push_back(mask);
+    }
+  }
+  for (std::size_t i = 0; i < distinct.size(); ++i) {
+    if (distinct[i] == 0) {
+      return CheckResult::failure("empty quorum sampled");
+    }
+    for (std::size_t j = i + 1; j < distinct.size(); ++j) {
+      if ((distinct[i] & distinct[j]) == 0) {
+        std::ostringstream os;
+        os << "quorums do not intersect: "
+           << ProcessSet::from_raw(distinct[i]) << " vs "
+           << ProcessSet::from_raw(distinct[j]);
+        return CheckResult::failure(os.str());
+      }
+    }
+  }
+
+  // Completeness: at each correct process the suffix is within correct(F).
+  const auto by_p = per_process(samples, f.n());
+  const ProcessSet correct = f.correct();
+  Time witness = 0;
+  for (ProcessId p : correct.members()) {
+    const auto& seq = by_p[static_cast<std::size_t>(p)];
+    if (seq.empty()) {
+      std::ostringstream os;
+      os << "correct process " << p << " has no samples";
+      return CheckResult::failure(os.str());
+    }
+    bool clean_suffix = false;
+    for (auto it = seq.rbegin(); it != seq.rend(); ++it) {
+      if (!it->value.sigma->is_subset_of(correct)) {
+        witness = std::max(witness, it->t + 1);
+        break;
+      }
+      clean_suffix = true;
+    }
+    if (!clean_suffix) {
+      std::ostringstream os;
+      os << "quorums at correct process " << p
+         << " never shrink to correct processes";
+      return CheckResult::failure(os.str());
+    }
+  }
+  CheckResult r;
+  r.witness_time = witness;
+  return r;
+}
+
+CheckResult check_fs_history(const std::vector<FdSampleRecord>& samples,
+                             const FailurePattern& f) {
+  for (const auto& s : samples) {
+    if (!s.value.fs.has_value()) {
+      return CheckResult::failure("sample lacks an fs component" +
+                                  at(s.p, s.t));
+    }
+    if (*s.value.fs == FsColor::kRed && !f.failure_by(s.t)) {
+      return CheckResult::failure("red output before any failure" +
+                                  at(s.p, s.t));
+    }
+  }
+  if (f.faulty().empty()) {
+    return CheckResult{};  // Nothing else required.
+  }
+  const auto by_p = per_process(samples, f.n());
+  Time witness = 0;
+  for (ProcessId p : f.correct().members()) {
+    const auto& seq = by_p[static_cast<std::size_t>(p)];
+    if (seq.empty()) {
+      std::ostringstream os;
+      os << "correct process " << p << " has no samples";
+      return CheckResult::failure(os.str());
+    }
+    bool red_suffix = false;
+    for (auto it = seq.rbegin(); it != seq.rend(); ++it) {
+      if (*it->value.fs == FsColor::kGreen) {
+        witness = std::max(witness, it->t + 1);
+        break;
+      }
+      red_suffix = true;
+    }
+    if (!red_suffix) {
+      std::ostringstream os;
+      os << "correct process " << p
+         << " not permanently red despite a failure";
+      return CheckResult::failure(os.str());
+    }
+  }
+  CheckResult r;
+  r.witness_time = witness;
+  return r;
+}
+
+CheckResult check_psi_history(const std::vector<FdSampleRecord>& samples,
+                              const FailurePattern& f) {
+  for (const auto& s : samples) {
+    if (!s.value.psi.has_value()) {
+      return CheckResult::failure("sample lacks a psi component" +
+                                  at(s.p, s.t));
+    }
+  }
+  const auto by_p = per_process(samples, f.n());
+
+  // Per-process shape: bottom*, then a single non-bottom mode forever.
+  // Track the global branch and the earliest switch time.
+  bool branch_known = false;
+  bool fs_branch = false;
+  Time earliest_switch = kNever;
+  std::vector<FdSampleRecord> omega_sigma_sub;  // Post-switch samples.
+  std::vector<FdSampleRecord> fs_sub;
+
+  for (ProcessId p = 0; p < f.n(); ++p) {
+    const auto& seq = by_p[static_cast<std::size_t>(p)];
+    bool switched = false;
+    PsiValue::Mode mode = PsiValue::Mode::kBottom;
+    for (const auto& s : seq) {
+      const PsiValue& v = *s.value.psi;
+      if (!switched) {
+        if (v.mode == PsiValue::Mode::kBottom) continue;
+        switched = true;
+        mode = v.mode;
+        earliest_switch = std::min(earliest_switch, s.t);
+        const bool this_fs = (mode == PsiValue::Mode::kFs);
+        if (branch_known && this_fs != fs_branch) {
+          return CheckResult::failure(
+              "processes switched to different branches" + at(p, s.t));
+        }
+        branch_known = true;
+        fs_branch = this_fs;
+      } else {
+        if (v.mode == PsiValue::Mode::kBottom) {
+          return CheckResult::failure("bottom after the switch" + at(p, s.t));
+        }
+        if (v.mode != mode) {
+          return CheckResult::failure("branch changed after the switch" +
+                                      at(p, s.t));
+        }
+      }
+      if (switched) {
+        FdSampleRecord sub;
+        sub.p = s.p;
+        sub.t = s.t;
+        if (v.mode == PsiValue::Mode::kOmegaSigma) {
+          sub.value.omega = v.omega;
+          sub.value.sigma = v.sigma;
+          omega_sigma_sub.push_back(sub);
+        } else {
+          sub.value.fs = v.fs;
+          fs_sub.push_back(sub);
+        }
+      }
+    }
+    if (!switched && f.correct().contains(p) && !seq.empty()) {
+      std::ostringstream os;
+      os << "correct process " << p << " never switched from bottom";
+      return CheckResult::failure(os.str());
+    }
+  }
+  if (!branch_known) {
+    return CheckResult::failure("no process ever switched from bottom");
+  }
+
+  if (fs_branch) {
+    // The FS branch is legal only if a failure occurred no later than the
+    // earliest switch.
+    if (!f.failure_by(earliest_switch)) {
+      return CheckResult::failure(
+          "FS branch chosen although no failure had occurred by the "
+          "earliest switch");
+    }
+    return check_fs_history(fs_sub, f);
+  }
+  CheckResult om = check_omega_history(omega_sigma_sub, f);
+  if (!om.ok) return om;
+  CheckResult si = check_sigma_history(omega_sigma_sub, f);
+  if (!si.ok) return si;
+  CheckResult r;
+  r.witness_time = std::max(om.witness_time, si.witness_time);
+  return r;
+}
+
+CheckResult check_perfect_history(const std::vector<FdSampleRecord>& samples,
+                                  const FailurePattern& f) {
+  for (const auto& s : samples) {
+    if (!s.value.suspected.has_value()) {
+      return CheckResult::failure("sample lacks a suspected component" +
+                                  at(s.p, s.t));
+    }
+    if (!s.value.suspected->is_subset_of(f.crashed_by(s.t))) {
+      return CheckResult::failure("suspected a process before it crashed" +
+                                  at(s.p, s.t));
+    }
+  }
+  const auto by_p = per_process(samples, f.n());
+  const ProcessSet faulty = f.faulty();
+  for (ProcessId p : f.correct().members()) {
+    const auto& seq = by_p[static_cast<std::size_t>(p)];
+    if (seq.empty()) continue;
+    if (!faulty.is_subset_of(*seq.back().value.suspected)) {
+      std::ostringstream os;
+      os << "correct process " << p
+         << " does not eventually suspect every faulty process";
+      return CheckResult::failure(os.str());
+    }
+  }
+  return CheckResult{};
+}
+
+CheckResult check_ev_strong_history(const std::vector<FdSampleRecord>& samples,
+                                    const FailurePattern& f) {
+  for (const auto& s : samples) {
+    if (!s.value.suspected.has_value()) {
+      return CheckResult::failure("sample lacks a suspected component" +
+                                  at(s.p, s.t));
+    }
+  }
+  const ProcessSet correct = f.correct();
+  const ProcessSet faulty = f.faulty();
+
+  // Find a correct process never suspected after some time by correct
+  // processes, while every faulty process is suspected from that time on.
+  for (ProcessId c : correct.members()) {
+    Time last_bad = 0;  // Last violation involving candidate c.
+    bool candidate_ok = true;
+    for (const auto& s : samples) {
+      if (!correct.contains(s.p)) continue;
+      const bool suspects_c = s.value.suspected->contains(c);
+      const bool misses_faulty = !faulty.is_subset_of(*s.value.suspected);
+      if (suspects_c || misses_faulty) last_bad = std::max(last_bad, s.t + 1);
+    }
+    // Require at least one clean sample per correct process after
+    // last_bad; otherwise the eventual clause has no sampled witness.
+    for (ProcessId p : correct.members()) {
+      bool has_clean = false;
+      for (const auto& s : samples) {
+        if (s.p == p && s.t >= last_bad) {
+          has_clean = true;
+          break;
+        }
+      }
+      if (!has_clean) {
+        candidate_ok = false;
+        break;
+      }
+    }
+    if (candidate_ok) {
+      CheckResult r;
+      r.witness_time = last_bad;
+      return r;
+    }
+  }
+  return CheckResult::failure(
+      "no correct process is eventually trusted by all correct processes");
+}
+
+}  // namespace wfd::fd

@@ -1,0 +1,70 @@
+// Machine-checkable versions of the failure-detector specifications of
+// Section 2. Each checker takes the failure-detector samples recorded in
+// a run's trace together with the run's failure pattern, and verifies
+// every clause of the corresponding definition on the sampled points.
+//
+// "Eventually" clauses are checked by requiring a finite witness inside
+// the run: e.g. for Omega, a time after which every sampled output of
+// every correct process is one fixed correct leader. Runs must therefore
+// be long enough for the oracle/extraction under test to converge; the
+// checkers report the witness time they found so tests and benches can
+// assert convergence margins.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/failure_pattern.h"
+#include "sim/trace.h"
+
+namespace wfd::fd {
+
+struct CheckResult {
+  bool ok = true;
+  std::string violation;  ///< Empty when ok.
+  /// For eventual clauses: the earliest sampled time from which the
+  /// stable suffix holds (0 when not applicable).
+  Time witness_time = 0;
+
+  static CheckResult failure(std::string msg) {
+    CheckResult r;
+    r.ok = false;
+    r.violation = std::move(msg);
+    return r;
+  }
+};
+
+/// Omega: some correct leader is eventually output forever by every
+/// correct process.
+CheckResult check_omega_history(const std::vector<sim::FdSampleRecord>& samples,
+                                const sim::FailurePattern& f);
+
+/// Sigma: any two sampled quorums (any processes, any times) intersect;
+/// quorums at correct processes eventually contain only correct processes.
+CheckResult check_sigma_history(const std::vector<sim::FdSampleRecord>& samples,
+                                const sim::FailurePattern& f);
+
+/// FS: red only after a failure; if a failure occurs, correct processes
+/// are eventually permanently red.
+CheckResult check_fs_history(const std::vector<sim::FdSampleRecord>& samples,
+                             const sim::FailurePattern& f);
+
+/// Psi: bottom prefix per process; a single switch per process; the same
+/// branch at all processes; the FS branch only after a real failure; the
+/// post-switch suffixes satisfy (Omega, Sigma) resp. FS. Requires every
+/// correct process to have switched within the run.
+CheckResult check_psi_history(const std::vector<sim::FdSampleRecord>& samples,
+                              const sim::FailurePattern& f);
+
+/// P: strong accuracy and (eventual, sampled) strong completeness.
+CheckResult check_perfect_history(
+    const std::vector<sim::FdSampleRecord>& samples,
+    const sim::FailurePattern& f);
+
+/// <>S: eventual strong completeness plus one correct process eventually
+/// never suspected by any correct process.
+CheckResult check_ev_strong_history(
+    const std::vector<sim::FdSampleRecord>& samples,
+    const sim::FailurePattern& f);
+
+}  // namespace wfd::fd

@@ -1,0 +1,55 @@
+// A detector-to-detector transformation: Omega from any
+// eventually-perfect suspicion list (<>P).
+//
+// The output is the smallest id not currently suspected. Once <>P
+// converges — exactly the crashed processes suspected, at every process
+// — all processes output the same smallest correct id forever, which is
+// a legal Omega history. (From a mere <>S this construction is NOT
+// correct: a correct-but-forever-suspected process can sit below the
+// trusted one and the outputs then disagree; the transformation's
+// precondition matters, as the tests document.)
+//
+// Together with the join-quorum Sigma this gives (Omega, Sigma) from
+// <>P + a correct majority — the classical recipe the paper's
+// generalisation subsumes.
+#pragma once
+
+#include "common/check.h"
+#include "sim/module.h"
+
+namespace wfd::fd {
+
+class OmegaFromSuspicionsModule : public sim::Module, public sim::FdSource {
+ public:
+  void on_start() override {
+    n_cached_ = n();
+    self_id_ = self();
+  }
+
+  void on_message(ProcessId, const sim::Payload&) override {}
+
+  void on_tick() override {
+    const auto v = detector();
+    if (v.suspected.has_value()) last_suspected_ = *v.suspected;
+  }
+
+  /// FdSource: omega = smallest unsuspected process.
+  [[nodiscard]] FdValue fd_value() const override {
+    FdValue v;
+    v.omega = self_id_;  // Fallback: a process never suspects itself.
+    for (ProcessId q = 0; q < n_cached_; ++q) {
+      if (!last_suspected_.contains(q)) {
+        v.omega = q;
+        break;
+      }
+    }
+    return v;
+  }
+
+ private:
+  ProcessId self_id_ = kNoProcess;
+  int n_cached_ = 0;
+  ProcessSet last_suspected_;
+};
+
+}  // namespace wfd::fd

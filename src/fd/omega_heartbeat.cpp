@@ -1,0 +1,74 @@
+#include "fd/omega_heartbeat.h"
+
+#include "sim/payload.h"
+
+namespace wfd::fd {
+namespace {
+
+struct Heartbeat final : sim::Payload {};
+
+}  // namespace
+
+void OmegaHeartbeatModule::on_start() {
+  self_id_ = self();
+  n_cached_ = n();
+  period_ = (opt_.period != 0) ? opt_.period : static_cast<Time>(4 * n());
+  const Time timeout0 =
+      (opt_.initial_timeout != 0) ? opt_.initial_timeout : 8 * period_;
+  deadline_.assign(static_cast<std::size_t>(n()), timeout0);
+  timeout_.assign(static_cast<std::size_t>(n()), timeout0);
+  suspected_.assign(static_cast<std::size_t>(n()), false);
+  next_beat_ = 0;
+}
+
+void OmegaHeartbeatModule::on_message(ProcessId from, const sim::Payload& msg) {
+  if (sim::payload_cast<Heartbeat>(msg) == nullptr) return;
+  auto idx = static_cast<std::size_t>(from);
+  if (suspected_[idx]) {
+    // False suspicion: trust again and widen the timeout so the same
+    // mistake cannot repeat once delays are bounded.
+    suspected_[idx] = false;
+    timeout_[idx] *= 2;
+  }
+  deadline_[idx] = tick_ + timeout_[idx];
+}
+
+void OmegaHeartbeatModule::on_tick() {
+  ++tick_;
+  if (tick_ >= next_beat_) {
+    broadcast(sim::make_payload<Heartbeat>(), /*include_self=*/false);
+    next_beat_ = tick_ + period_;
+  }
+  for (ProcessId q = 0; q < n(); ++q) {
+    auto idx = static_cast<std::size_t>(q);
+    if (q == self() || suspected_[idx]) continue;
+    if (tick_ > deadline_[idx]) {
+      suspected_[idx] = true;
+      ++suspicions_;
+    }
+  }
+}
+
+ProcessId OmegaHeartbeatModule::current_leader() const {
+  // Smallest trusted id (a process always trusts itself).
+  for (ProcessId q = 0; q < n_cached_; ++q) {
+    if (q == self_id_ || !suspected_[static_cast<std::size_t>(q)]) return q;
+  }
+  return self_id_;
+}
+
+ProcessSet OmegaHeartbeatModule::suspected() const {
+  ProcessSet s;
+  for (ProcessId q = 0; q < n_cached_; ++q) {
+    if (q != self_id_ && suspected_[static_cast<std::size_t>(q)]) s.insert(q);
+  }
+  return s;
+}
+
+FdValue OmegaHeartbeatModule::fd_value() const {
+  FdValue v;
+  v.omega = current_leader();
+  return v;
+}
+
+}  // namespace wfd::fd

@@ -1,0 +1,63 @@
+// A message-passing implementation of Omega for partially synchronous
+// runs (PartialSynchronyScheduler): every process periodically broadcasts
+// heartbeats and suspects peers whose heartbeats stop arriving within an
+// adaptive timeout; the leader is the smallest non-suspected id.
+//
+// After GST, delays are bounded, so each false suspicion doubles the
+// timeout until suspicions of correct processes cease; crashed processes
+// stop sending, so they stay suspected. All correct processes then agree
+// on the smallest correct id — a legal Omega history. In fully
+// asynchronous runs the output can oscillate forever, which is exactly
+// the Chandra-Toueg impossibility boundary this module demonstrates in
+// the negative tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/module.h"
+
+namespace wfd::fd {
+
+class OmegaHeartbeatModule : public sim::Module, public sim::FdSource {
+ public:
+  struct Options {
+    /// Own-step period between heartbeats; 0 = 4 * n.
+    Time period = 0;
+    /// Initial timeout in own steps; 0 = 8 * period.
+    Time initial_timeout = 0;
+  };
+
+  OmegaHeartbeatModule() : OmegaHeartbeatModule(Options{}) {}
+  explicit OmegaHeartbeatModule(Options opt) : opt_(opt) {}
+
+  void on_start() override;
+  void on_message(ProcessId from, const sim::Payload& msg) override;
+  void on_tick() override;
+
+  /// FdSource: omega = smallest currently trusted process id.
+  [[nodiscard]] FdValue fd_value() const override;
+
+  [[nodiscard]] ProcessId current_leader() const;
+  [[nodiscard]] ProcessSet suspected() const;
+
+  /// Number of (re-)suspicions so far; stabilisation means this stops
+  /// growing.
+  [[nodiscard]] std::uint64_t suspicion_count() const { return suspicions_; }
+
+ private:
+  Options opt_;
+  // Cached at on_start so the accessors work outside a step (e.g. when a
+  // harness inspects the module between simulation slices).
+  ProcessId self_id_ = kNoProcess;
+  int n_cached_ = 0;
+  Time period_ = 0;
+  Time tick_ = 0;  ///< Own steps since start.
+  Time next_beat_ = 0;
+  std::vector<Time> deadline_;   ///< Own-step deadline per peer.
+  std::vector<Time> timeout_;    ///< Current timeout per peer (adaptive).
+  std::vector<bool> suspected_;
+  std::uint64_t suspicions_ = 0;
+};
+
+}  // namespace wfd::fd

@@ -1,0 +1,39 @@
+#include "fd/omega_oracle.h"
+
+#include "common/check.h"
+
+namespace wfd::fd {
+
+void OmegaOracle::begin_run(const sim::FailurePattern& f, std::uint64_t seed,
+                            Time horizon) {
+  rng_.reseed(seed);
+  n_ = f.n();
+  const ProcessSet correct = f.correct();
+  WFD_CHECK_MSG(!correct.empty(), "Omega requires at least one correct process");
+  if (opt_.fixed_leader != kNoProcess) {
+    WFD_CHECK_MSG(correct.contains(opt_.fixed_leader),
+                  "fixed Omega leader must be correct");
+    leader_ = opt_.fixed_leader;
+  } else {
+    leader_ = rng_.pick(correct.members());
+  }
+  const Time max_stab = (opt_.max_stabilization == kNever)
+                            ? std::max<Time>(1, horizon / 8)
+                            : std::max<Time>(1, opt_.max_stabilization);
+  converge_at_.assign(static_cast<std::size_t>(n_), 0);
+  for (auto& t : converge_at_) t = rng_.below(max_stab);
+}
+
+FdValue OmegaOracle::query(ProcessId p, Time t) {
+  WFD_CHECK(p >= 0 && p < n_);
+  FdValue v;
+  if (t >= converge_at_[static_cast<std::size_t>(p)]) {
+    v.omega = leader_;
+  } else {
+    v.omega = static_cast<ProcessId>(rng_.below(
+        static_cast<std::uint64_t>(n_)));
+  }
+  return v;
+}
+
+}  // namespace wfd::fd

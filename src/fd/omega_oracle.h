@@ -1,0 +1,45 @@
+// Oracle for the leader detector Omega.
+//
+// Definition (paper, Section 2): H is in Omega(F) iff there is a correct
+// process p such that every correct process eventually outputs p forever.
+// Before its per-process convergence time the oracle outputs arbitrary
+// process ids; afterwards it outputs one fixed correct leader.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "fd/oracle.h"
+
+namespace wfd::fd {
+
+class OmegaOracle : public Oracle {
+ public:
+  struct Options {
+    /// Upper bound on the per-process convergence time. kNever means
+    /// horizon / 8 (scaled to the run).
+    Time max_stabilization = kNever;
+    /// Force the eventual leader; kNoProcess picks a random correct one.
+    ProcessId fixed_leader = kNoProcess;
+  };
+
+  OmegaOracle() : OmegaOracle(Options{}) {}
+  explicit OmegaOracle(Options opt) : opt_(opt), rng_(0) {}
+
+  void begin_run(const sim::FailurePattern& f, std::uint64_t seed,
+                 Time horizon) override;
+  FdValue query(ProcessId p, Time t) override;
+  [[nodiscard]] std::string name() const override { return "Omega"; }
+
+  /// The leader chosen for this run (valid after begin_run).
+  [[nodiscard]] ProcessId leader() const { return leader_; }
+
+ private:
+  Options opt_;
+  Rng rng_;
+  int n_ = 0;
+  ProcessId leader_ = kNoProcess;
+  std::vector<Time> converge_at_;
+};
+
+}  // namespace wfd::fd

@@ -1,0 +1,33 @@
+#include "fd/oracle.h"
+
+#include "common/check.h"
+
+namespace wfd::fd {
+
+TupleOracle::TupleOracle(std::unique_ptr<Oracle> a, std::unique_ptr<Oracle> b)
+    : a_(std::move(a)), b_(std::move(b)) {
+  WFD_CHECK(a_ != nullptr && b_ != nullptr);
+}
+
+void TupleOracle::begin_run(const sim::FailurePattern& f, std::uint64_t seed,
+                            Time horizon) {
+  a_->begin_run(f, seed, horizon);
+  b_->begin_run(f, seed ^ 0x9e3779b97f4a7c15ULL, horizon);
+}
+
+FdValue TupleOracle::query(ProcessId p, Time t) {
+  FdValue v = a_->query(p, t);
+  const FdValue w = b_->query(p, t);
+  if (!v.omega && w.omega) v.omega = w.omega;
+  if (!v.sigma && w.sigma) v.sigma = w.sigma;
+  if (!v.fs && w.fs) v.fs = w.fs;
+  if (!v.psi && w.psi) v.psi = w.psi;
+  if (!v.suspected && w.suspected) v.suspected = w.suspected;
+  return v;
+}
+
+std::string TupleOracle::name() const {
+  return "(" + a_->name() + "," + b_->name() + ")";
+}
+
+}  // namespace wfd::fd

@@ -1,0 +1,62 @@
+// Failure-detector oracles.
+//
+// A failure detector D maps each failure pattern F to a set of histories
+// D(F). An Oracle realises one history H in D(F) for the run at hand: it
+// is told the run's failure pattern up front (it is an oracle — the
+// *processes* still cannot observe F) and answers point queries
+// H(p, t). Randomized oracles draw a history from D(F) using the run
+// seed, so different seeds exercise different legal histories.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "fd/values.h"
+#include "sim/failure_pattern.h"
+
+namespace wfd::fd {
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  /// Fix the history for this run. `horizon` hints at the run length so
+  /// randomized convergence times land inside the run.
+  virtual void begin_run(const sim::FailurePattern& f, std::uint64_t seed,
+                         Time horizon) = 0;
+
+  /// H(p, t). Must be called with non-decreasing t per process (the
+  /// simulator queries once per step).
+  virtual FdValue query(ProcessId p, Time t) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// An oracle that outputs nothing (for algorithms that use no failure
+/// detector, e.g. the majority-based ABD register baseline).
+class NullOracle : public Oracle {
+ public:
+  void begin_run(const sim::FailurePattern&, std::uint64_t, Time) override {}
+  FdValue query(ProcessId, Time) override { return FdValue{}; }
+  [[nodiscard]] std::string name() const override { return "none"; }
+};
+
+/// Combines two oracles into a tuple detector (e.g. (Omega, Sigma) from an
+/// Omega oracle and a Sigma oracle, or (Psi, FS)). Components present in
+/// the second oracle's output overwrite absent components of the first.
+class TupleOracle : public Oracle {
+ public:
+  TupleOracle(std::unique_ptr<Oracle> a, std::unique_ptr<Oracle> b);
+
+  void begin_run(const sim::FailurePattern& f, std::uint64_t seed,
+                 Time horizon) override;
+  FdValue query(ProcessId p, Time t) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::unique_ptr<Oracle> a_;
+  std::unique_ptr<Oracle> b_;
+};
+
+}  // namespace wfd::fd

@@ -1,0 +1,61 @@
+#include "fd/psi_oracle.h"
+
+#include "common/check.h"
+
+namespace wfd::fd {
+
+void PsiOracle::begin_run(const sim::FailurePattern& f, std::uint64_t seed,
+                          Time horizon) {
+  rng_.reseed(seed);
+  n_ = f.n();
+  const Time first_crash = f.first_crash_time();
+
+  switch (opt_.branch) {
+    case Branch::kOmegaSigma:
+      fs_branch_ = false;
+      break;
+    case Branch::kFs:
+      WFD_CHECK_MSG(first_crash != kNever,
+                    "the FS branch of Psi requires a failure in the pattern");
+      fs_branch_ = true;
+      break;
+    case Branch::kAuto:
+      fs_branch_ = (first_crash != kNever) && rng_.chance(1, 2);
+      break;
+  }
+
+  // Earliest legal switch point: the FS branch may only start after the
+  // first crash; the (Omega, Sigma) branch may start any time.
+  const Time base = fs_branch_ ? first_crash : 0;
+  const Time spread = (opt_.max_switch_spread == kNever)
+                          ? std::max<Time>(1, horizon / 8)
+                          : std::max<Time>(1, opt_.max_switch_spread);
+  switch_at_.assign(static_cast<std::size_t>(n_), 0);
+  for (auto& t : switch_at_) t = base + rng_.below(spread);
+
+  omega_.begin_run(f, seed ^ 0x6a09e667f3bcc909ULL, horizon);
+  sigma_.begin_run(f, seed ^ 0xbb67ae8584caa73bULL, horizon);
+}
+
+FdValue PsiOracle::query(ProcessId p, Time t) {
+  WFD_CHECK(p >= 0 && p < n_);
+  FdValue v;
+  if (t < switch_at_[static_cast<std::size_t>(p)]) {
+    v.psi = PsiValue::bottom();
+    return v;
+  }
+  if (fs_branch_) {
+    // Switch time is already past the first crash, so permanent red is a
+    // legal FS history restricted to the post-switch suffix.
+    v.psi = PsiValue::failure_signal(FsColor::kRed);
+    return v;
+  }
+  const FdValue om = omega_.query(p, t);
+  const FdValue si = sigma_.query(p, t);
+  v.psi = PsiValue::omega_sigma(*om.omega, *si.sigma);
+  v.omega = om.omega;
+  v.sigma = si.sigma;
+  return v;
+}
+
+}  // namespace wfd::fd

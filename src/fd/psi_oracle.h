@@ -1,0 +1,64 @@
+// Oracle for Psi, the weakest detector for quittable consensus.
+//
+// Definition (paper, Section 6.1): each process outputs bottom for an
+// initial period; afterwards either all processes' outputs follow a
+// history of (Omega, Sigma), or — only if a failure occurs, and starting
+// no earlier than the first crash — all follow a history of FS. The
+// switch need not be simultaneous, but the branch choice is common.
+//
+// In the (Omega, Sigma) branch the oracle also populates the top-level
+// omega/sigma components after the switch, so an unmodified
+// (Omega, Sigma)-based consensus module can run underneath Figure 2's QC
+// algorithm.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "fd/fs_oracle.h"
+#include "fd/omega_oracle.h"
+#include "fd/oracle.h"
+#include "fd/sigma_oracle.h"
+
+namespace wfd::fd {
+
+class PsiOracle : public Oracle {
+ public:
+  enum class Branch {
+    kAuto,        ///< FS branch with probability 1/2 when a failure occurs.
+    kOmegaSigma,  ///< Force the (Omega, Sigma) branch.
+    kFs,          ///< Force the FS branch (requires a failure in F).
+  };
+
+  struct Options {
+    Branch branch = Branch::kAuto;
+    /// Upper bound on the per-process extra delay after the earliest
+    /// possible switch point; kNever = horizon / 8.
+    Time max_switch_spread = kNever;
+    OmegaOracle::Options omega;
+    SigmaOracle::Options sigma;
+  };
+
+  PsiOracle() : PsiOracle(Options{}) {}
+  explicit PsiOracle(Options opt)
+      : opt_(opt), omega_(opt.omega), sigma_(opt.sigma), rng_(0) {}
+
+  void begin_run(const sim::FailurePattern& f, std::uint64_t seed,
+                 Time horizon) override;
+  FdValue query(ProcessId p, Time t) override;
+  [[nodiscard]] std::string name() const override { return "Psi"; }
+
+  /// Which branch this run's history follows (valid after begin_run).
+  [[nodiscard]] bool fs_branch() const { return fs_branch_; }
+
+ private:
+  Options opt_;
+  OmegaOracle omega_;
+  SigmaOracle sigma_;
+  Rng rng_;
+  int n_ = 0;
+  bool fs_branch_ = false;
+  std::vector<Time> switch_at_;
+};
+
+}  // namespace wfd::fd

@@ -1,0 +1,70 @@
+#include "fd/sigma_oracle.h"
+
+#include "common/check.h"
+
+namespace wfd::fd {
+
+void SigmaOracle::begin_run(const sim::FailurePattern& f, std::uint64_t seed,
+                            Time horizon) {
+  rng_.reseed(seed);
+  n_ = f.n();
+  correct_ = f.correct();
+  WFD_CHECK_MSG(!correct_.empty(),
+                "Sigma requires at least one correct process");
+  if (opt_.mode == Mode::kMajority) {
+    WFD_CHECK_MSG(correct_.size() * 2 > n_,
+                  "majority-mode Sigma histories exist only when a majority "
+                  "of processes is correct");
+  }
+  core_ = rng_.pick(correct_.members());
+  const Time max_stab = (opt_.max_stabilization == kNever)
+                            ? std::max<Time>(1, horizon / 8)
+                            : std::max<Time>(1, opt_.max_stabilization);
+  converge_at_.assign(static_cast<std::size_t>(n_), 0);
+  for (auto& t : converge_at_) t = rng_.below(max_stab);
+}
+
+ProcessSet SigmaOracle::make_quorum(bool converged) {
+  // The pool a quorum may draw from: anything before convergence, only
+  // correct processes after.
+  const ProcessSet pool = converged ? correct_ : ProcessSet::full(n_);
+  switch (opt_.mode) {
+    case Mode::kCommonCore: {
+      ProcessSet q;
+      q.insert(core_);
+      for (ProcessId m : pool.members()) {
+        if (rng_.chance(1, 3)) q.insert(m);
+      }
+      return q;
+    }
+    case Mode::kMajority: {
+      // A uniformly random minimal majority drawn from the pool, padded
+      // from the pool when the pool alone cannot reach a majority size
+      // (excluded by the begin_run check once converged).
+      const int need = n_ / 2 + 1;
+      std::vector<ProcessId> members = pool.members();
+      WFD_CHECK(static_cast<int>(members.size()) >= need);
+      for (std::size_t i = members.size(); i > 1; --i) {
+        std::swap(members[i - 1], members[rng_.below(i)]);
+      }
+      ProcessSet q;
+      for (int i = 0; i < need; ++i) {
+        q.insert(members[static_cast<std::size_t>(i)]);
+      }
+      return q;
+    }
+    case Mode::kAllThenCorrect:
+      return pool;
+  }
+  WFD_CHECK(false);
+  return ProcessSet{};
+}
+
+FdValue SigmaOracle::query(ProcessId p, Time t) {
+  WFD_CHECK(p >= 0 && p < n_);
+  FdValue v;
+  v.sigma = make_quorum(t >= converge_at_[static_cast<std::size_t>(p)]);
+  return v;
+}
+
+}  // namespace wfd::fd

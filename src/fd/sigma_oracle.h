@@ -1,0 +1,52 @@
+// Oracle for the quorum detector Sigma.
+//
+// Definition (paper, Section 2): every two outputs, at any processes and
+// times, intersect; and at every correct process the outputs eventually
+// consist only of correct processes.
+//
+// Three history generators are provided, exercising qualitatively
+// different legal histories:
+//  - kCommonCore: every quorum contains one fixed correct "core" process
+//    (plus noise that shrinks to correct processes after convergence);
+//  - kMajority: quorums are majorities (legal only when a majority is
+//    correct — exactly the environments where Sigma is free);
+//  - kAllThenCorrect: the full set before convergence, correct(F) after.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "fd/oracle.h"
+
+namespace wfd::fd {
+
+class SigmaOracle : public Oracle {
+ public:
+  enum class Mode { kCommonCore, kMajority, kAllThenCorrect };
+
+  struct Options {
+    Mode mode = Mode::kCommonCore;
+    /// Upper bound on per-process convergence time; kNever = horizon / 8.
+    Time max_stabilization = kNever;
+  };
+
+  SigmaOracle() : SigmaOracle(Options{}) {}
+  explicit SigmaOracle(Options opt) : opt_(opt), rng_(0) {}
+
+  void begin_run(const sim::FailurePattern& f, std::uint64_t seed,
+                 Time horizon) override;
+  FdValue query(ProcessId p, Time t) override;
+  [[nodiscard]] std::string name() const override { return "Sigma"; }
+
+ private:
+  [[nodiscard]] ProcessSet make_quorum(bool converged);
+
+  Options opt_;
+  Rng rng_;
+  int n_ = 0;
+  ProcessSet correct_;
+  ProcessId core_ = kNoProcess;
+  std::vector<Time> converge_at_;
+};
+
+}  // namespace wfd::fd

@@ -1,0 +1,60 @@
+#include "fd/values.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace wfd::fd {
+
+std::ostream& operator<<(std::ostream& os, FsColor c) {
+  return os << (c == FsColor::kGreen ? "green" : "red");
+}
+
+std::ostream& operator<<(std::ostream& os, const PsiValue& v) {
+  switch (v.mode) {
+    case PsiValue::Mode::kBottom:
+      return os << "bottom";
+    case PsiValue::Mode::kOmegaSigma:
+      return os << "(omega=" << v.omega << ",sigma=" << v.sigma << ")";
+    case PsiValue::Mode::kFs:
+      return os << "fs=" << v.fs;
+  }
+  return os;
+}
+
+std::ostream& operator<<(std::ostream& os, const FdValue& v) {
+  os << '[';
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ' ';
+    first = false;
+  };
+  if (v.omega) {
+    sep();
+    os << "omega=" << *v.omega;
+  }
+  if (v.sigma) {
+    sep();
+    os << "sigma=" << *v.sigma;
+  }
+  if (v.fs) {
+    sep();
+    os << "fs=" << *v.fs;
+  }
+  if (v.psi) {
+    sep();
+    os << "psi=" << *v.psi;
+  }
+  if (v.suspected) {
+    sep();
+    os << "suspected=" << *v.suspected;
+  }
+  return os << ']';
+}
+
+std::string FdValue::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+}  // namespace wfd::fd

@@ -1,0 +1,83 @@
+// Failure-detector output values.
+//
+// The paper works with detectors Omega, Sigma, FS and Psi, plus tuple
+// detectors such as (Omega, Sigma) and (Psi, FS). Rather than a closed
+// variant, an FdValue carries optional components; a tuple detector
+// populates several components at once, and each algorithm reads only the
+// component(s) of the detector class it was proven to need.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "common/process_set.h"
+#include "common/types.h"
+
+namespace wfd::fd {
+
+/// Output of the failure signal detector FS: green until a failure has
+/// occurred; after a failure it may (and at correct processes eventually
+/// must) switch to red forever.
+enum class FsColor { kGreen, kRed };
+
+std::ostream& operator<<(std::ostream& os, FsColor c);
+
+/// Output of the quittable-consensus detector Psi. For an initial period
+/// the output is bottom; afterwards it behaves either like (Omega, Sigma)
+/// at all processes, or (only if a failure occurred) like FS at all
+/// processes. The mode choice is the same at every process.
+struct PsiValue {
+  enum class Mode { kBottom, kOmegaSigma, kFs };
+
+  Mode mode = Mode::kBottom;
+  /// Valid when mode == kOmegaSigma.
+  ProcessId omega = kNoProcess;
+  ProcessSet sigma;
+  /// Valid when mode == kFs.
+  FsColor fs = FsColor::kGreen;
+
+  static PsiValue bottom() { return PsiValue{}; }
+  static PsiValue omega_sigma(ProcessId leader, ProcessSet quorum) {
+    PsiValue v;
+    v.mode = Mode::kOmegaSigma;
+    v.omega = leader;
+    v.sigma = quorum;
+    return v;
+  }
+  static PsiValue failure_signal(FsColor c) {
+    PsiValue v;
+    v.mode = Mode::kFs;
+    v.fs = c;
+    return v;
+  }
+
+  friend bool operator==(const PsiValue&, const PsiValue&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const PsiValue& v);
+
+/// One failure-detector sample as seen by a process in one atomic step.
+/// Components are optional; a detector populates the components of its
+/// class (a tuple detector populates several).
+struct FdValue {
+  /// Omega: the id of the current presumed leader.
+  std::optional<ProcessId> omega;
+  /// Sigma: the current quorum.
+  std::optional<ProcessSet> sigma;
+  /// FS: the current failure signal.
+  std::optional<FsColor> fs;
+  /// Psi.
+  std::optional<PsiValue> psi;
+  /// Suspicion-list detectors (P, eventually-P, eventually-S): the set of
+  /// processes currently suspected to have crashed.
+  std::optional<ProcessSet> suspected;
+
+  friend bool operator==(const FdValue&, const FdValue&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const FdValue& v);
+
+}  // namespace wfd::fd

@@ -1,0 +1,29 @@
+// Non-blocking atomic commit (Section 7): every process votes Yes or No
+// and the processes agree on Commit or Abort. Commit requires that all
+// processes voted Yes; Abort requires a No vote or a failure.
+#pragma once
+
+#include <functional>
+
+namespace wfd::nbac {
+
+enum class Vote { kYes, kNo };
+enum class Decision { kCommit, kAbort };
+
+class NbacApi {
+ public:
+  using DecideCb = std::function<void(Decision)>;
+
+  virtual ~NbacApi() = default;
+
+  /// Cast this process's vote; may be called outside a step — the
+  /// protocol starts at the host's next step.
+  virtual void vote(Vote v, DecideCb cb) = 0;
+
+  [[nodiscard]] virtual bool decided() const = 0;
+
+  /// Valid only when decided().
+  [[nodiscard]] virtual Decision decision() const = 0;
+};
+
+}  // namespace wfd::nbac

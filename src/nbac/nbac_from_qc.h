@@ -1,0 +1,131 @@
+// NBAC from QC and FS (Figure 4, Theorem 8a).
+//
+// Each process broadcasts its vote and waits until it has either
+// received every process's vote or its FS module turned red. It then
+// proposes 1 to quittable consensus iff it saw n Yes votes (0 on a No
+// vote or a failure signal), and commits iff QC decides 1 — a decision
+// of 0 or Q yields Abort.
+//
+// Validity: Commit requires QC to decide 1; by QC validity some process
+// proposed 1, so it received Yes votes from everyone. Abort requires a
+// 0 (some No vote or a red signal, and red implies a real failure) or a
+// Q (QC allows Q only after a failure). Termination: if a process never
+// receives all votes, some process crashed, so FS eventually turns red
+// at every correct process.
+#pragma once
+
+#include <vector>
+
+#include "common/check.h"
+#include "nbac/nbac_api.h"
+#include "qc/qc_api.h"
+#include "sim/module.h"
+
+namespace wfd::nbac {
+
+class NbacFromQcModule : public sim::Module, public NbacApi {
+ public:
+  /// `inner` is any QC solution (typically a PsiQcModule hosted in the
+  /// same process); the FS component is read from this module's
+  /// detector source.
+  explicit NbacFromQcModule(qc::QcApi<int>* inner) : inner_(inner) {
+    WFD_CHECK(inner_ != nullptr);
+  }
+
+  void vote(Vote v, DecideCb cb) override {
+    WFD_CHECK_MSG(!voted_, "vote called twice");
+    voted_ = true;
+    my_vote_ = v;
+    cb_ = std::move(cb);
+  }
+
+  [[nodiscard]] bool decided() const override { return decided_; }
+  [[nodiscard]] Decision decision() const override {
+    WFD_CHECK(decided_);
+    return decision_;
+  }
+  [[nodiscard]] bool done() const override { return !voted_ || decided_; }
+
+  void on_message(ProcessId from, const sim::Payload& msg) override {
+    if (const auto* m = sim::payload_cast<VoteMsg>(msg)) {
+      // Votes may arrive before this process's own vote/announcement.
+      ensure_votes();
+      if (!votes_[static_cast<std::size_t>(from)].has_value()) {
+        votes_[static_cast<std::size_t>(from)] = m->vote;
+        ++votes_received_;
+      }
+    }
+  }
+
+  void on_tick() override {
+    if (!voted_ || decided_ || proposed_) return;
+    if (!announced_) {
+      // Line 1: send v to all.
+      announced_ = true;
+      ensure_votes();
+      if (!votes_[static_cast<std::size_t>(self())].has_value()) {
+        votes_[static_cast<std::size_t>(self())] = my_vote_;
+        ++votes_received_;
+      }
+      broadcast(sim::make_payload<VoteMsg>(my_vote_), /*include_self=*/false);
+      return;
+    }
+    // Line 2: wait until all votes received or FS = red.
+    const bool all_votes = votes_received_ == n();
+    const auto v = detector();
+    const bool red =
+        v.fs.has_value() && *v.fs == fd::FsColor::kRed;
+    if (!all_votes && !red) return;
+    // Lines 3-6: propose 1 iff everyone voted Yes.
+    int proposal = 0;
+    if (all_votes) {
+      proposal = 1;
+      for (const auto& vote : votes_) {
+        if (*vote == Vote::kNo) proposal = 0;
+      }
+    }
+    proposed_ = true;
+    inner_->propose(proposal, [this](const qc::QcResult<int>& r) {
+      // Lines 8-11: Commit iff the decision is 1.
+      finish((!r.quit && r.value == 1) ? Decision::kCommit
+                                       : Decision::kAbort);
+    });
+  }
+
+ private:
+  struct VoteMsg final : sim::Payload {
+    explicit VoteMsg(Vote v) : vote(v) {}
+    Vote vote;
+  };
+
+  void ensure_votes() {
+    if (votes_.empty()) {
+      votes_.assign(static_cast<std::size_t>(n()), std::nullopt);
+    }
+  }
+
+  void finish(Decision d) {
+    if (decided_) return;
+    decided_ = true;
+    decision_ = d;
+    emit("nbac-decide", d == Decision::kCommit ? 1 : 0);
+    if (cb_) {
+      auto cb = std::move(cb_);
+      cb_ = nullptr;
+      cb(decision_);
+    }
+  }
+
+  qc::QcApi<int>* inner_;
+  bool voted_ = false;
+  bool announced_ = false;
+  bool proposed_ = false;
+  Vote my_vote_ = Vote::kYes;
+  DecideCb cb_;
+  std::vector<std::optional<Vote>> votes_;
+  int votes_received_ = 0;
+  bool decided_ = false;
+  Decision decision_ = Decision::kAbort;
+};
+
+}  // namespace wfd::nbac

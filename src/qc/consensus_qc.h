@@ -1,0 +1,59 @@
+// Any consensus algorithm is trivially a QC algorithm that never
+// exercises the option to quit (Q is an option, never an obligation).
+// This adapter exposes the library's (Omega, Sigma) consensus through
+// the QC interface; it is the "A = consensus, D = (Omega, Sigma)" case
+// of the Figure 3 extraction tests and benches.
+#pragma once
+
+#include "consensus/omega_sigma_consensus.h"
+#include "qc/qc_api.h"
+#include "sim/module.h"
+
+namespace wfd::qc {
+
+template <typename V>
+class ConsensusAsQcModule : public sim::Module, public QcApi<V> {
+ public:
+  using typename QcApi<V>::DecideCb;
+
+  void propose(const V& value, DecideCb cb) override {
+    cb_ = std::move(cb);
+    ensure_inner();
+    inner_->propose(value, [this](const V& d) {
+      decided_ = true;
+      result_ = QcResult<V>::value_result(d);
+      if (cb_) {
+        auto cb = std::move(cb_);
+        cb_ = nullptr;
+        cb(result_);
+      }
+    });
+  }
+
+  [[nodiscard]] bool decided() const override { return decided_; }
+  [[nodiscard]] const QcResult<V>& result() const override {
+    WFD_CHECK(decided_);
+    return result_;
+  }
+  [[nodiscard]] bool done() const override {
+    return inner_ == nullptr || decided_;
+  }
+
+  void on_start() override { ensure_inner(); }
+  void on_message(ProcessId, const sim::Payload&) override {}
+
+ private:
+  void ensure_inner() {
+    if (inner_ == nullptr) {
+      inner_ = &host().template add_module<
+          consensus::OmegaSigmaConsensusModule<V>>(name() + "/cons");
+    }
+  }
+
+  consensus::OmegaSigmaConsensusModule<V>* inner_ = nullptr;
+  DecideCb cb_;
+  bool decided_ = false;
+  QcResult<V> result_;
+};
+
+}  // namespace wfd::qc

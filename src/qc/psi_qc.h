@@ -1,0 +1,87 @@
+// Solving QC with Psi (Figure 2, Theorem 5).
+//
+// Each process busy-waits until its Psi module outputs something other
+// than bottom. If Psi turned into FS — which Psi may do only if a
+// failure occurred — the process returns Q; Q is then valid, and
+// agreement holds because all processes see the same branch. If Psi
+// turned into (Omega, Sigma), the process feeds its proposal into the
+// (Omega, Sigma)-based consensus algorithm of Corollary 2 and returns
+// its decision.
+#pragma once
+
+#include "common/check.h"
+#include "consensus/omega_sigma_consensus.h"
+#include "qc/qc_api.h"
+#include "sim/module.h"
+
+namespace wfd::qc {
+
+template <typename V>
+class PsiQcModule : public sim::Module, public QcApi<V> {
+ public:
+  using typename QcApi<V>::DecideCb;
+  using InnerConsensus = consensus::OmegaSigmaConsensusModule<V>;
+
+  void propose(const V& value, DecideCb cb) override {
+    WFD_CHECK_MSG(!proposed_, "propose called twice");
+    proposed_ = true;
+    proposal_ = value;
+    cb_ = std::move(cb);
+  }
+
+  [[nodiscard]] bool decided() const override { return decided_; }
+  [[nodiscard]] const QcResult<V>& result() const override {
+    WFD_CHECK(decided_);
+    return result_;
+  }
+  [[nodiscard]] bool done() const override { return !proposed_ || decided_; }
+
+  void on_message(ProcessId, const sim::Payload&) override {}
+
+  void on_tick() override {
+    if (!proposed_ || decided_ || dispatched_) return;
+    const auto v = detector();
+    if (!v.psi.has_value()) return;
+    switch (v.psi->mode) {
+      case fd::PsiValue::Mode::kBottom:
+        return;  // Line 1: while Psi_p = bottom do nop.
+      case fd::PsiValue::Mode::kFs:
+        // Lines 2-4: Psi behaves like FS; a failure occurred — quit.
+        dispatched_ = true;
+        finish(QcResult<V>::quit_result());
+        return;
+      case fd::PsiValue::Mode::kOmegaSigma: {
+        // Lines 5-7: Psi behaves like (Omega, Sigma); run consensus.
+        dispatched_ = true;
+        auto& cons =
+            host().template add_module<InnerConsensus>(name() + "/cons");
+        cons.propose(proposal_, [this](const V& d) {
+          finish(QcResult<V>::value_result(d));
+        });
+        return;
+      }
+    }
+  }
+
+ private:
+  void finish(QcResult<V> r) {
+    if (decided_) return;
+    decided_ = true;
+    result_ = std::move(r);
+    emit("qc-decide", result_.quit ? -1 : 0);
+    if (cb_) {
+      auto cb = std::move(cb_);
+      cb_ = nullptr;
+      cb(result_);
+    }
+  }
+
+  bool proposed_ = false;
+  bool dispatched_ = false;
+  V proposal_{};
+  DecideCb cb_;
+  bool decided_ = false;
+  QcResult<V> result_;
+};
+
+}  // namespace wfd::qc

@@ -1,0 +1,13 @@
+#include "reg/abd_register.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace wfd::reg {
+
+// Explicit instantiations for the value types used across the library,
+// so template errors surface when the library itself is built.
+template class AbdRegisterModule<std::int64_t>;
+template class AbdRegisterModule<std::vector<ProcessSet>>;
+
+}  // namespace wfd::reg

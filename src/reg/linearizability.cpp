@@ -1,0 +1,124 @@
+#include "reg/linearizability.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+
+namespace wfd::reg {
+namespace {
+
+struct Op {
+  bool is_write;
+  std::int64_t value;
+  Time invoked;
+  Time responded;  ///< kNever when incomplete.
+  [[nodiscard]] bool complete() const { return responded != kNever; }
+};
+
+class Search {
+ public:
+  Search(std::vector<Op> ops, std::int64_t initial)
+      : ops_(std::move(ops)), initial_(initial) {}
+
+  bool run() { return dfs(0, -1); }
+
+ private:
+  using Mask = std::uint64_t;
+
+  /// `last_write` is the index of the last linearized write (-1: none).
+  bool dfs(Mask done, int last_write) {
+    if (all_complete_done(done)) return true;
+    // Exact memo key: the visited table is indexed by last_write so the
+    // 64-bit mask needs no lossy mixing.
+    if (!visited_[static_cast<std::size_t>(last_write + 1)]
+             .insert(done)
+             .second) {
+      return false;
+    }
+
+    const std::int64_t current =
+        last_write < 0 ? initial_
+                       : ops_[static_cast<std::size_t>(last_write)].value;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (done & (Mask{1} << i)) continue;
+      const Op& op = ops_[i];
+      if (!minimal(done, i)) continue;
+      if (op.is_write) {
+        if (dfs(done | (Mask{1} << i), static_cast<int>(i))) return true;
+      } else {
+        // A read (complete ones must return the current value; an
+        // incomplete read can also simply be skipped — handled below by
+        // never requiring it in all_complete_done).
+        if (op.complete() && op.value != current) continue;
+        if (dfs(done | (Mask{1} << i), last_write)) return true;
+      }
+    }
+    return false;
+  }
+
+  /// Op i may be linearized next iff no other unlinearized op finished
+  /// before op i was invoked.
+  [[nodiscard]] bool minimal(Mask done, std::size_t i) const {
+    const Time inv = ops_[i].invoked;
+    for (std::size_t j = 0; j < ops_.size(); ++j) {
+      if (j == i || (done & (Mask{1} << j))) continue;
+      if (ops_[j].complete() && ops_[j].responded < inv) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool all_complete_done(Mask done) const {
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (ops_[i].complete() && !(done & (Mask{1} << i))) return false;
+    }
+    return true;
+  }
+
+  std::vector<Op> ops_;
+  std::int64_t initial_;
+  std::array<std::unordered_set<std::uint64_t>, 65> visited_;
+};
+
+}  // namespace
+
+LinearizabilityResult check_linearizable(const History& history,
+                                         std::int64_t initial) {
+  std::vector<Op> ops;
+  ops.reserve(history.ops().size());
+  for (const OpRecord& r : history.ops()) {
+    Op op;
+    op.is_write = r.is_write;
+    op.value = r.value;
+    op.invoked = r.invoked;
+    op.responded = r.responded;
+    // Incomplete reads constrain nothing; drop them to shrink the search.
+    if (!op.is_write && op.responded == kNever) continue;
+    ops.push_back(op);
+  }
+  LinearizabilityResult res;
+  if (ops.size() > 64) {
+    res.ok = false;
+    res.violation = "history too large for the checker (max 64 ops)";
+    return res;
+  }
+  Search search(std::move(ops), initial);
+  if (!search.run()) {
+    res.ok = false;
+    std::ostringstream os;
+    os << "no linearization exists (" << history.ops().size()
+       << " ops, initial=" << initial << ")";
+    res.violation = os.str();
+  }
+  return res;
+}
+
+bool is_linearizable(const History& history, std::int64_t initial) {
+  return check_linearizable(history, initial).ok;
+}
+
+}  // namespace wfd::reg

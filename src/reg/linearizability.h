@@ -1,0 +1,33 @@
+// Linearizability checking for register histories (Herlihy & Wing [15]).
+//
+// The checker answers: does there exist a total order of the operations,
+// consistent with the real-time partial order (op A precedes op B when A
+// responded before B was invoked), in which every read returns the value
+// of the latest preceding write (or the initial value)? Incomplete
+// operations — clients that crashed mid-flight — may be assigned a
+// linearization point after their invocation or omitted entirely.
+//
+// The search is Wing-Gong DFS with memoization on (set of linearized
+// ops, index of the last linearized write); histories are capped at 64
+// operations, which property tests stay under per run.
+#pragma once
+
+#include <string>
+
+#include "reg/register_client.h"
+
+namespace wfd::reg {
+
+struct LinearizabilityResult {
+  bool ok = true;
+  std::string violation;  ///< Empty when ok.
+};
+
+/// Check a register history against initial value `initial`.
+LinearizabilityResult check_linearizable(const History& history,
+                                         std::int64_t initial = 0);
+
+/// Convenience: WFD_CHECK-style assertion used by benches.
+bool is_linearizable(const History& history, std::int64_t initial = 0);
+
+}  // namespace wfd::reg

@@ -1,0 +1,31 @@
+// A message in flight: payload plus addressing and bookkeeping, and an
+// optional metadata slot used by transport-level instrumentation (the
+// causal participant tracking of the Figure 1 extraction piggybacks on it).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+#include "sim/payload.h"
+
+namespace wfd::sim {
+
+/// Base class for transport-level metadata piggybacked on every message by
+/// an instrumented process (see extract::ParticipantTracker).
+struct MessageMeta {
+  virtual ~MessageMeta() = default;
+};
+
+using MessageMetaPtr = std::shared_ptr<const MessageMeta>;
+
+struct Envelope {
+  std::uint64_t id = 0;  ///< Unique per run; assigned by the network.
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  Time sent_at = 0;
+  PayloadPtr payload;
+  MessageMetaPtr meta;  ///< Optional piggybacked instrumentation data.
+};
+
+}  // namespace wfd::sim

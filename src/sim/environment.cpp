@@ -1,0 +1,126 @@
+#include "sim/environment.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace wfd::sim {
+
+MaxCrashesEnvironment::MaxCrashesEnvironment(int n, int max_crashes)
+    : Environment(n), max_crashes_(max_crashes) {
+  WFD_CHECK(max_crashes >= 0 && max_crashes < n);
+}
+
+bool MaxCrashesEnvironment::allows(const FailurePattern& f) const {
+  return f.n() == n() && f.faulty().size() <= max_crashes_;
+}
+
+FailurePattern MaxCrashesEnvironment::sample(Rng& rng, Time horizon) const {
+  FailurePattern f(n());
+  if (max_crashes_ == 0 || horizon == 0) return f;
+  const int crashes = static_cast<int>(rng.below(
+      static_cast<std::uint64_t>(max_crashes_) + 1));
+  // Choose `crashes` distinct victims.
+  std::vector<ProcessId> ids(static_cast<std::size_t>(n()));
+  for (int i = 0; i < n(); ++i) ids[static_cast<std::size_t>(i)] = i;
+  for (int i = 0; i < crashes; ++i) {
+    const auto j = i + static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(n() - i)));
+    std::swap(ids[static_cast<std::size_t>(i)],
+              ids[static_cast<std::size_t>(j)]);
+  }
+  for (int i = 0; i < crashes; ++i) {
+    f.crash_at(ids[static_cast<std::size_t>(i)], rng.below(horizon));
+  }
+  return f;
+}
+
+std::string MaxCrashesEnvironment::name() const {
+  return "max-crashes-" + std::to_string(max_crashes_);
+}
+
+InitialCrashesEnvironment::InitialCrashesEnvironment(int n, int max_crashes)
+    : Environment(n), max_crashes_(max_crashes) {
+  WFD_CHECK(max_crashes >= 0 && max_crashes < n);
+}
+
+bool InitialCrashesEnvironment::allows(const FailurePattern& f) const {
+  if (f.n() != n() || f.faulty().size() > max_crashes_) return false;
+  for (ProcessId p : f.faulty().members()) {
+    if (f.crash_time(p) != 0) return false;
+  }
+  return true;
+}
+
+FailurePattern InitialCrashesEnvironment::sample(Rng& rng,
+                                                 Time horizon) const {
+  (void)horizon;
+  FailurePattern f(n());
+  if (max_crashes_ == 0) return f;
+  const int crashes =
+      static_cast<int>(rng.below(static_cast<std::uint64_t>(max_crashes_) + 1));
+  std::vector<ProcessId> ids(static_cast<std::size_t>(n()));
+  for (int i = 0; i < n(); ++i) ids[static_cast<std::size_t>(i)] = i;
+  for (int i = 0; i < crashes; ++i) {
+    const auto j =
+        i + static_cast<int>(rng.below(static_cast<std::uint64_t>(n() - i)));
+    std::swap(ids[static_cast<std::size_t>(i)],
+              ids[static_cast<std::size_t>(j)]);
+    f.crash_at(ids[static_cast<std::size_t>(i)], 0);
+  }
+  return f;
+}
+
+OrderedCrashEnvironment::OrderedCrashEnvironment(int n, ProcessId first,
+                                                 ProcessId second,
+                                                 int max_crashes)
+    : Environment(n), first_(first), second_(second),
+      max_crashes_(max_crashes) {
+  WFD_CHECK(first >= 0 && first < n && second >= 0 && second < n);
+  WFD_CHECK(first != second);
+  WFD_CHECK(max_crashes >= 0 && max_crashes < n);
+}
+
+bool OrderedCrashEnvironment::allows(const FailurePattern& f) const {
+  if (f.n() != n() || f.faulty().size() > max_crashes_) return false;
+  // `first` never fails before `second`: if first crashes, second must
+  // have crashed no later.
+  if (f.crash_time(first_) != kNever &&
+      f.crash_time(second_) > f.crash_time(first_)) {
+    return false;
+  }
+  return true;
+}
+
+FailurePattern OrderedCrashEnvironment::sample(Rng& rng, Time horizon) const {
+  MaxCrashesEnvironment base(n(), max_crashes_);
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    FailurePattern f = base.sample(rng, horizon);
+    if (allows(f)) return f;
+    // Repair: if only the order is wrong, crash `second` alongside.
+    if (f.faulty().size() < max_crashes_ ||
+        f.crash_time(second_) != kNever) {
+      if (f.crash_time(first_) != kNever) {
+        f.crash_at(second_,
+                   std::min(f.crash_time(second_), f.crash_time(first_)));
+      }
+      if (allows(f)) return f;
+    }
+  }
+  return FailurePattern(n());  // Crash-free is always a member.
+}
+
+FixedPatternEnvironment::FixedPatternEnvironment(FailurePattern f)
+    : Environment(f.n()), pattern_(std::move(f)) {}
+
+bool FixedPatternEnvironment::allows(const FailurePattern& f) const {
+  return f == pattern_;
+}
+
+FailurePattern FixedPatternEnvironment::sample(Rng& rng, Time horizon) const {
+  (void)rng;
+  (void)horizon;
+  return pattern_;
+}
+
+}  // namespace wfd::sim

@@ -1,0 +1,128 @@
+// Environments: sets of failure patterns (the paper's E). An environment
+// both recognises patterns (allows) and generates random members (sample),
+// so property sweeps can draw patterns from exactly the environment an
+// algorithm was proven for.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "sim/failure_pattern.h"
+
+namespace wfd::sim {
+
+class Environment {
+ public:
+  explicit Environment(int n) : n_(n) {}
+  virtual ~Environment() = default;
+
+  [[nodiscard]] int n() const { return n_; }
+
+  /// Whether the pattern belongs to this environment.
+  [[nodiscard]] virtual bool allows(const FailurePattern& f) const = 0;
+
+  /// Draw a random pattern from the environment. Crash times are drawn in
+  /// [0, horizon), so all crashes happen within the simulated run.
+  [[nodiscard]] virtual FailurePattern sample(Rng& rng, Time horizon) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ private:
+  int n_;
+};
+
+/// All patterns with at most max_crashes faulty processes. With
+/// max_crashes = n-1 this is the "any environment" of the paper (at least
+/// one correct process is always required for liveness properties to be
+/// meaningful).
+class MaxCrashesEnvironment : public Environment {
+ public:
+  MaxCrashesEnvironment(int n, int max_crashes);
+
+  [[nodiscard]] bool allows(const FailurePattern& f) const override;
+  [[nodiscard]] FailurePattern sample(Rng& rng, Time horizon) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] int max_crashes() const { return max_crashes_; }
+
+ private:
+  int max_crashes_;
+};
+
+/// The wildest environment: any pattern leaving at least one correct
+/// process.
+class AnyEnvironment : public MaxCrashesEnvironment {
+ public:
+  explicit AnyEnvironment(int n) : MaxCrashesEnvironment(n, n - 1) {}
+  [[nodiscard]] std::string name() const override { return "any"; }
+};
+
+/// Patterns in which a strict majority of processes is correct. This is
+/// the environment in which Sigma is implementable "ex nihilo" and in
+/// which Omega alone suffices for consensus.
+class MajorityCorrectEnvironment : public MaxCrashesEnvironment {
+ public:
+  explicit MajorityCorrectEnvironment(int n)
+      : MaxCrashesEnvironment(n, (n - 1) / 2) {}
+  [[nodiscard]] std::string name() const override { return "majority-correct"; }
+};
+
+/// The failure-free environment.
+class CrashFreeEnvironment : public MaxCrashesEnvironment {
+ public:
+  explicit CrashFreeEnvironment(int n) : MaxCrashesEnvironment(n, 0) {}
+  [[nodiscard]] std::string name() const override { return "crash-free"; }
+};
+
+/// The "initial crashes only" environment the paper's introduction
+/// mentions ("no process crashes after it has taken at least one
+/// step"): every faulty process is dead from time 0. Algorithms never
+/// observe a transition from alive to crashed in these runs.
+class InitialCrashesEnvironment : public Environment {
+ public:
+  InitialCrashesEnvironment(int n, int max_crashes);
+
+  [[nodiscard]] bool allows(const FailurePattern& f) const override;
+  [[nodiscard]] FailurePattern sample(Rng& rng, Time horizon) const override;
+  [[nodiscard]] std::string name() const override {
+    return "initial-crashes";
+  }
+
+ private:
+  int max_crashes_;
+};
+
+/// The ordered-crash environment of the introduction ("process p never
+/// fails before process q"): patterns where `first` crashing implies
+/// `second` crashed no later.
+class OrderedCrashEnvironment : public Environment {
+ public:
+  /// Patterns where `first` never fails before `second`.
+  OrderedCrashEnvironment(int n, ProcessId first, ProcessId second,
+                          int max_crashes);
+
+  [[nodiscard]] bool allows(const FailurePattern& f) const override;
+  [[nodiscard]] FailurePattern sample(Rng& rng, Time horizon) const override;
+  [[nodiscard]] std::string name() const override { return "ordered-crash"; }
+
+ private:
+  ProcessId first_;
+  ProcessId second_;
+  int max_crashes_;
+};
+
+/// A single fixed pattern (useful for adversarial tests).
+class FixedPatternEnvironment : public Environment {
+ public:
+  explicit FixedPatternEnvironment(FailurePattern f);
+
+  [[nodiscard]] bool allows(const FailurePattern& f) const override;
+  [[nodiscard]] FailurePattern sample(Rng& rng, Time horizon) const override;
+  [[nodiscard]] std::string name() const override { return "fixed"; }
+
+ private:
+  FailurePattern pattern_;
+};
+
+}  // namespace wfd::sim

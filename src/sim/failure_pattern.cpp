@@ -1,0 +1,69 @@
+#include "sim/failure_pattern.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace wfd::sim {
+
+FailurePattern::FailurePattern(int n) : crash_time_(n, kNever) {
+  WFD_CHECK(n >= 1 && n <= kMaxProcesses);
+}
+
+void FailurePattern::crash_at(ProcessId p, Time t) {
+  WFD_CHECK(p >= 0 && p < n());
+  crash_time_[static_cast<std::size_t>(p)] = t;
+}
+
+Time FailurePattern::crash_time(ProcessId p) const {
+  WFD_CHECK(p >= 0 && p < n());
+  return crash_time_[static_cast<std::size_t>(p)];
+}
+
+bool FailurePattern::crashed(ProcessId p, Time t) const {
+  return crash_time(p) <= t;
+}
+
+ProcessSet FailurePattern::crashed_by(Time t) const {
+  ProcessSet s;
+  for (ProcessId p = 0; p < n(); ++p) {
+    if (crashed(p, t)) s.insert(p);
+  }
+  return s;
+}
+
+ProcessSet FailurePattern::faulty() const {
+  ProcessSet s;
+  for (ProcessId p = 0; p < n(); ++p) {
+    if (crash_time(p) != kNever) s.insert(p);
+  }
+  return s;
+}
+
+ProcessSet FailurePattern::correct() const {
+  return ProcessSet::full(n()).set_difference(faulty());
+}
+
+Time FailurePattern::first_crash_time() const {
+  return *std::min_element(crash_time_.begin(), crash_time_.end());
+}
+
+std::string FailurePattern::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const FailurePattern& f) {
+  os << "F[n=" << f.n();
+  for (ProcessId p = 0; p < f.n(); ++p) {
+    if (f.crash_time(p) != kNever) {
+      os << ' ' << p << "@t" << f.crash_time(p);
+    }
+  }
+  return os << ']';
+}
+
+}  // namespace wfd::sim

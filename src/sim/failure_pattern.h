@@ -1,0 +1,65 @@
+// Failure patterns: the function F mapping each time to the set of
+// processes that have crashed through that time. Since crashes are
+// permanent, a pattern is fully described by each process's crash time.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/process_set.h"
+#include "common/types.h"
+
+namespace wfd::sim {
+
+class FailurePattern {
+ public:
+  /// A pattern over n processes in which nobody crashes.
+  explicit FailurePattern(int n);
+
+  /// Schedules p to crash at time t (p takes no step at any time >= t).
+  /// Overwrites any earlier crash time for p.
+  void crash_at(ProcessId p, Time t);
+
+  [[nodiscard]] int n() const { return static_cast<int>(crash_time_.size()); }
+
+  /// Crash time of p, or kNever.
+  [[nodiscard]] Time crash_time(ProcessId p) const;
+
+  /// Whether p has crashed by time t, i.e. p is in F(t).
+  [[nodiscard]] bool crashed(ProcessId p, Time t) const;
+
+  /// Whether p is alive at time t (may take a step at t).
+  [[nodiscard]] bool alive(ProcessId p, Time t) const {
+    return !crashed(p, t);
+  }
+
+  /// F(t): all processes crashed through time t.
+  [[nodiscard]] ProcessSet crashed_by(Time t) const;
+
+  /// faulty(F): processes that crash at some time.
+  [[nodiscard]] ProcessSet faulty() const;
+
+  /// correct(F) = Pi - faulty(F).
+  [[nodiscard]] ProcessSet correct() const;
+
+  /// Time of the earliest crash, or kNever when the pattern is crash-free.
+  [[nodiscard]] Time first_crash_time() const;
+
+  /// Whether any failure has occurred by time t (F(t) != empty).
+  [[nodiscard]] bool failure_by(Time t) const {
+    return first_crash_time() <= t;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const FailurePattern&, const FailurePattern&) =
+      default;
+
+ private:
+  std::vector<Time> crash_time_;
+};
+
+std::ostream& operator<<(std::ostream& os, const FailurePattern& f);
+
+}  // namespace wfd::sim

@@ -1,0 +1,40 @@
+// Records the output of an FdSource (an implemented or extracted
+// detector) as FdSampleRecords, so the history checkers can validate a
+// detector *implementation* exactly like an oracle history.
+#pragma once
+
+#include <vector>
+
+#include "common/check.h"
+#include "sim/module.h"
+#include "sim/trace.h"
+
+namespace wfd::sim {
+
+class FdSamplerModule : public Module {
+ public:
+  FdSamplerModule(const FdSource* source, std::vector<FdSampleRecord>* sink,
+                  Time period = 1)
+      : source_(source), sink_(sink), period_(period) {
+    WFD_CHECK(source_ != nullptr && sink_ != nullptr && period_ >= 1);
+  }
+
+  void on_message(ProcessId, const Payload&) override {}
+
+  void on_tick() override {
+    if (++ticks_ % period_ != 0) return;
+    FdSampleRecord rec;
+    rec.p = self();
+    rec.t = now();
+    rec.value = source_->fd_value();
+    sink_->push_back(rec);
+  }
+
+ private:
+  const FdSource* source_;
+  std::vector<FdSampleRecord>* sink_;
+  Time period_;
+  Time ticks_ = 0;
+};
+
+}  // namespace wfd::sim

@@ -1,0 +1,95 @@
+#include "sim/module.h"
+
+namespace wfd::sim {
+
+ProcessId Module::self() const { return host().ctx().self(); }
+int Module::n() const { return host().ctx().n(); }
+Time Module::now() const { return host().ctx().now(); }
+const fd::FdValue& Module::fd() const { return host().ctx().fd(); }
+
+fd::FdValue Module::detector() const {
+  if (fd_source_ != nullptr) return fd_source_->fd_value();
+  return fd();
+}
+
+void Module::send(ProcessId to, PayloadPtr payload) {
+  host().ctx().send(
+      to, make_payload<ModuleEnvelope>(name_, std::move(payload)));
+}
+
+void Module::broadcast(PayloadPtr payload, bool include_self) {
+  auto wrapped = make_payload<ModuleEnvelope>(name_, std::move(payload));
+  host().ctx().broadcast(std::move(wrapped), include_self);
+}
+
+void Module::emit(const std::string& kind, std::int64_t value) {
+  host().ctx().emit(kind, value);
+}
+
+Rng& Module::rng() { return host().ctx().rng(); }
+
+ModularProcess& Module::host() const {
+  WFD_CHECK(host_ != nullptr);
+  return *host_;
+}
+
+Module* ModularProcess::find_module(const std::string& module_name) const {
+  auto it = by_name_.find(module_name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+void ModularProcess::start_module(Module& m) {
+  m.on_start();
+  // Replay messages that arrived before the module existed.
+  auto it = undelivered_.find(m.name());
+  if (it != undelivered_.end()) {
+    auto buffered = std::move(it->second);
+    undelivered_.erase(it);
+    for (const BufferedMsg& bm : buffered) {
+      m.on_message(bm.from, *bm.inner);
+    }
+  }
+}
+
+void ModularProcess::on_start(Context& ctx) {
+  current_ = &ctx;
+  started_ = true;
+  // Snapshot: modules may add further modules while starting (those are
+  // started inline by add_module since started_ is already true).
+  const std::size_t initial = modules_.size();
+  for (std::size_t i = 0; i < initial; ++i) start_module(*modules_[i]);
+  for (std::size_t i = 0; i < modules_.size(); ++i) modules_[i]->on_tick();
+  current_ = nullptr;
+}
+
+void ModularProcess::dispatch(ProcessId from, const ModuleEnvelope& env) {
+  if (Module* m = find_module(env.module)) {
+    m->on_message(from, *env.inner);
+  } else {
+    undelivered_[env.module].push_back(BufferedMsg{from, env.inner});
+  }
+}
+
+void ModularProcess::on_step(Context& ctx, const Envelope* msg) {
+  current_ = &ctx;
+  if (msg != nullptr && msg->payload != nullptr) {
+    const auto* env = payload_cast<ModuleEnvelope>(*msg->payload);
+    WFD_CHECK_MSG(env != nullptr,
+                  "ModularProcess received a non-module message");
+    dispatch(msg->from, *env);
+  }
+  // Tick by index: modules added during this step are ticked too, which
+  // is harmless (their on_tick sees a consistent started state).
+  for (std::size_t i = 0; i < modules_.size(); ++i) modules_[i]->on_tick();
+  current_ = nullptr;
+}
+
+bool ModularProcess::done() const {
+  if (!started_) return false;  // Not done before the first step.
+  for (const auto& m : modules_) {
+    if (!m->done()) return false;
+  }
+  return true;
+}
+
+}  // namespace wfd::sim

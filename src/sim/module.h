@@ -1,0 +1,189 @@
+// Module composition.
+//
+// The paper's constructions stack protocols: NBAC runs on top of QC plus
+// FS (Fig. 4), QC on top of NBAC (Fig. 5), QC on top of consensus
+// (Fig. 2), the Sigma extraction on top of n register instances (Fig. 1),
+// FS is built from infinitely many NBAC instances, and register-based
+// consensus uses n register instances. A ModularProcess hosts named
+// modules inside one process; messages are routed by module name, and
+// modules interact locally through direct method calls and completion
+// callbacks, all within the host's atomic steps.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
+
+namespace wfd::sim {
+
+class ModularProcess;
+
+/// A local source of failure-detector values. Algorithm modules read
+/// their detector through this indirection so the same algorithm can run
+/// against an oracle history (the default: the value sampled by the host
+/// in the current step) or against a detector *implementation* — another
+/// module, e.g. the join-quorum Sigma — without any code change. This is
+/// exactly the paper's notion of transforming one detector into another:
+/// a transformation module implements FdSource.
+class FdSource {
+ public:
+  virtual ~FdSource() = default;
+  [[nodiscard]] virtual fd::FdValue fd_value() const = 0;
+};
+
+/// A protocol component living inside a ModularProcess. The protected
+/// helpers (send, fd, ...) are valid only during a step of the host, which
+/// is the only time module code runs.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Called once, during the host's first step (or immediately when the
+  /// module is added mid-run).
+  virtual void on_start() {}
+
+  /// A message from the same-named module of process `from`.
+  virtual void on_message(ProcessId from, const Payload& msg) = 0;
+
+  /// Called on every step of the host (use for timeouts/retries).
+  virtual void on_tick() {}
+
+  /// False while this module still has work that should keep the run
+  /// alive. Service modules (servers, detector implementations) keep the
+  /// default `true` so they never block run completion.
+  [[nodiscard]] virtual bool done() const { return true; }
+
+  /// Route this module's detector reads through `src` instead of the
+  /// host's oracle sample (pass nullptr to restore the oracle).
+  void set_fd_source(const FdSource* src) { fd_source_ = src; }
+
+ protected:
+  /// The failure-detector value this module should act on in this step:
+  /// the configured FdSource if any, else the oracle sample.
+  [[nodiscard]] fd::FdValue detector() const;
+
+  [[nodiscard]] ProcessId self() const;
+  [[nodiscard]] int n() const;
+  [[nodiscard]] Time now() const;
+  [[nodiscard]] const fd::FdValue& fd() const;
+  void send(ProcessId to, PayloadPtr payload);
+  void broadcast(PayloadPtr payload, bool include_self = true);
+  void emit(const std::string& kind, std::int64_t value);
+  Rng& rng();
+  [[nodiscard]] ModularProcess& host() const;
+
+ private:
+  friend class ModularProcess;
+  ModularProcess* host_ = nullptr;
+  std::string name_;
+  const FdSource* fd_source_ = nullptr;
+};
+
+/// Wire format: every inter-process message of a module is wrapped with
+/// the module's name so the receiving host can route it.
+struct ModuleEnvelope final : Payload {
+  ModuleEnvelope(std::string module_name, PayloadPtr inner_payload)
+      : module(std::move(module_name)), inner(std::move(inner_payload)) {}
+  std::string module;
+  PayloadPtr inner;
+};
+
+/// Merges two FdSources into a tuple detector (e.g. heartbeat Omega +
+/// join-quorum Sigma => an implemented (Omega, Sigma) with no oracle).
+/// Components of `a` win where both are present.
+class MergedFdSource : public FdSource {
+ public:
+  MergedFdSource(const FdSource* a, const FdSource* b) : a_(a), b_(b) {
+    WFD_CHECK(a != nullptr && b != nullptr);
+  }
+
+  [[nodiscard]] fd::FdValue fd_value() const override {
+    fd::FdValue v = a_->fd_value();
+    const fd::FdValue w = b_->fd_value();
+    if (!v.omega && w.omega) v.omega = w.omega;
+    if (!v.sigma && w.sigma) v.sigma = w.sigma;
+    if (!v.fs && w.fs) v.fs = w.fs;
+    if (!v.psi && w.psi) v.psi = w.psi;
+    if (!v.suspected && w.suspected) v.suspected = w.suspected;
+    return v;
+  }
+
+ private:
+  const FdSource* a_;
+  const FdSource* b_;
+};
+
+class ModularProcess : public Process {
+ public:
+  /// Add a module under a unique name. If the host is mid-run the module
+  /// is started immediately and receives any messages that arrived for
+  /// its name before it existed (instances created on demand, e.g.
+  /// "nbac/7", rely on this).
+  template <typename M, typename... Args>
+  M& add_module(std::string module_name, Args&&... args) {
+    WFD_CHECK_MSG(by_name_.find(module_name) == by_name_.end(),
+                  "duplicate module name");
+    auto mod = std::make_unique<M>(std::forward<Args>(args)...);
+    M& ref = *mod;
+    mod->host_ = this;
+    mod->name_ = std::move(module_name);
+    by_name_.emplace(mod->name_, mod.get());
+    modules_.push_back(std::move(mod));
+    if (started_) start_module(ref);
+    return ref;
+  }
+
+  /// Find a module by name; nullptr when absent.
+  [[nodiscard]] Module* find_module(const std::string& module_name) const;
+
+  /// Find and downcast; asserts on absence or type mismatch.
+  template <typename M>
+  [[nodiscard]] M& module(const std::string& module_name) const {
+    Module* m = find_module(module_name);
+    WFD_CHECK_MSG(m != nullptr, "module not found");
+    auto* typed = dynamic_cast<M*>(m);
+    WFD_CHECK_MSG(typed != nullptr, "module type mismatch");
+    return *typed;
+  }
+
+  void on_start(Context& ctx) override;
+  void on_step(Context& ctx, const Envelope* msg) override;
+  [[nodiscard]] bool done() const override;
+
+  /// The current step's context; valid only while the host is stepping.
+  [[nodiscard]] Context& ctx() const {
+    WFD_CHECK_MSG(current_ != nullptr, "module code ran outside a step");
+    return *current_;
+  }
+
+  void set_instrument(TransportInstrument* ins) { instrument_ = ins; }
+  [[nodiscard]] TransportInstrument* instrument() override {
+    return instrument_;
+  }
+
+ private:
+  struct BufferedMsg {
+    ProcessId from;
+    PayloadPtr inner;
+  };
+
+  void start_module(Module& m);
+  void dispatch(ProcessId from, const ModuleEnvelope& env);
+
+  std::vector<std::unique_ptr<Module>> modules_;
+  std::map<std::string, Module*> by_name_;
+  std::map<std::string, std::vector<BufferedMsg>> undelivered_;
+  Context* current_ = nullptr;
+  bool started_ = false;
+  TransportInstrument* instrument_ = nullptr;
+};
+
+}  // namespace wfd::sim

@@ -1,0 +1,69 @@
+#include "sim/network.h"
+
+#include "common/check.h"
+
+namespace wfd::sim {
+
+std::uint64_t Network::send(Envelope env) {
+  env.id = next_id_++;
+  const std::uint64_t id = env.id;
+  const ProcessId to = env.to;
+  by_id_.emplace(id, std::move(env));
+  by_recipient_[to].push_back(id);
+  return id;
+}
+
+void Network::prune_front(ProcessId p) const {
+  auto it = by_recipient_.find(p);
+  if (it == by_recipient_.end()) return;
+  auto& q = it->second;
+  while (!q.empty() && by_id_.find(q.front()) == by_id_.end()) {
+    q.pop_front();
+  }
+}
+
+std::vector<std::uint64_t> Network::pending_for(ProcessId p) const {
+  prune_front(p);
+  std::vector<std::uint64_t> out;
+  auto it = by_recipient_.find(p);
+  if (it == by_recipient_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::uint64_t id : it->second) {
+    if (by_id_.find(id) != by_id_.end()) out.push_back(id);
+  }
+  return out;
+}
+
+bool Network::has_pending(ProcessId p) const {
+  prune_front(p);
+  auto it = by_recipient_.find(p);
+  return it != by_recipient_.end() && !it->second.empty();
+}
+
+std::uint64_t Network::oldest_for(ProcessId p) const {
+  prune_front(p);
+  auto it = by_recipient_.find(p);
+  if (it == by_recipient_.end() || it->second.empty()) return 0;
+  return it->second.front();
+}
+
+const Envelope& Network::get(std::uint64_t id) const {
+  auto it = by_id_.find(id);
+  WFD_CHECK(it != by_id_.end());
+  return it->second;
+}
+
+bool Network::contains(std::uint64_t id) const {
+  return by_id_.find(id) != by_id_.end();
+}
+
+Envelope Network::take(std::uint64_t id) {
+  auto it = by_id_.find(id);
+  WFD_CHECK(it != by_id_.end());
+  Envelope env = std::move(it->second);
+  by_id_.erase(it);
+  // The id stays in its recipient queue; prune_front removes it lazily.
+  return env;
+}
+
+}  // namespace wfd::sim

@@ -1,0 +1,63 @@
+// The message buffer: the set of messages that have been sent but not yet
+// received. Links are reliable (messages to correct processes are
+// eventually delivered — enforced by the schedulers) with finite but
+// unbounded, variable delay.
+//
+// Messages are indexed by recipient so scheduler queries cost O(pending
+// for that process), not O(all pending) — long runs accumulate
+// undeliverable messages addressed to crashed processes, which must not
+// slow down the rest of the system.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/envelope.h"
+
+namespace wfd::sim {
+
+class Network {
+ public:
+  /// Enqueue a message; assigns its unique id. Returns the id.
+  std::uint64_t send(Envelope env);
+
+  /// Ids of pending messages addressed to p, oldest first.
+  [[nodiscard]] std::vector<std::uint64_t> pending_for(ProcessId p) const;
+
+  /// Whether any message is pending for p.
+  [[nodiscard]] bool has_pending(ProcessId p) const;
+
+  /// Oldest pending message id for p, or 0 when none.
+  [[nodiscard]] std::uint64_t oldest_for(ProcessId p) const;
+
+  /// Access a pending message by id; asserts that it exists.
+  [[nodiscard]] const Envelope& get(std::uint64_t id) const;
+
+  /// Whether a pending message with this id exists.
+  [[nodiscard]] bool contains(std::uint64_t id) const;
+
+  /// Remove a delivered message.
+  Envelope take(std::uint64_t id);
+
+  /// Total pending messages.
+  [[nodiscard]] std::size_t size() const { return by_id_.size(); }
+
+  /// Total messages ever sent through this network.
+  [[nodiscard]] std::uint64_t total_sent() const { return next_id_ - 1; }
+
+ private:
+  /// Drop delivered ids from the front of p's queue.
+  void prune_front(ProcessId p) const;
+
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, Envelope> by_id_;
+  /// Per-recipient id queues in send order; may contain ids already
+  /// delivered (lazily pruned).
+  mutable std::map<ProcessId, std::deque<std::uint64_t>> by_recipient_;
+};
+
+}  // namespace wfd::sim

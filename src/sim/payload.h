@@ -1,0 +1,32 @@
+// Message payloads.
+//
+// Each protocol defines its own payload structs deriving from Payload and
+// dispatches on the concrete type at receipt. Payloads are immutable once
+// sent (shared_ptr<const>), so a broadcast shares one allocation.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+namespace wfd::sim {
+
+/// Base class of all message payloads.
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// Construct an immutable payload of concrete type T.
+template <typename T, typename... Args>
+PayloadPtr make_payload(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+/// Downcast helper; returns nullptr when the payload is a different type.
+template <typename T>
+const T* payload_cast(const Payload& p) {
+  return dynamic_cast<const T*>(&p);
+}
+
+}  // namespace wfd::sim

@@ -1,0 +1,135 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace wfd::sim {
+
+// ---------------------------------------------------------------- RoundRobin
+
+void RoundRobinScheduler::begin_run(int n, const FailurePattern& f,
+                                    std::uint64_t seed) {
+  (void)f;
+  (void)seed;
+  n_ = n;
+  cursor_ = 0;
+}
+
+StepChoice RoundRobinScheduler::next(const Network& net,
+                                     const FailurePattern& f, Time now) {
+  for (int tried = 0; tried < n_; ++tried) {
+    const ProcessId p = cursor_;
+    cursor_ = (cursor_ + 1) % n_;
+    if (!f.alive(p, now)) continue;
+    StepChoice c;
+    c.p = p;
+    c.message_id = net.oldest_for(p);
+    return c;
+  }
+  return StepChoice{};  // Everyone crashed.
+}
+
+// ---------------------------------------------------------------- RandomFair
+
+void RandomFairScheduler::begin_run(int n, const FailurePattern& f,
+                                    std::uint64_t seed) {
+  (void)f;
+  n_ = n;
+  rng_.reseed(seed);
+  round_.clear();
+}
+
+void RandomFairScheduler::refill_round(const FailurePattern& f, Time now) {
+  round_.clear();
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (f.alive(p, now)) round_.push_back(p);
+  }
+  // Fisher-Yates shuffle.
+  for (std::size_t i = round_.size(); i > 1; --i) {
+    const std::size_t j = rng_.below(i);
+    std::swap(round_[i - 1], round_[j]);
+  }
+}
+
+StepChoice RandomFairScheduler::next(const Network& net,
+                                     const FailurePattern& f, Time now) {
+  // Drop processes that crashed since the round was formed.
+  while (!round_.empty() && !f.alive(round_.back(), now)) round_.pop_back();
+  if (round_.empty()) {
+    refill_round(f, now);
+    if (round_.empty()) return StepChoice{};  // Everyone crashed.
+  }
+  StepChoice c;
+  c.p = round_.back();
+  round_.pop_back();
+
+  const auto pending = net.pending_for(c.p);
+  if (pending.empty()) return c;  // Lambda step.
+
+  // Force-deliver overdue messages to keep delays finite.
+  const Envelope& oldest = net.get(pending.front());
+  if (now - oldest.sent_at >= opt_.force_age) {
+    c.message_id = pending.front();
+    return c;
+  }
+  if (rng_.uniform01() < opt_.lambda_prob) return c;  // Lambda step.
+  if (rng_.uniform01() < opt_.oldest_prob) {
+    c.message_id = pending.front();
+  } else {
+    c.message_id = pending[rng_.below(pending.size())];
+  }
+  return c;
+}
+
+// ---------------------------------------------------------- PartialSynchrony
+
+PartialSynchronyScheduler::PartialSynchronyScheduler(
+    Time gst, RandomFairScheduler::Options pre_opts)
+    : gst_(gst), pre_(pre_opts) {}
+
+void PartialSynchronyScheduler::begin_run(int n, const FailurePattern& f,
+                                          std::uint64_t seed) {
+  pre_.begin_run(n, f, seed);
+  post_.begin_run(n, f, seed);
+}
+
+StepChoice PartialSynchronyScheduler::next(const Network& net,
+                                           const FailurePattern& f, Time now) {
+  if (now < gst_) return pre_.next(net, f, now);
+  return post_.next(net, f, now);
+}
+
+// ------------------------------------------------------------------ Filtered
+
+FilteredScheduler::FilteredScheduler(std::unique_ptr<Scheduler> base,
+                                     Filter blocked)
+    : base_(std::move(base)), blocked_(std::move(blocked)) {
+  WFD_CHECK(base_ != nullptr);
+  WFD_CHECK(blocked_ != nullptr);
+}
+
+void FilteredScheduler::begin_run(int n, const FailurePattern& f,
+                                  std::uint64_t seed) {
+  base_->begin_run(n, f, seed);
+}
+
+StepChoice FilteredScheduler::next(const Network& net, const FailurePattern& f,
+                                   Time now) {
+  StepChoice c = base_->next(net, f, now);
+  if (c.p == kNoProcess || c.message_id == 0) return c;
+  if (blocked_(net.get(c.message_id), now)) {
+    // Withhold: try to substitute the oldest unblocked message; otherwise
+    // the process takes a lambda step and the message stays pending.
+    for (std::uint64_t id : net.pending_for(c.p)) {
+      if (!blocked_(net.get(id), now)) {
+        c.message_id = id;
+        return c;
+      }
+    }
+    c.message_id = 0;
+  }
+  return c;
+}
+
+}  // namespace wfd::sim

@@ -1,0 +1,136 @@
+// Schedulers decide, at each global step, which process takes a step and
+// which (if any) pending message it receives. Every scheduler shipped
+// here satisfies the run conditions of the model: correct processes take
+// unboundedly many steps and every message addressed to a correct process
+// is eventually delivered.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/failure_pattern.h"
+#include "sim/network.h"
+
+namespace wfd::sim {
+
+/// The scheduler's decision for one global step.
+struct StepChoice {
+  ProcessId p = kNoProcess;      ///< kNoProcess: no process can step (halt).
+  std::uint64_t message_id = 0;  ///< 0: lambda step.
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Called once before the run.
+  virtual void begin_run(int n, const FailurePattern& f,
+                         std::uint64_t seed) = 0;
+
+  /// Decide the next step.
+  virtual StepChoice next(const Network& net, const FailurePattern& f,
+                          Time now) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Deterministic: processes step cyclically (skipping crashed ones) and
+/// always receive their oldest pending message.
+class RoundRobinScheduler : public Scheduler {
+ public:
+  void begin_run(int n, const FailurePattern& f, std::uint64_t seed) override;
+  StepChoice next(const Network& net, const FailurePattern& f,
+                  Time now) override;
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+
+ private:
+  int n_ = 0;
+  ProcessId cursor_ = 0;
+};
+
+/// Randomized fair scheduler. Each "round" steps every alive process once
+/// in a fresh random order. A stepping process receives: nothing with
+/// probability lambda_prob; otherwise its oldest pending message with
+/// probability oldest_prob, else a uniformly random pending one. Any
+/// message older than force_age steps is force-delivered first, which
+/// bounds starvation and realises "finite but unbounded" delays.
+class RandomFairScheduler : public Scheduler {
+ public:
+  struct Options {
+    double lambda_prob = 0.15;
+    double oldest_prob = 0.5;
+    Time force_age = 512;
+  };
+
+  RandomFairScheduler() : RandomFairScheduler(Options{}) {}
+  explicit RandomFairScheduler(Options opt) : opt_(opt), rng_(0) {}
+
+  void begin_run(int n, const FailurePattern& f, std::uint64_t seed) override;
+  StepChoice next(const Network& net, const FailurePattern& f,
+                  Time now) override;
+  [[nodiscard]] std::string name() const override { return "random-fair"; }
+
+ private:
+  void refill_round(const FailurePattern& f, Time now);
+
+  Options opt_;
+  int n_ = 0;
+  Rng rng_;
+  std::vector<ProcessId> round_;  ///< Remaining processes of this round.
+};
+
+/// Partially synchronous scheduler: before GST it behaves like
+/// RandomFairScheduler (arbitrary but fair); from GST on, processes step
+/// round-robin and always receive their oldest pending message, so
+/// message delay and relative speeds are bounded. Heartbeat-based
+/// detector implementations (Omega, FS) are correct under this scheduler.
+class PartialSynchronyScheduler : public Scheduler {
+ public:
+  explicit PartialSynchronyScheduler(Time gst,
+                                     RandomFairScheduler::Options pre_opts =
+                                         RandomFairScheduler::Options{});
+
+  void begin_run(int n, const FailurePattern& f, std::uint64_t seed) override;
+  StepChoice next(const Network& net, const FailurePattern& f,
+                  Time now) override;
+  [[nodiscard]] std::string name() const override {
+    return "partial-synchrony";
+  }
+
+  [[nodiscard]] Time gst() const { return gst_; }
+
+ private:
+  Time gst_;
+  RandomFairScheduler pre_;
+  RoundRobinScheduler post_;
+};
+
+/// Wraps a base scheduler and additionally withholds any message for
+/// which `blocked(env, now)` is true — as long as withholding it keeps
+/// the run legal (the filter must stop blocking eventually; use
+/// time-bounded filters). Used for adversarial tests: partitions,
+/// quorum-targeted delays, leader isolation.
+class FilteredScheduler : public Scheduler {
+ public:
+  using Filter = std::function<bool(const Envelope&, Time now)>;
+
+  FilteredScheduler(std::unique_ptr<Scheduler> base, Filter blocked);
+
+  void begin_run(int n, const FailurePattern& f, std::uint64_t seed) override;
+  StepChoice next(const Network& net, const FailurePattern& f,
+                  Time now) override;
+  [[nodiscard]] std::string name() const override {
+    return "filtered(" + base_->name() + ")";
+  }
+
+ private:
+  std::unique_ptr<Scheduler> base_;
+  Filter blocked_;
+};
+
+}  // namespace wfd::sim

@@ -1,0 +1,127 @@
+#include "sim/simulator.h"
+
+#include "common/check.h"
+
+namespace wfd::sim {
+
+Simulator::Simulator(SimConfig cfg, FailurePattern pattern,
+                     std::unique_ptr<fd::Oracle> oracle,
+                     std::unique_ptr<Scheduler> scheduler)
+    : cfg_(cfg),
+      pattern_(std::move(pattern)),
+      oracle_(std::move(oracle)),
+      scheduler_(std::move(scheduler)) {
+  WFD_CHECK(cfg_.n >= 1 && cfg_.n <= kMaxProcesses);
+  WFD_CHECK(pattern_.n() == cfg_.n);
+  WFD_CHECK(oracle_ != nullptr);
+  WFD_CHECK(scheduler_ != nullptr);
+  trace_.set_record_samples(cfg_.record_fd_samples);
+}
+
+Process& Simulator::process(ProcessId p) {
+  WFD_CHECK(p >= 0 && p < static_cast<ProcessId>(procs_.size()));
+  return *procs_[static_cast<std::size_t>(p)];
+}
+
+bool Simulator::all_alive_done() const {
+  for (ProcessId p = 0; p < cfg_.n; ++p) {
+    if (pattern_.alive(p, now_) &&
+        !procs_[static_cast<std::size_t>(p)]->done()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Simulator::ensure_started() {
+  if (started_) return;
+  WFD_CHECK_MSG(static_cast<int>(procs_.size()) == cfg_.n,
+                "add_process must be called exactly n times before run");
+  scheduler_->begin_run(cfg_.n, pattern_, cfg_.seed);
+  oracle_->begin_run(pattern_, cfg_.seed ^ 0xd1b54a32d192ed03ULL,
+                     cfg_.max_steps);
+  Rng root(cfg_.seed ^ 0xabcdef1234567890ULL);
+  proc_rng_.clear();
+  proc_rng_.reserve(static_cast<std::size_t>(cfg_.n));
+  for (int i = 0; i < cfg_.n; ++i) proc_rng_.push_back(root.split());
+  started_ = true;
+}
+
+bool Simulator::step() {
+  ensure_started();
+  if (now_ >= cfg_.max_steps) return false;
+  if (halt_on_done_ && all_alive_done()) return false;
+
+  const StepChoice choice = scheduler_->next(net_, pattern_, now_);
+  if (choice.p == kNoProcess) return false;  // Everyone crashed.
+  WFD_CHECK(pattern_.alive(choice.p, now_));
+
+  const fd::FdValue v = oracle_->query(choice.p, now_);
+  trace_.record_sample(choice.p, now_, v);
+  Context ctx(*this, choice.p, v);
+  Process& proc = *procs_[static_cast<std::size_t>(choice.p)];
+
+  bool lambda = true;
+  if (!started_p_[static_cast<std::size_t>(choice.p)]) {
+    started_p_[static_cast<std::size_t>(choice.p)] = true;
+    proc.on_start(ctx);
+  } else if (choice.message_id != 0 && net_.contains(choice.message_id)) {
+    Envelope env = net_.take(choice.message_id);
+    WFD_CHECK(env.to == choice.p);
+    trace_.count_delivery();
+    if (env.meta != nullptr && proc.instrument() != nullptr) {
+      proc.instrument()->incoming_meta(env.from, *env.meta);
+    }
+    proc.on_step(ctx, &env);
+    lambda = false;
+  } else {
+    proc.on_step(ctx, nullptr);
+  }
+  trace_.count_step(lambda);
+  ++now_;
+  return true;
+}
+
+RunResult Simulator::run() { return run_for(cfg_.max_steps); }
+
+RunResult Simulator::run_for(Time steps) {
+  RunResult r;
+  for (Time i = 0; i < steps; ++i) {
+    if (!step()) break;
+    ++r.steps;
+  }
+  r.all_done = all_alive_done();
+  return r;
+}
+
+void Context::send(ProcessId to, PayloadPtr payload) {
+  WFD_CHECK(to >= 0 && to < sim_->n());
+  Envelope env;
+  env.from = self_;
+  env.to = to;
+  env.sent_at = sim_->now_;
+  env.payload = std::move(payload);
+  Process& proc = *sim_->procs_[static_cast<std::size_t>(self_)];
+  if (TransportInstrument* ins = proc.instrument()) {
+    env.meta = ins->outgoing_meta();
+  }
+  sim_->net_.send(std::move(env));
+  sim_->trace_.count_send();
+}
+
+void Context::broadcast(PayloadPtr payload, bool include_self) {
+  for (ProcessId q = 0; q < sim_->n(); ++q) {
+    if (!include_self && q == self_) continue;
+    send(q, payload);
+  }
+}
+
+void Context::emit(const std::string& kind, std::int64_t value) {
+  sim_->trace_.record_event(self_, sim_->now(), kind, value);
+}
+
+Rng& Context::rng() {
+  return sim_->proc_rng_[static_cast<std::size_t>(self_)];
+}
+
+}  // namespace wfd::sim

@@ -1,0 +1,133 @@
+// The discrete-event simulator: owns the processes, the message buffer,
+// the failure pattern, the failure-detector oracle and the scheduler, and
+// drives the run one atomic step at a time. Runs are fully deterministic
+// given (processes, pattern, oracle, scheduler, seed).
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "fd/oracle.h"
+#include "sim/failure_pattern.h"
+#include "sim/network.h"
+#include "sim/process.h"
+#include "sim/scheduler.h"
+#include "sim/trace.h"
+
+namespace wfd::sim {
+
+struct SimConfig {
+  int n = 3;
+  Time max_steps = 200000;
+  std::uint64_t seed = 1;
+  bool record_fd_samples = false;
+};
+
+struct RunResult {
+  Time steps = 0;      ///< Global steps executed by this call.
+  bool all_done = false;  ///< Every alive process reported done().
+};
+
+class Simulator {
+ public:
+  Simulator(SimConfig cfg, FailurePattern pattern,
+            std::unique_ptr<fd::Oracle> oracle,
+            std::unique_ptr<Scheduler> scheduler);
+
+  /// Register process p (must be called for p = 0..n-1, in order, before
+  /// the first step). Returns a reference to the constructed process.
+  template <typename P, typename... Args>
+  P& add_process(Args&&... args) {
+    auto proc = std::make_unique<P>(std::forward<Args>(args)...);
+    P& ref = *proc;
+    procs_.push_back(std::move(proc));
+    started_p_.push_back(false);
+    return ref;
+  }
+
+  /// Run until every alive process is done or max_steps is reached.
+  RunResult run();
+
+  /// Run at most `steps` further global steps (resumable).
+  RunResult run_for(Time steps);
+
+  /// Execute one global step. Returns false when the run has halted
+  /// (max_steps reached, all alive processes done, or everyone crashed).
+  bool step();
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] int n() const { return cfg_.n; }
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+  [[nodiscard]] const FailurePattern& pattern() const { return pattern_; }
+
+  Process& process(ProcessId p);
+  Network& network() { return net_; }
+  Trace& trace() { return trace_; }
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+  fd::Oracle& oracle() { return *oracle_; }
+
+  /// True iff every process that is alive now reports done().
+  [[nodiscard]] bool all_alive_done() const;
+
+  /// When false, run()/run_for()/step() keep going after every process
+  /// reports done() — for fixed-horizon runs of service protocols
+  /// (detector implementations, extractions) that never "finish".
+  void set_halt_on_done(bool halt) { halt_on_done_ = halt; }
+
+ private:
+  friend class Context;
+
+  void ensure_started();
+
+  SimConfig cfg_;
+  FailurePattern pattern_;
+  std::unique_ptr<fd::Oracle> oracle_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::vector<bool> started_p_;
+  std::vector<Rng> proc_rng_;
+  Network net_;
+  Trace trace_;
+  Time now_ = 0;
+  bool started_ = false;
+  bool halt_on_done_ = true;
+};
+
+/// Per-step view a process gets of the world: its identity, the failure
+/// detector value sampled in this step, and the ability to send messages
+/// and record trace events. Valid only for the duration of the step.
+class Context {
+ public:
+  [[nodiscard]] ProcessId self() const { return self_; }
+  [[nodiscard]] int n() const { return sim_->n(); }
+  [[nodiscard]] Time now() const { return sim_->now(); }
+
+  /// The failure detector value seen in this step.
+  [[nodiscard]] const fd::FdValue& fd() const { return fd_; }
+
+  void send(ProcessId to, PayloadPtr payload);
+
+  /// Send to every process (optionally including self). Self-delivery
+  /// goes through the message buffer like any other message.
+  void broadcast(PayloadPtr payload, bool include_self = true);
+
+  /// Record a protocol-level trace event (e.g. a decision).
+  void emit(const std::string& kind, std::int64_t value);
+
+  /// Per-process deterministic randomness for protocol-internal choices.
+  Rng& rng();
+
+ private:
+  friend class Simulator;
+  Context(Simulator& sim, ProcessId self, fd::FdValue fd)
+      : sim_(&sim), self_(self), fd_(std::move(fd)) {}
+
+  Simulator* sim_;
+  ProcessId self_;
+  fd::FdValue fd_;
+};
+
+}  // namespace wfd::sim

@@ -1,0 +1,40 @@
+#include "sim/trace.h"
+
+namespace wfd::sim {
+
+void Trace::record_sample(ProcessId p, Time t, const fd::FdValue& v) {
+  if (record_samples_) samples_.push_back(FdSampleRecord{p, t, v});
+}
+
+void Trace::record_event(ProcessId p, Time t, std::string kind,
+                         std::int64_t value) {
+  events_.push_back(EventRecord{p, t, std::move(kind), value});
+}
+
+void Trace::count_step(bool lambda) {
+  ++stats_.steps;
+  if (lambda) ++stats_.lambda_steps;
+}
+
+void Trace::count_send() { ++stats_.messages_sent; }
+void Trace::count_delivery() { ++stats_.messages_delivered; }
+
+std::vector<EventRecord> Trace::events_of_kind(const std::string& kind) const {
+  std::vector<EventRecord> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+EventRecord Trace::first_event(ProcessId p, const std::string& kind) const {
+  for (const auto& e : events_) {
+    if (e.p == p && e.kind == kind) return e;
+  }
+  EventRecord none;
+  none.p = p;
+  none.t = kNever;
+  return none;
+}
+
+}  // namespace wfd::sim

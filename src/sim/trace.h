@@ -1,0 +1,73 @@
+// Run traces: everything a property checker needs after (or during) a run
+// — failure-detector samples, message counts, step counts, and
+// protocol-level decision events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "fd/values.h"
+
+namespace wfd::sim {
+
+/// One failure-detector sample taken by a process during a step.
+struct FdSampleRecord {
+  ProcessId p = kNoProcess;
+  Time t = 0;
+  fd::FdValue value;
+};
+
+/// A protocol-level event (e.g. a consensus decision), reported by
+/// algorithm modules so tests can check agreement/validity against the
+/// run's failure pattern without poking at module internals.
+struct EventRecord {
+  ProcessId p = kNoProcess;
+  Time t = 0;
+  std::string kind;    ///< e.g. "decide", "commit", "write-done".
+  std::int64_t value = 0;
+};
+
+struct TraceStats {
+  std::uint64_t steps = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t lambda_steps = 0;
+};
+
+class Trace {
+ public:
+  /// When disabled, FD samples are not retained (stats still are).
+  void set_record_samples(bool on) { record_samples_ = on; }
+
+  void record_sample(ProcessId p, Time t, const fd::FdValue& v);
+  void record_event(ProcessId p, Time t, std::string kind, std::int64_t value);
+  void count_step(bool lambda);
+  void count_send();
+  void count_delivery();
+
+  [[nodiscard]] const std::vector<FdSampleRecord>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] const std::vector<EventRecord>& events() const {
+    return events_;
+  }
+  [[nodiscard]] const TraceStats& stats() const { return stats_; }
+
+  /// All events of a given kind, in time order.
+  [[nodiscard]] std::vector<EventRecord> events_of_kind(
+      const std::string& kind) const;
+
+  /// First event of a given kind by process p, if any; t == kNever if none.
+  [[nodiscard]] EventRecord first_event(ProcessId p,
+                                        const std::string& kind) const;
+
+ private:
+  bool record_samples_ = false;
+  std::vector<FdSampleRecord> samples_;
+  std::vector<EventRecord> events_;
+  TraceStats stats_;
+};
+
+}  // namespace wfd::sim

@@ -1,0 +1,14 @@
+#include "smr/register_from_consensus.h"
+
+#include <vector>
+
+#include "common/process_set.h"
+
+namespace wfd::smr {
+
+// Explicit instantiations so template errors surface when the library
+// itself is built.
+template class BasicSmrRegisterModule<std::int64_t>;
+template class BasicSmrRegisterModule<std::vector<ProcessSet>>;
+
+}  // namespace wfd::smr

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/process_set.h"
+#include "common/rng.h"
+#include "sim/environment.h"
+#include "sim/failure_pattern.h"
+
+namespace wfd {
+namespace {
+
+TEST(ProcessSetTest, EmptyAndFull) {
+  ProcessSet e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.size(), 0);
+  EXPECT_EQ(e.min(), kNoProcess);
+
+  ProcessSet f = ProcessSet::full(5);
+  EXPECT_EQ(f.size(), 5);
+  for (ProcessId p = 0; p < 5; ++p) EXPECT_TRUE(f.contains(p));
+  EXPECT_FALSE(f.contains(5));
+  EXPECT_EQ(f.min(), 0);
+}
+
+TEST(ProcessSetTest, InsertEraseContains) {
+  ProcessSet s;
+  s.insert(3);
+  s.insert(7);
+  s.insert(3);
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(4));
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_EQ(s.min(), 7);
+}
+
+TEST(ProcessSetTest, SetAlgebra) {
+  ProcessSet a{0, 1, 2};
+  ProcessSet b{2, 3};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_EQ(a.set_intersection(b), (ProcessSet{2}));
+  EXPECT_EQ(a.set_union(b), (ProcessSet{0, 1, 2, 3}));
+  EXPECT_EQ(a.set_difference(b), (ProcessSet{0, 1}));
+  EXPECT_TRUE((ProcessSet{1, 2}).is_subset_of(a));
+  EXPECT_FALSE(a.is_subset_of(b));
+  ProcessSet disjoint{4, 5};
+  EXPECT_FALSE(a.intersects(disjoint));
+}
+
+TEST(ProcessSetTest, MembersOrderedAndRoundTrip) {
+  ProcessSet s{9, 1, 4};
+  const auto m = s.members();
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0], 1);
+  EXPECT_EQ(m[1], 4);
+  EXPECT_EQ(m[2], 9);
+  EXPECT_EQ(ProcessSet::from_raw(s.raw()), s);
+  EXPECT_EQ(s.to_string(), "{1,4,9}");
+}
+
+TEST(ProcessSetTest, FullSixtyFour) {
+  ProcessSet f = ProcessSet::full(64);
+  EXPECT_EQ(f.size(), 64);
+  EXPECT_TRUE(f.contains(63));
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowIsInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(13), 13u);
+  }
+}
+
+TEST(RngTest, BelowCoversRange) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng r(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = r.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, Uniform01Bounds) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, SplitIndependent) {
+  Rng a(5);
+  Rng c = a.split();
+  // The child stream should not mirror the parent.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == c.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(FailurePatternTest, CrashFreeDefaults) {
+  sim::FailurePattern f(4);
+  EXPECT_TRUE(f.faulty().empty());
+  EXPECT_EQ(f.correct(), ProcessSet::full(4));
+  EXPECT_EQ(f.first_crash_time(), kNever);
+  EXPECT_FALSE(f.failure_by(1'000'000));
+  for (ProcessId p = 0; p < 4; ++p) EXPECT_TRUE(f.alive(p, 12345));
+}
+
+TEST(FailurePatternTest, CrashSemantics) {
+  sim::FailurePattern f(3);
+  f.crash_at(1, 100);
+  EXPECT_TRUE(f.alive(1, 99));
+  EXPECT_FALSE(f.alive(1, 100));
+  EXPECT_FALSE(f.alive(1, 101));
+  EXPECT_EQ(f.faulty(), ProcessSet{1});
+  EXPECT_EQ(f.correct(), (ProcessSet{0, 2}));
+  EXPECT_EQ(f.crashed_by(99), ProcessSet{});
+  EXPECT_EQ(f.crashed_by(100), ProcessSet{1});
+  EXPECT_EQ(f.first_crash_time(), 100u);
+  EXPECT_FALSE(f.failure_by(99));
+  EXPECT_TRUE(f.failure_by(100));
+}
+
+TEST(FailurePatternTest, MonotoneCrashedBy) {
+  sim::FailurePattern f(5);
+  f.crash_at(0, 10);
+  f.crash_at(4, 50);
+  // F(t) is monotone in t.
+  ProcessSet prev;
+  for (Time t = 0; t < 100; t += 5) {
+    ProcessSet cur = f.crashed_by(t);
+    EXPECT_TRUE(prev.is_subset_of(cur));
+    prev = cur;
+  }
+}
+
+TEST(EnvironmentTest, MaxCrashesAllowsAndSamples) {
+  sim::MaxCrashesEnvironment env(5, 2);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto f = env.sample(rng, 1000);
+    EXPECT_TRUE(env.allows(f));
+    EXPECT_LE(f.faulty().size(), 2);
+    for (ProcessId p : f.faulty().members()) {
+      EXPECT_LT(f.crash_time(p), 1000u);
+    }
+  }
+}
+
+TEST(EnvironmentTest, MajorityCorrectBound) {
+  sim::MajorityCorrectEnvironment env(5);
+  EXPECT_EQ(env.max_crashes(), 2);
+  sim::FailurePattern bad(5);
+  bad.crash_at(0, 1);
+  bad.crash_at(1, 1);
+  bad.crash_at(2, 1);
+  EXPECT_FALSE(env.allows(bad));
+}
+
+TEST(EnvironmentTest, AnyEnvironmentLeavesOneCorrect) {
+  sim::AnyEnvironment env(4);
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const auto f = env.sample(rng, 500);
+    EXPECT_GE(f.correct().size(), 1);
+  }
+}
+
+TEST(EnvironmentTest, CrashFreeSamplesNothing) {
+  sim::CrashFreeEnvironment env(3);
+  Rng rng(1);
+  const auto f = env.sample(rng, 500);
+  EXPECT_TRUE(f.faulty().empty());
+}
+
+TEST(EnvironmentTest, FixedPattern) {
+  sim::FailurePattern f(3);
+  f.crash_at(2, 7);
+  sim::FixedPatternEnvironment env(f);
+  Rng rng(1);
+  EXPECT_EQ(env.sample(rng, 100), f);
+  EXPECT_TRUE(env.allows(f));
+  EXPECT_FALSE(env.allows(sim::FailurePattern(3)));
+}
+
+}  // namespace
+}  // namespace wfd

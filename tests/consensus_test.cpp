@@ -1,0 +1,237 @@
+// Corollary 2/4: consensus from (Omega, Sigma) in any environment.
+// Checks Termination, Uniform Agreement and Validity across seeds,
+// system sizes, crash counts and schedulers — plus the register-based
+// consensus of [19] and the binary-to-multivalued transformation of [20].
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "consensus/multivalued.h"
+#include "consensus/omega_sigma_consensus.h"
+#include "consensus/register_consensus.h"
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+using consensus::MultivaluedFromBinaryModule;
+using consensus::OmegaSigmaConsensusModule;
+using consensus::RegisterConsensusModule;
+
+struct ConsParam {
+  std::uint64_t seed;
+  int n;
+  int crashes;
+};
+
+/// Shared assertion: given per-process recorded decisions and proposals,
+/// check Uniform Agreement and Validity; require every correct process
+/// decided.
+void check_consensus_outcome(const std::vector<std::optional<int>>& decisions,
+                             const std::vector<int>& proposals,
+                             const sim::FailurePattern& f) {
+  std::optional<int> agreed;
+  for (std::size_t p = 0; p < decisions.size(); ++p) {
+    if (f.correct().contains(static_cast<ProcessId>(p))) {
+      ASSERT_TRUE(decisions[p].has_value())
+          << "correct process " << p << " did not decide";
+    }
+    if (decisions[p].has_value()) {
+      if (agreed.has_value()) {
+        EXPECT_EQ(*decisions[p], *agreed) << "agreement violated";
+      } else {
+        agreed = decisions[p];
+      }
+    }
+  }
+  ASSERT_TRUE(agreed.has_value());
+  bool proposed = false;
+  for (int v : proposals) proposed = proposed || (v == *agreed);
+  EXPECT_TRUE(proposed) << "validity violated: " << *agreed
+                        << " was never proposed";
+}
+
+class ConsensusSweep : public ::testing::TestWithParam<ConsParam> {};
+
+TEST_P(ConsensusSweep, OmegaSigmaConsensusDecides) {
+  const auto& prm = GetParam();
+  Rng rng(prm.seed * 101 + 3);
+  sim::MaxCrashesEnvironment env(prm.n, prm.crashes);
+  const auto f = env.sample(rng, 3000);
+
+  sim::SimConfig cfg;
+  cfg.n = prm.n;
+  cfg.max_steps = 150000;
+  cfg.seed = prm.seed;
+  sim::Simulator s(cfg, f, test::omega_sigma(), test::random_sched());
+  std::vector<std::optional<int>> decisions(prm.n);
+  std::vector<int> proposals;
+  for (int i = 0; i < prm.n; ++i) {
+    auto& host = s.add_process<sim::ModularProcess>();
+    auto& c = host.add_module<OmegaSigmaConsensusModule<int>>("cons");
+    const int v = static_cast<int>(rng.below(2));
+    proposals.push_back(v);
+    c.propose(v, [&decisions, i](const int& d) { decisions[static_cast<std::size_t>(i)] = d; });
+  }
+  const auto res = s.run();
+  EXPECT_TRUE(res.all_done);
+  check_consensus_outcome(decisions, proposals, f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConsensusSweep,
+    ::testing::Values(ConsParam{1, 3, 0}, ConsParam{2, 3, 2},
+                      ConsParam{3, 4, 3}, ConsParam{4, 5, 4},
+                      ConsParam{5, 5, 2}, ConsParam{6, 7, 6},
+                      ConsParam{7, 2, 1}, ConsParam{8, 6, 5},
+                      ConsParam{9, 4, 2}, ConsParam{10, 5, 3},
+                      ConsParam{11, 3, 1}, ConsParam{12, 8, 7}));
+
+// Minority-correct stress: exactly one survivor. Omega alone could not
+// decide safely here; with Sigma the survivor still terminates because
+// the crashes leave a (single-member) legal quorum history.
+TEST(ConsensusEdge, SingleSurvivorDecides) {
+  const int n = 4;
+  sim::FailurePattern f(n);
+  f.crash_at(0, 200);
+  f.crash_at(1, 400);
+  f.crash_at(2, 600);
+
+  sim::SimConfig cfg;
+  cfg.n = n;
+  cfg.max_steps = 150000;
+  cfg.seed = 13;
+  sim::Simulator s(cfg, f, test::omega_sigma(), test::random_sched());
+  std::vector<std::optional<int>> decisions(n);
+  std::vector<int> proposals = {1, 0, 1, 0};
+  for (int i = 0; i < n; ++i) {
+    auto& host = s.add_process<sim::ModularProcess>();
+    auto& c = host.add_module<OmegaSigmaConsensusModule<int>>("cons");
+    c.propose(proposals[static_cast<std::size_t>(i)],
+              [&decisions, i](const int& d) { decisions[static_cast<std::size_t>(i)] = d; });
+  }
+  const auto res = s.run();
+  EXPECT_TRUE(res.all_done);
+  check_consensus_outcome(decisions, proposals, f);
+}
+
+// All-same-proposal must decide that value (follows from validity, but
+// this is the common-case fast path worth pinning).
+TEST(ConsensusEdge, UnanimousProposalWins) {
+  const int n = 5;
+  sim::SimConfig cfg;
+  cfg.n = n;
+  cfg.max_steps = 60000;
+  cfg.seed = 17;
+  sim::Simulator s(cfg, test::pattern(n), test::omega_sigma(),
+                   test::random_sched());
+  std::vector<std::optional<int>> decisions(n);
+  for (int i = 0; i < n; ++i) {
+    auto& host = s.add_process<sim::ModularProcess>();
+    auto& c = host.add_module<OmegaSigmaConsensusModule<int>>("cons");
+    c.propose(1, [&decisions, i](const int& d) { decisions[static_cast<std::size_t>(i)] = d; });
+  }
+  s.run();
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(decisions[static_cast<std::size_t>(i)].has_value());
+    EXPECT_EQ(*decisions[static_cast<std::size_t>(i)], 1);
+  }
+}
+
+// Adversarial: isolate the eventual leader's messages until late, then
+// release. Safety must hold throughout; termination after the partition
+// heals.
+TEST(ConsensusEdge, LeaderIsolationDelaysButNeverBreaksAgreement) {
+  const int n = 3;
+  sim::SimConfig cfg;
+  cfg.n = n;
+  cfg.max_steps = 200000;
+  cfg.seed = 19;
+  fd::OmegaOracle::Options oo;
+  oo.fixed_leader = 0;
+  oo.max_stabilization = 100;
+  fd::SigmaOracle::Options so;
+  so.max_stabilization = 100;
+  auto oracle = std::make_unique<fd::TupleOracle>(
+      std::make_unique<fd::OmegaOracle>(oo),
+      std::make_unique<fd::SigmaOracle>(so));
+  // Block every message from the leader until t = 50000.
+  auto filter = [](const sim::Envelope& e, Time now) {
+    return e.from == 0 && now < 50000;
+  };
+  sim::Simulator s(
+      cfg, test::pattern(n), std::move(oracle),
+      std::make_unique<sim::FilteredScheduler>(test::random_sched(), filter));
+  std::vector<std::optional<int>> decisions(n);
+  std::vector<int> proposals = {0, 1, 1};
+  for (int i = 0; i < n; ++i) {
+    auto& host = s.add_process<sim::ModularProcess>();
+    auto& c = host.add_module<OmegaSigmaConsensusModule<int>>("cons");
+    c.propose(proposals[static_cast<std::size_t>(i)],
+              [&decisions, i](const int& d) { decisions[static_cast<std::size_t>(i)] = d; });
+  }
+  const auto res = s.run();
+  EXPECT_TRUE(res.all_done);
+  check_consensus_outcome(decisions, proposals, test::pattern(n));
+}
+
+// ------------------------------------------------- register-based consensus
+
+TEST(RegisterConsensusTest, DecidesOverSigmaBackedRegisters) {
+  const int n = 3;
+  sim::FailurePattern f(n);
+  f.crash_at(2, 5000);
+
+  sim::SimConfig cfg;
+  cfg.n = n;
+  cfg.max_steps = 400000;
+  cfg.seed = 23;
+  sim::Simulator s(cfg, f, test::omega_sigma(), test::random_sched());
+  std::vector<std::optional<int>> decisions(n);
+  std::vector<int> proposals = {0, 1, 0};
+  for (int i = 0; i < n; ++i) {
+    auto& host = s.add_process<sim::ModularProcess>();
+    std::vector<RegisterConsensusModule<int>::Register*> regs;
+    for (int j = 0; j < n; ++j) {
+      regs.push_back(
+          &host.add_module<RegisterConsensusModule<int>::Register>(
+              "breg/" + std::to_string(j)));
+    }
+    auto& c = host.add_module<RegisterConsensusModule<int>>("rcons", regs);
+    c.propose(proposals[static_cast<std::size_t>(i)],
+              [&decisions, i](const int& d) { decisions[static_cast<std::size_t>(i)] = d; });
+  }
+  const auto res = s.run();
+  EXPECT_TRUE(res.all_done);
+  check_consensus_outcome(decisions, proposals, f);
+}
+
+// ------------------------------------------------ binary -> multivalued
+
+TEST(MultivaluedTest, DecidesAProposedValue) {
+  const int n = 4;
+  sim::FailurePattern f(n);
+  f.crash_at(1, 1500);
+
+  sim::SimConfig cfg;
+  cfg.n = n;
+  cfg.max_steps = 400000;
+  cfg.seed = 29;
+  sim::Simulator s(cfg, f, test::omega_sigma(), test::random_sched());
+  std::vector<std::optional<int>> decisions(n);
+  std::vector<int> proposals = {100, 200, 300, 400};
+  for (int i = 0; i < n; ++i) {
+    auto& host = s.add_process<sim::ModularProcess>();
+    auto& c = host.add_module<MultivaluedFromBinaryModule<int>>("mv");
+    c.propose(proposals[static_cast<std::size_t>(i)],
+              [&decisions, i](const int& d) { decisions[static_cast<std::size_t>(i)] = d; });
+  }
+  const auto res = s.run();
+  EXPECT_TRUE(res.all_done);
+  check_consensus_outcome(decisions, proposals, f);
+}
+
+}  // namespace
+}  // namespace wfd

@@ -1,0 +1,169 @@
+// The "implement any object" substrate (Corollary 3 / [17, 21]):
+// replicated objects over atomic broadcast stay consistent across
+// replicas and return linearizable results — plus FS from P.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fd/fs_from_suspicions.h"
+#include "fd/history_checker.h"
+#include "sim/fd_sampler.h"
+#include "smr/replicated_object.h"
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+using smr::ReplicatedObjectModule;
+
+TEST(ReplicatedObjectTest, CounterReplicasConverge) {
+  const int n = 3;
+  sim::SimConfig cfg;
+  cfg.n = n;
+  cfg.max_steps = 400000;
+  cfg.seed = 23;
+  sim::Simulator s(cfg, test::pattern(n), test::omega_sigma(),
+                   test::random_sched());
+  // A replicated counter: command = increment amount; result = the
+  // counter AFTER applying. Each process owns its own state cell but
+  // the transitions are identical and totally ordered.
+  std::vector<std::int64_t> counters(n, 0);
+  std::vector<ReplicatedObjectModule*> objs;
+  std::vector<std::vector<std::int64_t>> results(n);
+  for (int i = 0; i < n; ++i) {
+    auto& host = s.add_process<sim::ModularProcess>();
+    auto* cell = &counters[static_cast<std::size_t>(i)];
+    auto& obj = host.add_module<ReplicatedObjectModule>(
+        "obj", [cell](std::int64_t cmd) { return *cell += cmd; });
+    objs.push_back(&obj);
+    for (int k = 1; k <= 3; ++k) {
+      obj.submit(k, [&results, i](std::int64_t r) {
+        results[static_cast<std::size_t>(i)].push_back(r);
+      });
+    }
+  }
+  const auto res = s.run();
+  EXPECT_TRUE(res.all_done);
+  s.set_halt_on_done(false);
+  s.run_for(60000);  // Let stragglers catch up on decide messages.
+
+  // All replicas applied the same number of commands (9) to the same
+  // effect: 3 * (1+2+3) = 18.
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(objs[static_cast<std::size_t>(i)]->applied_count(), 9u);
+    EXPECT_EQ(counters[static_cast<std::size_t>(i)], 18);
+    // Each submitter saw monotonically increasing results (its own
+    // commands appear in submission order in the total order since they
+    // share one abcast origin stream... results strictly increase).
+    const auto& rs = results[static_cast<std::size_t>(i)];
+    ASSERT_EQ(rs.size(), 3u);
+    EXPECT_LT(rs[0], rs[1]);
+    EXPECT_LT(rs[1], rs[2]);
+  }
+}
+
+TEST(ReplicatedObjectTest, SurvivesMinorityCorrect) {
+  const int n = 4;
+  sim::FailurePattern f(n);
+  f.crash_at(0, 600);
+  f.crash_at(1, 900);
+  f.crash_at(2, 1200);  // Only p3 survives — Sigma territory.
+
+  sim::SimConfig cfg;
+  cfg.n = n;
+  cfg.max_steps = 600000;
+  cfg.seed = 29;
+  sim::Simulator s(cfg, f, test::omega_sigma(), test::random_sched());
+  std::vector<std::int64_t> counters(n, 0);
+  std::optional<std::int64_t> survivor_result;
+  for (int i = 0; i < n; ++i) {
+    auto& host = s.add_process<sim::ModularProcess>();
+    auto* cell = &counters[static_cast<std::size_t>(i)];
+    auto& obj = host.add_module<ReplicatedObjectModule>(
+        "obj", [cell](std::int64_t cmd) { return *cell += cmd; });
+    if (i == 3) {
+      obj.submit(5, [&survivor_result](std::int64_t r) {
+        survivor_result = r;
+      });
+    }
+  }
+  const auto res = s.run();
+  EXPECT_TRUE(res.all_done);
+  ASSERT_TRUE(survivor_result.has_value());
+  EXPECT_EQ(*survivor_result, 5);
+}
+
+TEST(FsFromSuspicionsTest, LegalFsHistoryFromPerfect) {
+  const int n = 3;
+  sim::FailurePattern f(n);
+  f.crash_at(1, 2000);
+
+  sim::SimConfig cfg;
+  cfg.n = n;
+  cfg.max_steps = 40000;
+  cfg.seed = 31;
+  sim::Simulator s(cfg, f, std::make_unique<fd::PerfectOracle>(),
+                   test::random_sched());
+  std::vector<sim::FdSampleRecord> samples;
+  for (int i = 0; i < n; ++i) {
+    auto& host = s.add_process<sim::ModularProcess>();
+    auto& fs = host.add_module<fd::FsFromSuspicionsModule>("fs");
+    host.add_module<sim::FdSamplerModule>("sampler", &fs, &samples, 16);
+  }
+  s.set_halt_on_done(false);
+  s.run();
+  const auto r = fd::check_fs_history(samples, f);
+  EXPECT_TRUE(r.ok) << r.violation;
+}
+
+TEST(FsFromSuspicionsTest, StaysGreenCrashFree) {
+  const int n = 3;
+  sim::SimConfig cfg;
+  cfg.n = n;
+  cfg.max_steps = 20000;
+  cfg.seed = 37;
+  sim::Simulator s(cfg, test::pattern(n),
+                   std::make_unique<fd::PerfectOracle>(),
+                   test::random_sched());
+  std::vector<fd::FsFromSuspicionsModule*> fss;
+  for (int i = 0; i < n; ++i) {
+    auto& host = s.add_process<sim::ModularProcess>();
+    fss.push_back(&host.add_module<fd::FsFromSuspicionsModule>("fs"));
+  }
+  s.set_halt_on_done(false);
+  s.run();
+  for (auto* fs : fss) EXPECT_FALSE(fs->red());
+}
+
+TEST(FsFromSuspicionsTest, UnsoundFromEventuallyPerfect) {
+  // The boundary: from <>P, early false suspicions make the emulated FS
+  // turn red in a crash-free run — an accuracy violation the checker
+  // catches. (This is why FS needs P-grade accuracy or synchrony.)
+  const int n = 3;
+  bool violation_found = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !violation_found; ++seed) {
+    sim::SimConfig cfg;
+    cfg.n = n;
+    cfg.max_steps = 30000;
+    cfg.seed = seed;
+    fd::EventuallyPerfectOracle::Options opt;
+    opt.max_stabilization = 5000;
+    sim::Simulator s(cfg, test::pattern(n),
+                     std::make_unique<fd::EventuallyPerfectOracle>(opt),
+                     test::random_sched());
+    std::vector<fd::FsFromSuspicionsModule*> fss;
+    for (int i = 0; i < n; ++i) {
+      auto& host = s.add_process<sim::ModularProcess>();
+      fss.push_back(&host.add_module<fd::FsFromSuspicionsModule>("fs"));
+    }
+    s.set_halt_on_done(false);
+    s.run();
+    for (auto* fs : fss) violation_found = violation_found || fs->red();
+  }
+  EXPECT_TRUE(violation_found);
+}
+
+}  // namespace
+}  // namespace wfd
