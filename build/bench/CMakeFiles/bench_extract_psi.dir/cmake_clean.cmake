@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extract_psi.dir/bench_extract_psi.cpp.o"
+  "CMakeFiles/bench_extract_psi.dir/bench_extract_psi.cpp.o.d"
+  "bench_extract_psi"
+  "bench_extract_psi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extract_psi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extract_sigma.dir/bench_extract_sigma.cpp.o"
+  "CMakeFiles/bench_extract_sigma.dir/bench_extract_sigma.cpp.o.d"
+  "bench_extract_sigma"
+  "bench_extract_sigma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extract_sigma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nbac.dir/bench_nbac.cpp.o"
+  "CMakeFiles/bench_nbac.dir/bench_nbac.cpp.o.d"
+  "bench_nbac"
+  "bench_nbac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nbac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

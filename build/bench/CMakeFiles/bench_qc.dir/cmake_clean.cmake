@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qc.dir/bench_qc.cpp.o"
+  "CMakeFiles/bench_qc.dir/bench_qc.cpp.o.d"
+  "bench_qc"
+  "bench_qc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_register.dir/bench_register.cpp.o"
+  "CMakeFiles/bench_register.dir/bench_register.cpp.o.d"
+  "bench_register"
+  "bench_register.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_register.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sigma_exnihilo.dir/bench_sigma_exnihilo.cpp.o"
+  "CMakeFiles/bench_sigma_exnihilo.dir/bench_sigma_exnihilo.cpp.o.d"
+  "bench_sigma_exnihilo"
+  "bench_sigma_exnihilo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sigma_exnihilo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

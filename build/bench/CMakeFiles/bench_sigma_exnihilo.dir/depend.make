@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sigma_exnihilo.
+# This may be replaced when dependencies are built.

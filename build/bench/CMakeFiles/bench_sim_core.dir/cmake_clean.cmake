@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_core.dir/bench_sim_core.cpp.o"
+  "CMakeFiles/bench_sim_core.dir/bench_sim_core.cpp.o.d"
+  "bench_sim_core"
+  "bench_sim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smr_cycle.dir/bench_smr_cycle.cpp.o"
+  "CMakeFiles/bench_smr_cycle.dir/bench_smr_cycle.cpp.o.d"
+  "bench_smr_cycle"
+  "bench_smr_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smr_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomic_commit.dir/atomic_commit.cpp.o"
+  "CMakeFiles/atomic_commit.dir/atomic_commit.cpp.o.d"
+  "atomic_commit"
+  "atomic_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomic_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

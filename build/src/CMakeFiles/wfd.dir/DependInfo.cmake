@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/wfd.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/process_set.cpp" "src/CMakeFiles/wfd.dir/common/process_set.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/common/process_set.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/wfd.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/common/rng.cpp.o.d"
+  "/root/repo/src/extract/participant_tracker.cpp" "src/CMakeFiles/wfd.dir/extract/participant_tracker.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/extract/participant_tracker.cpp.o.d"
+  "/root/repo/src/extract/psi_extraction.cpp" "src/CMakeFiles/wfd.dir/extract/psi_extraction.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/extract/psi_extraction.cpp.o.d"
+  "/root/repo/src/extract/qc_sandbox.cpp" "src/CMakeFiles/wfd.dir/extract/qc_sandbox.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/extract/qc_sandbox.cpp.o.d"
+  "/root/repo/src/extract/sample_dag.cpp" "src/CMakeFiles/wfd.dir/extract/sample_dag.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/extract/sample_dag.cpp.o.d"
+  "/root/repo/src/extract/sigma_extraction.cpp" "src/CMakeFiles/wfd.dir/extract/sigma_extraction.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/extract/sigma_extraction.cpp.o.d"
+  "/root/repo/src/extract/sim_forest.cpp" "src/CMakeFiles/wfd.dir/extract/sim_forest.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/extract/sim_forest.cpp.o.d"
+  "/root/repo/src/fd/classic_oracles.cpp" "src/CMakeFiles/wfd.dir/fd/classic_oracles.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/fd/classic_oracles.cpp.o.d"
+  "/root/repo/src/fd/fs_heartbeat.cpp" "src/CMakeFiles/wfd.dir/fd/fs_heartbeat.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/fd/fs_heartbeat.cpp.o.d"
+  "/root/repo/src/fd/fs_oracle.cpp" "src/CMakeFiles/wfd.dir/fd/fs_oracle.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/fd/fs_oracle.cpp.o.d"
+  "/root/repo/src/fd/history_checker.cpp" "src/CMakeFiles/wfd.dir/fd/history_checker.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/fd/history_checker.cpp.o.d"
+  "/root/repo/src/fd/omega_heartbeat.cpp" "src/CMakeFiles/wfd.dir/fd/omega_heartbeat.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/fd/omega_heartbeat.cpp.o.d"
+  "/root/repo/src/fd/omega_oracle.cpp" "src/CMakeFiles/wfd.dir/fd/omega_oracle.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/fd/omega_oracle.cpp.o.d"
+  "/root/repo/src/fd/oracle.cpp" "src/CMakeFiles/wfd.dir/fd/oracle.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/fd/oracle.cpp.o.d"
+  "/root/repo/src/fd/psi_oracle.cpp" "src/CMakeFiles/wfd.dir/fd/psi_oracle.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/fd/psi_oracle.cpp.o.d"
+  "/root/repo/src/fd/sigma_majority.cpp" "src/CMakeFiles/wfd.dir/fd/sigma_majority.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/fd/sigma_majority.cpp.o.d"
+  "/root/repo/src/fd/sigma_oracle.cpp" "src/CMakeFiles/wfd.dir/fd/sigma_oracle.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/fd/sigma_oracle.cpp.o.d"
+  "/root/repo/src/fd/values.cpp" "src/CMakeFiles/wfd.dir/fd/values.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/fd/values.cpp.o.d"
+  "/root/repo/src/reg/abd_register.cpp" "src/CMakeFiles/wfd.dir/reg/abd_register.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/reg/abd_register.cpp.o.d"
+  "/root/repo/src/reg/linearizability.cpp" "src/CMakeFiles/wfd.dir/reg/linearizability.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/reg/linearizability.cpp.o.d"
+  "/root/repo/src/reg/register_client.cpp" "src/CMakeFiles/wfd.dir/reg/register_client.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/reg/register_client.cpp.o.d"
+  "/root/repo/src/sim/environment.cpp" "src/CMakeFiles/wfd.dir/sim/environment.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/sim/environment.cpp.o.d"
+  "/root/repo/src/sim/failure_pattern.cpp" "src/CMakeFiles/wfd.dir/sim/failure_pattern.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/sim/failure_pattern.cpp.o.d"
+  "/root/repo/src/sim/module.cpp" "src/CMakeFiles/wfd.dir/sim/module.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/sim/module.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/wfd.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/wfd.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/wfd.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/wfd.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/smr/register_from_consensus.cpp" "src/CMakeFiles/wfd.dir/smr/register_from_consensus.cpp.o" "gcc" "src/CMakeFiles/wfd.dir/smr/register_from_consensus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/environment_extra_test.dir/environment_extra_test.cpp.o"
+  "CMakeFiles/environment_extra_test.dir/environment_extra_test.cpp.o.d"
+  "environment_extra_test"
+  "environment_extra_test.pdb"
+  "environment_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/environment_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

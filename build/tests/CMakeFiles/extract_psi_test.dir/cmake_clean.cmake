@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_psi_test.dir/extract_psi_test.cpp.o"
+  "CMakeFiles/extract_psi_test.dir/extract_psi_test.cpp.o.d"
+  "extract_psi_test"
+  "extract_psi_test.pdb"
+  "extract_psi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_psi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_impl_test.dir/fd_impl_test.cpp.o"
+  "CMakeFiles/fd_impl_test.dir/fd_impl_test.cpp.o.d"
+  "fd_impl_test"
+  "fd_impl_test.pdb"
+  "fd_impl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_impl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

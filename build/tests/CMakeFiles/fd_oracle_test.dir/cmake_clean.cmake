@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_oracle_test.dir/fd_oracle_test.cpp.o"
+  "CMakeFiles/fd_oracle_test.dir/fd_oracle_test.cpp.o.d"
+  "fd_oracle_test"
+  "fd_oracle_test.pdb"
+  "fd_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

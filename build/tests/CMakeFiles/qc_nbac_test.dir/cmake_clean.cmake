@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_nbac_test.dir/qc_nbac_test.cpp.o"
+  "CMakeFiles/qc_nbac_test.dir/qc_nbac_test.cpp.o.d"
+  "qc_nbac_test"
+  "qc_nbac_test.pdb"
+  "qc_nbac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_nbac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_object_test.dir/replicated_object_test.cpp.o"
+  "CMakeFiles/replicated_object_test.dir/replicated_object_test.cpp.o.d"
+  "replicated_object_test"
+  "replicated_object_test.pdb"
+  "replicated_object_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

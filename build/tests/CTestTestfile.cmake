@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/fd_oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/fd_impl_test[1]_include.cmake")
+include("/root/repo/build/tests/register_test[1]_include.cmake")
+include("/root/repo/build/tests/consensus_test[1]_include.cmake")
+include("/root/repo/build/tests/qc_nbac_test[1]_include.cmake")
+include("/root/repo/build/tests/smr_test[1]_include.cmake")
+include("/root/repo/build/tests/extract_sigma_test[1]_include.cmake")
+include("/root/repo/build/tests/extract_psi_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/classic_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/environment_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/broadcast_test[1]_include.cmake")
+include("/root/repo/build/tests/replicated_object_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_case_test[1]_include.cmake")

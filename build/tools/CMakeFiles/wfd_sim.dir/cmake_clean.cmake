@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfd_sim.dir/wfd_sim.cpp.o"
+  "CMakeFiles/wfd_sim.dir/wfd_sim.cpp.o.d"
+  "wfd_sim"
+  "wfd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
