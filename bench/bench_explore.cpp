@@ -1,0 +1,114 @@
+// Exploration-subsystem throughput: how fast the explorer enumerates
+// schedules (states/sec is the budget currency of every wfd_check run),
+// what one recorded random walk costs versus a bare simulator run, and
+// how the reductions change the tree actually visited.
+#include <benchmark/benchmark.h>
+
+#include "explore/explorer.h"
+#include "explore/replay_io.h"
+#include "explore/scenario.h"
+#include "explore/shrink.h"
+#include "sim/choice.h"
+
+namespace wfd::explore {
+namespace {
+
+ScenarioOptions consensus_options(int n, Time depth) {
+  ScenarioOptions opt;
+  opt.problem = "consensus";
+  opt.n = n;
+  opt.max_steps = depth;
+  return opt;
+}
+
+void BM_ExplorerDfs(benchmark::State& state) {
+  ScenarioOptions opt =
+      consensus_options(static_cast<int>(state.range(0)), 25);
+  const ScenarioBuilder build = ScenarioFactory(opt).builder();
+  ExplorerOptions eo;
+  eo.max_states = 5000;
+  std::uint64_t states = 0;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    Explorer ex(build, eo);
+    const ExploreReport rep = ex.run();
+    states += rep.stats.nodes;
+    steps += rep.stats.steps;
+  }
+  state.counters["states/s"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsRate);
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExplorerDfs)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_ExplorerDfsNoSleepSets(benchmark::State& state) {
+  const ScenarioBuilder build =
+      ScenarioFactory(consensus_options(3, 25)).builder();
+  ExplorerOptions eo;
+  eo.max_states = 5000;
+  eo.sleep_sets = false;
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    Explorer ex(build, eo);
+    states += ex.run().stats.nodes;
+  }
+  state.counters["states/s"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExplorerDfsNoSleepSets);
+
+void BM_RecordedRandomWalk(benchmark::State& state) {
+  const ScenarioBuilder build =
+      ScenarioFactory(consensus_options(3, 60)).builder();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::RandomChoices random(seed++);
+    sim::RecordingChoices rec(random);
+    Scenario sc = build(rec);
+    while (sc.sim->step()) {
+      for (auto& inv : sc.invariants) {
+        benchmark::DoNotOptimize(inv->check(*sc.sim));
+      }
+    }
+    benchmark::DoNotOptimize(rec.log().size());
+  }
+}
+BENCHMARK(BM_RecordedRandomWalk);
+
+void BM_Replay(benchmark::State& state) {
+  const ScenarioBuilder build =
+      ScenarioFactory(consensus_options(3, 60)).builder();
+  sim::RandomChoices random(7);
+  sim::RecordingChoices rec(random);
+  {
+    Scenario sc = build(rec);
+    while (sc.sim->step()) {
+    }
+  }
+  const sim::DecisionLog log = rec.log();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_replay(build, log).steps);
+  }
+}
+BENCHMARK(BM_Replay);
+
+void BM_ShrinkSeededBug(benchmark::State& state) {
+  ScenarioOptions opt;
+  opt.problem = "consensus-bug";
+  opt.n = 3;
+  opt.max_steps = 30;
+  const ScenarioBuilder build = ScenarioFactory(opt).builder();
+  Explorer ex(build, ExplorerOptions{});
+  const ExploreReport rep = ex.run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        shrink(build, rep.cex->decisions, rep.cex->violation.property));
+  }
+}
+BENCHMARK(BM_ShrinkSeededBug);
+
+}  // namespace
+}  // namespace wfd::explore
+
+BENCHMARK_MAIN();

@@ -4,9 +4,25 @@
 // replicated state machine — can stack on either.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <type_traits>
 
 namespace wfd::consensus {
+
+/// The value recorded with a "decide" trace event: the decision itself
+/// when the value type converts to an integer (so trace-level checkers —
+/// explore::AgreementInvariant and friends — can compare decisions
+/// without poking at module internals), 0 otherwise.
+template <typename V>
+[[nodiscard]] std::int64_t decide_event_value(const V& v) {
+  if constexpr (std::is_convertible_v<V, std::int64_t>) {
+    return static_cast<std::int64_t>(v);
+  } else {
+    (void)v;
+    return 0;
+  }
+}
 
 template <typename V>
 class ConsensusApi {

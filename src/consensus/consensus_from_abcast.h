@@ -45,7 +45,7 @@ class ConsensusFromAbcastModule : public sim::Module,
         if (decided_) return;
         decided_ = true;
         decision_ = m.body;
-        emit("decide", 0);
+        emit("decide", decide_event_value(decision_));
         if (cb_) {
           auto cb = std::move(cb_);
           cb_ = nullptr;

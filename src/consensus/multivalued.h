@@ -103,7 +103,7 @@ class MultivaluedFromBinaryModule : public sim::Module,
     if (it == known_.end()) return;
     decided_ = true;
     decision_ = it->second;
-    emit("decide", 0);
+    emit("decide", decide_event_value(decision_));
     if (cb_) {
       auto cb = std::move(cb_);
       cb_ = nullptr;

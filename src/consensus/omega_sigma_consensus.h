@@ -244,7 +244,7 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
     decided_ = true;
     decision_ = v;
     leading_ = false;
-    emit("decide", 0);
+    emit("decide", decide_event_value(decision_));
     if (cb_) {
       auto cb = std::move(cb_);
       cb_ = nullptr;

@@ -213,7 +213,7 @@ class RegisterConsensusModule : public sim::Module, public ConsensusApi<V> {
     decided_ = true;
     decision_ = v;
     attempt_active_ = false;
-    emit("decide", 0);
+    emit("decide", decide_event_value(decision_));
     if (cb_) {
       auto cb = std::move(cb_);
       cb_ = nullptr;

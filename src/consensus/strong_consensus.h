@@ -129,7 +129,7 @@ class StrongConsensusModule : public sim::Module, public ConsensusApi<V> {
     WFD_CHECK_MSG(!inter.empty(), "phase-2 intersection is empty");
     decided_ = true;
     decision_ = *inter.begin();
-    emit("decide", 0);
+    emit("decide", decide_event_value(decision_));
     if (cb_) {
       auto cb = std::move(cb_);
       cb_ = nullptr;

@@ -1,0 +1,60 @@
+// Parallel checking campaign: fans randomized exploration across a
+// thread pool and aggregates results lock-free.
+//
+// Two kinds of worker share the pool:
+//  * Random-walk workers draw whole runs from the choice tree with
+//    per-run deterministic seeds, recording every decision so any
+//    violating run is immediately replayable (and shrinkable).
+//  * Frontier workers each run a budgeted DFS whose per-frame child
+//    order is rotated by a worker-specific seed, so different workers
+//    sink into different regions of the same tree.
+//
+// Safety violations yield a counterexample (the first one is claimed by
+// an atomic flag and, optionally, shrunk). Liveness clauses are only
+// *suspects* on bounded runs — a run that merely hit the horizon hasn't
+// refuted "eventually" — so they are counted separately and never
+// produce a counterexample.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "explore/explorer.h"
+#include "explore/scenario.h"
+#include "explore/types.h"
+
+namespace wfd::explore {
+
+struct CampaignOptions {
+  /// Worker threads for random walks (at least 1).
+  int threads = 4;
+  /// Total random-walk runs across all workers.
+  std::uint64_t runs = 1000;
+  /// Root seed; run i uses a hash of (seed, i), so reports are
+  /// reproducible regardless of thread interleaving.
+  std::uint64_t seed = 1;
+  bool stop_at_first = true;
+  /// Shrink the claimed counterexample before reporting it.
+  bool shrink = true;
+  /// Additional threads running randomized-order budgeted DFS.
+  int frontier_workers = 0;
+  /// Per-frontier-worker choice-point budget.
+  std::uint64_t frontier_states = 20000;
+  /// Evaluate EventualProperties at the end of each completed run.
+  bool check_eventual = true;
+};
+
+struct CampaignReport {
+  std::uint64_t runs = 0;   ///< Random-walk runs completed.
+  std::uint64_t steps = 0;  ///< Simulator steps, all workers.
+  std::uint64_t nodes = 0;  ///< Choice points, frontier workers.
+  std::uint64_t violations = 0;
+  std::uint64_t liveness_suspects = 0;
+  std::optional<Counterexample> cex;  ///< First claimed (shrunk if asked).
+  std::uint64_t shrunk_from = 0;  ///< Decisions before shrinking (0: none).
+};
+
+CampaignReport run_campaign(const ScenarioBuilder& build,
+                            const CampaignOptions& opt);
+
+}  // namespace wfd::explore

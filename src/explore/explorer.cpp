@@ -1,0 +1,193 @@
+#include "explore/explorer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "sim/scheduler.h"
+
+namespace wfd::explore {
+
+namespace {
+
+bool contains(const std::vector<std::uint64_t>& v, std::uint64_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+/// Walks the recorded path, replaying frames below frames_.size() and
+/// materializing new ones past the end. A run is the unique extension of
+/// the current path in which every fresh choice point takes its first
+/// eligible option.
+class Explorer::DfsSource : public sim::ChoiceSource {
+ public:
+  explicit DfsSource(Explorer& owner) : owner_(&owner) {}
+
+  std::size_t choose(sim::ChoiceKind kind,
+                     const std::vector<std::uint64_t>& labels) override {
+    Explorer& ex = *owner_;
+    WFD_CHECK_MSG(labels.size() >= 2, "forced move reached choose()");
+    if (pos_ < ex.frames_.size()) {
+      Frame& f = ex.frames_[pos_];
+      WFD_CHECK_MSG(f.kind == kind && f.labels == labels,
+                    "scenario is not a pure function of its decisions");
+      ++pos_;
+      return f.chosen;
+    }
+    Frame f;
+    f.kind = kind;
+    f.labels = labels;
+    if (ex.opt_.order_seed != 0) {
+      f.start = static_cast<std::uint32_t>(
+          mix(ex.opt_.order_seed ^ ex.stats_.nodes) % labels.size());
+    }
+    if (kind == sim::ChoiceKind::kSchedule && ex.opt_.sleep_sets) {
+      // Inherit the sleep set along the edge from the nearest schedule
+      // ancestor g: everything asleep or already explored at g stays
+      // asleep here unless it involves the process that just acted.
+      for (auto it = ex.frames_.rbegin(); it != ex.frames_.rend(); ++it) {
+        if (it->kind != sim::ChoiceKind::kSchedule) continue;
+        const Frame& g = *it;
+        const ProcessId acted =
+            sim::ReplayScheduler::label_process(g.labels[g.chosen]);
+        for (const auto* set : {&g.sleep, &g.explored}) {
+          for (std::uint64_t a : *set) {
+            if (sim::ReplayScheduler::label_process(a) != acted &&
+                !contains(f.sleep, a)) {
+              f.sleep.push_back(a);
+            }
+          }
+        }
+        break;
+      }
+    }
+    const std::optional<std::uint32_t> first =
+        ex.next_choice(f, /*counting_skips=*/true);
+    if (first.has_value()) {
+      f.chosen = *first;
+    } else {
+      // Every option is asleep: the subtree is covered elsewhere. Pick
+      // an arbitrary option to satisfy the caller and have the explorer
+      // abort the run right after this step.
+      f.blocked = true;
+      f.chosen = 0;
+      ex.run_blocked_ = true;
+    }
+    ++ex.stats_.nodes;
+    ex.frames_.push_back(std::move(f));
+    ++pos_;
+    return ex.frames_.back().chosen;
+  }
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+ private:
+  Explorer* owner_;
+  std::size_t pos_ = 0;
+};
+
+Explorer::Explorer(ScenarioBuilder build, ExplorerOptions opt)
+    : build_(std::move(build)), opt_(std::move(opt)) {
+  WFD_CHECK(build_ != nullptr);
+}
+
+std::optional<std::uint32_t> Explorer::next_choice(Frame& f,
+                                                   bool counting_skips) {
+  const std::size_t k = f.labels.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto idx = static_cast<std::uint32_t>((f.start + i) % k);
+    const std::uint64_t label = f.labels[idx];
+    if (contains(f.explored, label)) continue;
+    if (contains(f.sleep, label)) {
+      if (counting_skips) ++stats_.sleep_skips;
+      continue;
+    }
+    return idx;
+  }
+  return std::nullopt;
+}
+
+bool Explorer::backtrack() {
+  while (!frames_.empty()) {
+    Frame& f = frames_.back();
+    if (!f.blocked) f.explored.push_back(f.labels[f.chosen]);
+    const std::optional<std::uint32_t> next =
+        next_choice(f, /*counting_skips=*/true);
+    if (next.has_value()) {
+      f.chosen = *next;
+      f.blocked = false;
+      return true;
+    }
+    frames_.pop_back();
+  }
+  return false;
+}
+
+sim::DecisionLog Explorer::decisions() const {
+  sim::DecisionLog log;
+  log.reserve(frames_.size());
+  for (const Frame& f : frames_) log.push_back(f.chosen);
+  return log;
+}
+
+ExploreReport Explorer::run() {
+  frames_.clear();
+  fps_.clear();
+  stats_ = ExploreStats{};
+  ExploreReport rep;
+
+  while (true) {
+    // One re-execution: replay the prefix, extend to a halt.
+    DfsSource source(*this);
+    run_blocked_ = false;
+    Scenario sc = build_(source);
+    std::optional<Violation> violation;
+    std::uint64_t run_steps = 0;
+    while (!run_blocked_ && sc.sim->step()) {
+      ++run_steps;
+      if (run_blocked_) break;
+      for (auto& inv : sc.invariants) {
+        violation = inv->check(*sc.sim);
+        if (violation.has_value()) break;
+      }
+      if (violation.has_value()) break;
+      if (opt_.fingerprint) {
+        const std::uint64_t fp = opt_.fingerprint(*sc.sim);
+        const std::uint64_t depth = source.pos();
+        auto [it, fresh] = fps_.emplace(fp, depth);
+        if (!fresh && it->second <= depth) {
+          ++stats_.fp_prunes;
+          break;
+        }
+        if (!fresh) it->second = depth;
+      }
+    }
+    stats_.steps += run_steps;
+    ++stats_.runs;
+    if (violation.has_value()) {
+      ++stats_.violations;
+      if (!rep.cex.has_value()) {
+        rep.cex = Counterexample{decisions(), *violation, run_steps};
+      }
+      if (opt_.stop_at_first) break;
+    }
+    if (stats_.nodes >= opt_.max_states) break;
+    if (opt_.max_runs != 0 && stats_.runs >= opt_.max_runs) break;
+    if (!backtrack()) {
+      stats_.exhausted = true;
+      break;
+    }
+  }
+  rep.stats = stats_;
+  return rep;
+}
+
+}  // namespace wfd::explore

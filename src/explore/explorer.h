@@ -1,0 +1,122 @@
+// Bounded depth-first exploration of the choice tree of a scenario.
+//
+// The explorer re-executes runs: each run rebuilds the scenario from
+// scratch and replays the current path prefix through the recorded
+// per-choice-point frames, then extends the path with fresh frames until
+// the run halts (horizon, everyone done, or everyone crashed), a safety
+// invariant is violated, or a fingerprint prune fires. Backtracking
+// flips the deepest frame with an unvisited alternative and the next
+// re-execution descends into it — classic stateless model checking.
+//
+// Reductions:
+//  * Sleep sets over schedule choices. Two schedule actions are treated
+//    as independent iff different processes act: a step of p never
+//    consumes q's pending messages (sends only append to the buffer and
+//    delivery is a separate explicit choice), so swapping adjacent steps
+//    of distinct processes reaches the same state modulo event
+//    timestamps. The approximation is exact when the option menus are
+//    time-independent (no explored crash times, no stabilization cutoff
+//    inside the horizon); otherwise a small fraction of interleavings
+//    that differ only in timing may be skipped — set
+//    ExplorerOptions::sleep_sets = false for strict exhaustiveness.
+//  * Oldest-per-channel delivery (see ReplayScheduler::Options), applied
+//    at choice-enumeration time.
+//  * Optional state-fingerprint pruning: when a user-supplied
+//    fingerprint has already been seen at the same or shallower depth,
+//    the branch below it is cut.
+//
+// Full trees are intractable beyond toy sizes, so exploration is
+// budgeted (max_states choice points); the `exhausted` stat reports
+// honestly whether the tree was completed within budget.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "explore/scenario.h"
+#include "explore/types.h"
+#include "sim/choice.h"
+
+namespace wfd::explore {
+
+/// Hash of the "current state" of a run, used for pruning. Must fold in
+/// everything that determines the future (process states are opaque to
+/// the framework, so callers supply this per scenario when they want it).
+using FingerprintFn = std::function<std::uint64_t(const sim::Simulator&)>;
+
+struct ExplorerOptions {
+  /// Budget on materialized choice points across the whole exploration.
+  std::uint64_t max_states = 100000;
+  /// 0 = unlimited.
+  std::uint64_t max_runs = 0;
+  bool sleep_sets = true;
+  /// Stop at the first violating run (the usual bug hunt); false keeps
+  /// counting violations until the tree or the budget runs out.
+  bool stop_at_first = true;
+  /// 0 = canonical (first-option-first) child order. Nonzero seeds a
+  /// deterministic per-frame rotation of the visit order, which is how
+  /// campaign frontier workers diversify their partial explorations.
+  std::uint64_t order_seed = 0;
+  FingerprintFn fingerprint;
+};
+
+struct ExploreStats {
+  std::uint64_t nodes = 0;        ///< Choice points materialized.
+  std::uint64_t runs = 0;         ///< Complete re-executions.
+  std::uint64_t steps = 0;        ///< Simulator steps across all runs.
+  std::uint64_t sleep_skips = 0;  ///< Options skipped by sleep sets.
+  std::uint64_t fp_prunes = 0;    ///< Branches cut by fingerprints.
+  std::uint64_t violations = 0;   ///< Violating runs found.
+  bool exhausted = false;         ///< Whole tree visited within budget.
+};
+
+struct ExploreReport {
+  ExploreStats stats;
+  /// The first counterexample found (unshrunk).
+  std::optional<Counterexample> cex;
+};
+
+class Explorer {
+ public:
+  Explorer(ScenarioBuilder build, ExplorerOptions opt);
+
+  /// Explore until a violation (when stop_at_first), the budget, or the
+  /// whole tree is done. Re-entrant: each call restarts from scratch.
+  ExploreReport run();
+
+ private:
+  /// One choice point on the current DFS path.
+  struct Frame {
+    sim::ChoiceKind kind{};
+    std::vector<std::uint64_t> labels;
+    std::uint32_t chosen = 0;
+    std::uint32_t start = 0;  ///< Rotation offset of the visit order.
+    std::vector<std::uint64_t> sleep;     ///< Labels asleep at this node.
+    std::vector<std::uint64_t> explored;  ///< Labels fully explored here.
+    bool blocked = false;  ///< Every option was asleep on arrival.
+  };
+
+  class DfsSource;
+
+  /// The next index to visit at `f`, honouring rotation, sleep and
+  /// explored sets; nullopt when the frame has no eligible option left.
+  std::optional<std::uint32_t> next_choice(Frame& f, bool counting_skips);
+
+  /// Flip the deepest frame with an unvisited alternative; false when
+  /// the whole tree has been visited.
+  bool backtrack();
+
+  [[nodiscard]] sim::DecisionLog decisions() const;
+
+  ScenarioBuilder build_;
+  ExplorerOptions opt_;
+  std::vector<Frame> frames_;
+  std::unordered_map<std::uint64_t, std::uint64_t> fps_;  ///< fp -> depth.
+  ExploreStats stats_;
+  bool run_blocked_ = false;
+};
+
+}  // namespace wfd::explore

@@ -1,0 +1,134 @@
+#include "explore/property.h"
+
+namespace wfd::explore {
+
+std::optional<Violation> AgreementInvariant::check(const sim::Simulator& sim) {
+  const auto& events = sim.trace().events();
+  for (; cursor_ < events.size(); ++cursor_) {
+    const auto& e = events[cursor_];
+    if (e.kind != kind_) continue;
+    if (!have_first_) {
+      have_first_ = true;
+      first_p_ = e.p;
+      first_value_ = e.value;
+      continue;
+    }
+    if (e.value != first_value_) {
+      return Violation{
+          name(),
+          "p" + std::to_string(first_p_) + " decided " +
+              std::to_string(first_value_) + " but p" + std::to_string(e.p) +
+              " decided " + std::to_string(e.value) + " at t=" +
+              std::to_string(e.t),
+          e.t};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> ValidityInvariant::check(const sim::Simulator& sim) {
+  const auto& events = sim.trace().events();
+  for (; cursor_ < events.size(); ++cursor_) {
+    const auto& e = events[cursor_];
+    if (e.kind != kind_) continue;
+    bool ok = false;
+    for (std::int64_t v : allowed_) ok = ok || (v == e.value);
+    if (!ok) {
+      return Violation{name(),
+                       "p" + std::to_string(e.p) + " decided " +
+                           std::to_string(e.value) +
+                           ", which no process proposed",
+                       e.t};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> QuitValidityInvariant::check(
+    const sim::Simulator& sim) {
+  const auto& events = sim.trace().events();
+  for (; cursor_ < events.size(); ++cursor_) {
+    const auto& e = events[cursor_];
+    if (e.kind != "qc-decide" || e.value != -1) continue;
+    if (!sim.pattern().failure_by(e.t)) {
+      return Violation{name(),
+                       "p" + std::to_string(e.p) + " decided Q at t=" +
+                           std::to_string(e.t) +
+                           " but no failure had occurred",
+                       e.t};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> NbacValidityInvariant::check(
+    const sim::Simulator& sim) {
+  const auto& events = sim.trace().events();
+  bool all_yes = true;
+  for (nbac::Vote v : votes_) all_yes = all_yes && (v == nbac::Vote::kYes);
+  for (; cursor_ < events.size(); ++cursor_) {
+    const auto& e = events[cursor_];
+    if (e.kind != "nbac-decide") continue;
+    if (e.value == 1 && !all_yes) {
+      return Violation{name(),
+                       "p" + std::to_string(e.p) +
+                           " committed despite a No vote",
+                       e.t};
+    }
+    if (e.value == 0 && all_yes && sim.pattern().faulty().empty()) {
+      return Violation{name(),
+                       "p" + std::to_string(e.p) +
+                           " aborted with unanimous Yes and no failure",
+                       e.t};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> SigmaIntersectionInvariant::check(
+    const sim::Simulator& sim) {
+  const auto& samples = sim.trace().samples();
+  for (; cursor_ < samples.size(); ++cursor_) {
+    const auto& s = samples[cursor_];
+    std::uint64_t masks[2];
+    int count = 0;
+    if (s.value.sigma.has_value()) masks[count++] = s.value.sigma->raw();
+    if (s.value.psi.has_value() &&
+        s.value.psi->mode == fd::PsiValue::Mode::kOmegaSigma) {
+      masks[count++] = s.value.psi->sigma.raw();
+    }
+    for (int i = 0; i < count; ++i) {
+      const std::uint64_t mask = masks[i];
+      bool fresh = true;
+      for (std::uint64_t old : seen_) {
+        if (old == mask) fresh = false;
+        if ((old & mask) == 0) {
+          return Violation{
+              name(),
+              "quorums " + ProcessSet::from_raw(old).to_string() + " and " +
+                  ProcessSet::from_raw(mask).to_string() +
+                  " do not intersect (p" + std::to_string(s.p) +
+                  " at t=" + std::to_string(s.t) + ")",
+              s.t};
+        }
+      }
+      if (fresh) seen_.push_back(mask);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> EventualDecisionProperty::check_final(
+    const sim::Simulator& sim) {
+  for (ProcessId p : sim.pattern().correct().members()) {
+    if (sim.trace().first_event(p, kind_).t == kNever) {
+      return Violation{name(),
+                       "correct process p" + std::to_string(p) +
+                           " never emitted " + kind_,
+                       sim.now()};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace wfd::explore

@@ -1,0 +1,135 @@
+// Property checkers: machine-checkable renderings of the specification
+// clauses, evaluated against a live run's Trace and failure pattern.
+//
+// Invariants are safety clauses: once false they stay false, so the
+// explorer checks them after every step and stops a branch at the first
+// violation. EventualProperties are liveness clauses; they are only
+// meaningful on runs that were given a fair schedule and a stabilizing
+// detector history, so the campaign driver checks them at the end of
+// randomized runs and reports failures as suspects (a bounded run that
+// merely ran out of horizon is not a counterexample to "eventually").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "explore/types.h"
+#include "nbac/nbac_api.h"
+#include "sim/simulator.h"
+
+namespace wfd::explore {
+
+/// A safety clause, checked incrementally after every step.
+class Invariant {
+ public:
+  virtual ~Invariant() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Inspect the run so far; nullopt = no violation. Called with the
+  /// same simulator repeatedly (monotonically growing trace), so
+  /// implementations keep a cursor instead of rescanning.
+  virtual std::optional<Violation> check(const sim::Simulator& sim) = 0;
+};
+
+/// A liveness clause, checked once at the end of a fair, stabilized run.
+class EventualProperty {
+ public:
+  virtual ~EventualProperty() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual std::optional<Violation> check_final(const sim::Simulator& sim) = 0;
+};
+
+/// Agreement: all trace events of `kind` carry the same value (covers
+/// consensus "decide", QC "qc-decide" with Q encoded as -1, and NBAC
+/// "nbac-decide").
+class AgreementInvariant : public Invariant {
+ public:
+  explicit AgreementInvariant(std::string kind) : kind_(std::move(kind)) {}
+  [[nodiscard]] std::string name() const override {
+    return "agreement(" + kind_ + ")";
+  }
+  std::optional<Violation> check(const sim::Simulator& sim) override;
+
+ private:
+  std::string kind_;
+  std::size_t cursor_ = 0;
+  bool have_first_ = false;
+  ProcessId first_p_ = kNoProcess;
+  std::int64_t first_value_ = 0;
+};
+
+/// Validity: every event of `kind` carries one of the allowed values
+/// (for consensus: the proposals; for QC: proposals plus Q).
+class ValidityInvariant : public Invariant {
+ public:
+  ValidityInvariant(std::string kind, std::vector<std::int64_t> allowed)
+      : kind_(std::move(kind)), allowed_(std::move(allowed)) {}
+  [[nodiscard]] std::string name() const override {
+    return "validity(" + kind_ + ")";
+  }
+  std::optional<Violation> check(const sim::Simulator& sim) override;
+
+ private:
+  std::string kind_;
+  std::vector<std::int64_t> allowed_;
+  std::size_t cursor_ = 0;
+};
+
+/// QC quit-validity: a Q decision ("qc-decide" = -1) at time t is legal
+/// only if a failure occurred by t.
+class QuitValidityInvariant : public Invariant {
+ public:
+  [[nodiscard]] std::string name() const override { return "quit-validity"; }
+  std::optional<Violation> check(const sim::Simulator& sim) override;
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+/// NBAC validity: Commit requires a unanimous Yes vote; Abort requires a
+/// No vote or a failure in the pattern.
+class NbacValidityInvariant : public Invariant {
+ public:
+  explicit NbacValidityInvariant(std::vector<nbac::Vote> votes)
+      : votes_(std::move(votes)) {}
+  [[nodiscard]] std::string name() const override { return "nbac-validity"; }
+  std::optional<Violation> check(const sim::Simulator& sim) override;
+
+ private:
+  std::vector<nbac::Vote> votes_;
+  std::size_t cursor_ = 0;
+};
+
+/// Sigma intersection: every two quorums ever output — across all
+/// processes and times, including quorums inside Psi's (Omega, Sigma)
+/// mode — intersect. Requires SimConfig::record_fd_samples.
+class SigmaIntersectionInvariant : public Invariant {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "sigma-intersection";
+  }
+  std::optional<Violation> check(const sim::Simulator& sim) override;
+
+ private:
+  std::size_t cursor_ = 0;
+  std::vector<std::uint64_t> seen_;  ///< Distinct quorum masks so far.
+};
+
+/// Termination: every correct process eventually emits an event of
+/// `kind` (decides, commits, ...).
+class EventualDecisionProperty : public EventualProperty {
+ public:
+  explicit EventualDecisionProperty(std::string kind)
+      : kind_(std::move(kind)) {}
+  [[nodiscard]] std::string name() const override {
+    return "eventual(" + kind_ + ")";
+  }
+  std::optional<Violation> check_final(const sim::Simulator& sim) override;
+
+ private:
+  std::string kind_;
+};
+
+}  // namespace wfd::explore

@@ -1,0 +1,177 @@
+#include "explore/replay_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+namespace wfd::explore {
+
+namespace {
+
+std::string time_to_text(Time t) {
+  return t == kNever ? "never" : std::to_string(t);
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_time(const std::string& s, Time* out) {
+  if (s == "never") {
+    *out = kNever;
+    return true;
+  }
+  return parse_u64(s, out);
+}
+
+bool parse_int(const std::string& s, int* out) {
+  std::uint64_t v = 0;
+  const bool neg = !s.empty() && s[0] == '-';
+  if (!parse_u64(neg ? s.substr(1) : s, &v)) return false;
+  *out = neg ? -static_cast<int>(v) : static_cast<int>(v);
+  return true;
+}
+
+bool parse_bool(const std::string& s, bool* out) {
+  if (s != "0" && s != "1") return false;
+  *out = (s == "1");
+  return true;
+}
+
+}  // namespace
+
+std::string to_text(const ReplayFile& f) {
+  std::ostringstream out;
+  const ScenarioOptions& o = f.scenario;
+  out << "# wfd_check replay\n";
+  if (!f.note.empty()) out << "note=" << f.note << "\n";
+  out << "problem=" << o.problem << "\n";
+  out << "n=" << o.n << "\n";
+  out << "crashes=" << o.crashes << "\n";
+  out << "crash_time=" << time_to_text(o.crash_time) << "\n";
+  out << "max_steps=" << o.max_steps << "\n";
+  out << "seed=" << o.seed << "\n";
+  out << "stabilization=" << time_to_text(o.stabilization) << "\n";
+  out << "fd_per_query=" << (o.fd_per_query ? 1 : 0) << "\n";
+  out << "record_fd_samples=" << (o.record_fd_samples ? 1 : 0) << "\n";
+  out << "nbac_no_voter=" << o.nbac_no_voter << "\n";
+  out << "oldest_per_channel=" << (o.oldest_per_channel ? 1 : 0) << "\n";
+  out << "lambda_always=" << (o.lambda_always ? 1 : 0) << "\n";
+  out << "decisions=";
+  for (std::size_t i = 0; i < f.decisions.size(); ++i) {
+    if (i != 0) out << ",";
+    out << f.decisions[i];
+  }
+  out << "\n";
+  return out.str();
+}
+
+std::optional<ReplayFile> parse_replay(const std::string& text,
+                                       std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::optional<ReplayFile> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  ReplayFile f;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_decisions = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return fail("line without '=': " + line);
+    const std::string key = line.substr(0, eq);
+    const std::string val = line.substr(eq + 1);
+    ScenarioOptions& o = f.scenario;
+    bool ok = true;
+    if (key == "note") {
+      f.note = val;
+    } else if (key == "problem") {
+      o.problem = val;
+    } else if (key == "n") {
+      ok = parse_int(val, &o.n);
+    } else if (key == "crashes") {
+      ok = parse_int(val, &o.crashes);
+    } else if (key == "crash_time") {
+      ok = parse_time(val, &o.crash_time);
+    } else if (key == "max_steps") {
+      ok = parse_time(val, &o.max_steps);
+    } else if (key == "seed") {
+      ok = parse_u64(val, &o.seed);
+    } else if (key == "stabilization") {
+      ok = parse_time(val, &o.stabilization);
+    } else if (key == "fd_per_query") {
+      ok = parse_bool(val, &o.fd_per_query);
+    } else if (key == "record_fd_samples") {
+      ok = parse_bool(val, &o.record_fd_samples);
+    } else if (key == "nbac_no_voter") {
+      ok = parse_int(val, &o.nbac_no_voter);
+    } else if (key == "oldest_per_channel") {
+      ok = parse_bool(val, &o.oldest_per_channel);
+    } else if (key == "lambda_always") {
+      ok = parse_bool(val, &o.lambda_always);
+    } else if (key == "decisions") {
+      saw_decisions = true;
+      std::string item;
+      std::istringstream items(val);
+      while (std::getline(items, item, ',')) {
+        std::uint64_t d = 0;
+        if (!parse_u64(item, &d) || d > UINT32_MAX) {
+          return fail("bad decision entry: " + item);
+        }
+        f.decisions.push_back(static_cast<std::uint32_t>(d));
+      }
+    }
+    // Unknown keys are ignored for forward compatibility.
+    if (!ok) return fail("bad value for " + key + ": " + val);
+  }
+  if (!saw_decisions) return fail("missing decisions= line");
+  const std::string why = ScenarioFactory::validate(f.scenario);
+  if (!why.empty()) return fail(why);
+  return f;
+}
+
+bool save_replay(const std::string& path, const ReplayFile& f) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_text(f);
+  return static_cast<bool>(out);
+}
+
+std::optional<ReplayFile> load_replay(const std::string& path,
+                                      std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_replay(buf.str(), error);
+}
+
+ReplayOutcome run_replay(const ScenarioBuilder& build,
+                         const sim::DecisionLog& decisions) {
+  sim::FixedChoices choices(decisions);
+  Scenario sc = build(choices);
+  ReplayOutcome out;
+  while (sc.sim->step()) {
+    ++out.steps;
+    for (auto& inv : sc.invariants) {
+      out.violation = inv->check(*sc.sim);
+      if (out.violation.has_value()) return out;
+    }
+  }
+  out.all_done = sc.sim->all_alive_done();
+  return out;
+}
+
+}  // namespace wfd::explore

@@ -1,0 +1,52 @@
+// Counterexample persistence and deterministic re-execution.
+//
+// A replay file carries everything a run is a function of: the full
+// scenario options plus the decision sequence. The format is a tiny
+// line-oriented key=value text (stable across versions by ignoring
+// unknown keys), so counterexamples can live in bug reports and CI logs
+// and be re-run with `wfd_check --replay=<file>`.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "explore/scenario.h"
+#include "explore/types.h"
+#include "sim/choice.h"
+
+namespace wfd::explore {
+
+struct ReplayFile {
+  ScenarioOptions scenario;
+  sim::DecisionLog decisions;
+  /// Free-form provenance (which property failed, how it was found).
+  std::string note;
+};
+
+/// Renders / parses the text format. parse() returns nullopt (with a
+/// diagnosis in *error when given) on malformed input or invalid
+/// scenario options.
+std::string to_text(const ReplayFile& f);
+std::optional<ReplayFile> parse_replay(const std::string& text,
+                                       std::string* error = nullptr);
+
+/// File convenience wrappers; save returns false on I/O failure.
+bool save_replay(const std::string& path, const ReplayFile& f);
+std::optional<ReplayFile> load_replay(const std::string& path,
+                                      std::string* error = nullptr);
+
+/// What one deterministic re-execution of a decision log produced.
+struct ReplayOutcome {
+  std::optional<Violation> violation;
+  std::uint64_t steps = 0;
+  bool all_done = false;  ///< Every alive process finished its protocol.
+};
+
+/// Re-execute `decisions` against a fresh scenario, checking all its
+/// invariants after every step and stopping at the first violation.
+/// Decisions past the end of the log default to option 0 (FixedChoices),
+/// so shrunk prefixes still run to a halt.
+ReplayOutcome run_replay(const ScenarioBuilder& build,
+                         const sim::DecisionLog& decisions);
+
+}  // namespace wfd::explore

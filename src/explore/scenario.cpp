@@ -1,0 +1,196 @@
+#include "explore/scenario.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "consensus/omega_sigma_consensus.h"
+#include "explore/choice_oracle.h"
+#include "explore/seeded_bug.h"
+#include "nbac/nbac_from_qc.h"
+#include "qc/psi_qc.h"
+#include "sim/scheduler.h"
+
+namespace wfd::explore {
+
+namespace {
+
+/// A process that does nothing: the simulator samples (and records) the
+/// oracle at every step regardless, which is all the sigma scenario
+/// needs to feed SigmaIntersectionInvariant.
+class FdProbeProcess : public sim::Process {
+ public:
+  void on_step(sim::Context&, const sim::Envelope*) override {}
+};
+
+std::vector<std::int64_t> proposals(int n) {
+  std::vector<std::int64_t> out;
+  for (int i = 0; i < n; ++i) out.push_back(i % 2);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+ScenarioFactory::ScenarioFactory(ScenarioOptions opt) : opt_(std::move(opt)) {
+  WFD_CHECK_MSG(validate(opt_).empty(), "invalid scenario options");
+}
+
+std::string ScenarioFactory::validate(const ScenarioOptions& opt) {
+  if (opt.n < 1 || opt.n > kMaxProcesses) return "n out of range";
+  if (opt.crashes < 0 || opt.crashes >= opt.n) {
+    return "crashes must be in [0, n)";
+  }
+  if (opt.max_steps == 0) return "max_steps must be positive";
+  const bool needs_majority = opt.problem == "consensus" ||
+                              opt.problem == "qc" || opt.problem == "nbac" ||
+                              opt.problem == "sigma";
+  if (needs_majority && 2 * opt.crashes >= opt.n) {
+    return "problem '" + opt.problem +
+           "' explores Sigma histories and needs a majority-correct "
+           "pattern (crashes < n/2)";
+  }
+  if (opt.problem != "consensus" && opt.problem != "consensus-bug" &&
+      opt.problem != "qc" && opt.problem != "nbac" &&
+      opt.problem != "sigma") {
+    return "unknown problem '" + opt.problem + "'";
+  }
+  if (opt.nbac_no_voter != kNoProcess &&
+      (opt.nbac_no_voter < 0 || opt.nbac_no_voter >= opt.n)) {
+    return "nbac_no_voter out of range";
+  }
+  return "";
+}
+
+sim::FailurePattern ScenarioFactory::make_pattern(
+    sim::ChoiceSource& choices) const {
+  sim::FailurePattern f(opt_.n);
+  if (opt_.crashes == 0) return f;
+  if (opt_.crash_time != kNever) {
+    for (int i = 0; i < opt_.crashes; ++i) {
+      f.crash_at(i, opt_.crash_time * static_cast<Time>(i + 1));
+    }
+    return f;
+  }
+  // Crash times are part of the explored space: a small log-spaced menu
+  // inside the horizon (0 = initially dead, up to half the horizon).
+  std::vector<std::uint64_t> menu = {0, 2, opt_.max_steps / 8,
+                                     opt_.max_steps / 4, opt_.max_steps / 2};
+  std::sort(menu.begin(), menu.end());
+  menu.erase(std::unique(menu.begin(), menu.end()), menu.end());
+  for (int i = 0; i < opt_.crashes; ++i) {
+    const std::size_t pick =
+        menu.size() >= 2 ? choices.choose(sim::ChoiceKind::kEnvironment, menu)
+                         : 0;
+    f.crash_at(i, menu[pick]);
+  }
+  return f;
+}
+
+Scenario ScenarioFactory::build(sim::ChoiceSource& choices) const {
+  Scenario out;
+  const sim::FailurePattern pattern = make_pattern(choices);
+  const sim::SimConfig cfg{opt_.n, opt_.max_steps, opt_.seed,
+                           opt_.record_fd_samples};
+
+  ChoiceOracle::Options oo;
+  oo.per_query = opt_.fd_per_query;
+  oo.stabilization = opt_.stabilization;
+  if (opt_.problem == "consensus") {
+    oo.omega = true;
+    oo.sigma = true;
+  } else if (opt_.problem == "qc") {
+    oo.psi = true;
+  } else if (opt_.problem == "nbac") {
+    oo.psi = true;
+    oo.fs = true;
+  } else if (opt_.problem == "sigma") {
+    oo.sigma = true;
+  }
+  // consensus-bug: all components off — the broken protocol is
+  // detector-free, keeping its choice tree purely about schedules.
+
+  sim::ReplayScheduler::Options so;
+  so.oldest_per_channel = opt_.oldest_per_channel;
+  so.lambda_always = opt_.lambda_always;
+
+  out.sim = std::make_unique<sim::Simulator>(
+      cfg, pattern, std::make_unique<ChoiceOracle>(&choices, oo),
+      std::make_unique<sim::ReplayScheduler>(&choices, so));
+  sim::Simulator& s = *out.sim;
+
+  if (opt_.problem == "consensus") {
+    for (int i = 0; i < opt_.n; ++i) {
+      auto& host = s.add_process<sim::ModularProcess>();
+      auto& c = host.add_module<consensus::OmegaSigmaConsensusModule<int>>(
+          "cons");
+      c.propose(i % 2, {});
+    }
+    out.invariants.push_back(std::make_unique<AgreementInvariant>("decide"));
+    out.invariants.push_back(
+        std::make_unique<ValidityInvariant>("decide", proposals(opt_.n)));
+    if (opt_.record_fd_samples) {
+      out.invariants.push_back(std::make_unique<SigmaIntersectionInvariant>());
+    }
+    out.eventuals.push_back(
+        std::make_unique<EventualDecisionProperty>("decide"));
+  } else if (opt_.problem == "consensus-bug") {
+    for (int i = 0; i < opt_.n; ++i) {
+      auto& host = s.add_process<sim::ModularProcess>();
+      auto& c = host.add_module<FirstHeardConsensusModule>("cons");
+      c.propose(i % 2);
+    }
+    out.invariants.push_back(std::make_unique<AgreementInvariant>("decide"));
+    out.invariants.push_back(
+        std::make_unique<ValidityInvariant>("decide", proposals(opt_.n)));
+    out.eventuals.push_back(
+        std::make_unique<EventualDecisionProperty>("decide"));
+  } else if (opt_.problem == "qc") {
+    for (int i = 0; i < opt_.n; ++i) {
+      auto& host = s.add_process<sim::ModularProcess>();
+      auto& q = host.add_module<qc::PsiQcModule<int>>("qc");
+      q.propose(i % 2, {});
+    }
+    auto allowed = proposals(opt_.n);
+    allowed.push_back(-1);  // Q.
+    out.invariants.push_back(
+        std::make_unique<AgreementInvariant>("qc-decide"));
+    out.invariants.push_back(
+        std::make_unique<ValidityInvariant>("qc-decide", std::move(allowed)));
+    out.invariants.push_back(std::make_unique<QuitValidityInvariant>());
+    if (opt_.record_fd_samples) {
+      out.invariants.push_back(std::make_unique<SigmaIntersectionInvariant>());
+    }
+    out.eventuals.push_back(
+        std::make_unique<EventualDecisionProperty>("qc-decide"));
+  } else if (opt_.problem == "nbac") {
+    std::vector<nbac::Vote> votes;
+    for (int i = 0; i < opt_.n; ++i) {
+      votes.push_back(i == opt_.nbac_no_voter ? nbac::Vote::kNo
+                                              : nbac::Vote::kYes);
+    }
+    for (int i = 0; i < opt_.n; ++i) {
+      auto& host = s.add_process<sim::ModularProcess>();
+      auto& q = host.add_module<qc::PsiQcModule<int>>("qc");
+      auto& nb = host.add_module<nbac::NbacFromQcModule>("nbac", &q);
+      nb.vote(votes[static_cast<std::size_t>(i)], {});
+    }
+    out.invariants.push_back(
+        std::make_unique<AgreementInvariant>("nbac-decide"));
+    out.invariants.push_back(std::make_unique<NbacValidityInvariant>(votes));
+    out.eventuals.push_back(
+        std::make_unique<EventualDecisionProperty>("nbac-decide"));
+  } else if (opt_.problem == "sigma") {
+    for (int i = 0; i < opt_.n; ++i) s.add_process<FdProbeProcess>();
+    out.invariants.push_back(std::make_unique<SigmaIntersectionInvariant>());
+  }
+  return out;
+}
+
+ScenarioBuilder ScenarioFactory::builder() const {
+  return [opt = opt_](sim::ChoiceSource& choices) {
+    return ScenarioFactory(opt).build(choices);
+  };
+}
+
+}  // namespace wfd::explore

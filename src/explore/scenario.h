@@ -1,0 +1,83 @@
+// Scenario factory: builds fresh, fully choice-driven instances of the
+// library's canonical problems so the explorer, the campaign driver and
+// the replay machinery all run the SAME construction — a run is a pure
+// function of its decision sequence.
+//
+// Every source of nondeterminism is routed through the ChoiceSource
+// handed to build(): the schedule (ReplayScheduler), the detector
+// history (ChoiceOracle) and, when crash times are not pinned, the
+// failure pattern itself (kEnvironment choices over a small menu of
+// crash times).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "explore/property.h"
+#include "sim/choice.h"
+#include "sim/simulator.h"
+
+namespace wfd::explore {
+
+struct ScenarioOptions {
+  /// consensus | consensus-bug | qc | nbac | sigma.
+  std::string problem = "consensus";
+  int n = 3;
+  int crashes = 0;
+  /// kNever: crash times are exploration choice points (a small menu of
+  /// times within the horizon). Otherwise faulty process i crashes at
+  /// crash_time * (i + 1).
+  Time crash_time = kNever;
+  /// Horizon; doubles as the exploration depth bound.
+  Time max_steps = 40;
+  std::uint64_t seed = 1;
+  /// ChoiceOracle stabilization time (kNever = adversarial throughout;
+  /// finite values make liveness meaningful for campaign runs).
+  Time stabilization = kNever;
+  /// false: one static detector history per run instead of per-query
+  /// choices — a much smaller tree.
+  bool fd_per_query = true;
+  /// Retain FD samples so SigmaIntersectionInvariant can see quorums.
+  bool record_fd_samples = true;
+  /// For nbac: the process voting No, or kNoProcess for unanimous Yes.
+  ProcessId nbac_no_voter = kNoProcess;
+  // ReplayScheduler reductions (see its Options).
+  bool oldest_per_channel = true;
+  bool lambda_always = true;
+};
+
+/// One built instance: a simulator plus the properties to check on it.
+struct Scenario {
+  std::unique_ptr<sim::Simulator> sim;
+  std::vector<std::unique_ptr<Invariant>> invariants;
+  std::vector<std::unique_ptr<EventualProperty>> eventuals;
+};
+
+/// Builds a fresh instance whose nondeterminism is drawn from the given
+/// source. Copyable and cheap; the explorer re-invokes it per run.
+using ScenarioBuilder = std::function<Scenario(sim::ChoiceSource&)>;
+
+class ScenarioFactory {
+ public:
+  explicit ScenarioFactory(ScenarioOptions opt);
+
+  [[nodiscard]] const ScenarioOptions& options() const { return opt_; }
+
+  /// Empty string when the options are valid, else a diagnosis.
+  [[nodiscard]] static std::string validate(const ScenarioOptions& opt);
+
+  [[nodiscard]] Scenario build(sim::ChoiceSource& choices) const;
+
+  /// The build() entry point as a value (captures the options by copy).
+  [[nodiscard]] ScenarioBuilder builder() const;
+
+ private:
+  [[nodiscard]] sim::FailurePattern make_pattern(
+      sim::ChoiceSource& choices) const;
+
+  ScenarioOptions opt_;
+};
+
+}  // namespace wfd::explore

@@ -1,0 +1,55 @@
+// A deliberately broken consensus "protocol", used to validate that the
+// exploration subsystem actually finds specification violations and that
+// counterexample shrinking and replay work end to end.
+//
+// Each process broadcasts its proposal (to itself too) and decides the
+// first proposal it receives. Under benign schedules — everyone hears
+// the same first broadcast — all processes agree, so sampling schedulers
+// rarely notice anything; but any schedule in which two processes first
+// hear different proposals violates agreement. wfd_check must find such
+// a schedule, shrink it, and replay it deterministically.
+#pragma once
+
+#include "consensus/consensus_api.h"
+#include "sim/module.h"
+#include "sim/payload.h"
+
+namespace wfd::explore {
+
+class FirstHeardConsensusModule : public sim::Module {
+ public:
+  /// Must be called before the run starts.
+  void propose(int value) {
+    proposed_ = true;
+    proposal_ = value;
+  }
+
+  [[nodiscard]] bool decided() const { return decided_; }
+  [[nodiscard]] int decision() const { return decision_; }
+  [[nodiscard]] bool done() const override { return !proposed_ || decided_; }
+
+  void on_start() override {
+    broadcast(sim::make_payload<Proposal>(proposal_), /*include_self=*/true);
+  }
+
+  void on_message(ProcessId, const sim::Payload& msg) override {
+    const auto* m = sim::payload_cast<Proposal>(msg);
+    if (m == nullptr || decided_) return;
+    decided_ = true;
+    decision_ = m->value;
+    emit("decide", decision_);
+  }
+
+ private:
+  struct Proposal final : sim::Payload {
+    explicit Proposal(int v) : value(v) {}
+    int value;
+  };
+
+  bool proposed_ = false;
+  int proposal_ = 0;
+  bool decided_ = false;
+  int decision_ = 0;
+};
+
+}  // namespace wfd::explore

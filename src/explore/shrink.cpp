@@ -1,0 +1,78 @@
+#include "explore/shrink.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "explore/replay_io.h"
+
+namespace wfd::explore {
+
+namespace {
+
+void trim_trailing_zeros(sim::DecisionLog* log) {
+  while (!log->empty() && log->back() == 0) log->pop_back();
+}
+
+}  // namespace
+
+ShrinkResult shrink(const ScenarioBuilder& build, sim::DecisionLog log,
+                    const std::string& property, ShrinkOptions opt) {
+  ShrinkResult res;
+  res.original_size = log.size();
+
+  const auto reproduces = [&](const sim::DecisionLog& candidate) {
+    ++res.attempts;
+    const ReplayOutcome out = run_replay(build, candidate);
+    return out.violation.has_value() && out.violation->property == property;
+  };
+  WFD_CHECK_MSG(reproduces(log), "shrink input does not reproduce");
+
+  // Trailing zeros are no-ops by construction (an exhausted FixedChoices
+  // answers 0), so this first trim needs no replay to validate.
+  trim_trailing_zeros(&log);
+
+  bool progress = true;
+  while (progress && res.attempts < opt.max_attempts) {
+    progress = false;
+
+    // ddmin-style chunk removal: large chunks first, down to singletons.
+    for (std::size_t chunk = std::max<std::size_t>(log.size() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+      for (std::size_t at = 0;
+           at < log.size() && res.attempts < opt.max_attempts;) {
+        sim::DecisionLog candidate(log.begin(),
+                                   log.begin() + static_cast<long>(at));
+        const std::size_t end = std::min(at + chunk, log.size());
+        candidate.insert(candidate.end(),
+                         log.begin() + static_cast<long>(end), log.end());
+        if (reproduces(candidate)) {
+          log = std::move(candidate);
+          progress = true;
+          // Re-test the same position: it now holds the next chunk.
+        } else {
+          at += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+
+    // Canonicalization: rewrite entries to 0 (the explorer's default
+    // branch) where the violation survives it.
+    for (std::size_t i = 0;
+         i < log.size() && res.attempts < opt.max_attempts; ++i) {
+      if (log[i] == 0) continue;
+      sim::DecisionLog candidate = log;
+      candidate[i] = 0;
+      if (reproduces(candidate)) {
+        log = std::move(candidate);
+        progress = true;
+      }
+    }
+    trim_trailing_zeros(&log);
+  }
+
+  res.decisions = std::move(log);
+  return res;
+}
+
+}  // namespace wfd::explore

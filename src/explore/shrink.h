@@ -1,0 +1,37 @@
+// Greedy counterexample minimization.
+//
+// A counterexample is a decision sequence; FixedChoices interprets
+// entries modulo the option count and answers 0 past the end, so ANY
+// uint32 sequence is a valid run — shrinking is free to splice. The
+// shrinker looks for a shorter / more canonical sequence that still
+// violates the SAME property under deterministic replay: trailing-zero
+// trimming (free by construction), ddmin-style chunk removal, and a
+// zeroing pass that rewrites entries to the canonical first option.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "explore/scenario.h"
+#include "sim/choice.h"
+
+namespace wfd::explore {
+
+struct ShrinkOptions {
+  /// Budget on replay attempts (each attempt is one full re-execution).
+  std::uint64_t max_attempts = 2000;
+};
+
+struct ShrinkResult {
+  sim::DecisionLog decisions;       ///< Minimized, still-violating log.
+  std::uint64_t original_size = 0;  ///< Entries before shrinking.
+  std::uint64_t attempts = 0;       ///< Replays spent.
+};
+
+/// Minimize `log`, preserving a violation of property `property` (the
+/// Violation::property string of the counterexample being shrunk). The
+/// input log must itself reproduce; the result always reproduces.
+ShrinkResult shrink(const ScenarioBuilder& build, sim::DecisionLog log,
+                    const std::string& property, ShrinkOptions opt = {});
+
+}  // namespace wfd::explore

@@ -1,0 +1,28 @@
+// Shared result types of the exploration subsystem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "sim/choice.h"
+
+namespace wfd::explore {
+
+/// A property violation observed in a run.
+struct Violation {
+  std::string property;  ///< Name of the violated property.
+  std::string message;   ///< Human-readable diagnosis.
+  Time at = 0;           ///< Step at which the violation became true.
+};
+
+/// A violation together with the decision sequence that produces it.
+/// Replaying the decisions through the same scenario reproduces the
+/// violation deterministically (see replay_io.h).
+struct Counterexample {
+  sim::DecisionLog decisions;
+  Violation violation;
+  std::uint64_t steps = 0;  ///< Simulator steps until the violation.
+};
+
+}  // namespace wfd::explore

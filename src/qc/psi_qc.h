@@ -10,6 +10,7 @@
 #pragma once
 
 #include "common/check.h"
+#include "consensus/consensus_api.h"
 #include "consensus/omega_sigma_consensus.h"
 #include "qc/qc_api.h"
 #include "sim/module.h"
@@ -68,7 +69,10 @@ class PsiQcModule : public sim::Module, public QcApi<V> {
     if (decided_) return;
     decided_ = true;
     result_ = std::move(r);
-    emit("qc-decide", result_.quit ? -1 : 0);
+    // -1 encodes Q; a value decision records the value itself (QC values
+    // in the library's scenarios are non-negative).
+    emit("qc-decide",
+         result_.quit ? -1 : consensus::decide_event_value(result_.value));
     if (cb_) {
       auto cb = std::move(cb_);
       cb_ = nullptr;

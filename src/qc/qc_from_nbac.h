@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "consensus/consensus_api.h"
 #include "nbac/nbac_api.h"
 #include "qc/qc_api.h"
 #include "sim/module.h"
@@ -109,7 +110,8 @@ class QcFromNbacModule : public sim::Module, public QcApi<V> {
     if (decided_) return;
     decided_ = true;
     result_ = std::move(r);
-    emit("qc-decide", result_.quit ? -1 : 0);
+    emit("qc-decide",
+         result_.quit ? -1 : consensus::decide_event_value(result_.value));
     if (cb_) {
       auto cb = std::move(cb_);
       cb_ = nullptr;

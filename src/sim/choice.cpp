@@ -1,0 +1,31 @@
+#include "sim/choice.h"
+
+#include "common/check.h"
+
+namespace wfd::sim {
+
+std::size_t FixedChoices::choose(ChoiceKind kind,
+                                 const std::vector<std::uint64_t>& labels) {
+  (void)kind;
+  WFD_CHECK(!labels.empty());
+  ++consumed_;
+  if (pos_ >= log_.size()) return 0;
+  return log_[pos_++] % labels.size();
+}
+
+std::size_t RecordingChoices::choose(ChoiceKind kind,
+                                     const std::vector<std::uint64_t>& labels) {
+  const std::size_t idx = inner_->choose(kind, labels);
+  WFD_CHECK(idx < labels.size());
+  log_.push_back(static_cast<std::uint32_t>(idx));
+  return idx;
+}
+
+std::size_t RandomChoices::choose(ChoiceKind kind,
+                                  const std::vector<std::uint64_t>& labels) {
+  (void)kind;
+  WFD_CHECK(!labels.empty());
+  return static_cast<std::size_t>(rng_.below(labels.size()));
+}
+
+}  // namespace wfd::sim

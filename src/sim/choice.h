@@ -1,0 +1,98 @@
+// Choice points: every source of nondeterminism a run can expose —
+// which process steps, which pending message it receives, which value a
+// failure-detector oracle emits from its allowed set, where crashes land
+// — is funnelled through one ChoiceSource. A run driven by choice-aware
+// components (ReplayScheduler, explore::ChoiceOracle, the explore
+// scenario builders) is then a pure function of its decision sequence:
+// record the indices and the run replays bit-for-bit; enumerate them and
+// the run tree is explored exhaustively (src/explore/).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace wfd::sim {
+
+/// What a choice point is about. Recorded only for diagnostics; replay
+/// consumes decisions positionally.
+enum class ChoiceKind : std::uint8_t {
+  kSchedule = 0,     ///< Which process steps / which message it receives.
+  kFd = 1,           ///< Which value an oracle emits from its allowed set.
+  kEnvironment = 2,  ///< Environment shape (e.g. crash times).
+};
+
+/// One recorded decision sequence. Indices are positional: the i-th
+/// entry answers the i-th choose() call of the run.
+using DecisionLog = std::vector<std::uint32_t>;
+
+/// The decision maker behind every choice point of a run.
+///
+/// Contract for callers: call choose() only when there are at least two
+/// options (single-option points must be resolved locally, so decision
+/// logs contain no forced moves), and enumerate options in a
+/// deterministic order. `labels` carries one stable identifier per
+/// option (see ReplayScheduler::label); pure replay sources ignore them,
+/// the DFS explorer uses them for sleep-set reduction.
+class ChoiceSource {
+ public:
+  virtual ~ChoiceSource() = default;
+
+  /// Pick an option index in [0, labels.size()).
+  virtual std::size_t choose(ChoiceKind kind,
+                             const std::vector<std::uint64_t>& labels) = 0;
+};
+
+/// Replays a fixed decision sequence. Entries are reduced modulo the
+/// option count (so shrinking passes can splice logs without going out
+/// of range) and an exhausted log keeps answering 0 — the canonical
+/// "greedy default" completion every explorer run bottoms out on.
+class FixedChoices : public ChoiceSource {
+ public:
+  FixedChoices() = default;
+  explicit FixedChoices(DecisionLog log) : log_(std::move(log)) {}
+
+  std::size_t choose(ChoiceKind kind,
+                     const std::vector<std::uint64_t>& labels) override;
+
+  /// Decisions consumed so far (including defaulted ones past the end).
+  [[nodiscard]] std::uint64_t consumed() const { return consumed_; }
+
+ private:
+  DecisionLog log_;
+  std::size_t pos_ = 0;
+  std::uint64_t consumed_ = 0;
+};
+
+/// Forwards to an inner source and records every answer, producing the
+/// decision log that makes any run — including a random one — replayable.
+class RecordingChoices : public ChoiceSource {
+ public:
+  explicit RecordingChoices(ChoiceSource& inner) : inner_(&inner) {}
+
+  std::size_t choose(ChoiceKind kind,
+                     const std::vector<std::uint64_t>& labels) override;
+
+  [[nodiscard]] const DecisionLog& log() const { return log_; }
+
+ private:
+  ChoiceSource* inner_;
+  DecisionLog log_;
+};
+
+/// Uniformly random decisions from a seeded Rng — the campaign driver's
+/// random walk through the same choice tree the DFS explorer enumerates.
+class RandomChoices : public ChoiceSource {
+ public:
+  explicit RandomChoices(std::uint64_t seed) : rng_(seed) {}
+
+  std::size_t choose(ChoiceKind kind,
+                     const std::vector<std::uint64_t>& labels) override;
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace wfd::sim

@@ -132,4 +132,61 @@ StepChoice FilteredScheduler::next(const Network& net, const FailurePattern& f,
   return c;
 }
 
+// -------------------------------------------------------------------- Replay
+
+ReplayScheduler::ReplayScheduler(ChoiceSource* choices, Options opt)
+    : choices_(choices), opt_(opt) {
+  WFD_CHECK(choices_ != nullptr);
+}
+
+void ReplayScheduler::begin_run(int n, const FailurePattern& f,
+                                std::uint64_t seed) {
+  (void)f;
+  (void)seed;
+  n_ = n;
+  started_.assign(static_cast<std::size_t>(n), false);
+}
+
+StepChoice ReplayScheduler::next(const Network& net, const FailurePattern& f,
+                                 Time now) {
+  std::vector<StepChoice> options;
+  std::vector<std::uint64_t> labels;
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (!f.alive(p, now)) continue;
+    if (!started_[static_cast<std::size_t>(p)]) {
+      // The first step of a process receives no message; offering
+      // deliveries would silently waste them (the simulator runs
+      // on_start and leaves the message pending).
+      options.push_back(StepChoice{p, 0});
+      labels.push_back(label(p, 0));
+      continue;
+    }
+    bool any_delivery = false;
+    std::uint64_t seen_channels = 0;  // Senders already offered (bitmask).
+    for (std::uint64_t id : net.pending_for(p)) {
+      const ProcessId from = net.get(id).from;
+      if (opt_.oldest_per_channel) {
+        const std::uint64_t bit = std::uint64_t{1} << from;
+        if ((seen_channels & bit) != 0) continue;
+        seen_channels |= bit;
+      }
+      options.push_back(StepChoice{p, id});
+      labels.push_back(label(p, id));
+      any_delivery = true;
+    }
+    if (opt_.lambda_always || !any_delivery) {
+      options.push_back(StepChoice{p, 0});
+      labels.push_back(label(p, 0));
+    }
+  }
+  if (options.empty()) return StepChoice{};  // Everyone crashed.
+  std::size_t idx = 0;
+  if (options.size() >= 2) {
+    idx = choices_->choose(ChoiceKind::kSchedule, labels);
+    WFD_CHECK(idx < options.size());
+  }
+  started_[static_cast<std::size_t>(options[idx].p)] = true;
+  return options[idx];
+}
+
 }  // namespace wfd::sim

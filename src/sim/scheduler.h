@@ -13,6 +13,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "sim/choice.h"
 #include "sim/failure_pattern.h"
 #include "sim/network.h"
 
@@ -131,6 +132,60 @@ class FilteredScheduler : public Scheduler {
  private:
   std::unique_ptr<Scheduler> base_;
   Filter blocked_;
+};
+
+/// Scheduler driven entirely by an external ChoiceSource: at every step
+/// it enumerates the legal moves — for each alive process, delivering
+/// one of its pending messages or taking a lambda step — and asks the
+/// source which one happens. With a FixedChoices source this replays a
+/// recorded schedule exactly; with RandomChoices it samples schedules;
+/// with the DFS source of src/explore/ it enumerates them.
+///
+/// Unlike the other schedulers, ReplayScheduler does NOT enforce the run
+/// conditions (a decision sequence may starve a message forever); it is
+/// meant for bounded exploration and replay, where the horizon — not the
+/// scheduler — bounds the run. Safety properties checked on such runs
+/// are still sound: every explored prefix is a prefix of some legal run.
+class ReplayScheduler : public Scheduler {
+ public:
+  struct Options {
+    /// Partial-order reduction: offer only the oldest pending message of
+    /// each (sender -> receiver) channel, i.e. explore per-channel-FIFO
+    /// deliveries only. Cuts the branching factor from "all pending" to
+    /// "one per sender" at the cost of cross-channel reorderings only.
+    bool oldest_per_channel = true;
+    /// Offer a lambda step even when messages are pending. Required for
+    /// protocols that act on timeouts; disable to focus on
+    /// message-driven branching.
+    bool lambda_always = true;
+  };
+
+  /// `choices` is borrowed and must outlive the scheduler.
+  explicit ReplayScheduler(ChoiceSource* choices)
+      : ReplayScheduler(choices, Options{}) {}
+  ReplayScheduler(ChoiceSource* choices, Options opt);
+
+  void begin_run(int n, const FailurePattern& f, std::uint64_t seed) override;
+  StepChoice next(const Network& net, const FailurePattern& f,
+                  Time now) override;
+  [[nodiscard]] std::string name() const override { return "replay"; }
+
+  /// Stable label of a schedule option: which process steps and which
+  /// message (0 = lambda) it receives. Stable across reorderings of
+  /// other processes' steps, which is what sleep-set reduction needs.
+  static std::uint64_t label(ProcessId p, std::uint64_t message_id) {
+    return ((static_cast<std::uint64_t>(p) + 1) << 48) |
+           (message_id & ((std::uint64_t{1} << 48) - 1));
+  }
+  static ProcessId label_process(std::uint64_t label) {
+    return static_cast<ProcessId>(label >> 48) - 1;
+  }
+
+ private:
+  ChoiceSource* choices_;
+  Options opt_;
+  int n_ = 0;
+  std::vector<bool> started_;
 };
 
 }  // namespace wfd::sim

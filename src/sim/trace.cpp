@@ -27,6 +27,25 @@ std::vector<EventRecord> Trace::events_of_kind(const std::string& kind) const {
   return out;
 }
 
+std::string Trace::to_string() const {
+  std::string out;
+  out.reserve(64 + events_.size() * 24 + samples_.size() * 32);
+  out += "steps=" + std::to_string(stats_.steps);
+  out += " sent=" + std::to_string(stats_.messages_sent);
+  out += " delivered=" + std::to_string(stats_.messages_delivered);
+  out += " lambda=" + std::to_string(stats_.lambda_steps);
+  out += "\n";
+  for (const auto& e : events_) {
+    out += "e p" + std::to_string(e.p) + " t" + std::to_string(e.t) + " " +
+           e.kind + "=" + std::to_string(e.value) + "\n";
+  }
+  for (const auto& s : samples_) {
+    out += "s p" + std::to_string(s.p) + " t" + std::to_string(s.t) + " " +
+           s.value.to_string() + "\n";
+  }
+  return out;
+}
+
 EventRecord Trace::first_event(ProcessId p, const std::string& kind) const {
   for (const auto& e : events_) {
     if (e.p == p && e.kind == kind) return e;

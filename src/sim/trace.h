@@ -63,6 +63,12 @@ class Trace {
   [[nodiscard]] EventRecord first_event(ProcessId p,
                                         const std::string& kind) const;
 
+  /// Canonical textual rendering of the whole trace (stats, every event,
+  /// every retained FD sample). Two runs are step-for-step identical iff
+  /// their renderings are byte-identical — the determinism regression
+  /// tests and the replay machinery compare these strings.
+  [[nodiscard]] std::string to_string() const;
+
  private:
   bool record_samples_ = false;
   std::vector<FdSampleRecord> samples_;

@@ -1,0 +1,99 @@
+// Determinism guarantees the exploration subsystem rests on: identical
+// seeds (for the existing randomized schedulers) and identical decision
+// sequences (for the choice-driven stack) must reproduce runs exactly,
+// byte for byte in the canonical trace rendering.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "explore/scenario.h"
+#include "explore/seeded_bug.h"
+#include "fd/oracle.h"
+#include "sim/choice.h"
+#include "sim/module.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace wfd {
+namespace {
+
+// A FilteredScheduler run: random-fair base, messages from process 0
+// withheld for the first 40 steps. Schedule-sensitive enough that any
+// seed drift would show up in the trace.
+std::string filtered_run(std::uint64_t seed) {
+  sim::SimConfig cfg;
+  cfg.n = 3;
+  cfg.max_steps = 200;
+  cfg.seed = seed;
+  auto filter = [](const sim::Envelope& e, Time now) {
+    return e.from == 0 && now < 40;
+  };
+  sim::Simulator s(cfg, test::pattern(3),
+                   std::make_unique<fd::NullOracle>(),
+                   std::make_unique<sim::FilteredScheduler>(
+                       std::make_unique<sim::RandomFairScheduler>(), filter));
+  for (int i = 0; i < 3; ++i) {
+    auto& host = s.add_process<sim::ModularProcess>();
+    host.add_module<explore::FirstHeardConsensusModule>("cons").propose(i);
+  }
+  s.run();
+  return s.trace().to_string();
+}
+
+TEST(DeterminismTest, FilteredSchedulerSameSeedSameTrace) {
+  const std::string a = filtered_run(7);
+  const std::string b = filtered_run(7);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+  // And a different seed actually changes the run, so the comparison
+  // above is not vacuous.
+  EXPECT_NE(a, filtered_run(8));
+}
+
+std::string replayed_run(const sim::DecisionLog& log) {
+  explore::ScenarioOptions opt;
+  opt.problem = "consensus";
+  opt.n = 3;
+  opt.max_steps = 60;
+  sim::FixedChoices choices(log);
+  explore::Scenario sc = explore::ScenarioFactory(opt).build(choices);
+  while (sc.sim->step()) {
+  }
+  return sc.sim->trace().to_string();
+}
+
+TEST(DeterminismTest, ReplaySchedulerSameDecisionsSameTrace) {
+  const sim::DecisionLog log = {1, 2, 0, 3, 1, 4, 0, 2, 2, 1, 0, 5};
+  const std::string a = replayed_run(log);
+  const std::string b = replayed_run(log);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+  EXPECT_NE(a, replayed_run({3, 0, 1, 0, 2, 0, 1, 1, 0, 4, 2, 0}));
+}
+
+TEST(DeterminismTest, RecordedRandomRunReplaysExactly) {
+  explore::ScenarioOptions opt;
+  opt.problem = "qc";
+  opt.n = 3;
+  opt.crashes = 1;
+  opt.max_steps = 60;
+  const explore::ScenarioFactory factory(opt);
+
+  sim::RandomChoices random(99);
+  sim::RecordingChoices rec(random);
+  explore::Scenario original = factory.build(rec);
+  while (original.sim->step()) {
+  }
+  const std::string want = original.sim->trace().to_string();
+
+  sim::FixedChoices fixed(rec.log());
+  explore::Scenario replay = factory.build(fixed);
+  while (replay.sim->step()) {
+  }
+  EXPECT_EQ(want, replay.sim->trace().to_string());
+}
+
+}  // namespace
+}  // namespace wfd

@@ -1,0 +1,207 @@
+// End-to-end coverage of the exploration subsystem: the DFS explorer
+// finds the seeded agreement bug, shrinking preserves and minimizes the
+// counterexample, replay files round-trip and re-execute
+// deterministically, and the parallel campaign both finds the bug and
+// stays clean on the correct protocols.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "explore/campaign.h"
+#include "explore/explorer.h"
+#include "explore/replay_io.h"
+#include "explore/scenario.h"
+#include "explore/shrink.h"
+
+namespace wfd::explore {
+namespace {
+
+ScenarioOptions bug_options() {
+  ScenarioOptions opt;
+  opt.problem = "consensus-bug";
+  opt.n = 3;
+  opt.max_steps = 30;
+  return opt;
+}
+
+TEST(ScenarioTest, ValidateRejectsBadOptions) {
+  ScenarioOptions opt;
+  opt.problem = "nonsense";
+  EXPECT_FALSE(ScenarioFactory::validate(opt).empty());
+  opt = ScenarioOptions{};
+  opt.n = 3;
+  opt.crashes = 2;  // No correct majority.
+  EXPECT_FALSE(ScenarioFactory::validate(opt).empty());
+  opt = ScenarioOptions{};
+  EXPECT_TRUE(ScenarioFactory::validate(opt).empty());
+}
+
+TEST(ExplorerTest, FindsSeededAgreementBug) {
+  const ScenarioBuilder build = ScenarioFactory(bug_options()).builder();
+  Explorer ex(build, ExplorerOptions{});
+  const ExploreReport rep = ex.run();
+  ASSERT_TRUE(rep.cex.has_value());
+  EXPECT_EQ(rep.cex->violation.property, "agreement(decide)");
+  EXPECT_GT(rep.stats.nodes, 0u);
+  EXPECT_GT(rep.stats.runs, 0u);
+}
+
+TEST(ExplorerTest, CleanConsensusHasNoViolationWithinBudget) {
+  ScenarioOptions opt;
+  opt.problem = "consensus";
+  opt.n = 3;
+  opt.max_steps = 25;
+  ExplorerOptions eo;
+  eo.max_states = 20000;
+  Explorer ex(ScenarioFactory(opt).builder(), eo);
+  const ExploreReport rep = ex.run();
+  EXPECT_FALSE(rep.cex.has_value());
+  EXPECT_GT(rep.stats.nodes, 0u);
+}
+
+TEST(ExplorerTest, ExhaustsTinyTree) {
+  ScenarioOptions opt = bug_options();
+  opt.n = 2;
+  opt.max_steps = 6;
+  ExplorerOptions eo;
+  eo.max_states = 500000;
+  eo.stop_at_first = false;  // Keep going past violations.
+  Explorer ex(ScenarioFactory(opt).builder(), eo);
+  const ExploreReport rep = ex.run();
+  EXPECT_TRUE(rep.stats.exhausted);
+  // With n=2 the two processes propose 0 and 1; some interleaving makes
+  // them hear different proposals first.
+  EXPECT_GT(rep.stats.violations, 0u);
+}
+
+TEST(ExplorerTest, SleepSetsPruneWithoutLosingTheBug) {
+  ScenarioOptions opt = bug_options();
+  opt.max_steps = 9;
+  ExplorerOptions with;
+  with.max_states = 40000;
+  with.stop_at_first = false;
+  ExplorerOptions without = with;
+  without.sleep_sets = false;
+  const ScenarioBuilder build = ScenarioFactory(opt).builder();
+  Explorer a(build, with);
+  Explorer b(build, without);
+  const ExploreReport ra = a.run();
+  const ExploreReport rb = b.run();
+  EXPECT_GT(ra.stats.sleep_skips, 0u);
+  EXPECT_EQ(rb.stats.sleep_skips, 0u);
+  EXPECT_LE(ra.stats.runs, rb.stats.runs);
+  EXPECT_GT(ra.stats.violations, 0u);
+  EXPECT_GT(rb.stats.violations, 0u);
+}
+
+TEST(ExplorerTest, FingerprintPruningFires) {
+  ScenarioOptions opt = bug_options();
+  opt.max_steps = 12;
+  ExplorerOptions eo;
+  eo.max_states = 5000;
+  eo.stop_at_first = false;
+  // A deliberately coarse fingerprint (just the clock) collapses every
+  // same-depth state; this exercises the pruning path, not precision.
+  eo.fingerprint = [](const sim::Simulator& s) { return s.now(); };
+  Explorer ex(ScenarioFactory(opt).builder(), eo);
+  const ExploreReport rep = ex.run();
+  EXPECT_GT(rep.stats.fp_prunes, 0u);
+}
+
+TEST(ShrinkTest, ShrunkCounterexampleStillReproduces) {
+  const ScenarioBuilder build = ScenarioFactory(bug_options()).builder();
+  Explorer ex(build, ExplorerOptions{});
+  const ExploreReport rep = ex.run();
+  ASSERT_TRUE(rep.cex.has_value());
+
+  const ShrinkResult s =
+      shrink(build, rep.cex->decisions, rep.cex->violation.property);
+  EXPECT_LE(s.decisions.size(), rep.cex->decisions.size());
+  const ReplayOutcome out = run_replay(build, s.decisions);
+  ASSERT_TRUE(out.violation.has_value());
+  EXPECT_EQ(out.violation->property, rep.cex->violation.property);
+}
+
+TEST(ReplayTest, ReplayIsDeterministic) {
+  const ScenarioBuilder build = ScenarioFactory(bug_options()).builder();
+  Explorer ex(build, ExplorerOptions{});
+  const ExploreReport rep = ex.run();
+  ASSERT_TRUE(rep.cex.has_value());
+  const ReplayOutcome a = run_replay(build, rep.cex->decisions);
+  const ReplayOutcome b = run_replay(build, rep.cex->decisions);
+  ASSERT_TRUE(a.violation.has_value());
+  ASSERT_TRUE(b.violation.has_value());
+  EXPECT_EQ(a.violation->message, b.violation->message);
+  EXPECT_EQ(a.steps, b.steps);
+}
+
+TEST(ReplayTest, FileRoundTrip) {
+  ReplayFile f;
+  f.scenario = bug_options();
+  f.scenario.crashes = 0;
+  f.scenario.stabilization = 20;
+  f.decisions = {3, 1, 4, 1, 5};
+  f.note = "agreement(decide): example";
+  std::string error;
+  const auto parsed = parse_replay(to_text(f), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->scenario.problem, f.scenario.problem);
+  EXPECT_EQ(parsed->scenario.n, f.scenario.n);
+  EXPECT_EQ(parsed->scenario.max_steps, f.scenario.max_steps);
+  EXPECT_EQ(parsed->scenario.stabilization, f.scenario.stabilization);
+  EXPECT_EQ(parsed->decisions, f.decisions);
+  EXPECT_EQ(parsed->note, f.note);
+}
+
+TEST(ReplayTest, ParseRejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(parse_replay("problem=consensus\n", &error).has_value());
+  EXPECT_FALSE(parse_replay("decisions=1,x\n", &error).has_value());
+  EXPECT_FALSE(
+      parse_replay("problem=nope\ndecisions=1\n", &error).has_value());
+}
+
+TEST(CampaignTest, FindsSeededBugAndShrinksIt) {
+  CampaignOptions co;
+  co.threads = 4;
+  co.runs = 2000;
+  co.frontier_workers = 2;
+  co.frontier_states = 2000;
+  const ScenarioBuilder build = ScenarioFactory(bug_options()).builder();
+  const CampaignReport rep = run_campaign(build, co);
+  ASSERT_TRUE(rep.cex.has_value());
+  EXPECT_EQ(rep.cex->violation.property, "agreement(decide)");
+  EXPECT_GT(rep.violations, 0u);
+  // The claimed counterexample was shrunk and still reproduces.
+  EXPECT_GT(rep.shrunk_from, 0u);
+  const ReplayOutcome out = run_replay(build, rep.cex->decisions);
+  ASSERT_TRUE(out.violation.has_value());
+  EXPECT_EQ(out.violation->property, "agreement(decide)");
+}
+
+// Legality sweeps: the correct protocols with choice-driven (adversarial
+// but legal) detector histories must never violate their safety clauses.
+TEST(CampaignTest, CorrectProtocolsStayClean) {
+  for (const char* problem : {"consensus", "qc", "nbac", "sigma"}) {
+    ScenarioOptions opt;
+    opt.problem = problem;
+    opt.n = 3;
+    opt.crashes = 1;
+    opt.max_steps = 50;
+    if (opt.problem == "nbac") opt.nbac_no_voter = 0;
+    CampaignOptions co;
+    co.threads = 4;
+    co.runs = 300;
+    co.shrink = false;
+    const CampaignReport rep =
+        run_campaign(ScenarioFactory(opt).builder(), co);
+    EXPECT_FALSE(rep.cex.has_value())
+        << problem << ": " << rep.cex->violation.property << " — "
+        << rep.cex->violation.message;
+    EXPECT_EQ(rep.violations, 0u) << problem;
+    EXPECT_EQ(rep.runs, 300u) << problem;
+  }
+}
+
+}  // namespace
+}  // namespace wfd::explore

@@ -1,0 +1,321 @@
+// wfd_check — systematic schedule exploration and property checking.
+//
+// Drives small instances of the library's protocols through every
+// source of nondeterminism (schedules, detector histories, crash times)
+// and checks the specification clauses on each run. Three modes:
+//
+//   wfd_check --problem=consensus --n=3 --exhaustive --depth=40
+//       Bounded DFS over the whole choice tree (sleep-set and
+//       oldest-per-channel reductions; --max-states budget).
+//
+//   wfd_check --problem=qc --n=3 --campaign --runs=20000 --threads=8
+//       Parallel randomized campaign: recorded random walks plus
+//       randomized-order DFS frontier workers.
+//
+//   wfd_check --replay=cex.wfdr
+//       Deterministic re-execution of a saved counterexample.
+//
+// A found safety violation is shrunk to a minimal decision sequence,
+// printed, optionally saved with --save=FILE, and exits with status 3;
+// a clean exploration exits 0; usage or setup errors exit 1.
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "explore/campaign.h"
+#include "explore/explorer.h"
+#include "explore/replay_io.h"
+#include "explore/scenario.h"
+#include "explore/shrink.h"
+
+using namespace wfd;
+
+namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitViolation = 3;
+
+struct Args {
+  explore::ScenarioOptions scenario;
+  enum class Mode { kExhaustive, kCampaign, kReplay } mode = Mode::kExhaustive;
+  std::string replay_path;
+  std::string save_path;
+  std::uint64_t max_states = 100000;
+  std::uint64_t runs = 10000;
+  int threads = 4;
+  int frontier = 2;
+  bool sleep_sets = true;
+  bool shrink = true;
+  bool json = false;
+};
+
+void usage() {
+  std::printf(
+      "usage: wfd_check [--problem=consensus|consensus-bug|qc|nbac|sigma]\n"
+      "                 [--n=N] [--crashes=K] [--crash-time=T]\n"
+      "                 [--depth=T] [--seed=S] [--stab=T]\n"
+      "                 [--fd=flap|static] [--nbac-no-voter=P]\n"
+      "                 [--exhaustive | --campaign | --replay=FILE]\n"
+      "                 [--max-states=N] [--runs=N] [--threads=N]\n"
+      "                 [--frontier=N] [--no-sleep-sets] [--no-shrink]\n"
+      "                 [--no-lambda] [--all-pending] [--save=FILE]\n"
+      "                 [--json]\n"
+      "\n"
+      "exit status: 0 no violation, 3 violation found, 1 usage error\n");
+}
+
+bool parse(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* key) -> std::optional<std::string> {
+      const std::string prefix = std::string("--") + key + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    explore::ScenarioOptions& s = a.scenario;
+    if (arg == "--help" || arg == "-h") return false;
+    if (auto v = val("problem")) {
+      s.problem = *v;
+    } else if (auto v2 = val("n")) {
+      s.n = std::atoi(v2->c_str());
+    } else if (auto v3 = val("crashes")) {
+      s.crashes = std::atoi(v3->c_str());
+    } else if (auto v4 = val("crash-time")) {
+      s.crash_time = std::strtoull(v4->c_str(), nullptr, 10);
+    } else if (auto v5 = val("depth")) {
+      s.max_steps = std::strtoull(v5->c_str(), nullptr, 10);
+    } else if (auto v6 = val("seed")) {
+      s.seed = std::strtoull(v6->c_str(), nullptr, 10);
+    } else if (auto v7 = val("stab")) {
+      s.stabilization = std::strtoull(v7->c_str(), nullptr, 10);
+    } else if (auto v8 = val("fd")) {
+      if (*v8 != "flap" && *v8 != "static") return false;
+      s.fd_per_query = (*v8 == "flap");
+    } else if (auto v9 = val("nbac-no-voter")) {
+      s.nbac_no_voter = std::atoi(v9->c_str());
+    } else if (arg == "--exhaustive") {
+      a.mode = Args::Mode::kExhaustive;
+    } else if (arg == "--campaign") {
+      a.mode = Args::Mode::kCampaign;
+    } else if (auto v10 = val("replay")) {
+      a.mode = Args::Mode::kReplay;
+      a.replay_path = *v10;
+    } else if (auto v11 = val("save")) {
+      a.save_path = *v11;
+    } else if (auto v12 = val("max-states")) {
+      a.max_states = std::strtoull(v12->c_str(), nullptr, 10);
+    } else if (auto v13 = val("runs")) {
+      a.runs = std::strtoull(v13->c_str(), nullptr, 10);
+    } else if (auto v14 = val("threads")) {
+      a.threads = std::atoi(v14->c_str());
+    } else if (auto v15 = val("frontier")) {
+      a.frontier = std::atoi(v15->c_str());
+    } else if (arg == "--no-sleep-sets") {
+      a.sleep_sets = false;
+    } else if (arg == "--no-shrink") {
+      a.shrink = false;
+    } else if (arg == "--no-lambda") {
+      a.scenario.lambda_always = false;
+    } else if (arg == "--all-pending") {
+      a.scenario.oldest_per_channel = false;
+    } else if (arg == "--json") {
+      a.json = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string decisions_to_text(const sim::DecisionLog& log) {
+  std::string out;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(log[i]);
+  }
+  return out;
+}
+
+/// Shrink, print, optionally save. Returns the process exit status.
+int report_cex(const Args& a, const explore::ScenarioBuilder& build,
+               explore::Counterexample cex, const char* how) {
+  std::uint64_t shrunk_from = 0;
+  if (a.shrink) {
+    const explore::ShrinkResult s =
+        explore::shrink(build, cex.decisions, cex.violation.property);
+    shrunk_from = s.original_size;
+    cex.decisions = s.decisions;
+  }
+  if (a.json) {
+    std::printf(
+        "{\"verdict\":\"violation\",\"property\":\"%s\",\"message\":\"%s\","
+        "\"mode\":\"%s\",\"decisions\":\"%s\",\"shrunk_from\":%llu}\n",
+        cex.violation.property.c_str(), cex.violation.message.c_str(), how,
+        decisions_to_text(cex.decisions).c_str(),
+        static_cast<unsigned long long>(shrunk_from));
+  } else {
+    std::printf("VIOLATION of %s (%s)\n", cex.violation.property.c_str(),
+                how);
+    std::printf("  %s\n", cex.violation.message.c_str());
+    if (shrunk_from != 0) {
+      std::printf("  shrunk: %llu -> %llu decisions\n",
+                  static_cast<unsigned long long>(shrunk_from),
+                  static_cast<unsigned long long>(cex.decisions.size()));
+    }
+    std::printf("  decisions: [%s]\n",
+                decisions_to_text(cex.decisions).c_str());
+  }
+  if (!a.save_path.empty()) {
+    explore::ReplayFile rf;
+    rf.scenario = a.scenario;
+    rf.decisions = cex.decisions;
+    rf.note = cex.violation.property + ": " + cex.violation.message;
+    if (!explore::save_replay(a.save_path, rf)) {
+      std::fprintf(stderr, "cannot write %s\n", a.save_path.c_str());
+      return kExitUsage;
+    }
+    if (!a.json) {
+      std::printf("  saved: %s (re-run with --replay=%s)\n",
+                  a.save_path.c_str(), a.save_path.c_str());
+    }
+  }
+  return kExitViolation;
+}
+
+int run_exhaustive(const Args& a) {
+  const explore::ScenarioBuilder build =
+      explore::ScenarioFactory(a.scenario).builder();
+  explore::ExplorerOptions eo;
+  eo.max_states = a.max_states;
+  eo.sleep_sets = a.sleep_sets;
+  explore::Explorer ex(build, eo);
+  const explore::ExploreReport rep = ex.run();
+  const auto& st = rep.stats;
+  if (a.json && !rep.cex.has_value()) {
+    std::printf(
+        "{\"verdict\":\"clean\",\"mode\":\"exhaustive\",\"states\":%llu,"
+        "\"runs\":%llu,\"steps\":%llu,\"sleep_skips\":%llu,"
+        "\"exhausted\":%s}\n",
+        static_cast<unsigned long long>(st.nodes),
+        static_cast<unsigned long long>(st.runs),
+        static_cast<unsigned long long>(st.steps),
+        static_cast<unsigned long long>(st.sleep_skips),
+        st.exhausted ? "true" : "false");
+    return kExitClean;
+  }
+  if (!a.json) {
+    std::printf(
+        "explored %llu states across %llu runs (%llu steps, "
+        "%llu sleep-set skips): %s\n",
+        static_cast<unsigned long long>(st.nodes),
+        static_cast<unsigned long long>(st.runs),
+        static_cast<unsigned long long>(st.steps),
+        static_cast<unsigned long long>(st.sleep_skips),
+        st.exhausted          ? "tree exhausted"
+        : rep.cex.has_value() ? "stopped at violation"
+                              : "budget reached");
+  }
+  if (rep.cex.has_value()) return report_cex(a, build, *rep.cex, "exhaustive");
+  std::printf("no violation found\n");
+  return kExitClean;
+}
+
+int run_campaign_mode(const Args& a) {
+  const explore::ScenarioBuilder build =
+      explore::ScenarioFactory(a.scenario).builder();
+  explore::CampaignOptions co;
+  co.threads = a.threads;
+  co.runs = a.runs;
+  co.seed = a.scenario.seed;
+  co.shrink = a.shrink;
+  co.frontier_workers = a.frontier;
+  co.frontier_states = a.max_states;
+  const explore::CampaignReport rep = explore::run_campaign(build, co);
+  if (a.json && !rep.cex.has_value()) {
+    std::printf(
+        "{\"verdict\":\"clean\",\"mode\":\"campaign\",\"runs\":%llu,"
+        "\"steps\":%llu,\"frontier_states\":%llu,"
+        "\"liveness_suspects\":%llu}\n",
+        static_cast<unsigned long long>(rep.runs),
+        static_cast<unsigned long long>(rep.steps),
+        static_cast<unsigned long long>(rep.nodes),
+        static_cast<unsigned long long>(rep.liveness_suspects));
+    return kExitClean;
+  }
+  std::printf(
+      "campaign: %llu random runs, %llu frontier states, %llu steps, "
+      "%llu liveness suspects\n",
+      static_cast<unsigned long long>(rep.runs),
+      static_cast<unsigned long long>(rep.nodes),
+      static_cast<unsigned long long>(rep.steps),
+      static_cast<unsigned long long>(rep.liveness_suspects));
+  if (rep.cex.has_value()) {
+    // The campaign already shrank it (when enabled).
+    Args no_reshrink = a;
+    no_reshrink.shrink = false;
+    return report_cex(no_reshrink, build, *rep.cex, "campaign");
+  }
+  std::printf("no violation found\n");
+  return kExitClean;
+}
+
+int run_replay_mode(const Args& a) {
+  std::string error;
+  const auto rf = explore::load_replay(a.replay_path, &error);
+  if (!rf.has_value()) {
+    std::fprintf(stderr, "bad replay file: %s\n", error.c_str());
+    return kExitUsage;
+  }
+  const explore::ScenarioBuilder build =
+      explore::ScenarioFactory(rf->scenario).builder();
+  const explore::ReplayOutcome out =
+      explore::run_replay(build, rf->decisions);
+  if (out.violation.has_value()) {
+    if (a.json) {
+      std::printf(
+          "{\"verdict\":\"violation\",\"property\":\"%s\",\"message\":\"%s\","
+          "\"mode\":\"replay\",\"steps\":%llu}\n",
+          out.violation->property.c_str(), out.violation->message.c_str(),
+          static_cast<unsigned long long>(out.steps));
+    } else {
+      std::printf("VIOLATION of %s (replay, %llu steps)\n",
+                  out.violation->property.c_str(),
+                  static_cast<unsigned long long>(out.steps));
+      std::printf("  %s\n", out.violation->message.c_str());
+    }
+    return kExitViolation;
+  }
+  std::printf("replay clean: %llu steps, all done: %s\n",
+              static_cast<unsigned long long>(out.steps),
+              out.all_done ? "yes" : "no");
+  return kExitClean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse(argc, argv, a)) {
+    usage();
+    return kExitUsage;
+  }
+  if (a.mode != Args::Mode::kReplay) {
+    const std::string why = explore::ScenarioFactory::validate(a.scenario);
+    if (!why.empty()) {
+      std::fprintf(stderr, "invalid scenario: %s\n", why.c_str());
+      return kExitUsage;
+    }
+  }
+  switch (a.mode) {
+    case Args::Mode::kExhaustive:
+      return run_exhaustive(a);
+    case Args::Mode::kCampaign:
+      return run_campaign_mode(a);
+    case Args::Mode::kReplay:
+      return run_replay_mode(a);
+  }
+  return kExitUsage;
+}
