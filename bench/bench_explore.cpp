@@ -42,12 +42,13 @@ void BM_ExplorerDfs(benchmark::State& state) {
 }
 BENCHMARK(BM_ExplorerDfs)->Arg(2)->Arg(3)->Arg(4);
 
-void BM_ExplorerDfsNoSleepSets(benchmark::State& state) {
+void BM_ExplorerDfsNoReduction(benchmark::State& state) {
   const ScenarioBuilder build =
       ScenarioFactory(consensus_options(3, 25)).builder();
   ExplorerOptions eo;
   eo.max_states = 5000;
-  eo.sleep_sets = false;
+  eo.reduction = Reduction::kNone;
+  eo.state_fingerprints = false;
   std::uint64_t states = 0;
   for (auto _ : state) {
     Explorer ex(build, eo);
@@ -56,7 +57,96 @@ void BM_ExplorerDfsNoSleepSets(benchmark::State& state) {
   state.counters["states/s"] = benchmark::Counter(
       static_cast<double>(states), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_ExplorerDfsNoSleepSets);
+BENCHMARK(BM_ExplorerDfsNoReduction);
+
+// DPOR-vs-sleep-set ablation: the same exhaustible scenarios explored
+// to completion under both reductions, with fingerprint pruning OFF so
+// the comparison isolates the reduction itself. The interesting numbers
+// are the per-scenario counters: states explored, runs, prunes, races,
+// backtrack points; wall time is the benchmark's own metric. Depths and
+// static detector histories are chosen so every case exhausts within
+// the state cap under both reductions.
+struct AblationCase {
+  const char* name;
+  ScenarioOptions opt;
+};
+
+const std::vector<AblationCase>& ablation_cases() {
+  static const std::vector<AblationCase>* cases = [] {
+    auto* v = new std::vector<AblationCase>;
+    {
+      AblationCase c{"consensus-n3", {}};
+      c.opt = consensus_options(3, 10);
+      c.opt.fd_per_query = false;
+      v->push_back(c);
+    }
+    {
+      AblationCase c{"consensus-bug-n3", {}};
+      c.opt.problem = "consensus-bug";
+      c.opt.n = 3;
+      c.opt.max_steps = 9;
+      v->push_back(c);
+    }
+    {
+      AblationCase c{"qc-n3", {}};
+      c.opt.problem = "qc";
+      c.opt.n = 3;
+      c.opt.max_steps = 10;
+      c.opt.fd_per_query = false;
+      v->push_back(c);
+    }
+    {
+      AblationCase c{"register-n3", {}};
+      c.opt.problem = "register";
+      c.opt.n = 3;
+      c.opt.max_steps = 12;
+      c.opt.reg_ops = 1;
+      c.opt.reg_readers = 1;
+      c.opt.fd_per_query = false;
+      v->push_back(c);
+    }
+    {
+      AblationCase c{"abcast-n2", {}};
+      c.opt.problem = "abcast";
+      c.opt.n = 2;
+      c.opt.max_steps = 8;
+      c.opt.abcast_senders = 1;
+      v->push_back(c);
+    }
+    return v;
+  }();
+  return *cases;
+}
+
+void BM_ReductionAblation(benchmark::State& state) {
+  const AblationCase& c =
+      ablation_cases()[static_cast<std::size_t>(state.range(0))];
+  const bool dpor = state.range(1) == 0;
+  const ScenarioBuilder build = ScenarioFactory(c.opt).builder();
+  ExplorerOptions eo;
+  eo.max_states = 3000000;
+  eo.stop_at_first = false;  // Violating scenarios still explore fully.
+  eo.reduction = dpor ? Reduction::kDpor : Reduction::kSleepSets;
+  eo.state_fingerprints = false;
+  ExploreStats last{};
+  for (auto _ : state) {
+    Explorer ex(build, eo);
+    last = ex.run().stats;
+  }
+  state.SetLabel(std::string(c.name) + "/" +
+                 (dpor ? "dpor" : "sleep-sets"));
+  state.counters["states"] = static_cast<double>(last.nodes);
+  state.counters["runs"] = static_cast<double>(last.runs);
+  state.counters["fp_prunes"] = static_cast<double>(last.fp_prunes);
+  state.counters["sleep_skips"] = static_cast<double>(last.sleep_skips);
+  state.counters["hb_races"] = static_cast<double>(last.hb_races);
+  state.counters["backtrack_points"] =
+      static_cast<double>(last.backtrack_points);
+  state.counters["exhausted"] = last.exhausted ? 1 : 0;
+}
+BENCHMARK(BM_ReductionAblation)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_RecordedRandomWalk(benchmark::State& state) {
   const ScenarioBuilder build =

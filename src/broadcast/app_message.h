@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "common/types.h"
+#include "sim/state_encoder.h"
 
 namespace wfd::broadcast {
 
@@ -13,6 +14,12 @@ struct AppMessage {
   ProcessId origin = kNoProcess;
   std::uint64_t seq = 0;
   std::int64_t body = 0;
+
+  void encode_state(sim::StateEncoder& enc) const {
+    enc.field("origin", origin);
+    enc.field("seq", seq);
+    enc.field("body", body);
+  }
 
   friend bool operator==(const AppMessage& a, const AppMessage& b) {
     return a.origin == b.origin && a.seq == b.seq;

@@ -42,6 +42,11 @@ class UrbModule : public sim::Module {
     return m.seq;
   }
 
+  /// A queued broadcast is work that must keep the run alive until the
+  /// sending tick, or an abcast issued before the first step would let
+  /// the simulator halt with every module trivially done.
+  [[nodiscard]] bool done() const override { return outbox_.empty(); }
+
   [[nodiscard]] std::uint64_t delivered_count() const { return delivered_n_; }
   [[nodiscard]] const std::vector<AppMessage>& delivered_log() const {
     return log_;
@@ -62,10 +67,28 @@ class UrbModule : public sim::Module {
     }
   }
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("next-seq", next_seq_);
+    sim::encode_field(enc, "outbox", outbox_);
+    for (const auto& [origin, seq] : seen_) {
+      sim::StateEncoder sub;
+      sub.field("origin", origin);
+      sub.field("seq", seq);
+      enc.merge("seen", sub);
+    }
+    sim::encode_field(enc, "log", log_);
+    enc.field("delivered", delivered_n_);
+  }
+
  private:
   struct Echo final : sim::Payload {
     explicit Echo(AppMessage m) : message(m) {}
     AppMessage message;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.push("echo");
+      message.encode_state(enc);
+      enc.pop();
+    }
   };
 
   void handle(const AppMessage& m) {

@@ -36,6 +36,13 @@ class ConsensusFromAbcastModule : public sim::Module,
   void on_start() override { ensure_abcast(); }
   void on_message(ProcessId, const sim::Payload&) override {}
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("has-abcast", ab_ != nullptr);
+    enc.field("proposed", proposed_);
+    enc.field("decided", decided_);
+    enc.field("decision", decision_);
+  }
+
  private:
   broadcast::AtomicBroadcastModule& ensure_abcast() {
     if (ab_ == nullptr) {

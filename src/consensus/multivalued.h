@@ -71,10 +71,29 @@ class MultivaluedFromBinaryModule : public sim::Module,
     }
   }
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("proposed", proposed_);
+    enc.field("initialized", initialized_);
+    sim::encode_field(enc, "proposal", proposal_);
+    for (const auto& [p, v] : known_) {
+      enc.push("known", static_cast<std::uint64_t>(p));
+      sim::encode_field(enc, "val", v);
+      enc.pop();
+    }
+    enc.field("k", k_);
+    enc.field("waiting", waiting_);
+    enc.field("decided", decided_);
+    sim::encode_field(enc, "decision", decision_);
+  }
+
  private:
   struct ProposalMsg final : sim::Payload {
     explicit ProposalMsg(V v) : value(std::move(v)) {}
     V value;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "proposal");
+      sim::encode_field(enc, "value", value);
+    }
   };
 
   void start_instance() {

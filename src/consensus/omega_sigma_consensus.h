@@ -157,12 +157,35 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
     start_round();
   }
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("proposed", proposed_);
+    sim::encode_field(enc, "proposal", proposal_);
+    enc.field("promised", promised_);
+    enc.field("accepted-round", accepted_round_);
+    sim::encode_field(enc, "accepted-val", accepted_val_);
+    enc.field("leading", leading_);
+    enc.field("phase", phase_);
+    enc.field("round", round_);
+    enc.field("max-seen", max_seen_);
+    enc.field("stall", stall_);
+    enc.field("repliers", repliers_);
+    enc.field("best-round", best_round_);
+    sim::encode_field(enc, "best-val", best_val_);
+    sim::encode_field(enc, "chosen", chosen_);
+    enc.field("decided", decided_);
+    sim::encode_field(enc, "decision", decision_);
+  }
+
  private:
   using Round = std::uint64_t;
 
   struct Prepare final : sim::Payload {
     explicit Prepare(Round r) : round(r) {}
     Round round;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "prepare");
+      enc.field("round", round);
+    }
   };
   struct Promise final : sim::Payload {
     Promise(Round r, Round ar, std::optional<V> av)
@@ -170,24 +193,48 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
     Round round;
     Round accepted_round;
     std::optional<V> accepted_val;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "promise");
+      enc.field("round", round);
+      enc.field("accepted-round", accepted_round);
+      sim::encode_field(enc, "accepted-val", accepted_val);
+    }
   };
   struct Accept final : sim::Payload {
     Accept(Round r, V v) : round(r), value(std::move(v)) {}
     Round round;
     V value;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "accept");
+      enc.field("round", round);
+      sim::encode_field(enc, "value", value);
+    }
   };
   struct Accepted final : sim::Payload {
     explicit Accepted(Round r) : round(r) {}
     Round round;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "accepted");
+      enc.field("round", round);
+    }
   };
   struct Nack final : sim::Payload {
     Nack(Round r, Round p) : round(r), promised(p) {}
     Round round;
     Round promised;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "nack");
+      enc.field("round", round);
+      enc.field("promised", promised);
+    }
   };
   struct Decide final : sim::Payload {
     explicit Decide(V v) : value(std::move(v)) {}
     V value;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "decide");
+      sim::encode_field(enc, "value", value);
+    }
   };
 
   /// Smallest round owned by self strictly greater than `after`.

@@ -42,6 +42,13 @@ struct BallotBlock {
   std::uint64_t bal = 0;   ///< Round of the accepted value.
   std::optional<V> val;    ///< Accepted value, if any.
   std::optional<V> decided;
+
+  void encode_state(sim::StateEncoder& enc) const {
+    enc.field("mbal", mbal);
+    enc.field("bal", bal);
+    sim::encode_field(enc, "val", val);
+    sim::encode_field(enc, "decided", decided);
+  }
 };
 
 template <typename V>
@@ -111,10 +118,31 @@ class RegisterConsensusModule : public sim::Module, public ConsensusApi<V> {
     start_attempt();
   }
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("proposed", proposed_);
+    sim::encode_field(enc, "proposal", proposal_);
+    sim::encode_field(enc, "block", block_);
+    enc.field("attempt-active", attempt_active_);
+    enc.field("in-flight", in_flight_);
+    enc.field("attempt", attempt_);
+    enc.field("round", round_);
+    enc.field("max-seen", max_seen_);
+    enc.field("stall", stall_);
+    enc.field("best-bal", best_bal_);
+    sim::encode_field(enc, "best-val", best_val_);
+    sim::encode_field(enc, "chosen", chosen_);
+    enc.field("decided", decided_);
+    sim::encode_field(enc, "decision", decision_);
+  }
+
  private:
   struct DecideMsg final : sim::Payload {
     explicit DecideMsg(V v) : value(std::move(v)) {}
     V value;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "decide");
+      sim::encode_field(enc, "value", value);
+    }
   };
 
   [[nodiscard]] std::uint64_t next_own_round(std::uint64_t after) const {

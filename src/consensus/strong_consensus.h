@@ -137,16 +137,38 @@ class StrongConsensusModule : public sim::Module, public ConsensusApi<V> {
     }
   }
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("proposed", proposed_);
+    enc.field("initialized", initialized_);
+    sim::encode_field(enc, "values", values_);
+    enc.field("round", round_);
+    enc.field("round-sent", round_sent_);
+    sim::encode_field(enc, "round-flags", round_flags_);
+    enc.field("phase2-sent", phase2_sent_);
+    sim::encode_field(enc, "phase2-sets", phase2_sets_);
+    enc.field("decided", decided_);
+    sim::encode_field(enc, "decision", decision_);
+  }
+
  private:
   struct RoundMsg final : sim::Payload {
     RoundMsg(std::uint32_t r, std::vector<V> v)
         : round(r), values(std::move(v)) {}
     std::uint32_t round;
     std::vector<V> values;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "round");
+      enc.field("round", round);
+      sim::encode_field(enc, "values", values);
+    }
   };
   struct SetMsg final : sim::Payload {
     explicit SetMsg(std::vector<V> v) : values(std::move(v)) {}
     std::vector<V> values;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "set");
+      sim::encode_field(enc, "values", values);
+    }
   };
 
   void ensure_init() {

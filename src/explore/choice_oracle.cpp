@@ -140,6 +140,28 @@ fd::PsiValue ChoiceOracle::psi_value(ProcessId p, Time t) {
   return fd::PsiValue::failure_signal(fs_value(psi_fs_red_, p, t));
 }
 
+void ChoiceOracle::encode_state(sim::StateEncoder& enc, Time now) const {
+  // All latches that steer future query answers; the stabilization
+  // boundary is folded as a remaining delta so runs that reach the same
+  // latch state at different absolute times hash equally only when the
+  // same amount of pre-stabilization freedom remains.
+  if (opt_.stabilization != kNever && opt_.stabilization > now) {
+    enc.field("stabilize-in", opt_.stabilization - now);
+  } else {
+    enc.field("stabilized", opt_.stabilization != kNever);
+  }
+  enc.field("static-omega", static_omega_);
+  enc.field("static-sigma", static_sigma_);
+  for (std::size_t p = 0; p < fs_red_.size(); ++p) {
+    enc.push("proc", p);
+    enc.field("fs-red", static_cast<bool>(fs_red_[p]));
+    enc.field("psi-fs-red", static_cast<bool>(psi_fs_red_[p]));
+    enc.field("psi-switched", static_cast<bool>(psi_switched_[p]));
+    enc.pop();
+  }
+  enc.field("psi-branch", psi_branch_);
+}
+
 fd::FdValue ChoiceOracle::query(ProcessId p, Time t) {
   fd::FdValue v;
   if (opt_.omega) v.omega = omega_value(t);

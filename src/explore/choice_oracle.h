@@ -57,6 +57,7 @@ class ChoiceOracle : public fd::Oracle {
                  Time horizon) override;
   fd::FdValue query(ProcessId p, Time t) override;
   [[nodiscard]] std::string name() const override { return "choice"; }
+  void encode_state(sim::StateEncoder& enc, Time now) const override;
 
  private:
   [[nodiscard]] std::size_t pick(const std::vector<std::uint64_t>& labels);

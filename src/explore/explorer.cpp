@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "sim/scheduler.h"
+#include "sim/state_encoder.h"
 
 namespace wfd::explore {
 
@@ -49,7 +50,10 @@ class Explorer::DfsSource : public sim::ChoiceSource {
       f.start = static_cast<std::uint32_t>(
           mix(ex.opt_.order_seed ^ ex.stats_.nodes) % labels.size());
     }
-    if (kind == sim::ChoiceKind::kSchedule && ex.opt_.sleep_sets) {
+    const bool dpor_schedule = kind == sim::ChoiceKind::kSchedule &&
+                               ex.opt_.reduction == Reduction::kDpor;
+    if (kind == sim::ChoiceKind::kSchedule &&
+        ex.opt_.reduction != Reduction::kNone) {
       // Inherit the sleep set along the edge from the nearest schedule
       // ancestor g: everything asleep or already explored at g stays
       // asleep here unless it involves the process that just acted.
@@ -70,9 +74,13 @@ class Explorer::DfsSource : public sim::ChoiceSource {
       }
     }
     const std::optional<std::uint32_t> first =
-        ex.next_choice(f, /*counting_skips=*/true);
+        dpor_schedule ? ex.dpor_default_choice(f)
+                      : ex.next_choice(f, /*counting_skips=*/true);
     if (first.has_value()) {
       f.chosen = *first;
+      // Under DPOR the frame starts out owing only its default child;
+      // race insertion grows the debt.
+      if (dpor_schedule) f.backtrack.push_back(f.labels[f.chosen]);
     } else {
       // Every option is asleep: the subtree is covered elsewhere. Pick
       // an arbitrary option to satisfy the caller and have the explorer
@@ -102,9 +110,12 @@ Explorer::Explorer(ScenarioBuilder build, ExplorerOptions opt)
 std::optional<std::uint32_t> Explorer::next_choice(Frame& f,
                                                    bool counting_skips) {
   const std::size_t k = f.labels.size();
+  const bool dpor_schedule = f.kind == sim::ChoiceKind::kSchedule &&
+                             opt_.reduction == Reduction::kDpor;
   for (std::size_t i = 0; i < k; ++i) {
     const auto idx = static_cast<std::uint32_t>((f.start + i) % k);
     const std::uint64_t label = f.labels[idx];
+    if (dpor_schedule && !contains(f.backtrack, label)) continue;
     if (contains(f.explored, label)) continue;
     if (contains(f.sleep, label)) {
       if (counting_skips) ++stats_.sleep_skips;
@@ -113,6 +124,171 @@ std::optional<std::uint32_t> Explorer::next_choice(Frame& f,
     return idx;
   }
   return std::nullopt;
+}
+
+std::optional<std::uint32_t> Explorer::dpor_default_choice(Frame& f) {
+  // Round-robin fairness: prefer the successor of the process that acted
+  // at the nearest schedule ancestor. A greedy "first label" default
+  // would keep stepping process 0 and push everyone else's turns into
+  // backtrack churn; rotating actors keeps default runs representative
+  // and the backtrack sets small.
+  int pref = 0;
+  if (opt_.order_seed != 0) {
+    pref = static_cast<int>(mix(opt_.order_seed ^ stats_.nodes) %
+                            kMaxProcesses);
+  } else {
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+      if (it->kind != sim::ChoiceKind::kSchedule) continue;
+      pref = (sim::ReplayScheduler::label_process(it->labels[it->chosen]) +
+              1) %
+             kMaxProcesses;
+      break;
+    }
+  }
+  std::optional<std::uint32_t> best;
+  std::uint64_t bd = 0, bl = 0, bm = 0;
+  for (std::uint32_t i = 0; i < f.labels.size(); ++i) {
+    const std::uint64_t label = f.labels[i];
+    if (contains(f.explored, label)) continue;
+    if (contains(f.sleep, label)) {
+      ++stats_.sleep_skips;
+      continue;
+    }
+    const int p = sim::ReplayScheduler::label_process(label);
+    const std::uint64_t msg = sim::ReplayScheduler::label_message(label);
+    const auto d =
+        static_cast<std::uint64_t>((p - pref + kMaxProcesses) % kMaxProcesses);
+    const std::uint64_t lam = (msg == 0) ? 1 : 0;  // Deliveries first.
+    if (!best.has_value() || d < bd ||
+        (d == bd && (lam < bl || (lam == bl && msg < bm)))) {
+      best = i;
+      bd = d;
+      bl = lam;
+      bm = msg;
+    }
+  }
+  return best;
+}
+
+bool Explorer::add_backtrack(Frame& f, std::uint64_t label) {
+  if (contains(f.backtrack, label)) return false;
+  f.backtrack.push_back(label);
+  ++stats_.backtrack_points;
+  return true;
+}
+
+bool Explorer::insert_backtrack(Frame& f, ProcessId receiver,
+                                std::uint64_t msg, ProcessId sender) {
+  const std::uint64_t want = sim::ReplayScheduler::label(receiver, msg);
+  if (contains(f.labels, want)) return add_backtrack(f, want);
+  // Oldest-per-channel delivery hid the exact message behind an older
+  // one from the same sender; delivering that one is the first move of
+  // every schedule that delivers `msg` here, so it stands in.
+  for (std::uint64_t label : f.labels) {
+    const std::uint64_t m = sim::ReplayScheduler::label_message(label);
+    if (m == 0 || sim::ReplayScheduler::label_process(label) != receiver) {
+      continue;
+    }
+    const auto it = msgs_.find(m);
+    if (it != msgs_.end() && it->second.sender == sender) {
+      return add_backtrack(f, label);
+    }
+  }
+  // Unreachable in practice — the message was pending, so its channel
+  // offers some delivery — but degrade to full expansion, not silence.
+  bool any = false;
+  for (std::uint64_t label : f.labels) any = add_backtrack(f, label) || any;
+  return any;
+}
+
+void Explorer::expand_path_on_prune() {
+  for (Frame& f : frames_) {
+    if (f.kind != sim::ChoiceKind::kSchedule) continue;
+    for (std::uint64_t label : f.labels) add_backtrack(f, label);
+  }
+}
+
+void Explorer::race_delivery(ProcessId p, std::uint64_t msg,
+                             const MsgInfo& mi) {
+  const auto pi = static_cast<std::size_t>(p);
+  const std::uint64_t send_knows_p = mi.clock[pi];
+  const auto& events = proc_events_[pi];
+  for (std::size_t j = events.size(); j-- > 0;) {
+    const StepRec& ej = events[j];
+    // All three guards are monotone going backward, so they end the scan.
+    if (mi.sent_time >= ej.time) break;  // Not yet sent: no race.
+    if (send_knows_p >= j + 1) break;    // Send happens-after e_j.
+    if (ej.is_start) break;              // No delivery before start.
+    if (ej.frame >= 0 &&
+        insert_backtrack(frames_[static_cast<std::size_t>(ej.frame)], p, msg,
+                         mi.sender)) {
+      ++stats_.hb_races;
+    }
+  }
+}
+
+void Explorer::race_lambda(ProcessId p) {
+  const auto& events = proc_events_[static_cast<std::size_t>(p)];
+  if (events.empty()) return;
+  const StepRec& ej = events.back();
+  if (!ej.is_start && ej.delivered != 0 && ej.frame >= 0 &&
+      add_backtrack(frames_[static_cast<std::size_t>(ej.frame)],
+                    sim::ReplayScheduler::label(p, 0))) {
+    ++stats_.hb_races;
+  }
+}
+
+void Explorer::end_of_run_races(sim::Simulator& sim) {
+  sim.network().for_each_pending([this](const sim::Envelope& env) {
+    const auto mit = msgs_.find(env.id);
+    if (mit == msgs_.end()) return;  // Sent before tracking started.
+    race_delivery(env.to, env.id, mit->second);
+  });
+  for (std::size_t p = 0; p < proc_events_.size(); ++p) {
+    race_lambda(static_cast<ProcessId>(p));
+  }
+}
+
+void Explorer::observe_step(sim::Simulator& sim, int frame,
+                            std::uint64_t step_time) {
+  const sim::LastStep& ls = sim.last_step();
+  if (ls.p == kNoProcess) return;
+  const auto p = static_cast<std::size_t>(ls.p);
+  if (p >= proc_events_.size()) return;
+
+  // Race detection runs before this event joins the clocks: it compares
+  // the *delivery* against the acting process's earlier events. Two
+  // steps of different processes always commute (a step consumes only
+  // its own pending messages and appends sends), so dependence — and
+  // hence every race — is within one process's event sequence.
+  if (!ls.was_start && ls.delivered != 0) {
+    const auto mit = msgs_.find(ls.delivered);
+    if (mit != msgs_.end()) race_delivery(ls.p, ls.delivered, mit->second);
+  } else if (!ls.was_start) {
+    race_lambda(ls.p);
+  }
+
+  // Fold the event into the happens-before state.
+  std::vector<std::uint64_t>& cp = clock_[p];
+  if (ls.delivered != 0) {
+    const auto mit = msgs_.find(ls.delivered);
+    if (mit != msgs_.end()) {
+      const auto& mc = mit->second.clock;
+      for (std::size_t q = 0; q < cp.size(); ++q) {
+        cp[q] = std::max(cp[q], mc[q]);
+      }
+    }
+  }
+  cp[p] = proc_events_[p].size() + 1;
+  proc_events_[p].push_back(
+      StepRec{frame, step_time, ls.delivered, ls.was_start});
+
+  // Every message sent during this step carries the sender's clock.
+  const std::uint64_t total = sim.network().total_sent();
+  for (std::uint64_t id = prev_sent_ + 1; id <= total; ++id) {
+    msgs_.emplace(id, MsgInfo{ls.p, step_time, cp});
+  }
+  prev_sent_ = total;
 }
 
 bool Explorer::backtrack() {
@@ -138,6 +314,24 @@ sim::DecisionLog Explorer::decisions() const {
   return log;
 }
 
+Coverage coverage(const ExploreStats& stats) {
+  if (!stats.exhausted) return Coverage::kBudget;
+  return stats.fp_prunes > 0 ? Coverage::kModuloFingerprints
+                             : Coverage::kComplete;
+}
+
+std::string coverage_name(Coverage c) {
+  switch (c) {
+    case Coverage::kBudget:
+      return "budget";
+    case Coverage::kComplete:
+      return "complete";
+    case Coverage::kModuloFingerprints:
+      return "modulo-fingerprints";
+  }
+  return "unknown";
+}
+
 ExploreReport Explorer::run() {
   frames_.clear();
   fps_.clear();
@@ -145,31 +339,78 @@ ExploreReport Explorer::run() {
   ExploreReport rep;
 
   while (true) {
-    // One re-execution: replay the prefix, extend to a halt.
+    // One re-execution: replay the prefix, extend to a halt. States
+    // reached while source.pos() is still inside the replayed prefix are
+    // re-visits of the previous run's own states — invisible to
+    // fingerprint pruning, or every run would prune itself at step one.
+    const std::size_t replay_len = frames_.size();
     DfsSource source(*this);
     run_blocked_ = false;
     Scenario sc = build_(source);
+    const bool dpor = opt_.reduction == Reduction::kDpor;
+    if (dpor) {
+      const auto n = static_cast<std::size_t>(sc.sim->n());
+      proc_events_.assign(n, {});
+      clock_.assign(n, std::vector<std::uint64_t>(n, 0));
+      msgs_.clear();
+      prev_sent_ = sc.sim->network().total_sent();
+    }
     std::optional<Violation> violation;
     std::uint64_t run_steps = 0;
-    while (!run_blocked_ && sc.sim->step()) {
+    while (!run_blocked_) {
+      const std::size_t pos_before = source.pos();
+      if (!sc.sim->step()) break;
       ++run_steps;
       if (run_blocked_) break;
+      if (dpor) {
+        // The schedule frame consumed by this step, if the step was an
+        // actual choice (forced moves never reach choose()).
+        int frame = -1;
+        for (std::size_t j = pos_before; j < source.pos(); ++j) {
+          if (frames_[j].kind == sim::ChoiceKind::kSchedule) {
+            frame = static_cast<int>(j);
+          }
+        }
+        observe_step(*sc.sim, frame, run_steps);
+      }
       for (auto& inv : sc.invariants) {
         violation = inv->check(*sc.sim);
         if (violation.has_value()) break;
       }
       if (violation.has_value()) break;
+
+      if (source.pos() < replay_len) continue;  // Still replaying.
+      std::optional<std::uint64_t> fp;
       if (opt_.fingerprint) {
-        const std::uint64_t fp = opt_.fingerprint(*sc.sim);
-        const std::uint64_t depth = source.pos();
-        auto [it, fresh] = fps_.emplace(fp, depth);
-        if (!fresh && it->second <= depth) {
+        fp = opt_.fingerprint(*sc.sim);
+      } else if (opt_.state_fingerprints) {
+        sim::StateEncoder enc;
+        sc.sim->encode_state(enc);
+        std::size_t i = 0;
+        for (const auto& inv : sc.invariants) {
+          enc.push("invariant", i++);
+          inv->encode_state(enc);
+          enc.pop();
+        }
+        if (enc.complete()) fp = enc.digest();
+      }
+      if (fp.has_value()) {
+        // Keyed on sim time: the fingerprint does not fold the remaining
+        // horizon, so a revisit only subsumes the earlier visit when at
+        // least as much future is left (same or earlier time).
+        const auto t = static_cast<std::uint64_t>(sc.sim->now());
+        auto [it, fresh] = fps_.emplace(*fp, t);
+        if (!fresh && it->second <= t) {
           ++stats_.fp_prunes;
+          // The unexecuted suffix can no longer testify about races with
+          // this path; re-arm the whole path conservatively.
+          if (dpor) expand_path_on_prune();
           break;
         }
-        if (!fresh) it->second = depth;
+        if (!fresh) it->second = t;
       }
     }
+    if (dpor) end_of_run_races(*sc.sim);
     stats_.steps += run_steps;
     ++stats_.runs;
     if (violation.has_value()) {

@@ -8,31 +8,52 @@
 // flips the deepest frame with an unvisited alternative and the next
 // re-execution descends into it — classic stateless model checking.
 //
-// Reductions:
-//  * Sleep sets over schedule choices. Two schedule actions are treated
-//    as independent iff different processes act: a step of p never
-//    consumes q's pending messages (sends only append to the buffer and
-//    delivery is a separate explicit choice), so swapping adjacent steps
-//    of distinct processes reaches the same state modulo event
-//    timestamps. The approximation is exact when the option menus are
-//    time-independent (no explored crash times, no stabilization cutoff
-//    inside the horizon); otherwise a small fraction of interleavings
-//    that differ only in timing may be skipped — set
-//    ExplorerOptions::sleep_sets = false for strict exhaustiveness.
+// Reductions (ExplorerOptions::reduction):
+//  * kDpor (default): dynamic partial-order reduction over schedule
+//    choices, combined with sleep sets (Flanagan-Godefroid). Every
+//    executed step feeds a vector-clock happens-before relation; when a
+//    delivery to process p is found to race with an earlier event of p
+//    (the message was already in flight and the send does not causally
+//    depend on that event), the delivery is inserted into the *backtrack
+//    set* of the earlier choice point. A schedule frame then only
+//    revisits labels in its backtrack set instead of its whole menu: the
+//    menu is expanded lazily, exactly where executions prove reorderings
+//    reachable. Two schedule actions are treated as dependent iff the
+//    same process acts (a step of p never consumes q's pending messages;
+//    sends only append to the buffer and delivery is a separate explicit
+//    choice). As with the sleep-set mode below, the reduction is exact
+//    when option menus are time-independent; explored crash times or a
+//    stabilization cutoff inside the horizon may make it skip a small
+//    fraction of timing-only interleavings — use kNone for strict
+//    exhaustiveness. When a fingerprint prune cuts a run short, every
+//    schedule frame on the current path is conservatively re-expanded to
+//    its full menu (the unexecuted suffix can no longer prove races), so
+//    pruned paths degrade to sleep-set coverage instead of losing
+//    soundness.
+//  * kSleepSets: sleep sets only — the static approximation kDpor
+//    subsumes; kept as the ablation baseline.
+//  * kNone: full enumeration.
 //  * Oldest-per-channel delivery (see ReplayScheduler::Options), applied
-//    at choice-enumeration time.
-//  * Optional state-fingerprint pruning: when a user-supplied
-//    fingerprint has already been seen at the same or shallower depth,
-//    the branch below it is cut.
+//    at choice-enumeration time, composes with all of the above.
+//  * State-fingerprint pruning (on by default): the simulator composes
+//    every module's Module::encode_state, the in-flight message multiset
+//    and the oracle's latched history into an order-insensitive digest
+//    (sim/state_encoder.h), and the invariants fold their own
+//    history-derived state on top. A branch is cut when its fingerprint
+//    was already seen at the same or an earlier time (same-or-larger
+//    remaining horizon). If any component reports itself opaque the
+//    digest is unusable and pruning is disabled for that run — soundness
+//    over reduction.
 //
 // Full trees are intractable beyond toy sizes, so exploration is
-// budgeted (max_states choice points); the `exhausted` stat reports
-// honestly whether the tree was completed within budget.
+// budgeted (max_states choice points); coverage() reports honestly
+// whether the tree was completed, completed modulo fingerprint
+// equivalence, or merely ran out of budget.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -42,24 +63,37 @@
 
 namespace wfd::explore {
 
-/// Hash of the "current state" of a run, used for pruning. Must fold in
-/// everything that determines the future (process states are opaque to
-/// the framework, so callers supply this per scenario when they want it).
-using FingerprintFn = std::function<std::uint64_t(const sim::Simulator&)>;
+/// Which schedule-space reduction the DFS applies.
+enum class Reduction {
+  kNone,       ///< Enumerate every option at every choice point.
+  kSleepSets,  ///< Static sleep sets (ablation baseline).
+  kDpor,       ///< Dynamic partial-order reduction + sleep sets.
+};
 
 struct ExplorerOptions {
   /// Budget on materialized choice points across the whole exploration.
   std::uint64_t max_states = 100000;
   /// 0 = unlimited.
   std::uint64_t max_runs = 0;
-  bool sleep_sets = true;
+  Reduction reduction = Reduction::kDpor;
+  /// Prune branches whose composed Module::encode_state fingerprint was
+  /// already visited (disabled automatically while any state component
+  /// is opaque).
+  bool state_fingerprints = true;
   /// Stop at the first violating run (the usual bug hunt); false keeps
   /// counting violations until the tree or the budget runs out.
   bool stop_at_first = true;
-  /// 0 = canonical (first-option-first) child order. Nonzero seeds a
-  /// deterministic per-frame rotation of the visit order, which is how
-  /// campaign frontier workers diversify their partial explorations.
+  /// 0 = canonical child order (DPOR: round-robin fairness; otherwise
+  /// first-option-first). Nonzero seeds a deterministic per-frame
+  /// rotation of the visit order, which is how campaign frontier workers
+  /// diversify their partial explorations.
   std::uint64_t order_seed = 0;
+  /// DEPRECATED: custom fingerprint override predating the module-state
+  /// API. When set it replaces the encode_state composition wholesale
+  /// (and is trusted blindly — no opaque-state safety net). New code
+  /// should implement Module::encode_state and leave this empty; the
+  /// hook remains for tests and for external scenarios whose processes
+  /// are not ModularProcess.
   FingerprintFn fingerprint;
 };
 
@@ -69,9 +103,24 @@ struct ExploreStats {
   std::uint64_t steps = 0;        ///< Simulator steps across all runs.
   std::uint64_t sleep_skips = 0;  ///< Options skipped by sleep sets.
   std::uint64_t fp_prunes = 0;    ///< Branches cut by fingerprints.
+  std::uint64_t hb_races = 0;     ///< Racing event pairs detected (DPOR).
+  std::uint64_t backtrack_points = 0;  ///< Labels added to backtrack sets.
   std::uint64_t violations = 0;   ///< Violating runs found.
   bool exhausted = false;         ///< Whole tree visited within budget.
 };
+
+/// How completely the choice tree was covered.
+enum class Coverage {
+  kBudget,              ///< Ran out of max_states / max_runs.
+  kComplete,            ///< Every branch visited, no fingerprint cuts.
+  kModuloFingerprints,  ///< Every branch visited or cut at a state whose
+                        ///< subtree was explored from an equivalent
+                        ///< fingerprint ("exhausted modulo fingerprint
+                        ///< equivalence").
+};
+
+[[nodiscard]] Coverage coverage(const ExploreStats& stats);
+[[nodiscard]] std::string coverage_name(Coverage c);
 
 struct ExploreReport {
   ExploreStats stats;
@@ -96,14 +145,75 @@ class Explorer {
     std::uint32_t start = 0;  ///< Rotation offset of the visit order.
     std::vector<std::uint64_t> sleep;     ///< Labels asleep at this node.
     std::vector<std::uint64_t> explored;  ///< Labels fully explored here.
+    /// DPOR: the labels this schedule frame must (still) explore. Seeded
+    /// with the default child; grown by race insertion and by the
+    /// conservative prune expansion.
+    std::vector<std::uint64_t> backtrack;
     bool blocked = false;  ///< Every option was asleep on arrival.
+  };
+
+  /// One executed event of one process within the current run.
+  struct StepRec {
+    int frame = -1;  ///< Index into frames_, or -1 for a forced move.
+    std::uint64_t time = 0;       ///< Global step number within the run.
+    std::uint64_t delivered = 0;  ///< Message id; 0 for lambda/start.
+    bool is_start = false;
+  };
+
+  /// Send-time metadata of a message of the current run.
+  struct MsgInfo {
+    ProcessId sender = kNoProcess;
+    std::uint64_t sent_time = 0;  ///< Global step number of the send.
+    std::vector<std::uint64_t> clock;  ///< Sender's vector clock at send.
   };
 
   class DfsSource;
 
-  /// The next index to visit at `f`, honouring rotation, sleep and
-  /// explored sets; nullopt when the frame has no eligible option left.
+  /// The next index to visit at `f`, honouring the active reduction,
+  /// rotation, sleep and explored sets; nullopt when the frame has no
+  /// eligible option left.
   std::optional<std::uint32_t> next_choice(Frame& f, bool counting_skips);
+
+  /// DPOR default child of a fresh schedule frame: round-robin-fair
+  /// preferred process (successor of the nearest schedule ancestor's
+  /// actor), deliveries before lambda, smallest message id.
+  std::optional<std::uint32_t> dpor_default_choice(Frame& f);
+
+  /// Record one executed simulator step into the happens-before state
+  /// and run race detection against the acting process's earlier events.
+  void observe_step(sim::Simulator& sim, int frame, std::uint64_t step_time);
+
+  /// Race-detect the delivery of msg to p (executed or hypothetical)
+  /// against p's earlier events, inserting backtrack labels at every
+  /// racing choice point.
+  void race_delivery(ProcessId p, std::uint64_t msg, const MsgInfo& mi);
+
+  /// Race-detect a lambda step of p against p's most recent event: a
+  /// lambda commutes with everything except a delivery to p right before
+  /// it. Once the reordered branch runs, its own lambda re-races with
+  /// the next delivery down, so the single-step rule covers every depth.
+  void race_lambda(ProcessId p);
+
+  /// A run's halt leaves transitions enabled-but-never-executed: the
+  /// messages still in flight (their receivers went done, crashed, or
+  /// the horizon hit) and the lambda of every process whose last event
+  /// was a delivery. Those hypothetical events race with executed ones
+  /// exactly like executed events do — without this pass DPOR would
+  /// never revisit a choice point whose alternative delivery only
+  /// happens on the road not taken.
+  void end_of_run_races(sim::Simulator& sim);
+
+  /// Insert `the delivery of msg to receiver` into f's backtrack set —
+  /// the exact label when the menu offers it, else the channel-oldest
+  /// delivery from the same sender, else (unreachable in practice) the
+  /// whole menu. Returns true when a new label was added.
+  bool insert_backtrack(Frame& f, ProcessId receiver, std::uint64_t msg,
+                        ProcessId sender);
+  bool add_backtrack(Frame& f, std::uint64_t label);
+
+  /// A fingerprint prune cuts the run before its races are observable:
+  /// conservatively re-expand every schedule frame on the path.
+  void expand_path_on_prune();
 
   /// Flip the deepest frame with an unvisited alternative; false when
   /// the whole tree has been visited.
@@ -114,9 +224,17 @@ class Explorer {
   ScenarioBuilder build_;
   ExplorerOptions opt_;
   std::vector<Frame> frames_;
-  std::unordered_map<std::uint64_t, std::uint64_t> fps_;  ///< fp -> depth.
+  /// fp -> earliest sim time it was reached at (prune only when the
+  /// revisit has the same or less remaining horizon).
+  std::unordered_map<std::uint64_t, std::uint64_t> fps_;
   ExploreStats stats_;
   bool run_blocked_ = false;
+
+  // Per-run happens-before state (rebuilt every re-execution).
+  std::vector<std::vector<StepRec>> proc_events_;
+  std::vector<std::vector<std::uint64_t>> clock_;
+  std::unordered_map<std::uint64_t, MsgInfo> msgs_;
+  std::uint64_t prev_sent_ = 0;
 };
 
 }  // namespace wfd::explore

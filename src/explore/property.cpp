@@ -1,5 +1,7 @@
 #include "explore/property.h"
 
+#include <algorithm>
+
 namespace wfd::explore {
 
 std::optional<Violation> AgreementInvariant::check(const sim::Simulator& sim) {
@@ -116,6 +118,85 @@ std::optional<Violation> SigmaIntersectionInvariant::check(
     }
   }
   return std::nullopt;
+}
+
+std::optional<Violation> RegisterAtomicityInvariant::check(
+    const sim::Simulator& sim) {
+  // Linearizability can only newly fail when a response lands.
+  const std::size_t completed = history_.completed();
+  if (completed == checked_completed_) return std::nullopt;
+  checked_completed_ = completed;
+  const reg::LinearizabilityResult r =
+      reg::check_linearizable(history_, initial_);
+  if (r.ok) return std::nullopt;
+  return Violation{name(), r.violation, sim.now()};
+}
+
+void RegisterAtomicityInvariant::encode_state(sim::StateEncoder& enc) const {
+  const auto& ops = history_.ops();
+  // Per-client operation indices give ops a schedule-independent
+  // identity (the shared vector's order is invocation order, which is
+  // schedule-dependent).
+  std::vector<std::uint64_t> op_seq(ops.size(), 0);
+  std::vector<std::uint64_t> next_per_client(kMaxProcesses + 1, 0);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    op_seq[i] = next_per_client[static_cast<std::size_t>(ops[i].client)]++;
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const reg::OpRecord& op = ops[i];
+    sim::StateEncoder sub;
+    sub.field("client", op.client);
+    sub.field("seq", op_seq[i]);
+    sub.field("is-write", op.is_write);
+    const bool completed = op.responded != kNever;
+    sub.field("completed", completed);
+    if (op.is_write || completed) sub.field("value", op.value);
+    // Real-time precedence edges, identified by (client, seq) — the
+    // relative overlap structure without the absolute times.
+    for (std::size_t j = 0; j < ops.size(); ++j) {
+      if (completed && op.responded <= ops[j].invoked) {
+        sim::StateEncoder edge;
+        edge.field("client", ops[j].client);
+        edge.field("seq", op_seq[j]);
+        sub.merge("precedes", edge);
+      }
+    }
+    enc.merge("op", sub);
+  }
+}
+
+std::optional<Violation> TotalOrderInvariant::check(
+    const sim::Simulator& sim) {
+  for (std::size_t a = 0; a < logs_.size(); ++a) {
+    for (std::size_t b = a + 1; b < logs_.size(); ++b) {
+      const std::size_t common = std::min(logs_[a].size(), logs_[b].size());
+      for (std::size_t k = 0; k < common; ++k) {
+        if (!(logs_[a][k] == logs_[b][k])) {
+          return Violation{
+              name(),
+              "p" + std::to_string(a) + " and p" + std::to_string(b) +
+                  " disagree at log position " + std::to_string(k),
+              sim.now()};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void TotalOrderInvariant::encode_state(sim::StateEncoder& enc) const {
+  for (std::size_t p = 0; p < logs_.size(); ++p) {
+    enc.push("proc", p);
+    enc.field("#", logs_[p].size());
+    for (std::size_t k = 0; k < logs_[p].size(); ++k) {
+      enc.push("at", k);
+      enc.field("origin", logs_[p][k].origin);
+      enc.field("seq", logs_[p][k].seq);
+      enc.field("body", logs_[p][k].body);
+      enc.pop();
+    }
+    enc.pop();
+  }
 }
 
 std::optional<Violation> EventualDecisionProperty::check_final(

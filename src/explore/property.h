@@ -18,7 +18,10 @@
 
 #include "explore/types.h"
 #include "nbac/nbac_api.h"
+#include "reg/linearizability.h"
+#include "reg/register_client.h"
 #include "sim/simulator.h"
+#include "sim/state_encoder.h"
 
 namespace wfd::explore {
 
@@ -31,6 +34,14 @@ class Invariant {
   /// same simulator repeatedly (monotonically growing trace), so
   /// implementations keep a cursor instead of rescanning.
   virtual std::optional<Violation> check(const sim::Simulator& sim) = 0;
+  /// Fold whatever run-history state this invariant judges future steps
+  /// by into the explorer's fingerprint. State that lives only in an
+  /// invariant (e.g. the values past reads returned) is part of "the
+  /// future" as far as violations go, so omitting it here would let the
+  /// explorer prune branches whose pasts are distinguishable. The
+  /// default is empty: correct for invariants whose verdicts depend only
+  /// on simulator state the modules already encode.
+  virtual void encode_state(sim::StateEncoder& enc) const { (void)enc; }
 };
 
 /// A liveness clause, checked once at the end of a fair, stabilized run.
@@ -51,6 +62,10 @@ class AgreementInvariant : public Invariant {
     return "agreement(" + kind_ + ")";
   }
   std::optional<Violation> check(const sim::Simulator& sim) override;
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("have-first", have_first_);
+    if (have_first_) enc.field("first-value", first_value_);
+  }
 
  private:
   std::string kind_;
@@ -111,10 +126,71 @@ class SigmaIntersectionInvariant : public Invariant {
     return "sigma-intersection";
   }
   std::optional<Violation> check(const sim::Simulator& sim) override;
+  void encode_state(sim::StateEncoder& enc) const override {
+    for (const std::uint64_t mask : seen_) {
+      sim::StateEncoder sub;
+      sub.field("mask", mask);
+      enc.merge("quorum", sub);
+    }
+  }
 
  private:
   std::size_t cursor_ = 0;
   std::vector<std::uint64_t> seen_;  ///< Distinct quorum masks so far.
+};
+
+/// Register atomicity: the history of read/write operations recorded by
+/// the workload clients stays linearizable (Herlihy-Wing via the
+/// Wing-Gong checker). The invariant owns the History the clients write
+/// into; re-checks fire only when an operation completes.
+class RegisterAtomicityInvariant : public Invariant {
+ public:
+  explicit RegisterAtomicityInvariant(std::int64_t initial = 0)
+      : initial_(initial) {}
+  [[nodiscard]] std::string name() const override {
+    return "register-atomicity";
+  }
+  /// The shared log the scenario wires its RegisterWorkloadModules to.
+  [[nodiscard]] reg::History& history() { return history_; }
+  std::optional<Violation> check(const sim::Simulator& sim) override;
+  /// Folds each op's (client, per-client index, kind, value, completion)
+  /// plus the real-time precedence edges between ops — relative order
+  /// only, no absolute timestamps — since future verdicts depend on
+  /// which past ops overlapped, not on when they ran.
+  void encode_state(sim::StateEncoder& enc) const override;
+
+ private:
+  reg::History history_;
+  std::int64_t initial_;
+  std::size_t checked_completed_ = 0;
+};
+
+/// Atomic-broadcast total order: the per-process delivery logs are
+/// always prefix-consistent — no two processes ever disagree at the same
+/// log position. The invariant owns the logs; the scenario installs a
+/// deliver hook per process that appends to them.
+class TotalOrderInvariant : public Invariant {
+ public:
+  explicit TotalOrderInvariant(int n)
+      : logs_(static_cast<std::size_t>(n)) {}
+  [[nodiscard]] std::string name() const override { return "total-order"; }
+  /// Append one delivery at process p (call from the deliver hook).
+  void record(ProcessId p, std::uint64_t origin, std::uint64_t seq,
+              std::int64_t body) {
+    logs_[static_cast<std::size_t>(p)].push_back(
+        Entry{origin, seq, body});
+  }
+  std::optional<Violation> check(const sim::Simulator& sim) override;
+  void encode_state(sim::StateEncoder& enc) const override;
+
+ private:
+  struct Entry {
+    std::uint64_t origin = 0;
+    std::uint64_t seq = 0;
+    std::int64_t body = 0;
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+  std::vector<std::vector<Entry>> logs_;
 };
 
 /// Termination: every correct process eventually emits an event of

@@ -62,6 +62,9 @@ std::string to_text(const ReplayFile& f) {
   out << "fd_per_query=" << (o.fd_per_query ? 1 : 0) << "\n";
   out << "record_fd_samples=" << (o.record_fd_samples ? 1 : 0) << "\n";
   out << "nbac_no_voter=" << o.nbac_no_voter << "\n";
+  out << "reg_ops=" << o.reg_ops << "\n";
+  out << "reg_readers=" << o.reg_readers << "\n";
+  out << "abcast_senders=" << o.abcast_senders << "\n";
   out << "oldest_per_channel=" << (o.oldest_per_channel ? 1 : 0) << "\n";
   out << "lambda_always=" << (o.lambda_always ? 1 : 0) << "\n";
   out << "decisions=";
@@ -114,6 +117,12 @@ std::optional<ReplayFile> parse_replay(const std::string& text,
       ok = parse_bool(val, &o.record_fd_samples);
     } else if (key == "nbac_no_voter") {
       ok = parse_int(val, &o.nbac_no_voter);
+    } else if (key == "reg_ops") {
+      ok = parse_int(val, &o.reg_ops);
+    } else if (key == "reg_readers") {
+      ok = parse_int(val, &o.reg_readers);
+    } else if (key == "abcast_senders") {
+      ok = parse_int(val, &o.abcast_senders);
     } else if (key == "oldest_per_channel") {
       ok = parse_bool(val, &o.oldest_per_channel);
     } else if (key == "lambda_always") {

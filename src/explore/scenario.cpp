@@ -2,12 +2,15 @@
 
 #include <algorithm>
 
+#include "broadcast/atomic_broadcast.h"
 #include "common/check.h"
 #include "consensus/omega_sigma_consensus.h"
 #include "explore/choice_oracle.h"
 #include "explore/seeded_bug.h"
 #include "nbac/nbac_from_qc.h"
 #include "qc/psi_qc.h"
+#include "reg/abd_register.h"
+#include "reg/register_client.h"
 #include "sim/scheduler.h"
 
 namespace wfd::explore {
@@ -36,28 +39,56 @@ ScenarioFactory::ScenarioFactory(ScenarioOptions opt) : opt_(std::move(opt)) {
   WFD_CHECK_MSG(validate(opt_).empty(), "invalid scenario options");
 }
 
+const std::vector<ProblemSpec>& ScenarioFactory::problems() {
+  static const std::vector<ProblemSpec> kProblems = {
+      {"consensus"}, {"consensus-bug"},    {"qc"},       {"nbac"},
+      {"sigma"},     {"register"},         {"register-regular"},
+      {"abcast"},
+  };
+  return kProblems;
+}
+
+bool ScenarioFactory::supports_mode(const std::string& problem,
+                                    const std::string& mode) {
+  for (const ProblemSpec& p : problems()) {
+    if (p.name != problem) continue;
+    if (mode == "exhaustive") return p.exhaustive;
+    if (mode == "campaign") return p.campaign;
+    if (mode == "replay") return p.replay;
+    return false;
+  }
+  return false;
+}
+
 std::string ScenarioFactory::validate(const ScenarioOptions& opt) {
   if (opt.n < 1 || opt.n > kMaxProcesses) return "n out of range";
   if (opt.crashes < 0 || opt.crashes >= opt.n) {
     return "crashes must be in [0, n)";
   }
   if (opt.max_steps == 0) return "max_steps must be positive";
-  const bool needs_majority = opt.problem == "consensus" ||
-                              opt.problem == "qc" || opt.problem == "nbac" ||
-                              opt.problem == "sigma";
+  const bool needs_majority =
+      opt.problem == "consensus" || opt.problem == "qc" ||
+      opt.problem == "nbac" || opt.problem == "sigma" ||
+      opt.problem == "register" || opt.problem == "register-regular" ||
+      opt.problem == "abcast";
   if (needs_majority && 2 * opt.crashes >= opt.n) {
     return "problem '" + opt.problem +
            "' explores Sigma histories and needs a majority-correct "
            "pattern (crashes < n/2)";
   }
-  if (opt.problem != "consensus" && opt.problem != "consensus-bug" &&
-      opt.problem != "qc" && opt.problem != "nbac" &&
-      opt.problem != "sigma") {
-    return "unknown problem '" + opt.problem + "'";
-  }
+  bool known = false;
+  for (const ProblemSpec& p : problems()) known = known || p.name == opt.problem;
+  if (!known) return "unknown problem '" + opt.problem + "'";
   if (opt.nbac_no_voter != kNoProcess &&
       (opt.nbac_no_voter < 0 || opt.nbac_no_voter >= opt.n)) {
     return "nbac_no_voter out of range";
+  }
+  if (opt.reg_ops < 1) return "reg_ops must be positive";
+  if (opt.reg_readers < 0 || opt.reg_readers >= opt.n) {
+    return "reg_readers must be in [0, n)";
+  }
+  if (opt.abcast_senders < 1 || opt.abcast_senders > opt.n) {
+    return "abcast_senders must be in [1, n]";
   }
   return "";
 }
@@ -104,7 +135,11 @@ Scenario ScenarioFactory::build(sim::ChoiceSource& choices) const {
   } else if (opt_.problem == "nbac") {
     oo.psi = true;
     oo.fs = true;
-  } else if (opt_.problem == "sigma") {
+  } else if (opt_.problem == "sigma" || opt_.problem == "register" ||
+             opt_.problem == "register-regular") {
+    oo.sigma = true;
+  } else if (opt_.problem == "abcast") {
+    oo.omega = true;
     oo.sigma = true;
   }
   // consensus-bug: all components off — the broken protocol is
@@ -183,6 +218,51 @@ Scenario ScenarioFactory::build(sim::ChoiceSource& choices) const {
   } else if (opt_.problem == "sigma") {
     for (int i = 0; i < opt_.n; ++i) s.add_process<FdProbeProcess>();
     out.invariants.push_back(std::make_unique<SigmaIntersectionInvariant>());
+  } else if (opt_.problem == "register" ||
+             opt_.problem == "register-regular") {
+    // Sigma-quorum ABD register under a deterministic workload: process 0
+    // writes, everyone else reads, all against the same replicated
+    // register; the shared History feeds the linearizability checker.
+    // register-regular drops the read write-back (the register is then
+    // only regular), which seeds reachable new-old inversions.
+    auto inv = std::make_unique<RegisterAtomicityInvariant>(0);
+    reg::History* hist = &inv->history();
+    const int readers =
+        opt_.reg_readers == 0 ? opt_.n - 1 : opt_.reg_readers;
+    for (int i = 0; i < opt_.n; ++i) {
+      auto& host = s.add_process<sim::ModularProcess>();
+      reg::AbdRegisterModule<std::int64_t>::Options ro;
+      ro.rule = reg::QuorumRule::kSigma;
+      ro.atomic_reads = opt_.problem == "register";
+      auto& r =
+          host.add_module<reg::AbdRegisterModule<std::int64_t>>("reg", ro);
+      if (i > readers) continue;  // Pure replica.
+      reg::RegisterWorkloadModule::Options wo;
+      wo.num_ops = opt_.reg_ops;
+      wo.write_percent = (i == 0) ? 100 : 0;
+      host.add_module<reg::RegisterWorkloadModule>("client", &r, hist, wo);
+    }
+    out.invariants.push_back(std::move(inv));
+    if (opt_.record_fd_samples) {
+      out.invariants.push_back(std::make_unique<SigmaIntersectionInvariant>());
+    }
+  } else if (opt_.problem == "abcast") {
+    // Chandra-Toueg atomic broadcast over (Omega, Sigma) consensus
+    // rounds; the first abcast_senders processes each broadcast one
+    // message and the invariant checks prefix-consistent delivery logs.
+    auto inv = std::make_unique<TotalOrderInvariant>(opt_.n);
+    TotalOrderInvariant* tot = inv.get();
+    for (int i = 0; i < opt_.n; ++i) {
+      auto& host = s.add_process<sim::ModularProcess>();
+      auto& ab =
+          host.add_module<broadcast::AtomicBroadcastModule>("abcast");
+      const auto p = static_cast<ProcessId>(i);
+      ab.set_deliver([tot, p](const broadcast::AppMessage& m) {
+        tot->record(p, static_cast<std::uint64_t>(m.origin), m.seq, m.body);
+      });
+      if (i < opt_.abcast_senders) ab.abcast(100 + i);
+    }
+    out.invariants.push_back(std::move(inv));
   }
   return out;
 }

@@ -22,7 +22,8 @@
 namespace wfd::explore {
 
 struct ScenarioOptions {
-  /// consensus | consensus-bug | qc | nbac | sigma.
+  /// consensus | consensus-bug | qc | nbac | sigma | register |
+  /// register-regular | abcast.
   std::string problem = "consensus";
   int n = 3;
   int crashes = 0;
@@ -43,6 +44,17 @@ struct ScenarioOptions {
   bool record_fd_samples = true;
   /// For nbac: the process voting No, or kNoProcess for unanimous Yes.
   ProcessId nbac_no_voter = kNoProcess;
+  /// For register problems: operations per client (process 0 writes,
+  /// everyone else reads; deterministic workloads so the state stays
+  /// fingerprintable).
+  int reg_ops = 2;
+  /// How many reading clients (processes 1..reg_readers); the remaining
+  /// processes are pure replicas. 0 = every non-writer reads. One writer
+  /// plus one reader is the classic atomicity scenario and keeps the
+  /// n=3 tree small enough to exhaust.
+  int reg_readers = 0;
+  /// For abcast: how many processes broadcast one message each.
+  int abcast_senders = 2;
   // ReplayScheduler reductions (see its Options).
   bool oldest_per_channel = true;
   bool lambda_always = true;
@@ -59,11 +71,29 @@ struct Scenario {
 /// source. Copyable and cheap; the explorer re-invokes it per run.
 using ScenarioBuilder = std::function<Scenario(sim::ChoiceSource&)>;
 
+/// Registry entry: a problem name plus the driver modes it supports.
+struct ProblemSpec {
+  std::string name;
+  bool exhaustive = true;
+  bool campaign = true;
+  bool replay = true;
+};
+
 class ScenarioFactory {
  public:
   explicit ScenarioFactory(ScenarioOptions opt);
 
   [[nodiscard]] const ScenarioOptions& options() const { return opt_; }
+
+  /// Every problem build() understands, with its supported modes. All
+  /// current scenarios support the full --exhaustive/--campaign/--replay
+  /// triple; drivers must consult this and reject an unsupported
+  /// combination explicitly (exit 2 in wfd_check) rather than silently
+  /// falling back to another mode.
+  [[nodiscard]] static const std::vector<ProblemSpec>& problems();
+  /// mode is "exhaustive", "campaign" or "replay".
+  [[nodiscard]] static bool supports_mode(const std::string& problem,
+                                          const std::string& mode);
 
   /// Empty string when the options are valid, else a diagnosis.
   [[nodiscard]] static std::string validate(const ScenarioOptions& opt);

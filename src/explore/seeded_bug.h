@@ -40,10 +40,20 @@ class FirstHeardConsensusModule : public sim::Module {
     emit("decide", decision_);
   }
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("proposed", proposed_);
+    enc.field("proposal", proposal_);
+    enc.field("decided", decided_);
+    enc.field("decision", decision_);
+  }
+
  private:
   struct Proposal final : sim::Payload {
     explicit Proposal(int v) : value(v) {}
     int value;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("value", value);
+    }
   };
 
   bool proposed_ = false;

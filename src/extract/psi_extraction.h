@@ -51,6 +51,14 @@ struct ExtractProposal {
 
   friend bool operator==(const ExtractProposal&,
                          const ExtractProposal&) = default;
+
+  void encode_state(sim::StateEncoder& enc) const {
+    enc.field("red-evidence", red_evidence);
+    enc.field("tree0", tree0);
+    enc.field("tree1", tree1);
+    sim::encode_field(enc, "s0", s0);
+    sim::encode_field(enc, "s1", s1);
+  }
 };
 
 class PsiExtractionModule : public sim::Module, public sim::FdSource {
@@ -97,10 +105,32 @@ class PsiExtractionModule : public sim::Module, public sim::FdSource {
   [[nodiscard]] ProcessSet sigma_output() const { return sigma_output_; }
   [[nodiscard]] std::uint64_t sigma_rounds() const { return sigma_rounds_; }
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("stage", stage_);
+    enc.field("ticks", ticks_);
+    enc.push("dag");
+    dag_.encode_state(enc);
+    enc.pop();
+    enc.field("omega-output", omega_output_);
+    enc.field("sigma-output", sigma_output_);
+    for (std::size_t i = 0; i < sigma_configs_.size(); ++i) {
+      enc.push("sigma-config", i);
+      enc.field("tree", sigma_configs_[i].tree);
+      sim::encode_field(enc, "base", sigma_configs_[i].base);
+      enc.pop();
+    }
+    enc.field("fresh-seq", fresh_seq_);
+    enc.field("sigma-rounds", sigma_rounds_);
+  }
+
  private:
   struct GossipMsg final : sim::Payload {
     explicit GossipMsg(std::vector<DagNode> n) : nodes(std::move(n)) {}
     std::vector<DagNode> nodes;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "gossip");
+      sim::encode_field(enc, "nodes", nodes);
+    }
   };
 
   /// One configuration of the Sigma loop's set C: an initial forest

@@ -31,6 +31,11 @@ struct ScriptStep {
   friend bool operator==(const ScriptStep& a, const ScriptStep& b) {
     return a.p == b.p && a.value == b.value;
   }
+
+  void encode_state(sim::StateEncoder& enc) const {
+    enc.field("p", p);
+    sim::encode_field(enc, "value", value);
+  }
 };
 
 /// Decision code in sandbox runs: 0/1 for values, kQuitDecision for Q.

@@ -23,6 +23,7 @@
 #include "common/check.h"
 #include "common/types.h"
 #include "fd/values.h"
+#include "sim/state_encoder.h"
 
 namespace wfd::extract {
 
@@ -40,6 +41,13 @@ struct DagNode {
     std::uint64_t w = 0;
     for (auto s : vc) w += s;
     return w;
+  }
+
+  void encode_state(sim::StateEncoder& enc) const {
+    enc.field("p", p);
+    enc.field("seq", seq);
+    sim::encode_field(enc, "value", value);
+    sim::encode_field(enc, "vc", vc);
   }
 };
 
@@ -84,6 +92,16 @@ class SampleDag {
   /// contents. Appending new nodes can only change the suffix past the
   /// last "stale" insertion, so prefixes stabilise as gossip catches up.
   [[nodiscard]] std::vector<DagNode> canonical_spine() const;
+
+  /// The per-process sample prefixes determine the whole DAG (snapshots
+  /// are causally closed), so encoding them encodes the DAG.
+  void encode_state(sim::StateEncoder& enc) const {
+    for (std::size_t q = 0; q < by_proc_.size(); ++q) {
+      enc.push("proc", q);
+      sim::encode_field(enc, "samples", by_proc_[q]);
+      enc.pop();
+    }
+  }
 
  private:
   int n_;

@@ -87,14 +87,40 @@ class SigmaExtractionModule : public sim::Module, public sim::FdSource {
   [[nodiscard]] ProcessSet output() const { return output_; }
   [[nodiscard]] std::uint64_t iterations() const { return k_; }
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("state", state_);
+    enc.field("k", k_);
+    sim::encode_field(enc, "ei", ei_);
+    enc.field("prev-participants", prev_participants_);
+    enc.field("fi", fi_);
+    enc.field("output", output_);
+    enc.field("read-index", read_index_);
+    sim::encode_field(enc, "probe-sets", probe_sets_);
+    for (std::size_t i = 0; i < probe_satisfied_.size(); ++i) {
+      enc.push("probe-ok", i);
+      enc.field("val", static_cast<bool>(probe_satisfied_[i]));
+      enc.pop();
+    }
+    enc.field("probe-round", probe_round_);
+    enc.field("ticks-since-sample", ticks_since_sample_);
+  }
+
  private:
   struct ProbeMsg final : sim::Payload {
     explicit ProbeMsg(std::uint64_t i) : id(i) {}
     std::uint64_t id;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "probe");
+      enc.field("id", id);
+    }
   };
   struct ProbeAck final : sim::Payload {
     explicit ProbeAck(std::uint64_t i) : id(i) {}
     std::uint64_t id;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "probe-ack");
+      enc.field("id", id);
+    }
   };
 
   void start_iteration();

@@ -30,6 +30,10 @@ class FsFromSuspicionsModule : public sim::Module, public sim::FdSource {
 
   [[nodiscard]] bool red() const { return red_; }
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("red", red_);
+  }
+
  private:
   bool red_ = false;
 };

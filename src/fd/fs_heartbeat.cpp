@@ -5,8 +5,16 @@
 namespace wfd::fd {
 namespace {
 
-struct FsBeat final : sim::Payload {};
-struct FsRed final : sim::Payload {};
+struct FsBeat final : sim::Payload {
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("kind", "fs-beat");
+  }
+};
+struct FsRed final : sim::Payload {
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("kind", "fs-red");
+  }
+};
 
 }  // namespace
 

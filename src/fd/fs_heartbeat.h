@@ -41,6 +41,18 @@ class FsHeartbeatModule : public sim::Module, public sim::FdSource {
 
   [[nodiscard]] bool red() const { return red_; }
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("red", red_);
+    if (red_) return;  // Deadlines no longer matter once red.
+    enc.field("beat-in", next_beat_ > tick_ ? next_beat_ - tick_ : 0);
+    for (std::size_t q = 0; q < deadline_.size(); ++q) {
+      enc.push("peer", q);
+      enc.field("deadline-in",
+                deadline_[q] > tick_ ? deadline_[q] - tick_ : 0);
+      enc.pop();
+    }
+  }
+
  private:
   Options opt_;
   Time period_ = 0;

@@ -46,6 +46,10 @@ class OmegaFromSuspicionsModule : public sim::Module, public sim::FdSource {
     return v;
   }
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("last-suspected", last_suspected_);
+  }
+
  private:
   ProcessId self_id_ = kNoProcess;
   int n_cached_ = 0;

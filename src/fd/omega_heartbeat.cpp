@@ -5,7 +5,11 @@
 namespace wfd::fd {
 namespace {
 
-struct Heartbeat final : sim::Payload {};
+struct Heartbeat final : sim::Payload {
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("kind", "heartbeat");
+  }
+};
 
 }  // namespace
 

@@ -45,6 +45,23 @@ class OmegaHeartbeatModule : public sim::Module, public sim::FdSource {
   /// growing.
   [[nodiscard]] std::uint64_t suspicion_count() const { return suspicions_; }
 
+  /// Deadlines and the beat schedule are folded relative to the current
+  /// own-step counter so equal futures hash equally regardless of how
+  /// many steps it took to reach them.
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("beat-in", next_beat_ > tick_ ? next_beat_ - tick_ : 0);
+    for (std::size_t q = 0; q < suspected_.size(); ++q) {
+      enc.push("peer", q);
+      enc.field("suspected", static_cast<bool>(suspected_[q]));
+      enc.field("timeout", timeout_[q]);
+      if (!suspected_[q]) {
+        enc.field("deadline-in",
+                  deadline_[q] > tick_ ? deadline_[q] - tick_ : 0);
+      }
+      enc.pop();
+    }
+  }
+
  private:
   Options opt_;
   // Cached at on_start so the accessors work outside a step (e.g. when a

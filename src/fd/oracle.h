@@ -14,6 +14,7 @@
 
 #include "fd/values.h"
 #include "sim/failure_pattern.h"
+#include "sim/state_encoder.h"
 
 namespace wfd::fd {
 
@@ -31,6 +32,15 @@ class Oracle {
   virtual FdValue query(ProcessId p, Time t) = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Fold everything about the realised history that can still influence
+  /// answers after time `now` (latched decisions, time left until a
+  /// stabilization cutoff — as a delta, never an absolute time). Oracles
+  /// that keep the default are opaque and disable fingerprint pruning.
+  virtual void encode_state(sim::StateEncoder& enc, Time now) const {
+    (void)now;
+    enc.opaque("oracle");
+  }
 };
 
 /// An oracle that outputs nothing (for algorithms that use no failure
@@ -40,6 +50,7 @@ class NullOracle : public Oracle {
   void begin_run(const sim::FailurePattern&, std::uint64_t, Time) override {}
   FdValue query(ProcessId, Time) override { return FdValue{}; }
   [[nodiscard]] std::string name() const override { return "none"; }
+  void encode_state(sim::StateEncoder&, Time) const override {}
 };
 
 /// Combines two oracles into a tuple detector (e.g. (Omega, Sigma) from an
@@ -53,6 +64,14 @@ class TupleOracle : public Oracle {
                  Time horizon) override;
   FdValue query(ProcessId p, Time t) override;
   [[nodiscard]] std::string name() const override;
+  void encode_state(sim::StateEncoder& enc, Time now) const override {
+    enc.push("a");
+    a_->encode_state(enc, now);
+    enc.pop();
+    enc.push("b");
+    b_->encode_state(enc, now);
+    enc.pop();
+  }
 
  private:
   std::unique_ptr<Oracle> a_;

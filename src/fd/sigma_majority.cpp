@@ -8,11 +8,19 @@ namespace {
 struct JoinReq final : sim::Payload {
   explicit JoinReq(std::uint64_t s) : seq(s) {}
   std::uint64_t seq;
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("kind", "join-req");
+    enc.field("seq", seq);
+  }
 };
 
 struct JoinAck final : sim::Payload {
   explicit JoinAck(std::uint64_t s) : seq(s) {}
   std::uint64_t seq;
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("kind", "join-ack");
+    enc.field("seq", seq);
+  }
 };
 
 }  // namespace

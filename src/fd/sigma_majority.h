@@ -42,6 +42,14 @@ class SigmaMajorityModule : public sim::Module, public sim::FdSource {
   /// Rounds completed (quorums formed) so far.
   [[nodiscard]] std::uint64_t rounds_completed() const { return rounds_; }
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("ticks-since-round", ticks_since_round_);
+    enc.field("seq", seq_);
+    enc.field("round-done", round_done_);
+    enc.field("responders", responders_);
+    enc.field("quorum", quorum_);
+  }
+
  private:
   void start_round();
 

@@ -13,6 +13,7 @@
 
 #include "common/process_set.h"
 #include "common/types.h"
+#include "sim/state_encoder.h"
 
 namespace wfd::fd {
 
@@ -53,6 +54,13 @@ struct PsiValue {
   }
 
   friend bool operator==(const PsiValue&, const PsiValue&) = default;
+
+  void encode_state(sim::StateEncoder& enc) const {
+    enc.field("mode", mode);
+    enc.field("omega", omega);
+    enc.field("sigma", sigma);
+    enc.field("fs", fs);
+  }
 };
 
 std::ostream& operator<<(std::ostream& os, const PsiValue& v);
@@ -76,6 +84,19 @@ struct FdValue {
   friend bool operator==(const FdValue&, const FdValue&) = default;
 
   [[nodiscard]] std::string to_string() const;
+
+  void encode_state(sim::StateEncoder& enc) const {
+    enc.field("omega", omega);
+    enc.field("sigma", sigma);
+    enc.field("fs", fs);
+    enc.field("psi?", psi.has_value());
+    if (psi.has_value()) {
+      enc.push("psi");
+      psi->encode_state(enc);
+      enc.pop();
+    }
+    enc.field("suspected", suspected);
+  }
 };
 
 std::ostream& operator<<(std::ostream& os, const FdValue& v);

@@ -71,6 +71,13 @@ class FsFromNbacModule : public sim::Module, public sim::FdSource {
   [[nodiscard]] bool red() const { return red_; }
   [[nodiscard]] std::uint64_t instances_launched() const { return launched_; }
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("red", red_);
+    enc.field("in-flight", in_flight_);
+    enc.field("idle", idle_);
+    enc.field("launched", launched_);
+  }
+
  private:
   Options opt_;
   NbacFactory factory_;

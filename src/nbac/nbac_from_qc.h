@@ -92,10 +92,25 @@ class NbacFromQcModule : public sim::Module, public NbacApi {
     });
   }
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("voted", voted_);
+    enc.field("announced", announced_);
+    enc.field("proposed", proposed_);
+    enc.field("my-vote", my_vote_);
+    sim::encode_field(enc, "votes", votes_);
+    enc.field("votes-received", votes_received_);
+    enc.field("decided", decided_);
+    enc.field("decision", decision_);
+  }
+
  private:
   struct VoteMsg final : sim::Payload {
     explicit VoteMsg(Vote v) : vote(v) {}
     Vote vote;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "vote");
+      enc.field("vote", vote);
+    }
   };
 
   void ensure_votes() {

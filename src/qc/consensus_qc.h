@@ -42,6 +42,13 @@ class ConsensusAsQcModule : public sim::Module, public QcApi<V> {
   void on_start() override { ensure_inner(); }
   void on_message(ProcessId, const sim::Payload&) override {}
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("has-inner", inner_ != nullptr);
+    enc.field("decided", decided_);
+    enc.field("quit", result_.quit);
+    sim::encode_field(enc, "result", result_.value);
+  }
+
  private:
   void ensure_inner() {
     if (inner_ == nullptr) {

@@ -64,6 +64,15 @@ class PsiQcModule : public sim::Module, public QcApi<V> {
     }
   }
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("proposed", proposed_);
+    enc.field("dispatched", dispatched_);
+    sim::encode_field(enc, "proposal", proposal_);
+    enc.field("decided", decided_);
+    enc.field("quit", result_.quit);
+    sim::encode_field(enc, "result", result_.value);
+  }
+
  private:
   void finish(QcResult<V> r) {
     if (decided_) return;

@@ -84,10 +84,26 @@ class QcFromNbacModule : public sim::Module, public QcApi<V> {
     }
   }
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("proposed", proposed_);
+    enc.field("announced", announced_);
+    sim::encode_field(enc, "proposal", proposal_);
+    sim::encode_field(enc, "proposals", proposals_);
+    enc.field("received", received_);
+    sim::encode_field(enc, "nbac-decision", nbac_decision_);
+    enc.field("decided", decided_);
+    enc.field("quit", result_.quit);
+    sim::encode_field(enc, "result", result_.value);
+  }
+
  private:
   struct ProposalMsg final : sim::Payload {
     explicit ProposalMsg(V v) : value(std::move(v)) {}
     V value;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "proposal");
+      sim::encode_field(enc, "value", value);
+    }
   };
 
   void ensure_proposals() {

@@ -42,6 +42,11 @@ struct Stamp {
     if (auto c = a.counter <=> b.counter; c != 0) return c;
     return a.writer <=> b.writer;
   }
+
+  void encode_state(sim::StateEncoder& enc) const {
+    enc.field("counter", counter);
+    enc.field("writer", writer);
+  }
 };
 
 enum class QuorumRule {
@@ -144,10 +149,29 @@ class AbdRegisterModule : public sim::Module {
     maybe_finish_phase();
   }
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    sim::encode_field(enc, "value", value_);
+    sim::encode_field(enc, "stamp", stamp_);
+    enc.field("busy", busy_);
+    enc.field("op", op_);
+    enc.field("phase", phase_);
+    enc.field("is-write", pending_is_write_);
+    sim::encode_field(enc, "pending-value", pending_value_);
+    sim::encode_field(enc, "phase2-value", phase2_value_);
+    sim::encode_field(enc, "best-stamp", best_stamp_);
+    sim::encode_field(enc, "best-value", best_value_);
+    enc.field("repliers", repliers_);
+    enc.field("completed", completed_);
+  }
+
  private:
   struct Phase1Req final : sim::Payload {
     explicit Phase1Req(std::uint64_t o) : op(o) {}
     std::uint64_t op;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "p1req");
+      enc.field("op", op);
+    }
   };
   struct Phase1Rep final : sim::Payload {
     Phase1Rep(std::uint64_t o, Stamp s, V v)
@@ -155,6 +179,12 @@ class AbdRegisterModule : public sim::Module {
     std::uint64_t op;
     Stamp stamp;
     V value;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "p1rep");
+      enc.field("op", op);
+      sim::encode_field(enc, "stamp", stamp);
+      sim::encode_field(enc, "value", value);
+    }
   };
   struct Phase2Req final : sim::Payload {
     Phase2Req(std::uint64_t o, Stamp s, V v)
@@ -162,10 +192,20 @@ class AbdRegisterModule : public sim::Module {
     std::uint64_t op;
     Stamp stamp;
     V value;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "p2req");
+      enc.field("op", op);
+      sim::encode_field(enc, "stamp", stamp);
+      sim::encode_field(enc, "value", value);
+    }
   };
   struct Phase2Ack final : sim::Payload {
     explicit Phase2Ack(std::uint64_t o) : op(o) {}
     std::uint64_t op;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "p2ack");
+      enc.field("op", op);
+    }
   };
 
   void begin_phase1() {

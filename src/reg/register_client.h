@@ -59,6 +59,20 @@ class RegisterWorkloadModule : public sim::Module {
   void on_tick() override;
   [[nodiscard]] bool done() const override { return ops_issued_ >= opt_.num_ops && !in_flight_; }
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    if (opt_.write_percent > 0 && opt_.write_percent < 100) {
+      // The read/write mix draws from the per-process RNG, whose state
+      // is not encoded; only the deterministic 0/100 settings are
+      // fingerprintable.
+      enc.opaque("randomized-workload");
+      return;
+    }
+    enc.field("ops-issued", ops_issued_);
+    enc.field("in-flight", in_flight_);
+    enc.field("idle", idle_ticks_);
+    enc.field("next-value", next_value_);
+  }
+
   [[nodiscard]] Time first_op_time() const { return first_op_time_; }
   [[nodiscard]] Time last_response_time() const { return last_response_time_; }
 

@@ -30,6 +30,13 @@ class FdSamplerModule : public Module {
     sink_->push_back(rec);
   }
 
+  /// Only the tick phase influences future behaviour; the recorded
+  /// samples are outputs (history checkers that read them must encode
+  /// what they need themselves).
+  void encode_state(StateEncoder& enc) const override {
+    enc.field("phase", ticks_ % period_);
+  }
+
  private:
   const FdSource* source_;
   std::vector<FdSampleRecord>* sink_;

@@ -84,6 +84,31 @@ void ModularProcess::on_step(Context& ctx, const Envelope* msg) {
   current_ = nullptr;
 }
 
+void ModularProcess::encode_state(StateEncoder& enc) const {
+  enc.field("started", started_);
+  for (const auto& m : modules_) {
+    enc.push("module");
+    enc.push(m->name());
+    m->encode_state(enc);
+    enc.pop();
+    enc.pop();
+  }
+  // Messages buffered for modules that do not exist yet: a multiset per
+  // target name (each buffered message merged as one field).
+  for (const auto& [target, msgs] : undelivered_) {
+    enc.push("undelivered");
+    enc.push(target);
+    for (const BufferedMsg& bm : msgs) {
+      StateEncoder sub;
+      sub.field("from", bm.from);
+      bm.inner->encode_state(sub);
+      enc.merge("msg", sub);
+    }
+    enc.pop();
+    enc.pop();
+  }
+}
+
 bool ModularProcess::done() const {
   if (!started_) return false;  // Not done before the first step.
   for (const auto& m : modules_) {

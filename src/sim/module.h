@@ -65,6 +65,15 @@ class Module {
   /// host's oracle sample (pass nullptr to restore the oracle).
   void set_fd_source(const FdSource* src) { fd_source_ = src; }
 
+  /// Fold every member that influences this module's future behaviour
+  /// into `enc` (see StateEncoder for the conventions). The host wraps
+  /// the call in a per-module scope, so tags only need to be unique
+  /// within the module. Modules that keep the default are opaque and
+  /// disable fingerprint pruning for any scenario containing them.
+  virtual void encode_state(StateEncoder& enc) const {
+    enc.opaque("module");
+  }
+
  protected:
   /// The failure-detector value this module should act on in this step:
   /// the configured FdSource if any, else the oracle sample.
@@ -94,6 +103,13 @@ struct ModuleEnvelope final : Payload {
       : module(std::move(module_name)), inner(std::move(inner_payload)) {}
   std::string module;
   PayloadPtr inner;
+
+  void encode_state(StateEncoder& enc) const override {
+    enc.field("module", module);
+    enc.push("inner");
+    inner->encode_state(enc);
+    enc.pop();
+  }
 };
 
 /// Merges two FdSources into a tuple detector (e.g. heartbeat Omega +
@@ -168,6 +184,11 @@ class ModularProcess : public Process {
   [[nodiscard]] TransportInstrument* instrument() override {
     return instrument_;
   }
+
+  /// Composes the per-module encodings (each in a scope keyed by the
+  /// module's name) plus the pre-existence message buffer. Opaque iff
+  /// any hosted module is.
+  void encode_state(StateEncoder& enc) const override;
 
  private:
   struct BufferedMsg {

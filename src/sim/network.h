@@ -49,6 +49,13 @@ class Network {
   /// Total messages ever sent through this network.
   [[nodiscard]] std::uint64_t total_sent() const { return next_id_ - 1; }
 
+  /// Visit every pending message (unspecified order) — the in-flight
+  /// multiset a state fingerprint folds.
+  template <typename F>
+  void for_each_pending(F&& f) const {
+    for (const auto& [id, env] : by_id_) f(env);
+  }
+
  private:
   /// Drop delivered ids from the front of p's queue.
   void prune_front(ProcessId p) const;

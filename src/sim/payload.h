@@ -8,11 +8,21 @@
 #include <memory>
 #include <utility>
 
+#include "sim/state_encoder.h"
+
 namespace wfd::sim {
 
 /// Base class of all message payloads.
 struct Payload {
   virtual ~Payload() = default;
+
+  /// Fold this payload's content into a state fingerprint. Payload types
+  /// that stay with the default are *opaque*: any in-flight message of
+  /// that type disables fingerprint pruning for the whole run (sound,
+  /// just slower), so explorable protocols override this.
+  virtual void encode_state(StateEncoder& enc) const {
+    enc.opaque("payload");
+  }
 };
 
 using PayloadPtr = std::shared_ptr<const Payload>;

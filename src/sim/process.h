@@ -8,6 +8,7 @@
 #pragma once
 
 #include "sim/envelope.h"
+#include "sim/state_encoder.h"
 
 namespace wfd::sim {
 
@@ -43,6 +44,13 @@ class Process {
 
   /// Transport instrumentation (see TransportInstrument); may be nullptr.
   [[nodiscard]] virtual TransportInstrument* instrument() { return nullptr; }
+
+  /// Fold everything that determines this process's future behaviour
+  /// into `enc`. Processes that keep the default are opaque and disable
+  /// fingerprint pruning (see StateEncoder::opaque).
+  virtual void encode_state(StateEncoder& enc) const {
+    enc.opaque("process");
+  }
 };
 
 }  // namespace wfd::sim

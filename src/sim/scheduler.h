@@ -180,6 +180,10 @@ class ReplayScheduler : public Scheduler {
   static ProcessId label_process(std::uint64_t label) {
     return static_cast<ProcessId>(label >> 48) - 1;
   }
+  /// The message id a label delivers (0 = lambda or start step).
+  static std::uint64_t label_message(std::uint64_t label) {
+    return label & ((std::uint64_t{1} << 48) - 1);
+  }
 
  private:
   ChoiceSource* choices_;

@@ -60,15 +60,18 @@ bool Simulator::step() {
   trace_.record_sample(choice.p, now_, v);
   Context ctx(*this, choice.p, v);
   Process& proc = *procs_[static_cast<std::size_t>(choice.p)];
+  last_step_ = LastStep{choice.p, 0, false};
 
   bool lambda = true;
   if (!started_p_[static_cast<std::size_t>(choice.p)]) {
     started_p_[static_cast<std::size_t>(choice.p)] = true;
+    last_step_.was_start = true;
     proc.on_start(ctx);
   } else if (choice.message_id != 0 && net_.contains(choice.message_id)) {
     Envelope env = net_.take(choice.message_id);
     WFD_CHECK(env.to == choice.p);
     trace_.count_delivery();
+    last_step_.delivered = choice.message_id;
     if (env.meta != nullptr && proc.instrument() != nullptr) {
       proc.instrument()->incoming_meta(env.from, *env.meta);
     }
@@ -80,6 +83,42 @@ bool Simulator::step() {
   trace_.count_step(lambda);
   ++now_;
   return true;
+}
+
+void Simulator::encode_state(StateEncoder& enc) const {
+  for (ProcessId p = 0; p < cfg_.n; ++p) {
+    enc.push("proc", static_cast<std::uint64_t>(p));
+    enc.field("started", static_cast<bool>(
+                             started_p_[static_cast<std::size_t>(p)]));
+    enc.field("crashed", !pattern_.alive(p, now_));
+    // A crash still ahead of us changes the reachable futures; fold how
+    // far away it is (a delta — absolute times would defeat pruning).
+    const Time crash = pattern_.crash_time(p);
+    if (crash != kNever && crash > now_) {
+      enc.field("crash-in", crash - now_);
+    }
+    procs_[static_cast<std::size_t>(p)]->encode_state(enc);
+    enc.pop();
+  }
+  net_.for_each_pending([&enc](const Envelope& env) {
+    StateEncoder sub;
+    sub.field("from", env.from);
+    sub.field("to", env.to);
+    if (env.payload != nullptr) {
+      env.payload->encode_state(sub);
+    }
+    enc.merge("in-flight", sub);
+  });
+  enc.push("oracle");
+  oracle_->encode_state(enc, now_);
+  enc.pop();
+}
+
+std::optional<std::uint64_t> Simulator::state_fingerprint() const {
+  StateEncoder enc;
+  encode_state(enc);
+  if (!enc.complete()) return std::nullopt;
+  return enc.digest();
 }
 
 RunResult Simulator::run() { return run_for(cfg_.max_steps); }

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -29,6 +30,15 @@ struct SimConfig {
 struct RunResult {
   Time steps = 0;      ///< Global steps executed by this call.
   bool all_done = false;  ///< Every alive process reported done().
+};
+
+/// What the most recent step() did — consumed by the explorer's
+/// happens-before bookkeeping, which must see every step, including
+/// forced moves that never reach a ChoiceSource.
+struct LastStep {
+  ProcessId p = kNoProcess;       ///< Who acted; kNoProcess before step 1.
+  std::uint64_t delivered = 0;    ///< Delivered message id; 0 for λ/start.
+  bool was_start = false;         ///< True when the step was p's on_start.
 };
 
 class Simulator {
@@ -72,6 +82,18 @@ class Simulator {
   /// True iff every process that is alive now reports done().
   [[nodiscard]] bool all_alive_done() const;
 
+  /// What the most recent successful step() did.
+  [[nodiscard]] const LastStep& last_step() const { return last_step_; }
+
+  /// Fold the complete system state — per-process encodings, the
+  /// in-flight message multiset, pending crash deltas and the oracle's
+  /// latched history — into `enc`. Order-insensitive; see StateEncoder.
+  void encode_state(StateEncoder& enc) const;
+
+  /// 64-bit digest of encode_state, or nullopt when any component is
+  /// opaque (in which case pruning on it would be unsound).
+  [[nodiscard]] std::optional<std::uint64_t> state_fingerprint() const;
+
   /// When false, run()/run_for()/step() keep going after every process
   /// reports done() — for fixed-horizon runs of service protocols
   /// (detector implementations, extractions) that never "finish".
@@ -94,6 +116,7 @@ class Simulator {
   Time now_ = 0;
   bool started_ = false;
   bool halt_on_done_ = true;
+  LastStep last_step_;
 };
 
 /// Per-step view a process gets of the world: its identity, the failure

@@ -1,0 +1,183 @@
+// Canonical state encoding for fingerprint-based pruning.
+//
+// A StateEncoder folds tagged fields into one 64-bit digest. The combine
+// is *order-insensitive* (a wrapping sum of per-field hashes): callers may
+// enumerate fields, modules, processes or in-flight messages in any order
+// — including unordered-map order — and states that differ only in
+// enumeration order hash identically. Collisions between *different*
+// fields are avoided by mixing each value with an FNV-1a hash of its tag
+// and of the current scope path (push/pop), so `round=1, phase=2` and
+// `round=2, phase=1` do not collide.
+//
+// Components that cannot describe their state faithfully call opaque();
+// this poisons the digest (complete() turns false) and the explorer then
+// disables fingerprint pruning instead of pruning unsoundly.
+//
+// Convention for writing encode_state: fold every member that influences
+// *future* behaviour (phases, rounds, counters, stored values, quorum
+// masks), skip what is derivable or write-only (trace emission already
+// happened), and fold times only as *relative* quantities — absolute
+// timestamps make every depth unique and defeat the pruning.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/process_set.h"
+#include "common/types.h"
+
+namespace wfd::sim {
+
+class StateEncoder {
+ public:
+  /// Enter a nested scope; every field folded until the matching pop()
+  /// is keyed by this scope (e.g. push("proc", p) around a process).
+  void push(std::string_view tag) { ctx_.push_back(mix(top() ^ fnv(tag))); }
+  void push(std::string_view tag, std::uint64_t index) {
+    ctx_.push_back(mix(top() ^ fnv(tag) ^ mix(index)));
+  }
+  void pop() { ctx_.pop_back(); }
+
+  /// Fold one tagged scalar. Accepts any integral or enum type (values
+  /// are sign-extended through int64 so -1 encodes consistently), bools,
+  /// and string-ish values.
+  template <typename T>
+  void field(std::string_view tag, T value) {
+    if constexpr (std::is_same_v<T, bool>) {
+      fold(tag, value ? 1u : 0u);
+    } else if constexpr (std::is_enum_v<T>) {
+      fold(tag, static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(value)));
+    } else if constexpr (std::is_integral_v<T>) {
+      fold(tag, static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(value)));
+    } else if constexpr (std::is_convertible_v<T, std::string_view>) {
+      fold(tag, fnv(std::string_view(value)));
+    } else {
+      static_assert(sizeof(T) == 0, "unsupported field type");
+    }
+  }
+  void field(std::string_view tag, const ProcessSet& value) {
+    fold(tag, value.raw());
+  }
+  /// Optional fields fold presence plus (when present) the value, so
+  /// nullopt and a present zero stay distinct.
+  template <typename T>
+  void field(std::string_view tag, const std::optional<T>& value) {
+    fold(tag, value.has_value() ? 1u : 0u);
+    if (value.has_value()) {
+      push(tag);
+      field("val", *value);
+      pop();
+    }
+  }
+
+  /// Fold a fully built sub-encoding as one field — the multiset idiom:
+  /// encode each element into its own StateEncoder and merge, and the
+  /// collection hashes the same under any enumeration order.
+  void merge(std::string_view tag, const StateEncoder& sub) {
+    fold(tag, sub.digest());
+    complete_ = complete_ && sub.complete();
+  }
+
+  /// Declare that part of the state could not be encoded. The digest is
+  /// then unusable for pruning (complete() == false).
+  void opaque(std::string_view what) {
+    fold("opaque", fnv(what));
+    complete_ = false;
+  }
+
+  [[nodiscard]] bool complete() const { return complete_; }
+  [[nodiscard]] std::uint64_t digest() const {
+    return mix(acc_ ^ mix(count_));
+  }
+
+ private:
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+  static std::uint64_t fnv(std::string_view s) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+  [[nodiscard]] std::uint64_t top() const {
+    return ctx_.empty() ? 0x51ed270b35ae2d01ull : ctx_.back();
+  }
+  void fold(std::string_view tag, std::uint64_t value) {
+    acc_ += mix(top() ^ fnv(tag) ^ mix(value));
+    ++count_;
+  }
+
+  std::uint64_t acc_ = 0;
+  std::uint64_t count_ = 0;
+  std::vector<std::uint64_t> ctx_;
+  bool complete_ = true;
+};
+
+/// Generic field helper for templated protocol state: scalars go through
+/// StateEncoder::field, types with an encode_state member recurse, and
+/// the container overloads below handle optionals and sequences. Lets
+/// `OmegaSigmaConsensusModule<V>` encode without knowing V.
+template <typename T>
+void encode_field(StateEncoder& enc, std::string_view tag, const T& value) {
+  if constexpr (requires(const T& t, StateEncoder& e) { t.encode_state(e); }) {
+    enc.push(tag);
+    value.encode_state(enc);
+    enc.pop();
+  } else {
+    enc.field(tag, value);
+  }
+}
+
+template <typename T>
+void encode_field(StateEncoder& enc, std::string_view tag,
+                  const std::optional<T>& value) {
+  enc.field(tag, value.has_value());
+  if (value.has_value()) {
+    enc.push(tag);
+    encode_field(enc, "val", *value);
+    enc.pop();
+  }
+}
+
+/// Sequences fold length plus position-keyed elements (order matters —
+/// a log and its permutation are different states).
+template <typename T>
+void encode_field(StateEncoder& enc, std::string_view tag,
+                  const std::vector<T>& value) {
+  enc.push(tag);
+  enc.field("#", value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    enc.push("at", i);
+    encode_field(enc, "elem", value[i]);
+    enc.pop();
+  }
+  enc.pop();
+}
+
+/// Sets fold as unordered collections of element digests.
+template <typename T>
+void encode_field(StateEncoder& enc, std::string_view tag,
+                  const std::set<T>& value) {
+  enc.push(tag);
+  enc.field("#", value.size());
+  for (const T& x : value) {
+    StateEncoder sub;
+    encode_field(sub, "elem", x);
+    enc.merge("in", sub);
+  }
+  enc.pop();
+}
+
+}  // namespace wfd::sim

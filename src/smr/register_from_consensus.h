@@ -51,6 +51,13 @@ struct BasicRegCommand {
   friend bool operator<(const BasicRegCommand& a, const BasicRegCommand& b) {
     return a.key() < b.key();
   }
+
+  void encode_state(sim::StateEncoder& enc) const {
+    enc.field("client", client);
+    enc.field("op-id", op_id);
+    enc.field("is-write", is_write);
+    sim::encode_field(enc, "value", value);
+  }
 };
 
 template <typename V>
@@ -115,6 +122,27 @@ class BasicSmrRegisterModule : public sim::Module {
 
   [[nodiscard]] bool done() const override { return !busy(); }
 
+  void encode_state(sim::StateEncoder& enc) const override {
+    sim::encode_field(enc, "value", value_);
+    enc.field("applied", applied_);
+    enc.field("next-op-id", next_op_id_);
+    sim::encode_field(enc, "own-pending", own_pending_);
+    enc.field("unannounced", unannounced_);
+    sim::encode_field(enc, "pool", pool_);
+    for (const auto& key : applied_cmds_) {
+      sim::StateEncoder sub;
+      sub.field("client", key.first);
+      sub.field("op-id", key.second);
+      enc.merge("applied-cmd", sub);
+    }
+    for (const auto& [slot, cmd] : decisions_) {
+      enc.push("decision", slot);
+      sim::encode_field(enc, "cmd", cmd);
+      enc.pop();
+    }
+    sim::encode_field(enc, "joined", joined_);
+  }
+
  private:
   /// Sentinel until self() is known (first tick after submit).
   static constexpr ProcessId kPendingSelf = kMaxProcesses + 1;
@@ -122,10 +150,18 @@ class BasicSmrRegisterModule : public sim::Module {
   struct CommandMsg final : sim::Payload {
     explicit CommandMsg(RegCommand c) : cmd(std::move(c)) {}
     RegCommand cmd;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "command");
+      sim::encode_field(enc, "cmd", cmd);
+    }
   };
   struct AnnounceSlot final : sim::Payload {
     explicit AnnounceSlot(std::uint64_t s) : slot(s) {}
     std::uint64_t slot;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("kind", "announce-slot");
+      enc.field("slot", slot);
+    }
   };
 
   void submit(RegCommand cmd) {

@@ -47,6 +47,25 @@ class ReplicatedObjectModule : public sim::Module {
   void on_start() override { ensure_abcast(); }
   void on_message(ProcessId, const sim::Payload&) override {}
 
+  /// The object's state itself lives behind apply_ but is a deterministic
+  /// function of the applied prefix of the abcast total order, which the
+  /// abcast module encodes — so folding the counters suffices.
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("has-abcast", ab_ != nullptr);
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      enc.push("pending", i);
+      enc.field("cmd", pending_[i].first);
+      enc.pop();
+    }
+    for (const auto& entry : inflight_) {
+      sim::StateEncoder sub;
+      sub.field("seq", entry.first);
+      enc.merge("inflight", sub);
+    }
+    enc.field("next-seq", next_seq_);
+    enc.field("applied", applied_);
+  }
+
   void on_tick() override {
     auto& ab = ensure_abcast();
     while (!pending_.empty()) {

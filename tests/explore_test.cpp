@@ -80,8 +80,11 @@ TEST(ExplorerTest, SleepSetsPruneWithoutLosingTheBug) {
   ExplorerOptions with;
   with.max_states = 40000;
   with.stop_at_first = false;
+  with.reduction = Reduction::kSleepSets;
+  // Pure reduction ablation: keep fingerprints out of the picture.
+  with.state_fingerprints = false;
   ExplorerOptions without = with;
-  without.sleep_sets = false;
+  without.reduction = Reduction::kNone;
   const ScenarioBuilder build = ScenarioFactory(opt).builder();
   Explorer a(build, with);
   Explorer b(build, without);
@@ -100,9 +103,12 @@ TEST(ExplorerTest, FingerprintPruningFires) {
   ExplorerOptions eo;
   eo.max_states = 5000;
   eo.stop_at_first = false;
-  // A deliberately coarse fingerprint (just the clock) collapses every
-  // same-depth state; this exercises the pruning path, not precision.
-  eo.fingerprint = [](const sim::Simulator& s) { return s.now(); };
+  // A deliberately coarse fingerprint override (just the clock) collapses
+  // every same-depth state; this exercises the pruning path and the
+  // deprecated FingerprintFn hook, not precision.
+  eo.fingerprint = [](const sim::Simulator& s) {
+    return static_cast<std::uint64_t>(s.now());
+  };
   Explorer ex(ScenarioFactory(opt).builder(), eo);
   const ExploreReport rep = ex.run();
   EXPECT_GT(rep.stats.fp_prunes, 0u);

@@ -17,7 +17,14 @@
 //
 // A found safety violation is shrunk to a minimal decision sequence,
 // printed, optionally saved with --save=FILE, and exits with status 3;
-// a clean exploration exits 0; usage or setup errors exit 1.
+// a clean exploration exits 0; usage or setup errors exit 1; a
+// problem/mode combination the scenario registry does not support exits
+// 2 (never a silent fallback to another mode).
+//
+// Exhaustive mode defaults to DPOR plus module-state fingerprints and
+// reports its coverage honestly: "complete" (every branch visited),
+// "modulo-fingerprints" (every branch visited or cut at a state whose
+// subtree was explored from an equivalent fingerprint), or "budget".
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -35,6 +42,7 @@ namespace {
 
 constexpr int kExitClean = 0;
 constexpr int kExitUsage = 1;
+constexpr int kExitUnsupported = 2;
 constexpr int kExitViolation = 3;
 
 struct Args {
@@ -46,24 +54,35 @@ struct Args {
   std::uint64_t runs = 10000;
   int threads = 4;
   int frontier = 2;
-  bool sleep_sets = true;
+  explore::Reduction reduction = explore::Reduction::kDpor;
+  bool state_fingerprints = true;
   bool shrink = true;
   bool json = false;
 };
 
 void usage() {
+  std::string problems;
+  for (const explore::ProblemSpec& p :
+       explore::ScenarioFactory::problems()) {
+    if (!problems.empty()) problems += "|";
+    problems += p.name;
+  }
   std::printf(
-      "usage: wfd_check [--problem=consensus|consensus-bug|qc|nbac|sigma]\n"
+      "usage: wfd_check [--problem=%s]\n"
       "                 [--n=N] [--crashes=K] [--crash-time=T]\n"
       "                 [--depth=T] [--seed=S] [--stab=T]\n"
       "                 [--fd=flap|static] [--nbac-no-voter=P]\n"
+      "                 [--reg-ops=N] [--reg-readers=N] [--abcast-senders=N]\n"
       "                 [--exhaustive | --campaign | --replay=FILE]\n"
       "                 [--max-states=N] [--runs=N] [--threads=N]\n"
-      "                 [--frontier=N] [--no-sleep-sets] [--no-shrink]\n"
+      "                 [--frontier=N] [--reduction=dpor|sleep-sets|none]\n"
+      "                 [--no-fingerprints] [--no-shrink]\n"
       "                 [--no-lambda] [--all-pending] [--save=FILE]\n"
       "                 [--json]\n"
       "\n"
-      "exit status: 0 no violation, 3 violation found, 1 usage error\n");
+      "exit status: 0 no violation, 3 violation found, 1 usage error,\n"
+      "             2 problem/mode combination not supported\n",
+      problems.c_str());
 }
 
 bool parse(int argc, char** argv, Args& a) {
@@ -95,6 +114,12 @@ bool parse(int argc, char** argv, Args& a) {
       s.fd_per_query = (*v8 == "flap");
     } else if (auto v9 = val("nbac-no-voter")) {
       s.nbac_no_voter = std::atoi(v9->c_str());
+    } else if (auto vr = val("reg-ops")) {
+      s.reg_ops = std::atoi(vr->c_str());
+    } else if (auto vrr = val("reg-readers")) {
+      s.reg_readers = std::atoi(vrr->c_str());
+    } else if (auto va = val("abcast-senders")) {
+      s.abcast_senders = std::atoi(va->c_str());
     } else if (arg == "--exhaustive") {
       a.mode = Args::Mode::kExhaustive;
     } else if (arg == "--campaign") {
@@ -112,8 +137,18 @@ bool parse(int argc, char** argv, Args& a) {
       a.threads = std::atoi(v14->c_str());
     } else if (auto v15 = val("frontier")) {
       a.frontier = std::atoi(v15->c_str());
-    } else if (arg == "--no-sleep-sets") {
-      a.sleep_sets = false;
+    } else if (auto vred = val("reduction")) {
+      if (*vred == "dpor") {
+        a.reduction = explore::Reduction::kDpor;
+      } else if (*vred == "sleep-sets") {
+        a.reduction = explore::Reduction::kSleepSets;
+      } else if (*vred == "none") {
+        a.reduction = explore::Reduction::kNone;
+      } else {
+        return false;
+      }
+    } else if (arg == "--no-fingerprints") {
+      a.state_fingerprints = false;
     } else if (arg == "--no-shrink") {
       a.shrink = false;
     } else if (arg == "--no-lambda") {
@@ -190,33 +225,44 @@ int run_exhaustive(const Args& a) {
       explore::ScenarioFactory(a.scenario).builder();
   explore::ExplorerOptions eo;
   eo.max_states = a.max_states;
-  eo.sleep_sets = a.sleep_sets;
+  eo.reduction = a.reduction;
+  eo.state_fingerprints = a.state_fingerprints;
   explore::Explorer ex(build, eo);
   const explore::ExploreReport rep = ex.run();
   const auto& st = rep.stats;
+  const std::string cov = explore::coverage_name(explore::coverage(st));
   if (a.json && !rep.cex.has_value()) {
     std::printf(
         "{\"verdict\":\"clean\",\"mode\":\"exhaustive\",\"states\":%llu,"
         "\"runs\":%llu,\"steps\":%llu,\"sleep_skips\":%llu,"
-        "\"exhausted\":%s}\n",
+        "\"fp_prunes\":%llu,\"hb_races\":%llu,\"backtrack_points\":%llu,"
+        "\"status\":\"%s\",\"coverage\":\"%s\"}\n",
         static_cast<unsigned long long>(st.nodes),
         static_cast<unsigned long long>(st.runs),
         static_cast<unsigned long long>(st.steps),
         static_cast<unsigned long long>(st.sleep_skips),
-        st.exhausted ? "true" : "false");
+        static_cast<unsigned long long>(st.fp_prunes),
+        static_cast<unsigned long long>(st.hb_races),
+        static_cast<unsigned long long>(st.backtrack_points),
+        st.exhausted ? "exhausted" : "budget", cov.c_str());
     return kExitClean;
   }
   if (!a.json) {
     std::printf(
         "explored %llu states across %llu runs (%llu steps, "
-        "%llu sleep-set skips): %s\n",
+        "%llu sleep-set skips, %llu fp prunes, %llu hb races, "
+        "%llu backtrack points): %s [coverage: %s]\n",
         static_cast<unsigned long long>(st.nodes),
         static_cast<unsigned long long>(st.runs),
         static_cast<unsigned long long>(st.steps),
         static_cast<unsigned long long>(st.sleep_skips),
+        static_cast<unsigned long long>(st.fp_prunes),
+        static_cast<unsigned long long>(st.hb_races),
+        static_cast<unsigned long long>(st.backtrack_points),
         st.exhausted          ? "tree exhausted"
         : rep.cex.has_value() ? "stopped at violation"
-                              : "budget reached");
+                              : "budget reached",
+        cov.c_str());
   }
   if (rep.cex.has_value()) return report_cex(a, build, *rep.cex, "exhaustive");
   std::printf("no violation found\n");
@@ -308,6 +354,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "invalid scenario: %s\n", why.c_str());
       return kExitUsage;
     }
+  }
+  // Every registered problem/mode combination must be declared supported;
+  // refusing here (exit 2) beats silently running a different mode.
+  const char* mode_name = a.mode == Args::Mode::kExhaustive ? "exhaustive"
+                          : a.mode == Args::Mode::kCampaign ? "campaign"
+                                                            : "replay";
+  if (a.mode != Args::Mode::kReplay &&
+      !explore::ScenarioFactory::supports_mode(a.scenario.problem,
+                                               mode_name)) {
+    std::fprintf(stderr, "problem '%s' does not support --%s\n",
+                 a.scenario.problem.c_str(), mode_name);
+    return kExitUnsupported;
   }
   switch (a.mode) {
     case Args::Mode::kExhaustive:
