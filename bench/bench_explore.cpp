@@ -113,6 +113,24 @@ const std::vector<AblationCase>& ablation_cases() {
       c.opt.abcast_senders = 1;
       v->push_back(c);
     }
+    {
+      AblationCase c{"nbac-n3", {}};
+      c.opt.problem = "nbac";
+      c.opt.n = 3;
+      c.opt.max_steps = 10;
+      c.opt.fd_per_query = false;
+      v->push_back(c);
+    }
+    {
+      // Echo-relay storm: the content relation's best case (equal-content
+      // echoes commute, and the detector-free hosts have inert ticks).
+      AblationCase c{"rb-n3", {}};
+      c.opt.problem = "rb";
+      c.opt.n = 3;
+      c.opt.max_steps = 12;
+      c.opt.abcast_senders = 2;
+      v->push_back(c);
+    }
     return v;
   }();
   return *cases;
@@ -122,30 +140,37 @@ void BM_ReductionAblation(benchmark::State& state) {
   const AblationCase& c =
       ablation_cases()[static_cast<std::size_t>(state.range(0))];
   const bool dpor = state.range(1) == 0;
+  const bool content = state.range(2) == 1;
   const ScenarioBuilder build = ScenarioFactory(c.opt).builder();
   ExplorerOptions eo;
   eo.max_states = 3000000;
   eo.stop_at_first = false;  // Violating scenarios still explore fully.
   eo.reduction = dpor ? Reduction::kDpor : Reduction::kSleepSets;
+  eo.dependence = content ? Dependence::kContent : Dependence::kProcess;
   eo.state_fingerprints = false;
   ExploreStats last{};
   for (auto _ : state) {
     Explorer ex(build, eo);
     last = ex.run().stats;
   }
-  state.SetLabel(std::string(c.name) + "/" +
-                 (dpor ? "dpor" : "sleep-sets"));
+  state.SetLabel(std::string(c.name) + "/" + (dpor ? "dpor" : "sleep-sets") +
+                 "/" + (content ? "content" : "process"));
   state.counters["states"] = static_cast<double>(last.nodes);
   state.counters["runs"] = static_cast<double>(last.runs);
   state.counters["fp_prunes"] = static_cast<double>(last.fp_prunes);
   state.counters["sleep_skips"] = static_cast<double>(last.sleep_skips);
   state.counters["hb_races"] = static_cast<double>(last.hb_races);
+  state.counters["commute_skips"] =
+      static_cast<double>(last.commute_skips);
   state.counters["backtrack_points"] =
       static_cast<double>(last.backtrack_points);
   state.counters["exhausted"] = last.exhausted ? 1 : 0;
 }
+// The dependence axis only matters under DPOR (sleep-set-only rows keep
+// the process relation regardless), so the sleep-sets/content cell is a
+// sanity duplicate rather than a distinct configuration.
 BENCHMARK(BM_ReductionAblation)
-    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1}})
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6}, {0, 1}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 
 void BM_RecordedRandomWalk(benchmark::State& state) {

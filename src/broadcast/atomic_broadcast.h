@@ -98,12 +98,24 @@ class AtomicBroadcastModule : public sim::Module {
   }
 
  private:
+  // Equal-round announcements commute: join_round's joined_ guard makes
+  // the second of the pair a strict no-op. Distinct rounds do not — the
+  // spawned consensus instance's first tick reads the detector at the
+  // spawn step, a receipt-time read that the pair's order shifts.
   struct AnnounceRound final : sim::Payload {
     explicit AnnounceRound(std::uint64_t r) : round(r) {}
     std::uint64_t round;
     void encode_state(sim::StateEncoder& enc) const override {
       enc.field("kind", "announce-round");
       enc.field("round", round);
+    }
+    [[nodiscard]] std::string_view kind() const override {
+      return "ab.announce";
+    }
+    [[nodiscard]] bool commutes_with(const sim::Payload& other)
+        const override {
+      const auto* o = sim::payload_cast<AnnounceRound>(other);
+      return o != nullptr && round == o->round;
     }
   };
 

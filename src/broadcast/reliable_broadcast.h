@@ -47,6 +47,11 @@ class UrbModule : public sim::Module {
   /// the simulator halt with every module trivially done.
   [[nodiscard]] bool done() const override { return outbox_.empty(); }
 
+  /// The tick only drains the outbox, which no message handler touches:
+  /// with an empty outbox the tick is a no-op on either side of any
+  /// delivery.
+  [[nodiscard]] bool tick_noop() const override { return outbox_.empty(); }
+
   [[nodiscard]] std::uint64_t delivered_count() const { return delivered_n_; }
   [[nodiscard]] const std::vector<AppMessage>& delivered_log() const {
     return log_;
@@ -81,6 +86,9 @@ class UrbModule : public sim::Module {
   }
 
  private:
+  // Echoes of the *same* app message commute: handle() dedups on
+  // (origin, seq), so the second of the pair is a strict no-op in either
+  // order. Distinct messages do not — their log_/delivery order flips.
   struct Echo final : sim::Payload {
     explicit Echo(AppMessage m) : message(m) {}
     AppMessage message;
@@ -89,6 +97,17 @@ class UrbModule : public sim::Module {
       message.encode_state(enc);
       enc.pop();
     }
+    [[nodiscard]] std::string_view kind() const override {
+      return "rb.echo";
+    }
+    [[nodiscard]] bool commutes_with(const sim::Payload& other)
+        const override {
+      const auto* o = sim::payload_cast<Echo>(other);
+      return o != nullptr && message == o->message;
+    }
+    /// handle() reads neither the clock nor the detector and emits no
+    /// trace events, so an echo also commutes with inert lambda steps.
+    [[nodiscard]] bool tick_insensitive() const override { return true; }
   };
 
   void handle(const AppMessage& m) {

@@ -87,12 +87,19 @@ class MultivaluedFromBinaryModule : public sim::Module,
   }
 
  private:
+  // Audited non-commuting: try_finish() runs inside the handler, and a
+  // proposal from the process the decider is currently waiting_ on can
+  // complete the decision by itself — the pair's order moves the decision
+  // step and the known_ snapshot it reads.
   struct ProposalMsg final : sim::Payload {
     explicit ProposalMsg(V v) : value(std::move(v)) {}
     V value;
     void encode_state(sim::StateEncoder& enc) const override {
       enc.field("kind", "proposal");
       sim::encode_field(enc, "value", value);
+    }
+    [[nodiscard]] std::string_view kind() const override {
+      return "mvcons.proposal";
     }
   };
 

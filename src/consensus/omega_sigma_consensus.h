@@ -17,6 +17,7 @@
 // higher owned round when an attempt stalls.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <optional>
 
@@ -179,6 +180,22 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
  private:
   using Round = std::uint64_t;
 
+  /// Content equality where V supports it; payloads whose value type is
+  /// not comparable stay conservatively non-commuting.
+  template <typename W>
+  [[nodiscard]] static bool values_equal(const W& a, const W& b) {
+    if constexpr (std::equality_comparable<W>) {
+      return a == b;
+    } else {
+      (void)a;
+      (void)b;
+      return false;
+    }
+  }
+
+  // Audited non-commuting: even two Prepares for the *same* round race —
+  // the first one wins a Promise, the second a Nack, so swapping them
+  // swaps which sender gets which reply.
   struct Prepare final : sim::Payload {
     explicit Prepare(Round r) : round(r) {}
     Round round;
@@ -186,7 +203,13 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
       enc.field("kind", "prepare");
       enc.field("round", round);
     }
+    [[nodiscard]] std::string_view kind() const override {
+      return "cons.prepare";
+    }
   };
+  // Audited non-commuting: the leader's phase-1 quorum check runs inside
+  // the handler; whichever promise completes it fixes the replier
+  // snapshot and the step at which phase 2 starts.
   struct Promise final : sim::Payload {
     Promise(Round r, Round ar, std::optional<V> av)
         : round(r), accepted_round(ar), accepted_val(std::move(av)) {}
@@ -199,7 +222,12 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
       enc.field("accepted-round", accepted_round);
       sim::encode_field(enc, "accepted-val", accepted_val);
     }
+    [[nodiscard]] std::string_view kind() const override {
+      return "cons.promise";
+    }
   };
+  // Two identical Accepts (a leader's retry storm) commute: the handler's
+  // writes and its Accepted/Nack/Decide reply depend only on the content.
   struct Accept final : sim::Payload {
     Accept(Round r, V v) : round(r), value(std::move(v)) {}
     Round round;
@@ -209,7 +237,17 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
       enc.field("round", round);
       sim::encode_field(enc, "value", value);
     }
+    [[nodiscard]] std::string_view kind() const override {
+      return "cons.accept";
+    }
+    [[nodiscard]] bool commutes_with(const sim::Payload& other)
+        const override {
+      const auto* o = sim::payload_cast<Accept>(other);
+      return o != nullptr && round == o->round &&
+             values_equal(value, o->value);
+    }
   };
+  // Audited non-commuting: phase-2 quorum check inside the handler.
   struct Accepted final : sim::Payload {
     explicit Accepted(Round r) : round(r) {}
     Round round;
@@ -217,7 +255,13 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
       enc.field("kind", "accepted");
       enc.field("round", round);
     }
+    [[nodiscard]] std::string_view kind() const override {
+      return "cons.accepted";
+    }
   };
+  // Equal-content Nacks commute (max-merge of the promised round plus an
+  // idempotent leading_ reset); different contents race for max_seen_'s
+  // intermediate value and the leading_ flag.
   struct Nack final : sim::Payload {
     Nack(Round r, Round p) : round(r), promised(p) {}
     Round round;
@@ -227,13 +271,32 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
       enc.field("round", round);
       enc.field("promised", promised);
     }
+    [[nodiscard]] std::string_view kind() const override {
+      return "cons.nack";
+    }
+    [[nodiscard]] bool commutes_with(const sim::Payload& other)
+        const override {
+      const auto* o = sim::payload_cast<Nack>(other);
+      return o != nullptr && round == o->round && promised == o->promised;
+    }
   };
+  // Decisions for one value commute: decide() is an idempotent latch and
+  // ignores the sender, so only the first delivery acts — identically in
+  // either order.
   struct Decide final : sim::Payload {
     explicit Decide(V v) : value(std::move(v)) {}
     V value;
     void encode_state(sim::StateEncoder& enc) const override {
       enc.field("kind", "decide");
       sim::encode_field(enc, "value", value);
+    }
+    [[nodiscard]] std::string_view kind() const override {
+      return "cons.decide";
+    }
+    [[nodiscard]] bool commutes_with(const sim::Payload& other)
+        const override {
+      const auto* o = sim::payload_cast<Decide>(other);
+      return o != nullptr && values_equal(value, o->value);
     }
   };
 

@@ -24,6 +24,7 @@
 // consensus, in any environment.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -136,12 +137,27 @@ class RegisterConsensusModule : public sim::Module, public ConsensusApi<V> {
   }
 
  private:
+  // Like OmegaSigmaConsensus's Decide: decide() is an idempotent latch
+  // that ignores the sender, so equal-value decisions commute.
   struct DecideMsg final : sim::Payload {
     explicit DecideMsg(V v) : value(std::move(v)) {}
     V value;
     void encode_state(sim::StateEncoder& enc) const override {
       enc.field("kind", "decide");
       sim::encode_field(enc, "value", value);
+    }
+    [[nodiscard]] std::string_view kind() const override {
+      return "regcons.decide";
+    }
+    [[nodiscard]] bool commutes_with(const sim::Payload& other)
+        const override {
+      const auto* o = sim::payload_cast<DecideMsg>(other);
+      if (o == nullptr) return false;
+      if constexpr (std::equality_comparable<V>) {
+        return value == o->value;
+      } else {
+        return false;
+      }
     }
   };
 

@@ -151,6 +151,10 @@ class StrongConsensusModule : public sim::Module, public ConsensusApi<V> {
   }
 
  private:
+  // Audited non-commuting: the round/decision waits are suspicion-gated
+  // ("heard from p or p is suspected"), so a single delivery of a pair
+  // can unblock a tick-side transition whose merged value set depends on
+  // which message arrived first.
   struct RoundMsg final : sim::Payload {
     RoundMsg(std::uint32_t r, std::vector<V> v)
         : round(r), values(std::move(v)) {}
@@ -161,13 +165,20 @@ class StrongConsensusModule : public sim::Module, public ConsensusApi<V> {
       enc.field("round", round);
       sim::encode_field(enc, "values", values);
     }
+    [[nodiscard]] std::string_view kind() const override {
+      return "scons.round";
+    }
   };
+  // Audited non-commuting, same gating as RoundMsg.
   struct SetMsg final : sim::Payload {
     explicit SetMsg(std::vector<V> v) : values(std::move(v)) {}
     std::vector<V> values;
     void encode_state(sim::StateEncoder& enc) const override {
       enc.field("kind", "set");
       sim::encode_field(enc, "values", values);
+    }
+    [[nodiscard]] std::string_view kind() const override {
+      return "scons.set";
     }
   };
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "sim/dependence.h"
 #include "sim/scheduler.h"
 #include "sim/state_encoder.h"
 
@@ -56,18 +57,33 @@ class Explorer::DfsSource : public sim::ChoiceSource {
         ex.opt_.reduction != Reduction::kNone) {
       // Inherit the sleep set along the edge from the nearest schedule
       // ancestor g: everything asleep or already explored at g stays
-      // asleep here unless it involves the process that just acted.
+      // asleep here unless it is dependent with the action that just
+      // ran. Under kProcess that means "same process acted"; under
+      // kContent (kDpor only — kSleepSets stays the unchanged ablation
+      // baseline) a sleeping delivery additionally survives a commuting
+      // delivery to the same process.
       for (auto it = ex.frames_.rbegin(); it != ex.frames_.rend(); ++it) {
         if (it->kind != sim::ChoiceKind::kSchedule) continue;
         const Frame& g = *it;
+        const std::uint64_t executed = g.labels[g.chosen];
         const ProcessId acted =
-            sim::ReplayScheduler::label_process(g.labels[g.chosen]);
+            sim::ReplayScheduler::label_process(executed);
         for (const auto* set : {&g.sleep, &g.explored}) {
           for (std::uint64_t a : *set) {
-            if (sim::ReplayScheduler::label_process(a) != acted &&
-                !contains(f.sleep, a)) {
-              f.sleep.push_back(a);
+            if (contains(f.sleep, a)) continue;
+            bool indep = sim::ReplayScheduler::label_process(a) != acted;
+            if (!indep && dpor_schedule) {
+              const std::uint64_t am = sim::ReplayScheduler::label_message(a);
+              const std::uint64_t em =
+                  sim::ReplayScheduler::label_message(executed);
+              if (am != 0 && em != 0 && am != em) {
+                const auto ai = ex.msgs_.find(am);
+                const auto ei = ex.msgs_.find(em);
+                indep = ai != ex.msgs_.end() && ei != ex.msgs_.end() &&
+                        ex.deliveries_independent(ai->second, ei->second);
+              }
             }
+            if (indep) f.sleep.push_back(a);
           }
         }
         break;
@@ -208,6 +224,18 @@ void Explorer::expand_path_on_prune() {
   }
 }
 
+bool Explorer::deliveries_independent(const MsgInfo& a, const MsgInfo& b) {
+  if (opt_.dependence != Dependence::kContent) return false;
+  if (a.payload == nullptr || b.payload == nullptr) return false;
+  // Same-sender copies with identical content: the channel delivers
+  // interchangeable messages, so either order is the same execution.
+  if (a.sender == b.sender && a.digest.has_value() &&
+      b.digest.has_value() && *a.digest == *b.digest) {
+    return true;
+  }
+  return sim::payloads_commute(*a.payload, *b.payload, &conservative_);
+}
+
 void Explorer::race_delivery(ProcessId p, std::uint64_t msg,
                              const MsgInfo& mi) {
   const auto pi = static_cast<std::size_t>(p);
@@ -219,6 +247,23 @@ void Explorer::race_delivery(ProcessId p, std::uint64_t msg,
     if (mi.sent_time >= ej.time) break;  // Not yet sent: no race.
     if (send_knows_p >= j + 1) break;    // Send happens-after e_j.
     if (ej.is_start) break;              // No delivery before start.
+    // Content-aware dependence: a commuting pair of deliveries is not a
+    // race. Keep scanning — msg may still race with an earlier event.
+    if (ej.delivered != 0) {
+      const auto eit = msgs_.find(ej.delivered);
+      if (eit != msgs_.end() &&
+          deliveries_independent(mi, eit->second)) {
+        ++stats_.commute_skips;
+        continue;
+      }
+    } else if (ej.tick_inert && opt_.dependence == Dependence::kContent &&
+               mi.payload != nullptr && mi.payload->tick_insensitive()) {
+      // An inert lambda (every module tick a declared no-op) commutes
+      // with a tick-insensitive delivery: neither side observes the
+      // one-step time shift the reorder causes.
+      ++stats_.commute_skips;
+      continue;
+    }
     if (ej.frame >= 0 &&
         insert_backtrack(frames_[static_cast<std::size_t>(ej.frame)], p, msg,
                          mi.sender)) {
@@ -227,14 +272,33 @@ void Explorer::race_delivery(ProcessId p, std::uint64_t msg,
   }
 }
 
-void Explorer::race_lambda(ProcessId p) {
+void Explorer::race_lambda(ProcessId p, bool inert) {
   const auto& events = proc_events_[static_cast<std::size_t>(p)];
-  if (events.empty()) return;
-  const StepRec& ej = events.back();
-  if (!ej.is_start && ej.delivered != 0 && ej.frame >= 0 &&
-      add_backtrack(frames_[static_cast<std::size_t>(ej.frame)],
-                    sim::ReplayScheduler::label(p, 0))) {
-    ++stats_.hb_races;
+  const bool skip_inert = inert && opt_.dependence == Dependence::kContent;
+  for (std::size_t j = events.size(); j-- > 0;) {
+    const StepRec& ej = events[j];
+    if (ej.is_start) return;
+    if (ej.delivered == 0) {
+      // λ after λ needs no backtrack (same label, same schedule) — but an
+      // inert lambda commutes with earlier inert lambdas, so keep looking
+      // for the delivery it may still race with.
+      if (skip_inert && ej.tick_inert) continue;
+      return;
+    }
+    if (skip_inert) {
+      const auto eit = msgs_.find(ej.delivered);
+      if (eit != msgs_.end() && eit->second.payload != nullptr &&
+          eit->second.payload->tick_insensitive()) {
+        ++stats_.commute_skips;
+        continue;
+      }
+    }
+    if (ej.frame >= 0 &&
+        add_backtrack(frames_[static_cast<std::size_t>(ej.frame)],
+                      sim::ReplayScheduler::label(p, 0))) {
+      ++stats_.hb_races;
+    }
+    return;
   }
 }
 
@@ -245,7 +309,8 @@ void Explorer::end_of_run_races(sim::Simulator& sim) {
     race_delivery(env.to, env.id, mit->second);
   });
   for (std::size_t p = 0; p < proc_events_.size(); ++p) {
-    race_lambda(static_cast<ProcessId>(p));
+    const auto pid = static_cast<ProcessId>(p);
+    race_lambda(pid, sim.process_tick_noop(pid));
   }
 }
 
@@ -260,12 +325,14 @@ void Explorer::observe_step(sim::Simulator& sim, int frame,
   // the *delivery* against the acting process's earlier events. Two
   // steps of different processes always commute (a step consumes only
   // its own pending messages and appends sends), so dependence — and
-  // hence every race — is within one process's event sequence.
+  // hence every race — is within one process's event sequence; under
+  // Dependence::kContent, race_delivery further exempts same-process
+  // delivery pairs whose payloads commute.
   if (!ls.was_start && ls.delivered != 0) {
     const auto mit = msgs_.find(ls.delivered);
     if (mit != msgs_.end()) race_delivery(ls.p, ls.delivered, mit->second);
   } else if (!ls.was_start) {
-    race_lambda(ls.p);
+    race_lambda(ls.p, ls.tick_noop);
   }
 
   // Fold the event into the happens-before state.
@@ -281,12 +348,27 @@ void Explorer::observe_step(sim::Simulator& sim, int frame,
   }
   cp[p] = proc_events_[p].size() + 1;
   proc_events_[p].push_back(
-      StepRec{frame, step_time, ls.delivered, ls.was_start});
+      StepRec{frame, step_time, ls.delivered, ls.was_start, ls.tick_noop});
 
-  // Every message sent during this step carries the sender's clock.
+  // Every message sent during this step carries the sender's clock;
+  // under kContent also its payload and content digest, so dependence
+  // can be decided at race time without the (possibly consumed)
+  // envelope.
   const std::uint64_t total = sim.network().total_sent();
   for (std::uint64_t id = prev_sent_ + 1; id <= total; ++id) {
-    msgs_.emplace(id, MsgInfo{ls.p, step_time, cp});
+    MsgInfo info{ls.p, step_time, cp, nullptr, std::nullopt};
+    if (opt_.dependence == Dependence::kContent) {
+      info.payload = sim.network().get(id).payload;
+      if (info.payload != nullptr) {
+        if (info.payload->kind().empty()) {
+          conservative_.insert(info.payload->identity());
+        }
+        sim::StateEncoder enc;
+        info.payload->encode_state(enc);
+        if (enc.complete()) info.digest = enc.digest();
+      }
+    }
+    msgs_.emplace(id, std::move(info));
   }
   prev_sent_ = total;
 }
@@ -336,6 +418,7 @@ ExploreReport Explorer::run() {
   frames_.clear();
   fps_.clear();
   stats_ = ExploreStats{};
+  conservative_.clear();
   ExploreReport rep;
 
   while (true) {
@@ -381,9 +464,7 @@ ExploreReport Explorer::run() {
 
       if (source.pos() < replay_len) continue;  // Still replaying.
       std::optional<std::uint64_t> fp;
-      if (opt_.fingerprint) {
-        fp = opt_.fingerprint(*sc.sim);
-      } else if (opt_.state_fingerprints) {
+      if (opt_.state_fingerprints) {
         sim::StateEncoder enc;
         sc.sim->encode_state(enc);
         std::size_t i = 0;
@@ -428,6 +509,7 @@ ExploreReport Explorer::run() {
     }
   }
   rep.stats = stats_;
+  rep.conservative_payloads = conservative_;
   return rep;
 }
 

@@ -18,10 +18,17 @@
 //    set* of the earlier choice point. A schedule frame then only
 //    revisits labels in its backtrack set instead of its whole menu: the
 //    menu is expanded lazily, exactly where executions prove reorderings
-//    reachable. Two schedule actions are treated as dependent iff the
-//    same process acts (a step of p never consumes q's pending messages;
-//    sends only append to the buffer and delivery is a separate explicit
-//    choice). As with the sleep-set mode below, the reduction is exact
+//    reachable. The dependence relation between two schedule actions is
+//    selectable (ExplorerOptions::dependence): under kProcess two
+//    actions are dependent iff the same process acts (a step of p never
+//    consumes q's pending messages; sends only append to the buffer and
+//    delivery is a separate explicit choice); under kContent (the
+//    default) two deliveries to the same process are additionally
+//    independent when their payloads declare themselves commuting
+//    (Payload::commutes_with, audited per protocol) or when they are
+//    same-sender copies with identical content — see DESIGN.md for the
+//    soundness argument. As with the sleep-set mode below, the reduction
+//    is exact
 //    when option menus are time-independent; explored crash times or a
 //    stabilization cutoff inside the horizon may make it skip a small
 //    fraction of timing-only interleavings — use kNone for strict
@@ -53,6 +60,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -60,6 +68,7 @@
 #include "explore/scenario.h"
 #include "explore/types.h"
 #include "sim/choice.h"
+#include "sim/payload.h"
 
 namespace wfd::explore {
 
@@ -68,6 +77,21 @@ enum class Reduction {
   kNone,       ///< Enumerate every option at every choice point.
   kSleepSets,  ///< Static sleep sets (ablation baseline).
   kDpor,       ///< Dynamic partial-order reduction + sleep sets.
+};
+
+/// Which dependence relation DPOR's race detection (and the sleep-set
+/// inheritance under kDpor) uses for pairs of schedule actions.
+enum class Dependence {
+  /// Same process acts => dependent. The classical, coarsest-sound
+  /// relation for this simulator (ablation baseline).
+  kProcess,
+  /// Refines kProcess: two *deliveries* to the same process are
+  /// independent when Payload::commutes_with declares both directions
+  /// commuting, or when they are same-sender copies with identical
+  /// encoded content. Payloads that never override the hook keep the
+  /// conservative default and are reported
+  /// (ExploreReport::conservative_payloads).
+  kContent,
 };
 
 struct ExplorerOptions {
@@ -88,13 +112,8 @@ struct ExplorerOptions {
   /// rotation of the visit order, which is how campaign frontier workers
   /// diversify their partial explorations.
   std::uint64_t order_seed = 0;
-  /// DEPRECATED: custom fingerprint override predating the module-state
-  /// API. When set it replaces the encode_state composition wholesale
-  /// (and is trusted blindly — no opaque-state safety net). New code
-  /// should implement Module::encode_state and leave this empty; the
-  /// hook remains for tests and for external scenarios whose processes
-  /// are not ModularProcess.
-  FingerprintFn fingerprint;
+  /// Dependence relation for DPOR race detection; ignored outside kDpor.
+  Dependence dependence = Dependence::kContent;
 };
 
 struct ExploreStats {
@@ -105,6 +124,9 @@ struct ExploreStats {
   std::uint64_t fp_prunes = 0;    ///< Branches cut by fingerprints.
   std::uint64_t hb_races = 0;     ///< Racing event pairs detected (DPOR).
   std::uint64_t backtrack_points = 0;  ///< Labels added to backtrack sets.
+  /// Delivery pairs exempted from race insertion because their payloads
+  /// commute (Dependence::kContent only).
+  std::uint64_t commute_skips = 0;
   std::uint64_t violations = 0;   ///< Violating runs found.
   bool exhausted = false;         ///< Whole tree visited within budget.
 };
@@ -126,6 +148,10 @@ struct ExploreReport {
   ExploreStats stats;
   /// The first counterexample found (unshrunk).
   std::optional<Counterexample> cex;
+  /// Identities of payload types observed in flight that still ship the
+  /// conservative commutes_with default (empty kind()): the audit
+  /// backlog of Dependence::kContent. Sorted for stable output.
+  std::set<std::string> conservative_payloads;
 };
 
 class Explorer {
@@ -158,6 +184,9 @@ class Explorer {
     std::uint64_t time = 0;       ///< Global step number within the run.
     std::uint64_t delivered = 0;  ///< Message id; 0 for lambda/start.
     bool is_start = false;
+    /// λ step the process declared inert (Process::tick_noop): commutes
+    /// with tick-insensitive deliveries under Dependence::kContent.
+    bool tick_inert = false;
   };
 
   /// Send-time metadata of a message of the current run.
@@ -165,6 +194,11 @@ class Explorer {
     ProcessId sender = kNoProcess;
     std::uint64_t sent_time = 0;  ///< Global step number of the send.
     std::vector<std::uint64_t> clock;  ///< Sender's vector clock at send.
+    /// The payload itself (kContent only; shared with the envelope).
+    sim::PayloadPtr payload;
+    /// Content digest when the payload's encoding is complete (kContent
+    /// only); fuels the same-sender identical-copy rule.
+    std::optional<std::uint64_t> digest;
   };
 
   class DfsSource;
@@ -183,16 +217,27 @@ class Explorer {
   /// and run race detection against the acting process's earlier events.
   void observe_step(sim::Simulator& sim, int frame, std::uint64_t step_time);
 
+  /// Under kContent: true when the two deliveries commute (declared by
+  /// their payloads, or same-sender copies with equal content digests),
+  /// so reordering them cannot be observable. Always false under
+  /// kProcess. Records conservative-default payloads as a side effect.
+  [[nodiscard]] bool deliveries_independent(const MsgInfo& a,
+                                            const MsgInfo& b);
+
   /// Race-detect the delivery of msg to p (executed or hypothetical)
   /// against p's earlier events, inserting backtrack labels at every
   /// racing choice point.
   void race_delivery(ProcessId p, std::uint64_t msg, const MsgInfo& mi);
 
-  /// Race-detect a lambda step of p against p's most recent event: a
+  /// Race-detect a lambda step of p against p's earlier events: a
   /// lambda commutes with everything except a delivery to p right before
   /// it. Once the reordered branch runs, its own lambda re-races with
   /// the next delivery down, so the single-step rule covers every depth.
-  void race_lambda(ProcessId p);
+  /// An *inert* lambda (every module's tick a declared no-op) further
+  /// commutes backward past tick-insensitive deliveries and other inert
+  /// lambdas under Dependence::kContent, so the scan continues through
+  /// those until the first genuinely dependent event.
+  void race_lambda(ProcessId p, bool inert);
 
   /// A run's halt leaves transitions enabled-but-never-executed: the
   /// messages still in flight (their receivers went done, crashed, or
@@ -228,6 +273,8 @@ class Explorer {
   /// revisit has the same or less remaining horizon).
   std::unordered_map<std::uint64_t, std::uint64_t> fps_;
   ExploreStats stats_;
+  /// Identities of in-flight payloads with the conservative default.
+  std::set<std::string> conservative_;
   bool run_blocked_ = false;
 
   // Per-run happens-before state (rebuilt every re-execution).

@@ -199,6 +199,54 @@ void TotalOrderInvariant::encode_state(sim::StateEncoder& enc) const {
   }
 }
 
+std::optional<Violation> UrbIntegrityInvariant::check(
+    const sim::Simulator& sim) {
+  for (std::size_t p = 0; p < logs_.size(); ++p) {
+    const auto& log = logs_[p];
+    for (std::size_t k = 0; k < log.size(); ++k) {
+      const Entry& e = log[k];
+      // Only broadcast messages: the workload has sender i send exactly
+      // one message, body 100+i, seq 1.
+      if (e.origin >= static_cast<std::uint64_t>(senders_) || e.seq != 1 ||
+          e.body != 100 + static_cast<std::int64_t>(e.origin)) {
+        return Violation{name(),
+                         "p" + std::to_string(p) +
+                             " delivered a message never broadcast "
+                             "(origin " +
+                             std::to_string(e.origin) + ", seq " +
+                             std::to_string(e.seq) + ")",
+                         sim.now()};
+      }
+      for (std::size_t j = 0; j < k; ++j) {
+        if (log[j].origin == e.origin && log[j].seq == e.seq) {
+          return Violation{name(),
+                           "p" + std::to_string(p) +
+                               " delivered (origin " +
+                               std::to_string(e.origin) + ", seq " +
+                               std::to_string(e.seq) + ") twice",
+                           sim.now()};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void UrbIntegrityInvariant::encode_state(sim::StateEncoder& enc) const {
+  for (std::size_t p = 0; p < logs_.size(); ++p) {
+    enc.push("proc", p);
+    enc.field("#", logs_[p].size());
+    for (std::size_t k = 0; k < logs_[p].size(); ++k) {
+      enc.push("at", k);
+      enc.field("origin", logs_[p][k].origin);
+      enc.field("seq", logs_[p][k].seq);
+      enc.field("body", logs_[p][k].body);
+      enc.pop();
+    }
+    enc.pop();
+  }
+}
+
 std::optional<Violation> EventualDecisionProperty::check_final(
     const sim::Simulator& sim) {
   for (ProcessId p : sim.pattern().correct().members()) {

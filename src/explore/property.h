@@ -193,6 +193,35 @@ class TotalOrderInvariant : public Invariant {
   std::vector<std::vector<Entry>> logs_;
 };
 
+/// URB integrity: each process delivers a given (origin, seq) at most
+/// once, and only messages that were actually broadcast (the scenario's
+/// workload has sender i broadcast exactly one message, body 100+i, as
+/// its seq 1). The invariant owns the delivery logs; the scenario
+/// installs a deliver hook per process that appends to them.
+class UrbIntegrityInvariant : public Invariant {
+ public:
+  UrbIntegrityInvariant(int n, int senders)
+      : senders_(senders), logs_(static_cast<std::size_t>(n)) {}
+  [[nodiscard]] std::string name() const override { return "urb-integrity"; }
+  /// Append one delivery at process p (call from the deliver hook).
+  void record(ProcessId p, std::uint64_t origin, std::uint64_t seq,
+              std::int64_t body) {
+    logs_[static_cast<std::size_t>(p)].push_back(Entry{origin, seq, body});
+  }
+  std::optional<Violation> check(const sim::Simulator& sim) override;
+  void encode_state(sim::StateEncoder& enc) const override;
+
+ private:
+  struct Entry {
+    std::uint64_t origin = 0;
+    std::uint64_t seq = 0;
+    std::int64_t body = 0;
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+  int senders_;
+  std::vector<std::vector<Entry>> logs_;
+};
+
 /// Termination: every correct process eventually emits an event of
 /// `kind` (decides, commits, ...).
 class EventualDecisionProperty : public EventualProperty {

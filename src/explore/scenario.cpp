@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "broadcast/atomic_broadcast.h"
+#include "broadcast/reliable_broadcast.h"
 #include "common/check.h"
 #include "consensus/omega_sigma_consensus.h"
 #include "explore/choice_oracle.h"
@@ -25,6 +26,26 @@ class FdProbeProcess : public sim::Process {
   void on_step(sim::Context&, const sim::Envelope*) override {}
 };
 
+/// Keeps an rb run alive until this process has delivered every
+/// broadcast message: UrbModule itself is done once its outbox drains,
+/// which would halt the simulator with echoes still in flight. Its
+/// state is a pure function of the UrbModule's, so it encodes nothing.
+class UrbWaiter : public sim::Module {
+ public:
+  UrbWaiter(const broadcast::UrbModule* rb, std::uint64_t expect)
+      : rb_(rb), expect_(expect) {}
+  [[nodiscard]] bool done() const override {
+    return rb_->delivered_count() >= expect_;
+  }
+  void on_message(ProcessId, const sim::Payload&) override {}
+  [[nodiscard]] bool tick_noop() const override { return true; }
+  void encode_state(sim::StateEncoder&) const override {}
+
+ private:
+  const broadcast::UrbModule* rb_;
+  std::uint64_t expect_;
+};
+
 std::vector<std::int64_t> proposals(int n) {
   std::vector<std::int64_t> out;
   for (int i = 0; i < n; ++i) out.push_back(i % 2);
@@ -43,7 +64,7 @@ const std::vector<ProblemSpec>& ScenarioFactory::problems() {
   static const std::vector<ProblemSpec> kProblems = {
       {"consensus"}, {"consensus-bug"},    {"qc"},       {"nbac"},
       {"sigma"},     {"register"},         {"register-regular"},
-      {"abcast"},
+      {"abcast"},    {"rb"},
   };
   return kProblems;
 }
@@ -261,6 +282,30 @@ Scenario ScenarioFactory::build(sim::ChoiceSource& choices) const {
         tot->record(p, static_cast<std::uint64_t>(m.origin), m.seq, m.body);
       });
       if (i < opt_.abcast_senders) ab.abcast(100 + i);
+    }
+    out.invariants.push_back(std::move(inv));
+  } else if (opt_.problem == "rb") {
+    // Uniform reliable broadcast alone, detector-free: the first
+    // abcast_senders processes each urb-broadcast one message and the
+    // invariant checks integrity (each message delivered at most once
+    // per process, and only messages actually broadcast). The echo
+    // relay storm is the content-dependence showcase: equal-content
+    // echoes from distinct relayers all commute, so DPOR under the
+    // payload relation collapses the relayer interleavings that the
+    // process relation must enumerate.
+    auto inv = std::make_unique<UrbIntegrityInvariant>(
+        opt_.n, opt_.abcast_senders);
+    UrbIntegrityInvariant* urb = inv.get();
+    for (int i = 0; i < opt_.n; ++i) {
+      auto& host = s.add_process<sim::ModularProcess>();
+      auto& rb = host.add_module<broadcast::UrbModule>("rb");
+      const auto p = static_cast<ProcessId>(i);
+      rb.set_deliver([urb, p](const broadcast::AppMessage& m) {
+        urb->record(p, static_cast<std::uint64_t>(m.origin), m.seq, m.body);
+      });
+      if (i < opt_.abcast_senders) rb.urb_broadcast(100 + i);
+      host.add_module<UrbWaiter>(
+          "wait", &rb, static_cast<std::uint64_t>(opt_.abcast_senders));
     }
     out.invariants.push_back(std::move(inv));
   }

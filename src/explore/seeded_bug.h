@@ -48,11 +48,16 @@ class FirstHeardConsensusModule : public sim::Module {
   }
 
  private:
+  // Audited non-commuting: decide-first-heard is exactly an order race —
+  // the whole point of this module is that delivery order is observable.
   struct Proposal final : sim::Payload {
     explicit Proposal(int v) : value(v) {}
     int value;
     void encode_state(sim::StateEncoder& enc) const override {
       enc.field("value", value);
+    }
+    [[nodiscard]] std::string_view kind() const override {
+      return "bug.first-heard";
     }
   };
 

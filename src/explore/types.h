@@ -2,27 +2,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
 #include "common/types.h"
 #include "sim/choice.h"
 
-namespace wfd::sim {
-class Simulator;
-}  // namespace wfd::sim
-
 namespace wfd::explore {
-
-/// DEPRECATED: raw std::function state-fingerprint hook. This predates
-/// the first-class module-state API (sim/state_encoder.h): it receives
-/// the whole simulator and is trusted blindly, with no way to signal an
-/// opaque/incomplete encoding. Prefer implementing
-/// Module::encode_state and letting the explorer compose fingerprints
-/// itself (ExplorerOptions::state_fingerprints); this alias survives
-/// only as an escape hatch for scenarios built from non-modular
-/// processes, and will be removed once none remain.
-using FingerprintFn = std::function<std::uint64_t(const sim::Simulator&)>;
 
 /// A property violation observed in a run.
 struct Violation {

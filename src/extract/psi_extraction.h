@@ -124,12 +124,19 @@ class PsiExtractionModule : public sim::Module, public sim::FdSource {
   }
 
  private:
+  // Audited non-commuting: dag_.merge is order-insensitive on its own,
+  // but the tick between a pair may gossip or analyze the half-merged
+  // DAG, so distinct gossips are order-visible. Identical re-gossips are
+  // already collapsed by the explorer's same-sender/equal-content rule.
   struct GossipMsg final : sim::Payload {
     explicit GossipMsg(std::vector<DagNode> n) : nodes(std::move(n)) {}
     std::vector<DagNode> nodes;
     void encode_state(sim::StateEncoder& enc) const override {
       enc.field("kind", "gossip");
       sim::encode_field(enc, "nodes", nodes);
+    }
+    [[nodiscard]] std::string_view kind() const override {
+      return "ext.psi.gossip";
     }
   };
 

@@ -106,6 +106,8 @@ class SigmaExtractionModule : public sim::Module, public sim::FdSource {
   }
 
  private:
+  // Probes commute with each other: the handler is a stateless echo
+  // whose reply content is fixed by the probe itself.
   struct ProbeMsg final : sim::Payload {
     explicit ProbeMsg(std::uint64_t i) : id(i) {}
     std::uint64_t id;
@@ -113,13 +115,26 @@ class SigmaExtractionModule : public sim::Module, public sim::FdSource {
       enc.field("kind", "probe");
       enc.field("id", id);
     }
+    [[nodiscard]] std::string_view kind() const override {
+      return "ext.sigma.probe";
+    }
+    [[nodiscard]] bool commutes_with(const sim::Payload& other)
+        const override {
+      return sim::payload_cast<ProbeMsg>(other) != nullptr;
+    }
   };
+  // Audited non-commuting: the *first* replier of each probed set joins
+  // F_i, and finish_iteration() runs inside the handler — order decides
+  // both the membership of F_i and the iteration boundary.
   struct ProbeAck final : sim::Payload {
     explicit ProbeAck(std::uint64_t i) : id(i) {}
     std::uint64_t id;
     void encode_state(sim::StateEncoder& enc) const override {
       enc.field("kind", "probe-ack");
       enc.field("id", id);
+    }
+    [[nodiscard]] std::string_view kind() const override {
+      return "ext.sigma.probe-ack";
     }
   };
 

@@ -5,14 +5,24 @@
 namespace wfd::fd {
 namespace {
 
+// Audited non-commuting: receipt-time-stamped deadline, like Heartbeat.
 struct FsBeat final : sim::Payload {
   void encode_state(sim::StateEncoder& enc) const override {
     enc.field("kind", "fs-beat");
   }
+  [[nodiscard]] std::string_view kind() const override {
+    return "fd.fs.beat";
+  }
 };
+// Red announcements carry no content and latch an idempotent flag (the
+// relay broadcast fires only on the first one), so any two commute.
 struct FsRed final : sim::Payload {
   void encode_state(sim::StateEncoder& enc) const override {
     enc.field("kind", "fs-red");
+  }
+  [[nodiscard]] std::string_view kind() const override { return "fd.fs.red"; }
+  [[nodiscard]] bool commutes_with(const sim::Payload& other) const override {
+    return sim::payload_cast<FsRed>(other) != nullptr;
   }
 };
 

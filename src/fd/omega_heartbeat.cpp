@@ -5,9 +5,17 @@
 namespace wfd::fd {
 namespace {
 
+// Audited non-commuting: the handler stamps `deadline_[from] = tick_ +
+// timeout_[from]`, so swapping two deliveries shifts which local tick
+// each stamp reads — distinct receiver states. Identical heartbeats from
+// one sender still dedup at the explorer level (same sender + equal
+// content), which is what tames heartbeat storms.
 struct Heartbeat final : sim::Payload {
   void encode_state(sim::StateEncoder& enc) const override {
     enc.field("kind", "heartbeat");
+  }
+  [[nodiscard]] std::string_view kind() const override {
+    return "fd.omega.heartbeat";
   }
 };
 

@@ -5,6 +5,8 @@
 namespace wfd::fd {
 namespace {
 
+// The handler is a stateless echo (reply JoinAck(seq), no state touched),
+// so join requests commute pairwise regardless of their sequence numbers.
 struct JoinReq final : sim::Payload {
   explicit JoinReq(std::uint64_t s) : seq(s) {}
   std::uint64_t seq;
@@ -12,14 +14,26 @@ struct JoinReq final : sim::Payload {
     enc.field("kind", "join-req");
     enc.field("seq", seq);
   }
+  [[nodiscard]] std::string_view kind() const override {
+    return "fd.sigma.join-req";
+  }
+  [[nodiscard]] bool commutes_with(const sim::Payload& other) const override {
+    return sim::payload_cast<JoinReq>(other) != nullptr;
+  }
 };
 
+// Audited non-commuting: the majority threshold fires inside the handler,
+// and the snapshotted quorum (plus the round's tick phase) depends on
+// which ack completed it.
 struct JoinAck final : sim::Payload {
   explicit JoinAck(std::uint64_t s) : seq(s) {}
   std::uint64_t seq;
   void encode_state(sim::StateEncoder& enc) const override {
     enc.field("kind", "join-ack");
     enc.field("seq", seq);
+  }
+  [[nodiscard]] std::string_view kind() const override {
+    return "fd.sigma.join-ack";
   }
 };
 

@@ -101,12 +101,18 @@ class NbacFromPerfectModule : public sim::Module, public NbacApi {
   }
 
  private:
+  // Audited non-commuting: the wait is suspicion-gated ("voted or
+  // suspected"), so one delivery of a pair can unblock the tick-side
+  // transition with a votes_ snapshot that depends on arrival order.
   struct VoteMsg final : sim::Payload {
     explicit VoteMsg(Vote v) : vote(v) {}
     Vote vote;
     void encode_state(sim::StateEncoder& enc) const override {
       enc.field("kind", "vote");
       enc.field("vote", vote);
+    }
+    [[nodiscard]] std::string_view kind() const override {
+      return "nbac.p.vote";
     }
   };
 

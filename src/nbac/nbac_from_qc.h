@@ -57,6 +57,13 @@ class NbacFromQcModule : public sim::Module, public NbacApi {
     }
   }
 
+  /// Mirrors the tick's own early-out: none of the three latches is
+  /// written by the (tick-insensitive) vote handler, and while any
+  /// holds, the tick returns before reading votes or the detector.
+  [[nodiscard]] bool tick_noop() const override {
+    return !voted_ || decided_ || proposed_;
+  }
+
   void on_tick() override {
     if (!voted_ || decided_ || proposed_) return;
     if (!announced_) {
@@ -104,6 +111,11 @@ class NbacFromQcModule : public sim::Module, public NbacApi {
   }
 
  private:
+  // Votes commute with each other: the handler is a sender-keyed
+  // write-once slot update, and every process broadcasts at most one
+  // vote (the announced_ latch), so the all-n gate on the tick side can
+  // only trip after the *last* vote of any pending pair — with the FS-red
+  // early exit proposing 0 independently of which partial votes arrived.
   struct VoteMsg final : sim::Payload {
     explicit VoteMsg(Vote v) : vote(v) {}
     Vote vote;
@@ -111,6 +123,16 @@ class NbacFromQcModule : public sim::Module, public NbacApi {
       enc.field("kind", "vote");
       enc.field("vote", vote);
     }
+    [[nodiscard]] std::string_view kind() const override {
+      return "nbac.vote";
+    }
+    [[nodiscard]] bool commutes_with(const sim::Payload& other)
+        const override {
+      return sim::payload_cast<VoteMsg>(other) != nullptr;
+    }
+    /// The slot update reads neither the clock nor the detector (the
+    /// FS read sits in on_tick) and emits no trace events.
+    [[nodiscard]] bool tick_insensitive() const override { return true; }
   };
 
   void ensure_votes() {

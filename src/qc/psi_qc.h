@@ -37,6 +37,14 @@ class PsiQcModule : public sim::Module, public QcApi<V> {
   }
   [[nodiscard]] bool done() const override { return !proposed_ || decided_; }
 
+  /// Before a proposal or after dispatch the tick returns without the
+  /// detector read; none of the three latches is written by a message
+  /// handler (propose() runs in a tick, finish() in the inner consensus
+  /// callback, whose messages are not tick-insensitive).
+  [[nodiscard]] bool tick_noop() const override {
+    return !proposed_ || decided_ || dispatched_;
+  }
+
   void on_message(ProcessId, const sim::Payload&) override {}
 
   void on_tick() override {

@@ -97,12 +97,24 @@ class QcFromNbacModule : public sim::Module, public QcApi<V> {
   }
 
  private:
+  // Proposals commute with each other: the handler is a sender-keyed
+  // write-once slot update, each process broadcasts at most one proposal
+  // (the announced_ latch), and try_finish_commit's all-n gate can only
+  // trip after the last proposal of any pending pair — at which point
+  // proposals_ is order-independent.
   struct ProposalMsg final : sim::Payload {
     explicit ProposalMsg(V v) : value(std::move(v)) {}
     V value;
     void encode_state(sim::StateEncoder& enc) const override {
       enc.field("kind", "proposal");
       sim::encode_field(enc, "value", value);
+    }
+    [[nodiscard]] std::string_view kind() const override {
+      return "qc.proposal";
+    }
+    [[nodiscard]] bool commutes_with(const sim::Payload& other)
+        const override {
+      return sim::payload_cast<ProposalMsg>(other) != nullptr;
     }
   };
 

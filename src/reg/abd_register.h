@@ -21,6 +21,7 @@
 // flight per module instance at a time.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <functional>
 #include <utility>
@@ -149,6 +150,11 @@ class AbdRegisterModule : public sim::Module {
     maybe_finish_phase();
   }
 
+  /// Idle as a client => the tick is a no-op, and the server-side
+  /// request handlers (the tick-insensitive payloads below) never touch
+  /// busy_, so the verdict holds on either side of such a delivery.
+  [[nodiscard]] bool tick_noop() const override { return !busy_; }
+
   void encode_state(sim::StateEncoder& enc) const override {
     sim::encode_field(enc, "value", value_);
     sim::encode_field(enc, "stamp", stamp_);
@@ -165,6 +171,9 @@ class AbdRegisterModule : public sim::Module {
   }
 
  private:
+  // Phase-1 probes from concurrent operations commute regardless of
+  // their op tags: the server handler is a stateless snapshot reply
+  // (op, stamp_, value_) whose content the probe pair cannot change.
   struct Phase1Req final : sim::Payload {
     explicit Phase1Req(std::uint64_t o) : op(o) {}
     std::uint64_t op;
@@ -172,7 +181,20 @@ class AbdRegisterModule : public sim::Module {
       enc.field("kind", "p1req");
       enc.field("op", op);
     }
+    [[nodiscard]] std::string_view kind() const override {
+      return "reg.p1req";
+    }
+    [[nodiscard]] bool commutes_with(const sim::Payload& other)
+        const override {
+      return sim::payload_cast<Phase1Req>(other) != nullptr;
+    }
+    /// The snapshot reply reads neither the clock nor the detector and
+    /// emits no trace events.
+    [[nodiscard]] bool tick_insensitive() const override { return true; }
   };
+  // Audited non-commuting: the client's quorum check runs inside the
+  // handler, so whichever reply completes it fixes the replier snapshot,
+  // the best-stamp fold and the step at which phase 2 starts.
   struct Phase1Rep final : sim::Payload {
     Phase1Rep(std::uint64_t o, Stamp s, V v)
         : op(o), stamp(s), value(std::move(v)) {}
@@ -185,7 +207,15 @@ class AbdRegisterModule : public sim::Module {
       sim::encode_field(enc, "stamp", stamp);
       sim::encode_field(enc, "value", value);
     }
+    [[nodiscard]] std::string_view kind() const override {
+      return "reg.p1rep";
+    }
   };
+  // Phase-2 write-throughs commute when their stamps differ (the replica
+  // keeps the lexicographic max, a commutative fold, and each ack's
+  // content is fixed by its own request). Equal stamps carry equal
+  // values in every reachable run — stamps embed the writer id — but the
+  // contract only claims what it can check.
   struct Phase2Req final : sim::Payload {
     Phase2Req(std::uint64_t o, Stamp s, V v)
         : op(o), stamp(s), value(std::move(v)) {}
@@ -198,13 +228,34 @@ class AbdRegisterModule : public sim::Module {
       sim::encode_field(enc, "stamp", stamp);
       sim::encode_field(enc, "value", value);
     }
+    [[nodiscard]] std::string_view kind() const override {
+      return "reg.p2req";
+    }
+    [[nodiscard]] bool commutes_with(const sim::Payload& other)
+        const override {
+      const auto* o = sim::payload_cast<Phase2Req>(other);
+      if (o == nullptr) return false;
+      if (stamp != o->stamp) return true;
+      if constexpr (std::equality_comparable<V>) {
+        return value == o->value;
+      } else {
+        return false;
+      }
+    }
+    /// The max-fold + ack reads neither the clock nor the detector and
+    /// emits no trace events.
+    [[nodiscard]] bool tick_insensitive() const override { return true; }
   };
+  // Audited non-commuting: in-handler quorum check, like Phase1Rep.
   struct Phase2Ack final : sim::Payload {
     explicit Phase2Ack(std::uint64_t o) : op(o) {}
     std::uint64_t op;
     void encode_state(sim::StateEncoder& enc) const override {
       enc.field("kind", "p2ack");
       enc.field("op", op);
+    }
+    [[nodiscard]] std::string_view kind() const override {
+      return "reg.p2ack";
     }
   };
 

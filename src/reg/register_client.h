@@ -59,6 +59,14 @@ class RegisterWorkloadModule : public sim::Module {
   void on_tick() override;
   [[nodiscard]] bool done() const override { return ops_issued_ >= opt_.num_ops && !in_flight_; }
 
+  /// The tick early-outs while an op is in flight or the script is
+  /// spent. in_flight_ only changes in completion callbacks driven by
+  /// reply deliveries — which are not tick-insensitive — so the verdict
+  /// is stable across every delivery the explorer may commute with.
+  [[nodiscard]] bool tick_noop() const override {
+    return in_flight_ || ops_issued_ >= opt_.num_ops;
+  }
+
   void encode_state(sim::StateEncoder& enc) const override {
     if (opt_.write_percent > 0 && opt_.write_percent < 100) {
       // The read/write mix draws from the per-process RNG, whose state

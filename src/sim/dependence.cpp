@@ -1,0 +1,17 @@
+#include "sim/dependence.h"
+
+namespace wfd::sim {
+
+bool payloads_commute(const Payload& a, const Payload& b,
+                      std::set<std::string>* conservative) {
+  const bool a_classified = !a.kind().empty();
+  const bool b_classified = !b.kind().empty();
+  if (conservative != nullptr) {
+    if (!a_classified) conservative->insert(a.identity());
+    if (!b_classified) conservative->insert(b.identity());
+  }
+  if (!a_classified || !b_classified) return false;
+  return a.commutes_with(b) && b.commutes_with(a);
+}
+
+}  // namespace wfd::sim

@@ -1,0 +1,26 @@
+// The payload-level independence relation the DPOR explorer consumes.
+//
+// Two deliveries to the same process are independent (their order cannot
+// be observed by any continuation) when their payloads commute under the
+// contract of Payload::kind()/commutes_with(). The query is symmetric —
+// both directions must agree — and fails closed: a payload whose type
+// was never audited (empty kind()) is dependent on everything, and its
+// identity is recorded so tooling can report the coverage gap.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "sim/payload.h"
+
+namespace wfd::sim {
+
+/// True when `a` and `b` commute per their declared contracts. Both
+/// payloads must be classified (nonempty kind()) and each must accept
+/// the other. When `conservative` is nonnull, the identity of every
+/// unclassified payload encountered is inserted into it.
+[[nodiscard]] bool payloads_commute(const Payload& a, const Payload& b,
+                                    std::set<std::string>* conservative =
+                                        nullptr);
+
+}  // namespace wfd::sim

@@ -84,6 +84,14 @@ void ModularProcess::on_step(Context& ctx, const Envelope* msg) {
   current_ = nullptr;
 }
 
+bool ModularProcess::tick_noop() const {
+  if (!started_) return false;
+  for (const auto& m : modules_) {
+    if (!m->tick_noop()) return false;
+  }
+  return true;
+}
+
 void ModularProcess::encode_state(StateEncoder& enc) const {
   enc.field("started", started_);
   for (const auto& m : modules_) {

@@ -56,6 +56,16 @@ class Module {
   /// Called on every step of the host (use for timeouts/retries).
   virtual void on_tick() {}
 
+  /// True when on_tick is currently a pure no-op *and stays one across
+  /// the deliveries the explorer may commute it with*: the returned
+  /// value must depend only on state that no tick_insensitive message
+  /// handler writes, and while it is true, on_tick must neither act nor
+  /// read anything such a handler writes. The explorer uses this (via
+  /// Process::tick_noop) to commute inert lambda steps with
+  /// tick-insensitive deliveries; modules with a live tick keep the
+  /// conservative default.
+  [[nodiscard]] virtual bool tick_noop() const { return false; }
+
   /// False while this module still has work that should keep the run
   /// alive. Service modules (servers, detector implementations) keep the
   /// default `true` so they never block run completion.
@@ -98,6 +108,14 @@ class Module {
 
 /// Wire format: every inter-process message of a module is wrapped with
 /// the module's name so the receiving host can route it.
+///
+/// The identity/commutativity contract forwards to the inner payload,
+/// with one refinement: two envelopes commute only when they address the
+/// *same* module. Deliveries to different modules of one host never
+/// commute — each module's handler runs relative to its own tick
+/// sequence, so a cross-module swap can shift a tick-gated threshold
+/// (e.g. an NBAC vote completing while the inner consensus is mid-round)
+/// by a step, and the per-module contracts cannot see that interaction.
 struct ModuleEnvelope final : Payload {
   ModuleEnvelope(std::string module_name, PayloadPtr inner_payload)
       : module(std::move(module_name)), inner(std::move(inner_payload)) {}
@@ -109,6 +127,30 @@ struct ModuleEnvelope final : Payload {
     enc.push("inner");
     inner->encode_state(enc);
     enc.pop();
+  }
+
+  /// Classified exactly when the inner payload is: the envelope itself
+  /// adds routing, not semantics, so the audit obligation stays with the
+  /// protocol payload.
+  [[nodiscard]] std::string_view kind() const override {
+    return inner->kind();
+  }
+
+  [[nodiscard]] bool commutes_with(const Payload& other) const override {
+    const auto* o = payload_cast<ModuleEnvelope>(other);
+    return o != nullptr && module == o->module &&
+           inner->commutes_with(*o->inner);
+  }
+
+  /// Tick insensitivity is a property of the addressed handler alone, so
+  /// it forwards unconditionally (the host's per-module routing adds no
+  /// time reads).
+  [[nodiscard]] bool tick_insensitive() const override {
+    return inner->tick_insensitive();
+  }
+
+  [[nodiscard]] std::string identity() const override {
+    return module + ":" + inner->identity();
   }
 };
 
@@ -173,6 +215,10 @@ class ModularProcess : public Process {
   void on_start(Context& ctx) override;
   void on_step(Context& ctx, const Envelope* msg) override;
   [[nodiscard]] bool done() const override;
+
+  /// A host's step ticks every module, so the host's lambda step is
+  /// inert exactly when every hosted module's tick is a declared no-op.
+  [[nodiscard]] bool tick_noop() const override;
 
   /// The current step's context; valid only while the host is stepping.
   [[nodiscard]] Context& ctx() const {

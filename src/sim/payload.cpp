@@ -1,0 +1,36 @@
+#include "sim/payload.h"
+
+#include <typeinfo>
+
+#if defined(__GNUG__)
+#include <cxxabi.h>
+
+#include <cstdlib>
+#endif
+
+namespace wfd::sim {
+
+namespace {
+
+std::string demangled(const std::type_info& ti) {
+#if defined(__GNUG__)
+  int status = 0;
+  char* raw = abi::__cxa_demangle(ti.name(), nullptr, nullptr, &status);
+  if (status == 0 && raw != nullptr) {
+    std::string out(raw);
+    std::free(raw);
+    return out;
+  }
+#endif
+  return ti.name();
+}
+
+}  // namespace
+
+std::string Payload::identity() const {
+  const std::string_view k = kind();
+  if (!k.empty()) return std::string(k);
+  return demangled(typeid(*this));
+}
+
+}  // namespace wfd::sim

@@ -3,9 +3,44 @@
 // Each protocol defines its own payload structs deriving from Payload and
 // dispatches on the concrete type at receipt. Payloads are immutable once
 // sent (shared_ptr<const>), so a broadcast shares one allocation.
+//
+// Beyond content, every payload carries an *identity and commutativity
+// contract* consumed by the DPOR explorer (src/explore/, sim/dependence.h):
+//
+//  * kind() names the payload type. An empty kind means the type has not
+//    been audited for commutativity; such payloads are treated as
+//    conservatively dependent on everything and are reported by
+//    `wfd_check --json` (mirroring the opaque-fingerprint reporting), so
+//    coverage regressions stay visible.
+//
+//  * commutes_with(other) declares that delivering *this* and then
+//    `other` to the same process — in two consecutive steps — reaches
+//    exactly the same process state, emits the same trace events and
+//    sends the same messages (as a content multiset; network-assigned
+//    ids may differ) as the reverse order, in every protocol-reachable
+//    state where both are pending. The contract is consulted
+//    symmetrically (a~b requires both a.commutes_with(b) and
+//    b.commutes_with(a)) and only for classified payloads.
+//
+//  * tick_insensitive() additionally lets a delivery commute with an
+//    adjacent *inert* lambda step of the receiver (every module's tick a
+//    declared no-op, Module::tick_noop) — the reorder only shifts the
+//    delivery's time, so the opt-in is a claim that the handler never
+//    observes time (clock, detector, time-compared trace events).
+//
+// The default is maximally conservative: unclassified, never commutes.
+// Overriding commutes_with is a soundness claim about the *receiving
+// handler*, not about the payload bytes; the usual hazards that make two
+// deliveries order-dependent are (1) receipt-time reads (`tick_`-stamped
+// deadlines) and (2) sub-all-n thresholds that can fire after the first
+// delivery of the pair alone, shifting a phase transition by one step.
+// See DESIGN.md ("Content-aware dependence") for the soundness argument
+// and tests/commute_test.cpp for the mechanical check.
 #pragma once
 
 #include <memory>
+#include <string>
+#include <string_view>
 #include <utility>
 
 #include "sim/state_encoder.h"
@@ -23,6 +58,34 @@ struct Payload {
   virtual void encode_state(StateEncoder& enc) const {
     enc.opaque("payload");
   }
+
+  /// Stable identity tag of this payload type. Empty (the default) means
+  /// *unclassified*: the type has not been audited for commutativity, so
+  /// the explorer treats it as dependent on everything and reports it.
+  [[nodiscard]] virtual std::string_view kind() const { return {}; }
+
+  /// Whether delivering *this* then `other` to the same process is
+  /// state-equivalent to the reverse order (see the file comment for the
+  /// exact obligation). Only consulted when both payloads are classified;
+  /// the default — never commutes — is always sound.
+  [[nodiscard]] virtual bool commutes_with(const Payload& other) const {
+    (void)other;
+    return false;
+  }
+
+  /// Whether delivering this payload commutes with an adjacent *inert*
+  /// lambda step of the receiving process — one in which every hosted
+  /// module's on_tick is a no-op (Module::tick_noop). Reordering such a
+  /// pair shifts the delivery by one time step, so opting in asserts the
+  /// receiving handler reads neither the clock nor the failure detector
+  /// and emits no trace events whose times a property compares. The
+  /// default — time-sensitive, never reorder — is always sound.
+  [[nodiscard]] virtual bool tick_insensitive() const { return false; }
+
+  /// Human-readable type name for diagnostics: kind() when classified,
+  /// else the (demangled) C++ type name. Wrappers override it to name
+  /// the wrapped payload.
+  [[nodiscard]] virtual std::string identity() const;
 };
 
 using PayloadPtr = std::shared_ptr<const Payload>;

@@ -42,6 +42,13 @@ class Process {
   /// run when every alive process is done.
   [[nodiscard]] virtual bool done() const { return false; }
 
+  /// True when a lambda step taken now would be a pure no-op, and would
+  /// stay one across the deliveries the explorer may commute it with
+  /// (see Module::tick_noop for the exact obligation). Consumed by the
+  /// DPOR explorer's content-aware dependence; the conservative default
+  /// never commutes lambda steps.
+  [[nodiscard]] virtual bool tick_noop() const { return false; }
+
   /// Transport instrumentation (see TransportInstrument); may be nullptr.
   [[nodiscard]] virtual TransportInstrument* instrument() { return nullptr; }
 

@@ -78,11 +78,20 @@ bool Simulator::step() {
     proc.on_step(ctx, &env);
     lambda = false;
   } else {
+    // Evaluated before the step runs; for a declared no-op the pre- and
+    // post-states agree, so either read is the step's verdict.
+    last_step_.tick_noop = proc.tick_noop();
     proc.on_step(ctx, nullptr);
   }
   trace_.count_step(lambda);
   ++now_;
   return true;
+}
+
+bool Simulator::process_tick_noop(ProcessId p) const {
+  return p >= 0 && p < static_cast<ProcessId>(procs_.size()) &&
+         started_p_[static_cast<std::size_t>(p)] &&
+         procs_[static_cast<std::size_t>(p)]->tick_noop();
 }
 
 void Simulator::encode_state(StateEncoder& enc) const {

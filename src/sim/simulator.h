@@ -39,6 +39,9 @@ struct LastStep {
   ProcessId p = kNoProcess;       ///< Who acted; kNoProcess before step 1.
   std::uint64_t delivered = 0;    ///< Delivered message id; 0 for λ/start.
   bool was_start = false;         ///< True when the step was p's on_start.
+  /// λ step whose process declared its tick a no-op (Process::tick_noop,
+  /// evaluated as the step began); always false for starts/deliveries.
+  bool tick_noop = false;
 };
 
 class Simulator {
@@ -84,6 +87,11 @@ class Simulator {
 
   /// What the most recent successful step() did.
   [[nodiscard]] const LastStep& last_step() const { return last_step_; }
+
+  /// Whether a lambda step of p taken right now would be inert (p has
+  /// started and declares Process::tick_noop) — the end-of-run analogue
+  /// of LastStep::tick_noop for hypothetical never-executed lambdas.
+  [[nodiscard]] bool process_tick_noop(ProcessId p) const;
 
   /// Fold the complete system state — per-process encodings, the
   /// in-flight message multiset, pending crash deltas and the oracle's

@@ -147,6 +147,10 @@ class BasicSmrRegisterModule : public sim::Module {
   /// Sentinel until self() is known (first tick after submit).
   static constexpr ProcessId kPendingSelf = kMaxProcesses + 1;
 
+  // Equal commands commute (set insert is idempotent, so the second of
+  // the pair is a no-op in either order). Distinct commands do not: the
+  // tick between the pair may join a fresh slot and propose
+  // pick_proposal(), which reads pool_ — a receipt-order-sensitive read.
   struct CommandMsg final : sim::Payload {
     explicit CommandMsg(RegCommand c) : cmd(std::move(c)) {}
     RegCommand cmd;
@@ -154,13 +158,32 @@ class BasicSmrRegisterModule : public sim::Module {
       enc.field("kind", "command");
       sim::encode_field(enc, "cmd", cmd);
     }
+    [[nodiscard]] std::string_view kind() const override {
+      return "smr.command";
+    }
+    [[nodiscard]] bool commutes_with(const sim::Payload& other)
+        const override {
+      const auto* o = sim::payload_cast<CommandMsg>(other);
+      return o != nullptr && cmd == o->cmd;
+    }
   };
+  // Equal-slot announcements commute via the joined_ guard; distinct
+  // slots spawn their consensus instance at order-dependent steps (the
+  // instance's first tick reads the detector at the spawn step).
   struct AnnounceSlot final : sim::Payload {
     explicit AnnounceSlot(std::uint64_t s) : slot(s) {}
     std::uint64_t slot;
     void encode_state(sim::StateEncoder& enc) const override {
       enc.field("kind", "announce-slot");
       enc.field("slot", slot);
+    }
+    [[nodiscard]] std::string_view kind() const override {
+      return "smr.announce-slot";
+    }
+    [[nodiscard]] bool commutes_with(const sim::Payload& other)
+        const override {
+      const auto* o = sim::payload_cast<AnnounceSlot>(other);
+      return o != nullptr && slot == o->slot;
     }
   };
 

@@ -103,12 +103,10 @@ TEST(ExplorerTest, FingerprintPruningFires) {
   ExplorerOptions eo;
   eo.max_states = 5000;
   eo.stop_at_first = false;
-  // A deliberately coarse fingerprint override (just the clock) collapses
-  // every same-depth state; this exercises the pruning path and the
-  // deprecated FingerprintFn hook, not precision.
-  eo.fingerprint = [](const sim::Simulator& s) {
-    return static_cast<std::uint64_t>(s.now());
-  };
+  // The seeded-bug scenario is fully modular, so the composed
+  // Module::encode_state fingerprint is complete and distinct schedules
+  // converge onto equal states (e.g. permuted deliveries of equal
+  // proposals); pruning must fire within a modest budget.
   Explorer ex(ScenarioFactory(opt).builder(), eo);
   const ExploreReport rep = ex.run();
   EXPECT_GT(rep.stats.fp_prunes, 0u);

@@ -28,6 +28,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "explore/campaign.h"
@@ -55,6 +56,7 @@ struct Args {
   int threads = 4;
   int frontier = 2;
   explore::Reduction reduction = explore::Reduction::kDpor;
+  explore::Dependence dependence = explore::Dependence::kContent;
   bool state_fingerprints = true;
   bool shrink = true;
   bool json = false;
@@ -76,6 +78,7 @@ void usage() {
       "                 [--exhaustive | --campaign | --replay=FILE]\n"
       "                 [--max-states=N] [--runs=N] [--threads=N]\n"
       "                 [--frontier=N] [--reduction=dpor|sleep-sets|none]\n"
+      "                 [--dep=content|process]\n"
       "                 [--no-fingerprints] [--no-shrink]\n"
       "                 [--no-lambda] [--all-pending] [--save=FILE]\n"
       "                 [--json]\n"
@@ -144,6 +147,14 @@ bool parse(int argc, char** argv, Args& a) {
         a.reduction = explore::Reduction::kSleepSets;
       } else if (*vred == "none") {
         a.reduction = explore::Reduction::kNone;
+      } else {
+        return false;
+      }
+    } else if (auto vdep = val("dep")) {
+      if (*vdep == "content") {
+        a.dependence = explore::Dependence::kContent;
+      } else if (*vdep == "process") {
+        a.dependence = explore::Dependence::kProcess;
       } else {
         return false;
       }
@@ -220,12 +231,22 @@ int report_cex(const Args& a, const explore::ScenarioBuilder& build,
   return kExitViolation;
 }
 
+std::string conservative_to_json(const std::set<std::string>& ids) {
+  std::string out = "[";
+  for (const std::string& id : ids) {
+    if (out.size() > 1) out += ",";
+    out += "\"" + id + "\"";
+  }
+  return out + "]";
+}
+
 int run_exhaustive(const Args& a) {
   const explore::ScenarioBuilder build =
       explore::ScenarioFactory(a.scenario).builder();
   explore::ExplorerOptions eo;
   eo.max_states = a.max_states;
   eo.reduction = a.reduction;
+  eo.dependence = a.dependence;
   eo.state_fingerprints = a.state_fingerprints;
   explore::Explorer ex(build, eo);
   const explore::ExploreReport rep = ex.run();
@@ -236,6 +257,7 @@ int run_exhaustive(const Args& a) {
         "{\"verdict\":\"clean\",\"mode\":\"exhaustive\",\"states\":%llu,"
         "\"runs\":%llu,\"steps\":%llu,\"sleep_skips\":%llu,"
         "\"fp_prunes\":%llu,\"hb_races\":%llu,\"backtrack_points\":%llu,"
+        "\"commute_skips\":%llu,\"conservative_payloads\":%s,"
         "\"status\":\"%s\",\"coverage\":\"%s\"}\n",
         static_cast<unsigned long long>(st.nodes),
         static_cast<unsigned long long>(st.runs),
@@ -244,6 +266,8 @@ int run_exhaustive(const Args& a) {
         static_cast<unsigned long long>(st.fp_prunes),
         static_cast<unsigned long long>(st.hb_races),
         static_cast<unsigned long long>(st.backtrack_points),
+        static_cast<unsigned long long>(st.commute_skips),
+        conservative_to_json(rep.conservative_payloads).c_str(),
         st.exhausted ? "exhausted" : "budget", cov.c_str());
     return kExitClean;
   }
@@ -251,7 +275,7 @@ int run_exhaustive(const Args& a) {
     std::printf(
         "explored %llu states across %llu runs (%llu steps, "
         "%llu sleep-set skips, %llu fp prunes, %llu hb races, "
-        "%llu backtrack points): %s [coverage: %s]\n",
+        "%llu backtrack points, %llu commute skips): %s [coverage: %s]\n",
         static_cast<unsigned long long>(st.nodes),
         static_cast<unsigned long long>(st.runs),
         static_cast<unsigned long long>(st.steps),
@@ -259,10 +283,18 @@ int run_exhaustive(const Args& a) {
         static_cast<unsigned long long>(st.fp_prunes),
         static_cast<unsigned long long>(st.hb_races),
         static_cast<unsigned long long>(st.backtrack_points),
+        static_cast<unsigned long long>(st.commute_skips),
         st.exhausted          ? "tree exhausted"
         : rep.cex.has_value() ? "stopped at violation"
                               : "budget reached",
         cov.c_str());
+    if (!rep.conservative_payloads.empty()) {
+      std::printf("conservative payloads (no commutativity audit):");
+      for (const std::string& id : rep.conservative_payloads) {
+        std::printf(" %s", id.c_str());
+      }
+      std::printf("\n");
+    }
   }
   if (rep.cex.has_value()) return report_cex(a, build, *rep.cex, "exhaustive");
   std::printf("no violation found\n");
