@@ -4,10 +4,14 @@
 // how the reductions change the tree actually visited.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+
 #include "explore/explorer.h"
 #include "explore/replay_io.h"
 #include "explore/scenario.h"
 #include "explore/shrink.h"
+#include "explore/state_store.h"
 #include "sim/choice.h"
 
 namespace wfd::explore {
@@ -207,6 +211,38 @@ void BM_Replay(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Replay);
+
+// Snapshot serialization cost: how much a --save-state at the end of a
+// budgeted invocation adds on top of the search itself. The snapshot is
+// produced by a real partial exploration, so the fingerprint table and
+// frame stack have realistic shapes.
+void BM_SnapshotRoundTrip(benchmark::State& state) {
+  ScenarioOptions opt = consensus_options(3, 25);
+  opt.fd_per_query = false;
+  const ScenarioBuilder build = ScenarioFactory(opt).builder();
+  const std::string path = "bench_snapshot_scratch.wfds";
+  ExplorerOptions eo;
+  eo.budget_states = static_cast<std::uint64_t>(state.range(0));
+  eo.save_path = path;
+  eo.scenario = opt;
+  Explorer ex(build, eo);
+  const ExploreReport rep = ex.run();
+  std::string error;
+  const auto snap = load_snapshot(path, &error);
+  std::remove(path.c_str());
+  if (rep.save_error.empty() && snap.has_value()) {
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+      const std::string text = to_text(*snap);
+      bytes += text.size();
+      benchmark::DoNotOptimize(parse_snapshot(text).has_value());
+    }
+    state.counters["fps"] = static_cast<double>(snap->fingerprints.size());
+    state.counters["bytes/s"] = benchmark::Counter(
+        static_cast<double>(bytes), benchmark::Counter::kIsRate);
+  }
+}
+BENCHMARK(BM_SnapshotRoundTrip)->Arg(1000)->Arg(10000);
 
 void BM_ShrinkSeededBug(benchmark::State& state) {
   ScenarioOptions opt;

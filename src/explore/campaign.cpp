@@ -83,6 +83,10 @@ CampaignReport run_campaign(const ScenarioBuilder& build,
     eo.max_states = opt.frontier_states;
     eo.stop_at_first = true;
     eo.order_seed = mix(opt.seed ^ (0xf0f0f0f0ull + static_cast<unsigned>(w)));
+    // Cooperative cancel: when another worker claims a counterexample
+    // under stop_at_first, frontier workers must stop within one
+    // expansion instead of burning their full frontier_states budget.
+    eo.cancel = &stop;
     Explorer ex(build, eo);
     const ExploreReport rep = ex.run();
     steps.fetch_add(rep.stats.steps, std::memory_order_relaxed);

@@ -7,7 +7,10 @@
 //    violating run is immediately replayable (and shrinkable).
 //  * Frontier workers each run a budgeted DFS whose per-frame child
 //    order is rotated by a worker-specific seed, so different workers
-//    sink into different regions of the same tree.
+//    sink into different regions of the same tree. They share the
+//    campaign's stop flag (ExplorerOptions::cancel), so a stop_at_first
+//    counterexample claimed by any worker halts them within one
+//    expansion instead of letting each burn its full budget.
 //
 // Safety violations yield a counterexample (the first one is claimed by
 // an atomic flag and, optionally, shrunk). Liveness clauses are only

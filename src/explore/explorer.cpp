@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "explore/state_store.h"
 #include "sim/dependence.h"
 #include "sim/scheduler.h"
 #include "sim/state_encoder.h"
@@ -396,6 +397,73 @@ sim::DecisionLog Explorer::decisions() const {
   return log;
 }
 
+void Explorer::restore(const StateSnapshot& snap) {
+  frames_.clear();
+  frames_.reserve(snap.frames.size());
+  for (const FrameState& fs : snap.frames) {
+    Frame f;
+    f.kind = fs.kind;
+    f.labels = fs.labels;
+    f.chosen = fs.chosen;
+    f.start = fs.start;
+    f.sleep = fs.sleep;
+    f.explored = fs.explored;
+    f.backtrack = fs.backtrack;
+    f.blocked = fs.blocked;
+    frames_.push_back(std::move(f));
+  }
+  fps_.clear();
+  fps_.reserve(snap.fingerprints.size());
+  for (const auto& [fp, t] : snap.fingerprints) fps_.emplace(fp, t);
+  stats_ = snap.stats;
+  conservative_ = snap.conservative_payloads;
+  path_pending_ = snap.path_pending;
+  resume_generation_ = snap.resume_generation;
+}
+
+StateSnapshot Explorer::make_snapshot() const {
+  StateSnapshot snap;
+  snap.scenario = opt_.scenario;
+  snap.reduction = opt_.reduction;
+  snap.dependence = opt_.dependence;
+  snap.state_fingerprints = opt_.state_fingerprints;
+  snap.order_seed = opt_.order_seed;
+  snap.resume_generation = resume_generation_ + 1;
+  snap.path_pending = path_pending_;
+  snap.stats = stats_;
+  snap.conservative_payloads = conservative_;
+  snap.frames.reserve(frames_.size());
+  for (const Frame& f : frames_) {
+    FrameState fs;
+    fs.kind = f.kind;
+    fs.labels = f.labels;
+    fs.chosen = f.chosen;
+    fs.start = f.start;
+    fs.sleep = f.sleep;
+    fs.explored = f.explored;
+    fs.backtrack = f.backtrack;
+    fs.blocked = f.blocked;
+    snap.frames.push_back(std::move(fs));
+  }
+  snap.fingerprints.assign(fps_.begin(), fps_.end());
+  // Deterministic files: equal stores serialize byte-identically.
+  std::sort(snap.fingerprints.begin(), snap.fingerprints.end());
+  return snap;
+}
+
+void Explorer::rollback_run(std::size_t replay_len,
+                            const ExploreStats& run_start_stats) {
+  frames_.resize(replay_len);
+  for (auto it = fp_log_.rbegin(); it != fp_log_.rend(); ++it) {
+    if (it->second.has_value()) {
+      fps_[it->first] = *it->second;
+    } else {
+      fps_.erase(it->first);
+    }
+  }
+  stats_ = run_start_stats;
+}
+
 Coverage coverage(const ExploreStats& stats) {
   if (!stats.exhausted) return Coverage::kBudget;
   return stats.fp_prunes > 0 ? Coverage::kModuloFingerprints
@@ -419,14 +487,58 @@ ExploreReport Explorer::run() {
   fps_.clear();
   stats_ = ExploreStats{};
   conservative_.clear();
+  path_pending_ = true;  // A fresh search still owes the root its run.
+  cancelled_ = false;
+  resume_generation_ = 0;
   ExploreReport rep;
 
-  while (true) {
+  if (!opt_.resume_path.empty()) {
+    std::string error;
+    const std::optional<StateSnapshot> snap =
+        load_snapshot(opt_.resume_path, &error);
+    if (!snap.has_value()) {
+      rep.resume_error = error;
+      return rep;
+    }
+    const std::string why = resume_mismatch(*snap, opt_.scenario, opt_);
+    if (!why.empty()) {
+      rep.resume_error = why;
+      rep.resume_rejected = true;
+      return rep;
+    }
+    restore(*snap);
+    rep.resumed = true;
+  }
+  rep.resume_generation = resume_generation_;
+  const std::uint64_t base_nodes = stats_.nodes;
+
+  // Continue exactly where the stored search stopped. A snapshot taken
+  // at a budget break holds a fully executed path, so the next move is
+  // the backtrack flip the uninterrupted search would have made; a
+  // pending path (fresh root, or a run abandoned by cancel) is
+  // re-executed first instead.
+  bool done = stats_.exhausted;
+  if (!done && !path_pending_) {
+    if (backtrack()) {
+      path_pending_ = true;
+    } else {
+      stats_.exhausted = true;
+      done = true;
+    }
+  }
+
+  while (!done) {
+    if (cancel_requested()) {
+      cancelled_ = true;
+      break;  // Path untouched since the last completed run: stays pending.
+    }
     // One re-execution: replay the prefix, extend to a halt. States
     // reached while source.pos() is still inside the replayed prefix are
     // re-visits of the previous run's own states — invisible to
     // fingerprint pruning, or every run would prune itself at step one.
     const std::size_t replay_len = frames_.size();
+    const ExploreStats run_start_stats = stats_;
+    fp_log_.clear();
     DfsSource source(*this);
     run_blocked_ = false;
     Scenario sc = build_(source);
@@ -441,6 +553,11 @@ ExploreReport Explorer::run() {
     std::optional<Violation> violation;
     std::uint64_t run_steps = 0;
     while (!run_blocked_) {
+      // Once per step, so at least once per choice-point expansion.
+      if (cancel_requested()) {
+        cancelled_ = true;
+        break;
+      }
       const std::size_t pos_before = source.pos();
       if (!sc.sim->step()) break;
       ++run_steps;
@@ -488,9 +605,21 @@ ExploreReport Explorer::run() {
           if (dpor) expand_path_on_prune();
           break;
         }
+        // Log mutations while cancel is armed, so an abandoned run's
+        // fingerprints can be undone — otherwise its own half-explored
+        // states would prune the re-execution after a resume.
+        if (opt_.cancel != nullptr) {
+          fp_log_.emplace_back(
+              *fp, fresh ? std::nullopt : std::optional(it->second));
+        }
         if (!fresh) it->second = t;
       }
     }
+    if (cancelled_) {
+      rollback_run(replay_len, run_start_stats);
+      break;
+    }
+    path_pending_ = false;
     if (dpor) end_of_run_races(*sc.sim);
     stats_.steps += run_steps;
     ++stats_.runs;
@@ -502,14 +631,26 @@ ExploreReport Explorer::run() {
       if (opt_.stop_at_first) break;
     }
     if (stats_.nodes >= opt_.max_states) break;
+    if (opt_.budget_states != 0 &&
+        stats_.nodes - base_nodes >= opt_.budget_states) {
+      break;
+    }
     if (opt_.max_runs != 0 && stats_.runs >= opt_.max_runs) break;
     if (!backtrack()) {
       stats_.exhausted = true;
       break;
     }
+    path_pending_ = true;
   }
+  rep.cancelled = cancelled_;
   rep.stats = stats_;
   rep.conservative_payloads = conservative_;
+  if (!opt_.save_path.empty()) {
+    std::string error;
+    if (!save_snapshot(opt_.save_path, make_snapshot(), &error)) {
+      rep.save_error = error;
+    }
+  }
   return rep;
 }
 

@@ -55,14 +55,21 @@
 // Full trees are intractable beyond toy sizes, so exploration is
 // budgeted (max_states choice points); coverage() reports honestly
 // whether the tree was completed, completed modulo fingerprint
-// equivalence, or merely ran out of budget.
+// equivalence, or merely ran out of budget. A budget-capped search can
+// be persisted (ExplorerOptions::save_path) and resumed
+// (ExplorerOptions::resume_path) across invocations — the snapshot
+// carries the DFS frontier, the visited-fingerprint set and the
+// cumulative stats (state_store.h), so k budgeted invocations visit
+// exactly the states one uninterrupted run would.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "explore/scenario.h"
@@ -114,6 +121,35 @@ struct ExplorerOptions {
   std::uint64_t order_seed = 0;
   /// Dependence relation for DPOR race detection; ignored outside kDpor.
   Dependence dependence = Dependence::kContent;
+  /// Cooperative cancel: when non-null, the explorer polls it once per
+  /// simulator step (so at least once per choice-point expansion) and
+  /// stops as soon as it reads true, abandoning the in-flight run
+  /// without trace (its frames, fingerprints and stats are rolled back,
+  /// so a snapshot taken afterwards is still resumable). A cancelled
+  /// search never claims exhaustion — coverage() reports kBudget. This
+  /// is how a campaign's stop_at_first reaches its frontier workers.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Budget on NEW choice points materialized by this invocation
+  /// (0 = off). Unlike max_states — a cap on the cumulative total,
+  /// which includes every node restored from a resumed snapshot — this
+  /// bounds the per-invocation increment; the knob --budget-states
+  /// loops on.
+  std::uint64_t budget_states = 0;
+  /// Non-empty: when run() returns, persist the search state here as a
+  /// resumable snapshot (state_store.h; written via temp-file + rename,
+  /// so a killed run never leaves a torn snapshot).
+  std::string save_path;
+  /// Non-empty: seed the DFS from the snapshot stored here instead of
+  /// the root — restore the backtrack frontier, union the
+  /// visited-fingerprint set, accumulate stats on top of the stored
+  /// ones. The snapshot's scenario header must match `scenario` and its
+  /// explorer options must match this struct, or run() refuses
+  /// (ExploreReport::resume_error / resume_rejected).
+  std::string resume_path;
+  /// Scenario header recorded into snapshots and validated on resume.
+  /// Must describe the same options the ScenarioBuilder was built from;
+  /// only consulted when save_path / resume_path are set.
+  ScenarioOptions scenario;
 };
 
 struct ExploreStats {
@@ -146,20 +182,39 @@ enum class Coverage {
 
 struct ExploreReport {
   ExploreStats stats;
-  /// The first counterexample found (unshrunk).
+  /// The first counterexample found (unshrunk). Counterexamples are not
+  /// persisted across save/resume: each invocation reports at most the
+  /// first one it finds itself (stats.violations stays cumulative).
   std::optional<Counterexample> cex;
   /// Identities of payload types observed in flight that still ship the
   /// conservative commutes_with default (empty kind()): the audit
   /// backlog of Dependence::kContent. Sorted for stable output.
   std::set<std::string> conservative_payloads;
+  /// True when the search was seeded from ExplorerOptions::resume_path.
+  bool resumed = false;
+  /// Save/resume generations behind this search (0 = fresh start).
+  std::uint64_t resume_generation = 0;
+  /// Non-empty: resuming failed and nothing ran. resume_rejected
+  /// distinguishes an incompatible snapshot (different scenario or
+  /// explorer options — the caller's exit-2 case) from an unreadable or
+  /// corrupt one.
+  std::string resume_error;
+  bool resume_rejected = false;
+  /// Non-empty: the search ran but the final snapshot was not written.
+  std::string save_error;
+  /// The search was stopped by ExplorerOptions::cancel.
+  bool cancelled = false;
 };
+
+struct StateSnapshot;
 
 class Explorer {
  public:
   Explorer(ScenarioBuilder build, ExplorerOptions opt);
 
   /// Explore until a violation (when stop_at_first), the budget, or the
-  /// whole tree is done. Re-entrant: each call restarts from scratch.
+  /// whole tree is done. Re-entrant: each call restarts from scratch —
+  /// or from ExplorerOptions::resume_path when set.
   ExploreReport run();
 
  private:
@@ -266,6 +321,23 @@ class Explorer {
 
   [[nodiscard]] sim::DecisionLog decisions() const;
 
+  [[nodiscard]] bool cancel_requested() const {
+    return opt_.cancel != nullptr &&
+           opt_.cancel->load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot conversion for save/resume (state_store.h).
+  void restore(const StateSnapshot& snap);
+  [[nodiscard]] StateSnapshot make_snapshot() const;
+
+  /// Erase every trace of a run abandoned mid-execution (cooperative
+  /// cancel): drop the frames it materialized, undo its fingerprint
+  /// insertions, restore the stats. Backtrack labels it raced into
+  /// pre-existing frames are kept — they only add pending work, and the
+  /// re-execution after resume re-derives them identically.
+  void rollback_run(std::size_t replay_len,
+                    const ExploreStats& run_start_stats);
+
   ScenarioBuilder build_;
   ExplorerOptions opt_;
   std::vector<Frame> frames_;
@@ -276,6 +348,16 @@ class Explorer {
   /// Identities of in-flight payloads with the conservative default.
   std::set<std::string> conservative_;
   bool run_blocked_ = false;
+  /// The current path has not been executed to completion (fresh root,
+  /// or a run abandoned by cancel): continuing means re-executing it,
+  /// not backtracking past it.
+  bool path_pending_ = true;
+  bool cancelled_ = false;
+  /// Generation of the snapshot this search resumed from (0 = fresh).
+  std::uint64_t resume_generation_ = 0;
+  /// Undo log of the current run's fps_ mutations (fp, prior time or
+  /// nullopt for a fresh insert); only kept while cancel is armed.
+  std::vector<std::pair<std::uint64_t, std::optional<std::uint64_t>>> fp_log_;
 
   // Per-run happens-before state (rebuilt every re-execution).
   std::vector<std::vector<StepRec>> proc_events_;

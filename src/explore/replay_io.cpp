@@ -4,69 +4,24 @@
 #include <fstream>
 #include <sstream>
 
+#include "explore/option_text.h"
+
 namespace wfd::explore {
 
-namespace {
-
-std::string time_to_text(Time t) {
-  return t == kNever ? "never" : std::to_string(t);
-}
-
-bool parse_u64(const std::string& s, std::uint64_t* out) {
-  if (s.empty()) return false;
-  std::uint64_t v = 0;
-  for (char c : s) {
-    if (c < '0' || c > '9') return false;
-    v = v * 10 + static_cast<std::uint64_t>(c - '0');
-  }
-  *out = v;
-  return true;
-}
-
-bool parse_time(const std::string& s, Time* out) {
-  if (s == "never") {
-    *out = kNever;
-    return true;
-  }
-  return parse_u64(s, out);
-}
-
-bool parse_int(const std::string& s, int* out) {
-  std::uint64_t v = 0;
-  const bool neg = !s.empty() && s[0] == '-';
-  if (!parse_u64(neg ? s.substr(1) : s, &v)) return false;
-  *out = neg ? -static_cast<int>(v) : static_cast<int>(v);
-  return true;
-}
-
-bool parse_bool(const std::string& s, bool* out) {
-  if (s != "0" && s != "1") return false;
-  *out = (s == "1");
-  return true;
-}
-
-}  // namespace
+using detail::escape_line;
+using detail::parse_u64;
+using detail::scenario_apply;
+using detail::scenario_to_text;
+using detail::unescape_line;
 
 std::string to_text(const ReplayFile& f) {
   std::ostringstream out;
-  const ScenarioOptions& o = f.scenario;
   out << "# wfd_check replay\n";
-  if (!f.note.empty()) out << "note=" << f.note << "\n";
-  out << "problem=" << o.problem << "\n";
-  out << "n=" << o.n << "\n";
-  out << "crashes=" << o.crashes << "\n";
-  out << "crash_time=" << time_to_text(o.crash_time) << "\n";
-  out << "max_steps=" << o.max_steps << "\n";
-  out << "seed=" << o.seed << "\n";
-  out << "stabilization=" << time_to_text(o.stabilization) << "\n";
-  out << "fd_per_query=" << (o.fd_per_query ? 1 : 0) << "\n";
-  out << "record_fd_samples=" << (o.record_fd_samples ? 1 : 0) << "\n";
-  out << "nbac_no_voter=" << o.nbac_no_voter << "\n";
-  out << "reg_ops=" << o.reg_ops << "\n";
-  out << "reg_readers=" << o.reg_readers << "\n";
-  out << "abcast_senders=" << o.abcast_senders << "\n";
-  out << "oldest_per_channel=" << (o.oldest_per_channel ? 1 : 0) << "\n";
-  out << "lambda_always=" << (o.lambda_always ? 1 : 0) << "\n";
+  // The note is free-form provenance; escape it so an embedded newline
+  // (e.g. a multi-line violation message) cannot break the line-oriented
+  // format and make the file fail to re-parse.
+  if (!f.note.empty()) out << "note=" << escape_line(f.note) << "\n";
+  scenario_to_text(out, f.scenario);
   out << "decisions=";
   for (std::size_t i = 0; i < f.decisions.size(); ++i) {
     if (i != 0) out << ",";
@@ -93,40 +48,11 @@ std::optional<ReplayFile> parse_replay(const std::string& text,
     if (eq == std::string::npos) return fail("line without '=': " + line);
     const std::string key = line.substr(0, eq);
     const std::string val = line.substr(eq + 1);
-    ScenarioOptions& o = f.scenario;
     bool ok = true;
-    if (key == "note") {
-      f.note = val;
-    } else if (key == "problem") {
-      o.problem = val;
-    } else if (key == "n") {
-      ok = parse_int(val, &o.n);
-    } else if (key == "crashes") {
-      ok = parse_int(val, &o.crashes);
-    } else if (key == "crash_time") {
-      ok = parse_time(val, &o.crash_time);
-    } else if (key == "max_steps") {
-      ok = parse_time(val, &o.max_steps);
-    } else if (key == "seed") {
-      ok = parse_u64(val, &o.seed);
-    } else if (key == "stabilization") {
-      ok = parse_time(val, &o.stabilization);
-    } else if (key == "fd_per_query") {
-      ok = parse_bool(val, &o.fd_per_query);
-    } else if (key == "record_fd_samples") {
-      ok = parse_bool(val, &o.record_fd_samples);
-    } else if (key == "nbac_no_voter") {
-      ok = parse_int(val, &o.nbac_no_voter);
-    } else if (key == "reg_ops") {
-      ok = parse_int(val, &o.reg_ops);
-    } else if (key == "reg_readers") {
-      ok = parse_int(val, &o.reg_readers);
-    } else if (key == "abcast_senders") {
-      ok = parse_int(val, &o.abcast_senders);
-    } else if (key == "oldest_per_channel") {
-      ok = parse_bool(val, &o.oldest_per_channel);
-    } else if (key == "lambda_always") {
-      ok = parse_bool(val, &o.lambda_always);
+    if (scenario_apply(f.scenario, key, val, &ok)) {
+      // Scenario field; ok already reflects the parse.
+    } else if (key == "note") {
+      if (!unescape_line(val, &f.note)) return fail("bad note escape: " + val);
     } else if (key == "decisions") {
       saw_decisions = true;
       std::string item;

@@ -1,0 +1,397 @@
+#include "explore/state_store.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "explore/option_text.h"
+
+namespace wfd::explore {
+
+namespace {
+
+using detail::escape_line;
+using detail::parse_bool;
+using detail::parse_u64;
+using detail::scenario_apply;
+using detail::scenario_to_text;
+using detail::unescape_line;
+
+/// Fingerprint entries per fps= line: keeps lines bounded without
+/// bloating the file with one key per entry.
+constexpr std::size_t kFpsPerLine = 512;
+
+std::string reduction_to_text(Reduction r) {
+  switch (r) {
+    case Reduction::kNone:
+      return "none";
+    case Reduction::kSleepSets:
+      return "sleep-sets";
+    case Reduction::kDpor:
+      return "dpor";
+  }
+  return "unknown";
+}
+
+bool parse_reduction(const std::string& s, Reduction* out) {
+  if (s == "none") {
+    *out = Reduction::kNone;
+  } else if (s == "sleep-sets") {
+    *out = Reduction::kSleepSets;
+  } else if (s == "dpor") {
+    *out = Reduction::kDpor;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string dependence_to_text(Dependence d) {
+  return d == Dependence::kContent ? "content" : "process";
+}
+
+bool parse_dependence(const std::string& s, Dependence* out) {
+  if (s == "content") {
+    *out = Dependence::kContent;
+  } else if (s == "process") {
+    *out = Dependence::kProcess;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void labels_to_text(std::ostream& out, const char* tag,
+                    const std::vector<std::uint64_t>& v) {
+  out << tag << "=";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out << ",";
+    out << v[i];
+  }
+}
+
+bool parse_labels(const std::string& s, std::vector<std::uint64_t>* out) {
+  out->clear();
+  if (s.empty()) return true;
+  std::string item;
+  std::istringstream items(s);
+  while (std::getline(items, item, ',')) {
+    std::uint64_t v = 0;
+    if (!parse_u64(item, &v)) return false;
+    out->push_back(v);
+  }
+  return true;
+}
+
+// frame=k=<kind>;c=<chosen>;s=<start>;b=<blocked>;l=<labels>;sl=<sleep>;
+//       ex=<explored>;bt=<backtrack>
+void frame_to_text(std::ostream& out, const FrameState& f) {
+  out << "frame=k=" << static_cast<int>(f.kind) << ";c=" << f.chosen
+      << ";s=" << f.start << ";b=" << (f.blocked ? 1 : 0) << ";";
+  labels_to_text(out, "l", f.labels);
+  out << ";";
+  labels_to_text(out, "sl", f.sleep);
+  out << ";";
+  labels_to_text(out, "ex", f.explored);
+  out << ";";
+  labels_to_text(out, "bt", f.backtrack);
+  out << "\n";
+}
+
+bool parse_frame(const std::string& s, FrameState* f) {
+  std::string part;
+  std::istringstream parts(s);
+  bool saw_labels = false;
+  while (std::getline(parts, part, ';')) {
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = part.substr(0, eq);
+    const std::string val = part.substr(eq + 1);
+    std::uint64_t v = 0;
+    if (key == "k") {
+      if (!parse_u64(val, &v) || v > 2) return false;
+      f->kind = static_cast<sim::ChoiceKind>(v);
+    } else if (key == "c") {
+      if (!parse_u64(val, &v) || v > UINT32_MAX) return false;
+      f->chosen = static_cast<std::uint32_t>(v);
+    } else if (key == "s") {
+      if (!parse_u64(val, &v) || v > UINT32_MAX) return false;
+      f->start = static_cast<std::uint32_t>(v);
+    } else if (key == "b") {
+      bool b = false;
+      if (!parse_bool(val, &b)) return false;
+      f->blocked = b;
+    } else if (key == "l") {
+      if (!parse_labels(val, &f->labels)) return false;
+      saw_labels = true;
+    } else if (key == "sl") {
+      if (!parse_labels(val, &f->sleep)) return false;
+    } else if (key == "ex") {
+      if (!parse_labels(val, &f->explored)) return false;
+    } else if (key == "bt") {
+      if (!parse_labels(val, &f->backtrack)) return false;
+    } else {
+      return false;
+    }
+  }
+  // Choice points always carry at least two options (forced moves never
+  // materialize frames), and the indices must address the menu.
+  return saw_labels && f->labels.size() >= 2 && f->chosen < f->labels.size() &&
+         f->start < f->labels.size();
+}
+
+void stats_to_text(std::ostream& out, const ExploreStats& st) {
+  out << "nodes=" << st.nodes << "\n";
+  out << "runs=" << st.runs << "\n";
+  out << "steps=" << st.steps << "\n";
+  out << "sleep_skips=" << st.sleep_skips << "\n";
+  out << "fp_prunes=" << st.fp_prunes << "\n";
+  out << "hb_races=" << st.hb_races << "\n";
+  out << "backtrack_points=" << st.backtrack_points << "\n";
+  out << "commute_skips=" << st.commute_skips << "\n";
+  out << "violations=" << st.violations << "\n";
+  out << "exhausted=" << (st.exhausted ? 1 : 0) << "\n";
+}
+
+bool stats_apply(ExploreStats& st, const std::string& key,
+                 const std::string& val, bool* ok) {
+  *ok = true;
+  if (key == "nodes") {
+    *ok = parse_u64(val, &st.nodes);
+  } else if (key == "runs") {
+    *ok = parse_u64(val, &st.runs);
+  } else if (key == "steps") {
+    *ok = parse_u64(val, &st.steps);
+  } else if (key == "sleep_skips") {
+    *ok = parse_u64(val, &st.sleep_skips);
+  } else if (key == "fp_prunes") {
+    *ok = parse_u64(val, &st.fp_prunes);
+  } else if (key == "hb_races") {
+    *ok = parse_u64(val, &st.hb_races);
+  } else if (key == "backtrack_points") {
+    *ok = parse_u64(val, &st.backtrack_points);
+  } else if (key == "commute_skips") {
+    *ok = parse_u64(val, &st.commute_skips);
+  } else if (key == "violations") {
+    *ok = parse_u64(val, &st.violations);
+  } else if (key == "exhausted") {
+    *ok = parse_bool(val, &st.exhausted);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string to_text(const StateSnapshot& s) {
+  std::ostringstream out;
+  out << "# wfd_check search snapshot\n";
+  out << "snapshot_version=" << s.version << "\n";
+  scenario_to_text(out, s.scenario);
+  out << "reduction=" << reduction_to_text(s.reduction) << "\n";
+  out << "dependence=" << dependence_to_text(s.dependence) << "\n";
+  out << "state_fingerprints=" << (s.state_fingerprints ? 1 : 0) << "\n";
+  out << "order_seed=" << s.order_seed << "\n";
+  out << "resume_generation=" << s.resume_generation << "\n";
+  out << "path_pending=" << (s.path_pending ? 1 : 0) << "\n";
+  stats_to_text(out, s.stats);
+  for (const std::string& id : s.conservative_payloads) {
+    out << "conservative=" << escape_line(id) << "\n";
+  }
+  for (const FrameState& f : s.frames) frame_to_text(out, f);
+  for (std::size_t i = 0; i < s.fingerprints.size(); i += kFpsPerLine) {
+    out << "fps=";
+    const std::size_t end = std::min(i + kFpsPerLine, s.fingerprints.size());
+    for (std::size_t j = i; j < end; ++j) {
+      if (j != i) out << ",";
+      out << s.fingerprints[j].first << ":" << s.fingerprints[j].second;
+    }
+    out << "\n";
+  }
+  // Trailer: count checks plus an end marker, so a torn or truncated
+  // file (no matter how it was produced) fails the parse.
+  out << "frames_total=" << s.frames.size() << "\n";
+  out << "fps_total=" << s.fingerprints.size() << "\n";
+  out << "end=snapshot\n";
+  return out.str();
+}
+
+std::optional<StateSnapshot> parse_snapshot(const std::string& text,
+                                            std::string* error) {
+  const auto fail =
+      [&](const std::string& why) -> std::optional<StateSnapshot> {
+    if (error != nullptr) *error = "bad snapshot: " + why;
+    return std::nullopt;
+  };
+  StateSnapshot s;
+  s.version = 0;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_end = false;
+  std::optional<std::uint64_t> frames_total;
+  std::optional<std::uint64_t> fps_total;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return fail("line without '=': " + line);
+    const std::string key = line.substr(0, eq);
+    const std::string val = line.substr(eq + 1);
+    bool ok = true;
+    if (scenario_apply(s.scenario, key, val, &ok) ||
+        stats_apply(s.stats, key, val, &ok)) {
+      // Scenario / stats field; ok already reflects the parse.
+    } else if (key == "snapshot_version") {
+      std::uint64_t v = 0;
+      ok = parse_u64(val, &v) && v <= UINT32_MAX;
+      if (ok) s.version = static_cast<std::uint32_t>(v);
+    } else if (key == "reduction") {
+      ok = parse_reduction(val, &s.reduction);
+    } else if (key == "dependence") {
+      ok = parse_dependence(val, &s.dependence);
+    } else if (key == "state_fingerprints") {
+      ok = parse_bool(val, &s.state_fingerprints);
+    } else if (key == "order_seed") {
+      ok = parse_u64(val, &s.order_seed);
+    } else if (key == "resume_generation") {
+      ok = parse_u64(val, &s.resume_generation);
+    } else if (key == "path_pending") {
+      ok = parse_bool(val, &s.path_pending);
+    } else if (key == "conservative") {
+      std::string id;
+      ok = unescape_line(val, &id);
+      if (ok) s.conservative_payloads.insert(id);
+    } else if (key == "frame") {
+      FrameState f;
+      if (!parse_frame(val, &f)) return fail("bad frame: " + val);
+      s.frames.push_back(std::move(f));
+    } else if (key == "fps") {
+      std::string item;
+      std::istringstream items(val);
+      while (std::getline(items, item, ',')) {
+        const std::size_t colon = item.find(':');
+        std::uint64_t fp = 0;
+        std::uint64_t t = 0;
+        if (colon == std::string::npos ||
+            !parse_u64(item.substr(0, colon), &fp) ||
+            !parse_u64(item.substr(colon + 1), &t)) {
+          return fail("bad fingerprint entry: " + item);
+        }
+        s.fingerprints.emplace_back(fp, t);
+      }
+    } else if (key == "frames_total") {
+      std::uint64_t v = 0;
+      ok = parse_u64(val, &v);
+      if (ok) frames_total = v;
+    } else if (key == "fps_total") {
+      std::uint64_t v = 0;
+      ok = parse_u64(val, &v);
+      if (ok) fps_total = v;
+    } else if (key == "end") {
+      ok = (val == "snapshot");
+      saw_end = ok;
+    }
+    // Unknown keys are ignored for forward compatibility.
+    if (!ok) return fail("bad value for " + key + ": " + val);
+  }
+  if (s.version != StateSnapshot::kVersion) {
+    return fail("unsupported snapshot_version (want " +
+                std::to_string(StateSnapshot::kVersion) + ")");
+  }
+  if (!saw_end) return fail("truncated (missing end marker)");
+  if (!frames_total.has_value() || *frames_total != s.frames.size()) {
+    return fail("frame count mismatch");
+  }
+  if (!fps_total.has_value() || *fps_total != s.fingerprints.size()) {
+    return fail("fingerprint count mismatch");
+  }
+  const std::string why = ScenarioFactory::validate(s.scenario);
+  if (!why.empty()) return fail(why);
+  return s;
+}
+
+bool save_snapshot(const std::string& path, const StateSnapshot& s,
+                   std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  // Temp-file + rename: a run killed mid-write leaves the previous
+  // snapshot (or nothing) in place, never a torn one.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return fail("cannot write " + tmp);
+    out << to_text(s);
+    out.flush();
+    if (!out) return fail("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return fail("cannot rename " + tmp + " to " + path);
+  }
+  return true;
+}
+
+std::optional<StateSnapshot> load_snapshot(const std::string& path,
+                                           std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_snapshot(buf.str(), error);
+}
+
+std::string resume_mismatch(const StateSnapshot& snap,
+                            const ScenarioOptions& scenario,
+                            const ExplorerOptions& opt) {
+  // Compare the rendered scenario headers line by line, so every field
+  // (including ones added later) participates automatically.
+  std::ostringstream have;
+  std::ostringstream want;
+  scenario_to_text(have, snap.scenario);
+  scenario_to_text(want, scenario);
+  if (have.str() != want.str()) {
+    std::istringstream ih(have.str());
+    std::istringstream iw(want.str());
+    std::string lh;
+    std::string lw;
+    while (std::getline(ih, lh) && std::getline(iw, lw)) {
+      if (lh != lw) {
+        return "snapshot is for a different scenario: snapshot has '" + lh +
+               "', this run has '" + lw + "'";
+      }
+    }
+    return "snapshot is for a different scenario";
+  }
+  // The frontier's sleep/backtrack sets and visit order are only sound
+  // under the exact reduction configuration that produced them.
+  if (snap.reduction != opt.reduction) {
+    return "snapshot was explored with --reduction=" +
+           reduction_to_text(snap.reduction) + ", this run uses " +
+           reduction_to_text(opt.reduction);
+  }
+  if (snap.dependence != opt.dependence) {
+    return "snapshot was explored with --dep=" +
+           dependence_to_text(snap.dependence) + ", this run uses " +
+           dependence_to_text(opt.dependence);
+  }
+  if (snap.state_fingerprints != opt.state_fingerprints) {
+    return std::string("snapshot fingerprint pruning was ") +
+           (snap.state_fingerprints ? "on" : "off") + ", this run has it " +
+           (opt.state_fingerprints ? "on" : "off");
+  }
+  if (snap.order_seed != opt.order_seed) {
+    return "snapshot order_seed " + std::to_string(snap.order_seed) +
+           " differs from this run's " + std::to_string(opt.order_seed);
+  }
+  return "";
+}
+
+}  // namespace wfd::explore

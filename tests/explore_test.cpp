@@ -5,10 +5,16 @@
 // stays clean on the correct protocols.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <climits>
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "explore/campaign.h"
 #include "explore/explorer.h"
+#include "explore/option_text.h"
 #include "explore/replay_io.h"
 #include "explore/scenario.h"
 #include "explore/shrink.h"
@@ -165,6 +171,100 @@ TEST(ReplayTest, ParseRejectsGarbage) {
       parse_replay("problem=nope\ndecisions=1\n", &error).has_value());
 }
 
+TEST(ReplayTest, ParseRejectsNumericOverflow) {
+  // Out-of-range numerics must fail the parse, not silently wrap into a
+  // small in-range value that replays a different scenario.
+  std::string error;
+  // 2^64: one past UINT64_MAX.
+  EXPECT_FALSE(parse_replay("problem=consensus\n"
+                            "seed=18446744073709551616\ndecisions=1\n",
+                            &error)
+                   .has_value());
+  EXPECT_NE(error.find("seed"), std::string::npos) << error;
+  // Far past UINT64_MAX (the classic wrap-to-small-value shape).
+  EXPECT_FALSE(parse_replay("problem=consensus\n"
+                            "max_steps=99999999999999999999999\n"
+                            "decisions=1\n",
+                            &error)
+                   .has_value());
+  // Decisions are 32-bit.
+  EXPECT_FALSE(
+      parse_replay("problem=consensus\ndecisions=4294967296\n", &error)
+          .has_value());
+  // Ints: one past INT_MAX, and a negative that a naive `-(int)v`
+  // negation would turn into a positive number via signed overflow.
+  EXPECT_FALSE(
+      parse_replay("problem=consensus\nn=2147483648\ndecisions=1\n", &error)
+          .has_value());
+  EXPECT_FALSE(parse_replay("problem=consensus\nn=-2147483649\ndecisions=1\n",
+                            &error)
+                   .has_value());
+}
+
+TEST(ReplayTest, ScalarParsersGuardTheBoundaries) {
+  std::uint64_t u = 0;
+  EXPECT_TRUE(detail::parse_u64("18446744073709551615", &u));
+  EXPECT_EQ(u, UINT64_MAX);
+  EXPECT_FALSE(detail::parse_u64("18446744073709551616", &u));
+  EXPECT_FALSE(detail::parse_u64("99999999999999999999999", &u));
+  EXPECT_FALSE(detail::parse_u64("", &u));
+  EXPECT_FALSE(detail::parse_u64("12x", &u));
+
+  int i = 0;
+  EXPECT_TRUE(detail::parse_int("2147483647", &i));
+  EXPECT_EQ(i, INT_MAX);
+  // INT_MIN is representable even though its magnitude overflows a
+  // positive int — the historical UB case for `-(int)v` negation.
+  EXPECT_TRUE(detail::parse_int("-2147483648", &i));
+  EXPECT_EQ(i, INT_MIN);
+  EXPECT_FALSE(detail::parse_int("2147483648", &i));
+  EXPECT_FALSE(detail::parse_int("-2147483649", &i));
+  // A huge negative must not wrap into a small positive (the wrap shape
+  // -(uint32)4294967295 == 1).
+  EXPECT_FALSE(detail::parse_int("-4294967295", &i));
+  EXPECT_FALSE(detail::parse_int("-", &i));
+}
+
+TEST(ReplayTest, RoundTripsEveryProblemAndAwkwardNotes) {
+  // Property check: to_text -> parse_replay is the identity over a grid
+  // of option sets and notes — including notes with newlines, which used
+  // to be written raw and break the line-oriented format.
+  const std::vector<std::string> notes = {
+      "",
+      "plain provenance",
+      "line one\nline two",
+      "trailing newline\n",
+      "tabs\tand \\backslashes\\",
+      "carriage\r\nreturns",
+  };
+  std::size_t combos = 0;
+  for (const ProblemSpec& spec : ScenarioFactory::problems()) {
+    for (const std::string& note : notes) {
+      ReplayFile f;
+      f.scenario.problem = spec.name;
+      f.scenario.n = 3;
+      f.scenario.max_steps = 17;
+      f.scenario.seed = 99;
+      f.scenario.stabilization = (combos % 2 == 0) ? kNever : Time{12};
+      f.scenario.fd_per_query = combos % 3 != 0;
+      if (spec.name == "nbac") f.scenario.nbac_no_voter = 1;
+      f.decisions = {0, 3, 1, 4, 1, 5, 9, 2, 6};
+      f.note = note;
+      ASSERT_EQ(ScenarioFactory::validate(f.scenario), "") << spec.name;
+      std::string error;
+      const auto p = parse_replay(to_text(f), &error);
+      ASSERT_TRUE(p.has_value()) << spec.name << ": " << error;
+      EXPECT_EQ(p->note, f.note) << spec.name;
+      EXPECT_EQ(p->decisions, f.decisions) << spec.name;
+      // Rendering covers every scenario field, so text equality is
+      // full-struct equality.
+      EXPECT_EQ(to_text(*p), to_text(f)) << spec.name;
+      ++combos;
+    }
+  }
+  EXPECT_GE(combos, notes.size() * 5);
+}
+
 TEST(CampaignTest, FindsSeededBugAndShrinksIt) {
   CampaignOptions co;
   co.threads = 4;
@@ -181,6 +281,63 @@ TEST(CampaignTest, FindsSeededBugAndShrinksIt) {
   const ReplayOutcome out = run_replay(build, rep.cex->decisions);
   ASSERT_TRUE(out.violation.has_value());
   EXPECT_EQ(out.violation->property, "agreement(decide)");
+}
+
+// Fires on exactly one invariant check across every scenario instance
+// the campaign builds, then never again: after the claim the tree is
+// clean, so nothing but the stop flag can end a frontier worker's DFS
+// early.
+class OneShotInvariant : public Invariant {
+ public:
+  explicit OneShotInvariant(std::shared_ptr<std::atomic<std::uint64_t>> fuse)
+      : fuse_(std::move(fuse)) {}
+  [[nodiscard]] std::string name() const override { return "one-shot"; }
+  std::optional<Violation> check(const sim::Simulator& sim) override {
+    (void)sim;
+    if (fuse_->fetch_add(1, std::memory_order_relaxed) == kFireAt) {
+      return Violation{name(), "the fuse burned down", 0};
+    }
+    return std::nullopt;
+  }
+
+  static constexpr std::uint64_t kFireAt = 2000;
+
+ private:
+  std::shared_ptr<std::atomic<std::uint64_t>> fuse_;
+};
+
+TEST(CampaignTest, StopFlagCancelsFrontierWorkers) {
+  // Regression: frontier workers used to ignore the campaign's stop
+  // flag, so under stop_at_first each one kept grinding its full
+  // frontier_states budget after the counterexample was already claimed.
+  // The budgets below are sized so that an un-cancelled worker would
+  // materialize millions of nodes (minutes of work); with the flag
+  // plumbed through ExplorerOptions::cancel the campaign returns almost
+  // immediately and the node total stays far below the budget.
+  ScenarioOptions opt;
+  opt.problem = "consensus";
+  opt.n = 3;
+  opt.max_steps = 40;
+  const ScenarioBuilder clean = ScenarioFactory(opt).builder();
+  auto fuse = std::make_shared<std::atomic<std::uint64_t>>(0);
+  const ScenarioBuilder build = [clean, fuse](sim::ChoiceSource& choices) {
+    Scenario sc = clean(choices);
+    sc.invariants.push_back(std::make_unique<OneShotInvariant>(fuse));
+    return sc;
+  };
+  CampaignOptions co;
+  co.threads = 2;
+  co.runs = 1000000;
+  co.frontier_workers = 2;
+  co.frontier_states = 10000000;
+  co.shrink = false;  // The one-shot violation cannot re-reproduce.
+  co.check_eventual = false;
+  const CampaignReport rep = run_campaign(build, co);
+  ASSERT_TRUE(rep.cex.has_value());
+  EXPECT_EQ(rep.cex->violation.property, "one-shot");
+  EXPECT_EQ(rep.violations, 1u);
+  EXPECT_LT(rep.nodes, co.frontier_states / 10);
+  EXPECT_LT(rep.runs, co.runs / 10);
 }
 
 // Legality sweeps: the correct protocols with choice-driven (adversarial

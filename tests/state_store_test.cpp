@@ -1,0 +1,429 @@
+// Persistent search snapshots (explore/state_store.h) and the
+// save/resume path through the explorer: the text format round-trips,
+// corrupt or truncated snapshots are rejected, a snapshot never resumes
+// under a different scenario or reduction configuration, and — the
+// headline property — a search split across budgeted save/resume
+// invocations ends with exactly the stats, coverage and violation of a
+// single uninterrupted run, even when an invocation was abandoned
+// mid-run by cooperative cancel.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "explore/explorer.h"
+#include "explore/scenario.h"
+#include "explore/state_store.h"
+
+namespace wfd::explore {
+namespace {
+
+StateSnapshot sample_snapshot() {
+  StateSnapshot s;
+  s.scenario.problem = "consensus-bug";
+  s.scenario.n = 3;
+  s.scenario.max_steps = 30;
+  s.reduction = Reduction::kDpor;
+  s.dependence = Dependence::kContent;
+  s.order_seed = 7;
+  s.resume_generation = 3;
+  s.path_pending = true;
+  s.stats.nodes = 41;
+  s.stats.runs = 11;
+  s.stats.steps = 512;
+  s.stats.sleep_skips = 9;
+  s.stats.fp_prunes = 4;
+  s.stats.hb_races = 2;
+  s.stats.backtrack_points = 17;
+  s.stats.violations = 1;
+  s.conservative_payloads = {"weird\npayload", "zeta"};
+  FrameState f0;
+  f0.kind = sim::ChoiceKind::kSchedule;
+  f0.labels = {10, 20, 30};
+  f0.chosen = 1;
+  f0.start = 2;
+  f0.sleep = {10};
+  f0.explored = {20};
+  f0.backtrack = {20, 30};
+  FrameState f1;
+  f1.kind = sim::ChoiceKind::kFd;
+  f1.labels = {0, 1};
+  f1.chosen = 0;
+  f1.blocked = true;
+  s.frames = {f0, f1};
+  s.fingerprints = {{3, 9}, {77, 0}, {12345678901234567890ull, 4}};
+  return s;
+}
+
+TEST(StateStoreTest, TextRoundTripsEveryField) {
+  const StateSnapshot s = sample_snapshot();
+  std::string error;
+  const auto p = parse_snapshot(to_text(s), &error);
+  ASSERT_TRUE(p.has_value()) << error;
+  EXPECT_EQ(p->version, StateSnapshot::kVersion);
+  EXPECT_EQ(p->scenario.problem, s.scenario.problem);
+  EXPECT_EQ(p->scenario.n, s.scenario.n);
+  EXPECT_EQ(p->scenario.max_steps, s.scenario.max_steps);
+  EXPECT_EQ(p->reduction, s.reduction);
+  EXPECT_EQ(p->dependence, s.dependence);
+  EXPECT_EQ(p->state_fingerprints, s.state_fingerprints);
+  EXPECT_EQ(p->order_seed, s.order_seed);
+  EXPECT_EQ(p->resume_generation, s.resume_generation);
+  EXPECT_EQ(p->path_pending, s.path_pending);
+  EXPECT_EQ(p->stats.nodes, s.stats.nodes);
+  EXPECT_EQ(p->stats.runs, s.stats.runs);
+  EXPECT_EQ(p->stats.steps, s.stats.steps);
+  EXPECT_EQ(p->stats.sleep_skips, s.stats.sleep_skips);
+  EXPECT_EQ(p->stats.fp_prunes, s.stats.fp_prunes);
+  EXPECT_EQ(p->stats.hb_races, s.stats.hb_races);
+  EXPECT_EQ(p->stats.backtrack_points, s.stats.backtrack_points);
+  EXPECT_EQ(p->stats.violations, s.stats.violations);
+  EXPECT_EQ(p->stats.exhausted, s.stats.exhausted);
+  EXPECT_EQ(p->conservative_payloads, s.conservative_payloads);
+  ASSERT_EQ(p->frames.size(), s.frames.size());
+  for (std::size_t i = 0; i < s.frames.size(); ++i) {
+    EXPECT_EQ(p->frames[i].kind, s.frames[i].kind) << i;
+    EXPECT_EQ(p->frames[i].chosen, s.frames[i].chosen) << i;
+    EXPECT_EQ(p->frames[i].start, s.frames[i].start) << i;
+    EXPECT_EQ(p->frames[i].blocked, s.frames[i].blocked) << i;
+    EXPECT_EQ(p->frames[i].labels, s.frames[i].labels) << i;
+    EXPECT_EQ(p->frames[i].sleep, s.frames[i].sleep) << i;
+    EXPECT_EQ(p->frames[i].explored, s.frames[i].explored) << i;
+    EXPECT_EQ(p->frames[i].backtrack, s.frames[i].backtrack) << i;
+  }
+  EXPECT_EQ(p->fingerprints, s.fingerprints);
+  // Rendering is canonical: parse(text) re-renders byte-identically.
+  EXPECT_EQ(to_text(*p), to_text(s));
+}
+
+TEST(StateStoreTest, ParseRejectsCorruption) {
+  const std::string good = to_text(sample_snapshot());
+  std::string error;
+  ASSERT_TRUE(parse_snapshot(good, &error).has_value()) << error;
+
+  // Truncation anywhere loses the end marker or a count trailer.
+  for (const std::size_t keep : {good.size() / 3, good.size() - 5}) {
+    EXPECT_FALSE(parse_snapshot(good.substr(0, keep), &error).has_value())
+        << "accepted a " << keep << "-byte prefix";
+  }
+  // A dropped frame line fails the frames_total check.
+  std::string missing = good;
+  const std::size_t at = missing.find("frame=");
+  ASSERT_NE(at, std::string::npos);
+  missing.erase(at, missing.find('\n', at) - at + 1);
+  EXPECT_FALSE(parse_snapshot(missing, &error).has_value());
+  EXPECT_NE(error.find("frame count"), std::string::npos) << error;
+
+  // Unknown versions are rejected, not guessed at.
+  std::string vers = good;
+  const std::size_t v = vers.find("snapshot_version=1");
+  ASSERT_NE(v, std::string::npos);
+  vers[v + std::string("snapshot_version=").size()] = '9';
+  EXPECT_FALSE(parse_snapshot(vers, &error).has_value());
+  EXPECT_NE(error.find("snapshot_version"), std::string::npos) << error;
+
+  // Overflowing numerics must fail loudly instead of wrapping: 2^64 in a
+  // stats field and in a fingerprint entry.
+  EXPECT_FALSE(
+      parse_snapshot(good + "nodes=18446744073709551616\n", &error)
+          .has_value());
+  std::string badfps = good;
+  const std::size_t fp = badfps.find("fps=");
+  ASSERT_NE(fp, std::string::npos);
+  badfps.insert(fp + 4, "99999999999999999999:1,");
+  EXPECT_FALSE(parse_snapshot(badfps, &error).has_value());
+
+  // A frame whose chosen index escapes its menu is structurally invalid.
+  EXPECT_FALSE(
+      parse_snapshot(good + "frame=k=0;c=5;s=0;b=0;l=1,2;sl=;ex=;bt=\n",
+                     &error)
+          .has_value());
+  EXPECT_NE(error.find("bad frame"), std::string::npos) << error;
+}
+
+TEST(StateStoreTest, ResumeMismatchNamesTheField) {
+  const StateSnapshot snap = sample_snapshot();
+  ExplorerOptions eo;
+  eo.order_seed = snap.order_seed;
+  EXPECT_EQ(resume_mismatch(snap, snap.scenario, eo), "");
+
+  ScenarioOptions other = snap.scenario;
+  other.n = 4;
+  const std::string why = resume_mismatch(snap, other, eo);
+  EXPECT_NE(why.find("different scenario"), std::string::npos) << why;
+  EXPECT_NE(why.find("n=3"), std::string::npos) << why;
+  EXPECT_NE(why.find("n=4"), std::string::npos) << why;
+
+  ExplorerOptions red = eo;
+  red.reduction = Reduction::kNone;
+  EXPECT_NE(resume_mismatch(snap, snap.scenario, red).find("--reduction"),
+            std::string::npos);
+  ExplorerOptions dep = eo;
+  dep.dependence = Dependence::kProcess;
+  EXPECT_NE(resume_mismatch(snap, snap.scenario, dep).find("--dep"),
+            std::string::npos);
+  ExplorerOptions fps = eo;
+  fps.state_fingerprints = false;
+  EXPECT_NE(resume_mismatch(snap, snap.scenario, fps).find("fingerprint"),
+            std::string::npos);
+  ExplorerOptions seed = eo;
+  seed.order_seed = 8;
+  EXPECT_NE(resume_mismatch(snap, snap.scenario, seed).find("order_seed"),
+            std::string::npos);
+}
+
+TEST(StateStoreTest, SaveAndLoadThroughDisk) {
+  const std::string path = testing::TempDir() + "wfd_state_store_disk.wfds";
+  const StateSnapshot s = sample_snapshot();
+  std::string error;
+  ASSERT_TRUE(save_snapshot(path, s, &error)) << error;
+  const auto p = load_snapshot(path, &error);
+  ASSERT_TRUE(p.has_value()) << error;
+  EXPECT_EQ(to_text(*p), to_text(s));
+  // No temp file left behind, and a missing path reports cleanly.
+  std::remove(path.c_str());
+  EXPECT_FALSE(load_snapshot(path + ".tmp", &error).has_value());
+  EXPECT_FALSE(load_snapshot(path, &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------
+// Explorer-level save/resume.
+
+ScenarioOptions small_clean_options() {
+  ScenarioOptions opt;
+  opt.problem = "consensus";
+  opt.n = 3;
+  opt.max_steps = 10;
+  opt.fd_per_query = false;  // Static detector history: small tree.
+  return opt;
+}
+
+ScenarioOptions bug_options() {
+  ScenarioOptions opt;
+  opt.problem = "consensus-bug";
+  opt.n = 3;
+  opt.max_steps = 30;
+  return opt;
+}
+
+struct SplitResult {
+  ExploreReport last;
+  std::optional<Counterexample> cex;
+  int resumes = 0;
+};
+
+/// Drives the wfd_check loop in-process: run with a per-invocation
+/// budget, save, resume from the save, until the tree is done or a
+/// violation is claimed.
+SplitResult run_split(const ScenarioOptions& scenario,
+                      const ExplorerOptions& base, std::uint64_t budget,
+                      const std::string& path) {
+  const ScenarioBuilder build = ScenarioFactory(scenario).builder();
+  SplitResult out;
+  std::remove(path.c_str());
+  for (int i = 0; i < 200; ++i) {
+    ExplorerOptions eo = base;
+    eo.budget_states = budget;
+    eo.save_path = path;
+    eo.scenario = scenario;
+    if (i > 0) eo.resume_path = path;
+    Explorer ex(build, eo);
+    out.last = ex.run();
+    out.resumes = i;
+    EXPECT_EQ(out.last.resume_error, "");
+    EXPECT_EQ(out.last.save_error, "");
+    EXPECT_EQ(out.last.resumed, i > 0);
+    if (out.last.cex.has_value()) {
+      out.cex = out.last.cex;
+      break;
+    }
+    if (out.last.stats.exhausted) break;
+  }
+  std::remove(path.c_str());
+  return out;
+}
+
+void expect_stats_eq(const ExploreStats& a, const ExploreStats& b) {
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.sleep_skips, b.sleep_skips);
+  EXPECT_EQ(a.fp_prunes, b.fp_prunes);
+  EXPECT_EQ(a.hb_races, b.hb_races);
+  EXPECT_EQ(a.backtrack_points, b.backtrack_points);
+  EXPECT_EQ(a.commute_skips, b.commute_skips);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.exhausted, b.exhausted);
+}
+
+TEST(ResumeTest, SplitSearchMatchesSingleShot) {
+  const ScenarioOptions scenario = small_clean_options();
+  Explorer single(ScenarioFactory(scenario).builder(), ExplorerOptions{});
+  const ExploreReport whole = single.run();
+  ASSERT_TRUE(whole.stats.exhausted);
+
+  const SplitResult split =
+      run_split(scenario, ExplorerOptions{}, 300,
+                testing::TempDir() + "wfd_resume_clean.wfds");
+  ASSERT_GE(split.resumes, 2) << "budget too large to exercise resume";
+  expect_stats_eq(split.last.stats, whole.stats);
+  EXPECT_EQ(coverage(split.last.stats), coverage(whole.stats));
+  EXPECT_EQ(split.last.resume_generation,
+            static_cast<std::uint64_t>(split.resumes));
+  EXPECT_FALSE(split.cex.has_value());
+}
+
+TEST(ResumeTest, SplitSearchFindsTheSameViolation) {
+  const ScenarioOptions scenario = bug_options();
+  Explorer single(ScenarioFactory(scenario).builder(), ExplorerOptions{});
+  const ExploreReport whole = single.run();
+  ASSERT_TRUE(whole.cex.has_value());
+
+  const SplitResult split =
+      run_split(scenario, ExplorerOptions{}, 5,
+                testing::TempDir() + "wfd_resume_bug.wfds");
+  ASSERT_GE(split.resumes, 1) << "violation found before any resume";
+  ASSERT_TRUE(split.cex.has_value());
+  EXPECT_EQ(split.cex->violation.property, whole.cex->violation.property);
+  // Resume continues the very same DFS, so the violating run replays the
+  // identical decision sequence the single-shot search found.
+  EXPECT_EQ(split.cex->decisions, whole.cex->decisions);
+}
+
+TEST(ResumeTest, MismatchedScenarioIsRejected) {
+  const ScenarioOptions bug = bug_options();
+  const std::string path = testing::TempDir() + "wfd_resume_mismatch.wfds";
+  ExplorerOptions save;
+  save.budget_states = 5;
+  save.save_path = path;
+  save.scenario = bug;
+  Explorer first(ScenarioFactory(bug).builder(), save);
+  ASSERT_EQ(first.run().save_error, "");
+
+  ScenarioOptions clean = bug;
+  clean.problem = "consensus";
+  ExplorerOptions eo;
+  eo.resume_path = path;
+  eo.scenario = clean;
+  Explorer second(ScenarioFactory(clean).builder(), eo);
+  const ExploreReport rep = second.run();
+  EXPECT_TRUE(rep.resume_rejected);
+  EXPECT_NE(rep.resume_error.find("different scenario"), std::string::npos)
+      << rep.resume_error;
+  // Nothing ran.
+  EXPECT_EQ(rep.stats.nodes, 0u);
+  EXPECT_EQ(rep.stats.runs, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ResumeTest, CorruptSnapshotIsRejectedWithoutRunning) {
+  const std::string path = testing::TempDir() + "wfd_resume_corrupt.wfds";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a snapshot\n", f);
+    std::fclose(f);
+  }
+  const ScenarioOptions scenario = bug_options();
+  ExplorerOptions eo;
+  eo.resume_path = path;
+  eo.scenario = scenario;
+  Explorer ex(ScenarioFactory(scenario).builder(), eo);
+  const ExploreReport rep = ex.run();
+  EXPECT_FALSE(rep.resume_error.empty());
+  EXPECT_FALSE(rep.resume_rejected);  // Corrupt, not incompatible.
+  EXPECT_EQ(rep.stats.nodes, 0u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Cooperative cancel (the campaign stop-flag regression).
+
+TEST(CancelTest, PreSetCancelStopsBeforeAnyExpansion) {
+  std::atomic<bool> stop{true};
+  ExplorerOptions eo;
+  eo.cancel = &stop;
+  Explorer ex(ScenarioFactory(small_clean_options()).builder(), eo);
+  const ExploreReport rep = ex.run();
+  EXPECT_TRUE(rep.cancelled);
+  EXPECT_EQ(rep.stats.nodes, 0u);
+  EXPECT_FALSE(rep.stats.exhausted);
+  EXPECT_EQ(coverage(rep.stats), Coverage::kBudget);
+}
+
+TEST(CancelTest, CancelledSearchNeverClaimsExhaustion) {
+  // Flip the flag from another thread mid-search: whenever it lands, the
+  // explorer must come back promptly, report cancelled, and refuse to
+  // call the tree exhausted. (On a machine slow enough that the flag is
+  // already set at the first step, this degrades to the pre-set case —
+  // every assertion below still holds.)
+  ScenarioOptions opt = small_clean_options();
+  opt.max_steps = 40;  // Big enough that the search outlives the timer.
+  opt.fd_per_query = true;
+  std::atomic<bool> stop{false};
+  ExplorerOptions eo;
+  eo.max_states = 100000000;
+  eo.cancel = &stop;
+  Explorer ex(ScenarioFactory(opt).builder(), eo);
+  std::thread timer([&stop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stop.store(true, std::memory_order_relaxed);
+  });
+  const ExploreReport rep = ex.run();
+  timer.join();
+  EXPECT_TRUE(rep.cancelled);
+  EXPECT_FALSE(rep.stats.exhausted);
+  EXPECT_EQ(coverage(rep.stats), Coverage::kBudget);
+}
+
+TEST(CancelTest, CancelledRunLeavesNoTraceInTheSnapshot) {
+  // The acid test of the rollback: cancel an invocation at a random
+  // point mid-search, snapshot it, then resume with no cancel and run to
+  // exhaustion. If the abandoned run leaked frames, fingerprints or
+  // stats into the snapshot, the final totals would diverge from the
+  // uninterrupted run's.
+  const ScenarioOptions scenario = small_clean_options();
+  const ScenarioBuilder build = ScenarioFactory(scenario).builder();
+  Explorer single(build, ExplorerOptions{});
+  const ExploreReport whole = single.run();
+  ASSERT_TRUE(whole.stats.exhausted);
+
+  const std::string path = testing::TempDir() + "wfd_resume_cancel.wfds";
+  std::remove(path.c_str());
+  std::atomic<bool> stop{false};
+  ExplorerOptions first;
+  first.cancel = &stop;
+  first.save_path = path;
+  first.scenario = scenario;
+  Explorer cancelled(build, first);
+  std::thread timer([&stop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    stop.store(true, std::memory_order_relaxed);
+  });
+  const ExploreReport partial = cancelled.run();
+  timer.join();
+  ASSERT_EQ(partial.save_error, "");
+
+  ExploreReport last = partial;
+  for (int i = 0; !last.stats.exhausted && i < 200; ++i) {
+    ExplorerOptions eo;
+    eo.budget_states = 500;
+    eo.save_path = path;
+    eo.resume_path = path;
+    eo.scenario = scenario;
+    Explorer ex(build, eo);
+    last = ex.run();
+    ASSERT_EQ(last.resume_error, "") << last.resume_error;
+  }
+  expect_stats_eq(last.stats, whole.stats);
+  EXPECT_EQ(coverage(last.stats), coverage(whole.stats));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wfd::explore

@@ -25,6 +25,18 @@
 // reports its coverage honestly: "complete" (every branch visited),
 // "modulo-fingerprints" (every branch visited or cut at a state whose
 // subtree was explored from an equivalent fingerprint), or "budget".
+//
+// Budget-capped searches are resumable: --save-state=FILE persists the
+// search frontier + visited fingerprints on exit, --resume=FILE
+// continues from such a snapshot (a snapshot from a different scenario
+// or explorer configuration is rejected with exit 2), and
+// --budget-states=N caps the NEW states of this invocation, exiting 4
+// when the budget ran out with frontier left. Scripts keep re-invoking
+// `wfd_check ... --budget-states=N --save-state=s.wfds --resume=s.wfds`
+// while the exit status is 4, until the verdict is a violation (3) or
+// coverage=complete / modulo-fingerprints (0); see tools/resume_check.sh.
+// The split search visits exactly the states one uninterrupted run
+// would.
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -45,12 +57,16 @@ constexpr int kExitClean = 0;
 constexpr int kExitUsage = 1;
 constexpr int kExitUnsupported = 2;
 constexpr int kExitViolation = 3;
+constexpr int kExitBudget = 4;
 
 struct Args {
   explore::ScenarioOptions scenario;
   enum class Mode { kExhaustive, kCampaign, kReplay } mode = Mode::kExhaustive;
   std::string replay_path;
   std::string save_path;
+  std::string save_state_path;
+  std::string resume_path;
+  std::uint64_t budget_states = 0;
   std::uint64_t max_states = 100000;
   std::uint64_t runs = 10000;
   int threads = 4;
@@ -81,10 +97,19 @@ void usage() {
       "                 [--dep=content|process]\n"
       "                 [--no-fingerprints] [--no-shrink]\n"
       "                 [--no-lambda] [--all-pending] [--save=FILE]\n"
-      "                 [--json]\n"
+      "                 [--save-state=FILE] [--resume=FILE]\n"
+      "                 [--budget-states=N] [--json]\n"
+      "\n"
+      "--save-state persists a resumable snapshot of an exhaustive\n"
+      "search (frontier + visited fingerprints); --resume continues\n"
+      "from one; --budget-states=N caps the NEW states explored this\n"
+      "invocation, so scripts can loop save/resume until coverage is\n"
+      "complete (--max-states stays the cap on the cumulative total).\n"
       "\n"
       "exit status: 0 no violation, 3 violation found, 1 usage error,\n"
-      "             2 problem/mode combination not supported\n",
+      "             2 problem/mode combination not supported (or a\n"
+      "               resume snapshot from a different scenario),\n"
+      "             4 state budget exhausted, frontier saved\n",
       problems.c_str());
 }
 
@@ -132,6 +157,12 @@ bool parse(int argc, char** argv, Args& a) {
       a.replay_path = *v10;
     } else if (auto v11 = val("save")) {
       a.save_path = *v11;
+    } else if (auto vss = val("save-state")) {
+      a.save_state_path = *vss;
+    } else if (auto vrs = val("resume")) {
+      a.resume_path = *vrs;
+    } else if (auto vbs = val("budget-states")) {
+      a.budget_states = std::strtoull(vbs->c_str(), nullptr, 10);
     } else if (auto v12 = val("max-states")) {
       a.max_states = std::strtoull(v12->c_str(), nullptr, 10);
     } else if (auto v13 = val("runs")) {
@@ -248,17 +279,38 @@ int run_exhaustive(const Args& a) {
   eo.reduction = a.reduction;
   eo.dependence = a.dependence;
   eo.state_fingerprints = a.state_fingerprints;
+  eo.budget_states = a.budget_states;
+  eo.save_path = a.save_state_path;
+  eo.resume_path = a.resume_path;
+  eo.scenario = a.scenario;
   explore::Explorer ex(build, eo);
   const explore::ExploreReport rep = ex.run();
+  if (!rep.resume_error.empty()) {
+    std::fprintf(stderr, "cannot resume %s: %s\n", a.resume_path.c_str(),
+                 rep.resume_error.c_str());
+    // Incompatible snapshot (different scenario / explorer options) is
+    // the "combination not supported" case; corrupt or unreadable input
+    // is a plain usage error.
+    return rep.resume_rejected ? kExitUnsupported : kExitUsage;
+  }
   const auto& st = rep.stats;
   const std::string cov = explore::coverage_name(explore::coverage(st));
+  // A run that cannot persist its frontier must not report success, or
+  // a save/resume loop would silently restart from scratch.
+  const bool save_failed = !rep.save_error.empty();
+  if (save_failed) {
+    std::fprintf(stderr, "cannot save state: %s\n", rep.save_error.c_str());
+  }
+  const bool budget_left =
+      a.budget_states != 0 && !st.exhausted && !rep.cex.has_value();
   if (a.json && !rep.cex.has_value()) {
     std::printf(
         "{\"verdict\":\"clean\",\"mode\":\"exhaustive\",\"states\":%llu,"
         "\"runs\":%llu,\"steps\":%llu,\"sleep_skips\":%llu,"
         "\"fp_prunes\":%llu,\"hb_races\":%llu,\"backtrack_points\":%llu,"
         "\"commute_skips\":%llu,\"conservative_payloads\":%s,"
-        "\"status\":\"%s\",\"coverage\":\"%s\"}\n",
+        "\"status\":\"%s\",\"coverage\":\"%s\","
+        "\"resumed\":%s,\"resume_generation\":%llu}\n",
         static_cast<unsigned long long>(st.nodes),
         static_cast<unsigned long long>(st.runs),
         static_cast<unsigned long long>(st.steps),
@@ -268,10 +320,18 @@ int run_exhaustive(const Args& a) {
         static_cast<unsigned long long>(st.backtrack_points),
         static_cast<unsigned long long>(st.commute_skips),
         conservative_to_json(rep.conservative_payloads).c_str(),
-        st.exhausted ? "exhausted" : "budget", cov.c_str());
-    return kExitClean;
+        st.exhausted ? "exhausted" : "budget", cov.c_str(),
+        rep.resumed ? "true" : "false",
+        static_cast<unsigned long long>(rep.resume_generation));
+    if (save_failed) return kExitUsage;
+    return budget_left ? kExitBudget : kExitClean;
   }
   if (!a.json) {
+    if (rep.resumed) {
+      std::printf("resumed from %s (generation %llu)\n",
+                  a.resume_path.c_str(),
+                  static_cast<unsigned long long>(rep.resume_generation));
+    }
     std::printf(
         "explored %llu states across %llu runs (%llu steps, "
         "%llu sleep-set skips, %llu fp prunes, %llu hb races, "
@@ -297,8 +357,14 @@ int run_exhaustive(const Args& a) {
     }
   }
   if (rep.cex.has_value()) return report_cex(a, build, *rep.cex, "exhaustive");
-  std::printf("no violation found\n");
-  return kExitClean;
+  if (!a.save_state_path.empty() && !save_failed) {
+    std::printf("state saved: %s (continue with --resume=%s)\n",
+                a.save_state_path.c_str(), a.save_state_path.c_str());
+  }
+  std::printf("no violation found%s\n",
+              budget_left ? " yet (budget exhausted, frontier saved)" : "");
+  if (save_failed) return kExitUsage;
+  return budget_left ? kExitBudget : kExitClean;
 }
 
 int run_campaign_mode(const Args& a) {
@@ -386,6 +452,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "invalid scenario: %s\n", why.c_str());
       return kExitUsage;
     }
+  }
+  if (a.mode != Args::Mode::kExhaustive &&
+      (!a.save_state_path.empty() || !a.resume_path.empty() ||
+       a.budget_states != 0)) {
+    std::fprintf(stderr,
+                 "--save-state/--resume/--budget-states require "
+                 "--exhaustive\n");
+    return kExitUsage;
   }
   // Every registered problem/mode combination must be declared supported;
   // refusing here (exit 2) beats silently running a different mode.
