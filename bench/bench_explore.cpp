@@ -177,6 +177,50 @@ BENCHMARK(BM_ReductionAblation)
     ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6}, {0, 1}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 
+// Fault-injection cost: the same exhaustible consensus instance with no
+// adversary, with crash timing explorable (budget 1), and with lossy
+// links (drop budget 1 per link). Fault labels are conservatively
+// dependent with everything (DESIGN.md §10), so the interesting
+// counters are how much the tree grows relative to row 0 and how many
+// adversary moves actually execute.
+void BM_FaultInjection(benchmark::State& state) {
+  ScenarioOptions opt = consensus_options(3, 14);
+  opt.fd_per_query = false;
+  switch (state.range(0)) {
+    case 0:
+      state.SetLabel("fault-free");
+      break;
+    case 1:
+      opt.crash_mode = "explore";
+      opt.crashes = 1;
+      state.SetLabel("crash-explore");
+      break;
+    default:
+      opt.loss_drops = 1;
+      state.SetLabel("lossy-links");
+      break;
+  }
+  const ScenarioBuilder build = ScenarioFactory(opt).builder();
+  ExplorerOptions eo;
+  eo.max_states = 3000000;
+  ExploreStats last{};
+  for (auto _ : state) {
+    Explorer ex(build, eo);
+    last = ex.run().stats;
+  }
+  state.counters["states"] = static_cast<double>(last.nodes);
+  state.counters["runs"] = static_cast<double>(last.runs);
+  state.counters["injected_crashes"] =
+      static_cast<double>(last.injected_crashes);
+  state.counters["injected_drops"] = static_cast<double>(last.injected_drops);
+  state.counters["exhausted"] = last.exhausted ? 1 : 0;
+}
+BENCHMARK(BM_FaultInjection)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RecordedRandomWalk(benchmark::State& state) {
   const ScenarioBuilder build =
       ScenarioFactory(consensus_options(3, 60)).builder();

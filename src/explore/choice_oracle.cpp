@@ -78,6 +78,28 @@ void ChoiceOracle::begin_run(const sim::FailurePattern& f, std::uint64_t seed,
   psi_branch_ = PsiBranch::kUndecided;
 }
 
+void ChoiceOracle::on_crash(ProcessId p, Time t) {
+  if (!opt_.live_pattern) return;
+  f_.crash_at(p, t);
+  // Recompute the converged values from the surviving correct set; the
+  // per-query menus consult f_ directly (FS red / Ψ's FS branch become
+  // offerable from this step on).
+  const ProcessSet correct = f_.correct();
+  WFD_CHECK_MSG(!correct.empty(), "injected crash left no correct process");
+  omega_star_ = correct.min();
+  if (opt_.sigma || opt_.psi) {
+    const int m = n_ / 2 + 1;
+    WFD_CHECK_MSG(correct.size() >= m,
+                  "injected crash broke the Sigma majority environment");
+    ProcessSet star;
+    for (ProcessId q : correct.members()) {
+      if (star.size() == m) break;
+      star.insert(q);
+    }
+    sigma_star_ = star;
+  }
+}
+
 ProcessId ChoiceOracle::omega_value(Time t) {
   if (!opt_.per_query) return static_omega_;
   if (t >= opt_.stabilization) return omega_star_;

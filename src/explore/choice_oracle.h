@@ -48,6 +48,12 @@ class ChoiceOracle : public fd::Oracle {
     /// First time at which outputs are forced to the canonical converged
     /// values. kNever = never force (bounded safety checking only).
     Time stabilization = kNever;
+    /// Track injected crashes: on_crash mutates the oracle's copy of the
+    /// failure pattern and recomputes the canonical converged values, so
+    /// failure-dependent menus (FS red, Ψ's FS branch) see crashes the
+    /// explorer injects mid-run. Requires stabilization == kNever when
+    /// crashes can arrive after a forced convergence point.
+    bool live_pattern = false;
   };
 
   /// `choices` is borrowed and must outlive the oracle.
@@ -56,6 +62,7 @@ class ChoiceOracle : public fd::Oracle {
   void begin_run(const sim::FailurePattern& f, std::uint64_t seed,
                  Time horizon) override;
   fd::FdValue query(ProcessId p, Time t) override;
+  void on_crash(ProcessId p, Time t) override;
   [[nodiscard]] std::string name() const override { return "choice"; }
   void encode_state(sim::StateEncoder& enc, Time now) const override;
 

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "explore/state_store.h"
+#include "inject/fault_plan.h"
 #include "sim/dependence.h"
 #include "sim/scheduler.h"
 #include "sim/state_encoder.h"
@@ -67,10 +68,18 @@ class Explorer::DfsSource : public sim::ChoiceSource {
         if (it->kind != sim::ChoiceKind::kSchedule) continue;
         const Frame& g = *it;
         const std::uint64_t executed = g.labels[g.chosen];
+        // Fault actions (crash/drop/duplicate) live outside the
+        // happens-before framework: a crash rewrites the failure pattern
+        // (everyone's menus), a drop/dup rewrites the shared message
+        // buffer. Treat them as dependent with everything — inherit no
+        // sleep across a fault edge, and never put a fault label to
+        // sleep.
+        if (sim::ReplayScheduler::label_is_fault(executed)) break;
         const ProcessId acted =
             sim::ReplayScheduler::label_process(executed);
         for (const auto* set : {&g.sleep, &g.explored}) {
           for (std::uint64_t a : *set) {
+            if (sim::ReplayScheduler::label_is_fault(a)) continue;
             if (contains(f.sleep, a)) continue;
             bool indep = sim::ReplayScheduler::label_process(a) != acted;
             if (!indep && dpor_schedule) {
@@ -97,7 +106,18 @@ class Explorer::DfsSource : public sim::ChoiceSource {
       f.chosen = *first;
       // Under DPOR the frame starts out owing only its default child;
       // race insertion grows the debt.
-      if (dpor_schedule) f.backtrack.push_back(f.labels[f.chosen]);
+      if (dpor_schedule) {
+        f.backtrack.push_back(f.labels[f.chosen]);
+        // Race insertion only reasons about deliveries and lambdas, so
+        // fault labels would never enter a backtrack set dynamically:
+        // any frame whose menu offers a fault is fully expanded instead
+        // (soundness over reduction — the fault subtrees, and every
+        // ordering against them, are enumerated outright).
+        if (std::any_of(labels.begin(), labels.end(),
+                        sim::ReplayScheduler::label_is_fault)) {
+          for (std::uint64_t l : labels) ex.add_backtrack(f, l);
+        }
+      }
     } else {
       // Every option is asleep: the subtree is covered elsewhere. Pick
       // an arbitrary option to satisfy the caller and have the explorer
@@ -163,7 +183,7 @@ std::optional<std::uint32_t> Explorer::dpor_default_choice(Frame& f) {
     }
   }
   std::optional<std::uint32_t> best;
-  std::uint64_t bd = 0, bl = 0, bm = 0;
+  std::uint64_t bf = 0, bd = 0, bl = 0, bm = 0;
   for (std::uint32_t i = 0; i < f.labels.size(); ++i) {
     const std::uint64_t label = f.labels[i];
     if (contains(f.explored, label)) continue;
@@ -176,9 +196,15 @@ std::optional<std::uint32_t> Explorer::dpor_default_choice(Frame& f) {
     const auto d =
         static_cast<std::uint64_t>((p - pref + kMaxProcesses) % kMaxProcesses);
     const std::uint64_t lam = (msg == 0) ? 1 : 0;  // Deliveries first.
-    if (!best.has_value() || d < bd ||
-        (d == bd && (lam < bl || (lam == bl && msg < bm)))) {
+    // Faults rank dead last: the default run makes progress, fault
+    // subtrees are visited on backtrack.
+    const std::uint64_t flt =
+        sim::ReplayScheduler::label_is_fault(label) ? 1 : 0;
+    if (!best.has_value() || flt < bf ||
+        (flt == bf &&
+         (d < bd || (d == bd && (lam < bl || (lam == bl && msg < bm)))))) {
       best = i;
+      bf = flt;
       bd = d;
       bl = lam;
       bm = msg;
@@ -200,8 +226,11 @@ bool Explorer::insert_backtrack(Frame& f, ProcessId receiver,
   if (contains(f.labels, want)) return add_backtrack(f, want);
   // Oldest-per-channel delivery hid the exact message behind an older
   // one from the same sender; delivering that one is the first move of
-  // every schedule that delivers `msg` here, so it stands in.
+  // every schedule that delivers `msg` here, so it stands in. Fault
+  // labels never stand in for a delivery (dropping the older copy is not
+  // a move toward delivering `msg`).
   for (std::uint64_t label : f.labels) {
+    if (sim::ReplayScheduler::label_is_fault(label)) continue;
     const std::uint64_t m = sim::ReplayScheduler::label_message(label);
     if (m == 0 || sim::ReplayScheduler::label_process(label) != receiver) {
       continue;
@@ -321,6 +350,30 @@ void Explorer::observe_step(sim::Simulator& sim, int frame,
   if (ls.p == kNoProcess) return;
   const auto p = static_cast<std::size_t>(ls.p);
   if (p >= proc_events_.size()) return;
+
+  if (ls.action != sim::StepChoice::Action::kDeliver) {
+    // An adversary move. Its frame is fully expanded (see choose()), so
+    // no race insertion is needed; record it as an opaque event of the
+    // affected process — race scans treat it as dependent, which is the
+    // conservative direction.
+    std::vector<std::uint64_t>& cp = clock_[p];
+    cp[p] = proc_events_[p].size() + 1;
+    proc_events_[p].push_back(
+        StepRec{frame, step_time, 0, false, false});
+    if (ls.action == sim::StepChoice::Action::kDup && ls.dup_id != 0) {
+      // The duplicate inherits the original's send metadata — payload,
+      // digest, sender and (crucially, for the conservative direction)
+      // the sender's clock — but exists only from this step on.
+      const auto mit = msgs_.find(ls.fault_msg);
+      if (mit != msgs_.end()) {
+        MsgInfo info = mit->second;
+        info.sent_time = step_time;
+        msgs_.emplace(ls.dup_id, std::move(info));
+      }
+    }
+    prev_sent_ = sim.network().total_sent();
+    return;
+  }
 
   // Race detection runs before this event joins the clocks: it compares
   // the *delivery* against the acting process's earlier events. Two
@@ -494,10 +547,14 @@ ExploreReport Explorer::run() {
 
   if (!opt_.resume_path.empty()) {
     std::string error;
+    bool wrong_version = false;
     const std::optional<StateSnapshot> snap =
-        load_snapshot(opt_.resume_path, &error);
+        load_snapshot(opt_.resume_path, &error, &wrong_version);
     if (!snap.has_value()) {
       rep.resume_error = error;
+      // A well-formed snapshot of another format version is an
+      // incompatibility (like a scenario mismatch), not a corrupt file.
+      rep.resume_rejected = wrong_version;
       return rep;
     }
     const std::string why = resume_mismatch(*snap, opt_.scenario, opt_);
@@ -623,6 +680,11 @@ ExploreReport Explorer::run() {
     if (dpor) end_of_run_races(*sc.sim);
     stats_.steps += run_steps;
     ++stats_.runs;
+    if (const inject::FaultState* fs = sc.sim->faults()) {
+      stats_.injected_crashes += static_cast<std::uint64_t>(fs->crashes());
+      stats_.injected_drops += static_cast<std::uint64_t>(fs->drops());
+      stats_.injected_dups += static_cast<std::uint64_t>(fs->dups());
+    }
     if (violation.has_value()) {
       ++stats_.violations;
       if (!rep.cex.has_value()) {

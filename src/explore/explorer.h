@@ -163,6 +163,11 @@ struct ExploreStats {
   /// Delivery pairs exempted from race insertion because their payloads
   /// commute (Dependence::kContent only).
   std::uint64_t commute_skips = 0;
+  /// Adversary moves executed across all completed runs (fault
+  /// injection; see src/inject/).
+  std::uint64_t injected_crashes = 0;
+  std::uint64_t injected_drops = 0;
+  std::uint64_t injected_dups = 0;
   std::uint64_t violations = 0;   ///< Violating runs found.
   bool exhausted = false;         ///< Whole tree visited within budget.
 };

@@ -61,6 +61,10 @@ void scenario_to_text(std::ostream& out, const ScenarioOptions& o) {
   out << "n=" << o.n << "\n";
   out << "crashes=" << o.crashes << "\n";
   out << "crash_time=" << time_to_text(o.crash_time) << "\n";
+  out << "crash_mode=" << o.crash_mode << "\n";
+  out << "loss_drops=" << o.loss_drops << "\n";
+  out << "loss_dups=" << o.loss_dups << "\n";
+  out << "fd_adversarial=" << (o.fd_adversarial ? 1 : 0) << "\n";
   out << "max_steps=" << o.max_steps << "\n";
   out << "seed=" << o.seed << "\n";
   out << "stabilization=" << time_to_text(o.stabilization) << "\n";
@@ -85,6 +89,15 @@ bool scenario_apply(ScenarioOptions& o, const std::string& key,
     *ok = parse_int(val, &o.crashes);
   } else if (key == "crash_time") {
     *ok = parse_time(val, &o.crash_time);
+  } else if (key == "crash_mode") {
+    *ok = (val == "script" || val == "explore");
+    if (*ok) o.crash_mode = val;
+  } else if (key == "loss_drops") {
+    *ok = parse_int(val, &o.loss_drops);
+  } else if (key == "loss_dups") {
+    *ok = parse_int(val, &o.loss_dups);
+  } else if (key == "fd_adversarial") {
+    *ok = parse_bool(val, &o.fd_adversarial);
   } else if (key == "max_steps") {
     *ok = parse_time(val, &o.max_steps);
   } else if (key == "seed") {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fd/history_checker.h"
+
 namespace wfd::explore {
 
 std::optional<Violation> AgreementInvariant::check(const sim::Simulator& sim) {
@@ -83,6 +85,23 @@ std::optional<Violation> NbacValidityInvariant::check(
                            " aborted with unanimous Yes and no failure",
                        e.t};
     }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> FdPrefixInvariant::check(const sim::Simulator& sim) {
+  // The pattern only ever gains failures, which only ever *legalise*
+  // samples, so re-checking is needed only when new samples arrived.
+  const auto& samples = sim.trace().samples();
+  if (samples.size() == checked_) return std::nullopt;
+  checked_ = samples.size();
+  if (fs_) {
+    const fd::CheckResult r = fd::check_fs_prefix(samples, sim.pattern());
+    if (!r.ok) return Violation{name(), r.violation, sim.now()};
+  }
+  if (psi_) {
+    const fd::CheckResult r = fd::check_psi_prefix(samples, sim.pattern());
+    if (!r.ok) return Violation{name(), r.violation, sim.now()};
   }
   return std::nullopt;
 }

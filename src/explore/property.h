@@ -139,6 +139,31 @@ class SigmaIntersectionInvariant : public Invariant {
   std::vector<std::uint64_t> seen_;  ///< Distinct quorum masks so far.
 };
 
+/// Failure-detector legality under fault injection: the prefix-checkable
+/// clauses of the enabled detector components, validated against the
+/// run's *current* failure pattern — which injected crashes grow on the
+/// fly — via fd/history_checker. FS: red only at-or-after a failure.
+/// Psi: bottom prefix, single switch, one common branch, the FS branch
+/// only after a failure. (Sigma intersection stays the job of
+/// SigmaIntersectionInvariant.) A crash injected later only widens what
+/// is legal and can never legalise an earlier sample, so checking each
+/// growing prefix is sound. Requires SimConfig::record_fd_samples.
+///
+/// encode_state stays empty on purpose: the verdict on *future* samples
+/// depends only on the oracle's latched mode state and the pattern, both
+/// of which the simulator already folds into the fingerprint.
+class FdPrefixInvariant : public Invariant {
+ public:
+  FdPrefixInvariant(bool fs, bool psi) : fs_(fs), psi_(psi) {}
+  [[nodiscard]] std::string name() const override { return "fd-prefix"; }
+  std::optional<Violation> check(const sim::Simulator& sim) override;
+
+ private:
+  bool fs_;
+  bool psi_;
+  std::size_t checked_ = 0;  ///< Sample count at the last (re)check.
+};
+
 /// Register atomicity: the history of read/write operations recorded by
 /// the workload clients stays linearizable (Herlihy-Wing via the
 /// Wing-Gong checker). The invariant owns the History the clients write

@@ -3,11 +3,14 @@
 #include <algorithm>
 
 #include "broadcast/atomic_broadcast.h"
+#include "broadcast/quasi_reliable.h"
 #include "broadcast/reliable_broadcast.h"
 #include "common/check.h"
 #include "consensus/omega_sigma_consensus.h"
 #include "explore/choice_oracle.h"
 #include "explore/seeded_bug.h"
+#include "inject/fault_plan.h"
+#include "inject/fd_adversary.h"
 #include "nbac/nbac_from_qc.h"
 #include "qc/psi_qc.h"
 #include "reg/abd_register.h"
@@ -46,6 +49,15 @@ class UrbWaiter : public sim::Module {
   std::uint64_t expect_;
 };
 
+/// Problems whose constructions rely on Sigma-style quorum histories:
+/// their failure patterns — scripted or reconstructed by injection —
+/// must keep a majority correct.
+bool needs_majority(const std::string& problem) {
+  return problem == "consensus" || problem == "qc" || problem == "nbac" ||
+         problem == "sigma" || problem == "register" ||
+         problem == "register-regular" || problem == "abcast";
+}
+
 std::vector<std::int64_t> proposals(int n) {
   std::vector<std::int64_t> out;
   for (int i = 0; i < n; ++i) out.push_back(i % 2);
@@ -62,9 +74,10 @@ ScenarioFactory::ScenarioFactory(ScenarioOptions opt) : opt_(std::move(opt)) {
 
 const std::vector<ProblemSpec>& ScenarioFactory::problems() {
   static const std::vector<ProblemSpec> kProblems = {
-      {"consensus"}, {"consensus-bug"},    {"qc"},       {"nbac"},
-      {"sigma"},     {"register"},         {"register-regular"},
-      {"abcast"},    {"rb"},
+      {"consensus"}, {"consensus-bug"},    {"consensus-crash-bug"},
+      {"qc"},        {"nbac"},             {"sigma"},
+      {"register"},  {"register-regular"}, {"abcast"},
+      {"rb"},
   };
   return kProblems;
 }
@@ -87,15 +100,30 @@ std::string ScenarioFactory::validate(const ScenarioOptions& opt) {
     return "crashes must be in [0, n)";
   }
   if (opt.max_steps == 0) return "max_steps must be positive";
-  const bool needs_majority =
-      opt.problem == "consensus" || opt.problem == "qc" ||
-      opt.problem == "nbac" || opt.problem == "sigma" ||
-      opt.problem == "register" || opt.problem == "register-regular" ||
-      opt.problem == "abcast";
-  if (needs_majority && 2 * opt.crashes >= opt.n) {
+  if (needs_majority(opt.problem) && 2 * opt.crashes >= opt.n) {
     return "problem '" + opt.problem +
            "' explores Sigma histories and needs a majority-correct "
            "pattern (crashes < n/2)";
+  }
+  if (opt.crash_mode != "script" && opt.crash_mode != "explore") {
+    return "crash_mode must be 'script' or 'explore'";
+  }
+  if (opt.crash_mode == "explore") {
+    if (opt.crash_time != kNever) {
+      return "crash_mode 'explore' picks crash times itself; crash_time "
+             "must stay unset";
+    }
+    if (opt.stabilization != kNever) {
+      return "crash_mode 'explore' reconstructs the pattern on the fly; "
+             "a finite stabilization time is not supported";
+    }
+  }
+  if (opt.loss_drops < 0 || opt.loss_dups < 0) {
+    return "loss budgets must be non-negative";
+  }
+  if (opt.fd_adversarial && opt.stabilization != kNever) {
+    return "fd_adversarial defers convergence past the horizon and "
+           "requires stabilization == kNever";
   }
   bool known = false;
   for (const ProblemSpec& p : problems()) known = known || p.name == opt.problem;
@@ -117,7 +145,9 @@ std::string ScenarioFactory::validate(const ScenarioOptions& opt) {
 sim::FailurePattern ScenarioFactory::make_pattern(
     sim::ChoiceSource& choices) const {
   sim::FailurePattern f(opt_.n);
-  if (opt_.crashes == 0) return f;
+  // In explore mode `crashes` is an injection budget, not a script: the
+  // pattern starts all-correct and grows as the explorer injects.
+  if (opt_.crashes == 0 || opt_.crash_mode == "explore") return f;
   if (opt_.crash_time != kNever) {
     for (int i = 0; i < opt_.crashes; ++i) {
       f.crash_at(i, opt_.crash_time * static_cast<Time>(i + 1));
@@ -162,18 +192,61 @@ Scenario ScenarioFactory::build(sim::ChoiceSource& choices) const {
   } else if (opt_.problem == "abcast") {
     oo.omega = true;
     oo.sigma = true;
+  } else if (opt_.problem == "consensus-crash-bug") {
+    oo.fs = true;  // The participants' fallback path reads FS.
   }
   // consensus-bug: all components off — the broken protocol is
   // detector-free, keeping its choice tree purely about schedules.
 
+  const bool crash_explore = opt_.crash_mode == "explore";
+  // With injected crashes the pattern evolves mid-run; the oracle must
+  // track it so its menus stay legal for the pattern actually realised.
+  oo.live_pattern = crash_explore;
+
+  inject::FaultPlan fp;
+  fp.crash_mode = crash_explore ? inject::CrashMode::kExplore
+                  : opt_.crashes > 0 ? inject::CrashMode::kScript
+                                     : inject::CrashMode::kNone;
+  fp.crash_budget = crash_explore ? opt_.crashes : 0;
+  fp.min_alive = needs_majority(opt_.problem) ? opt_.n / 2 + 1 : 1;
+  fp.drop_budget = opt_.loss_drops;
+  fp.dup_budget = opt_.loss_dups;
+  std::unique_ptr<inject::FaultState> faults;
+  if (fp.any()) faults = std::make_unique<inject::FaultState>(fp);
+
   sim::ReplayScheduler::Options so;
   so.oldest_per_channel = opt_.oldest_per_channel;
   so.lambda_always = opt_.lambda_always;
+  so.faults = faults.get();
+
+  std::unique_ptr<fd::Oracle> oracle;
+  if (opt_.fd_adversarial) {
+    oracle = std::make_unique<inject::FdAdversary>(&choices, oo);
+  } else {
+    oracle = std::make_unique<ChoiceOracle>(&choices, oo);
+  }
 
   out.sim = std::make_unique<sim::Simulator>(
-      cfg, pattern, std::make_unique<ChoiceOracle>(&choices, oo),
+      cfg, pattern, std::move(oracle),
       std::make_unique<sim::ReplayScheduler>(&choices, so));
+  if (faults != nullptr) out.sim->adopt_faults(std::move(faults));
   sim::Simulator& s = *out.sim;
+
+  // Under injection the detector history must stay legal for the pattern
+  // the run actually reconstructs — cross-check the prefix-checkable
+  // clauses of the enabled components via fd/history_checker.
+  if ((opt_.fd_adversarial || crash_explore) && opt_.record_fd_samples &&
+      (oo.fs || oo.psi)) {
+    out.invariants.push_back(
+        std::make_unique<FdPrefixInvariant>(oo.fs, oo.psi));
+  }
+  // Lossy links: the register problems are the ones written against
+  // quasi-reliable point-to-point channels, so their traffic goes
+  // through the retransmission wrapper (built below, per host).
+  const bool lossy = opt_.loss_drops > 0 || opt_.loss_dups > 0;
+  const bool wrap_register =
+      lossy && (opt_.problem == "register" ||
+                opt_.problem == "register-regular");
 
   if (opt_.problem == "consensus") {
     for (int i = 0; i < opt_.n; ++i) {
@@ -199,6 +272,21 @@ Scenario ScenarioFactory::build(sim::ChoiceSource& choices) const {
     out.invariants.push_back(std::make_unique<AgreementInvariant>("decide"));
     out.invariants.push_back(
         std::make_unique<ValidityInvariant>("decide", proposals(opt_.n)));
+    out.eventuals.push_back(
+        std::make_unique<EventualDecisionProperty>("decide"));
+  } else if (opt_.problem == "consensus-crash-bug") {
+    // Coordinator (p0) proposes 0, everyone else 1: the two-phase bug
+    // flips the outcome only when the coordinator dies in its
+    // decide-to-broadcast window (see seeded_bug.h).
+    for (int i = 0; i < opt_.n; ++i) {
+      auto& host = s.add_process<sim::ModularProcess>();
+      auto& c = host.add_module<CrashTimingConsensusModule>("cons");
+      c.propose(i == 0 ? 0 : 1);
+    }
+    out.invariants.push_back(std::make_unique<AgreementInvariant>("decide"));
+    out.invariants.push_back(
+        std::make_unique<ValidityInvariant>("decide",
+                                            std::vector<std::int64_t>{0, 1}));
     out.eventuals.push_back(
         std::make_unique<EventualDecisionProperty>("decide"));
   } else if (opt_.problem == "qc") {
@@ -257,6 +345,10 @@ Scenario ScenarioFactory::build(sim::ChoiceSource& choices) const {
       ro.atomic_reads = opt_.problem == "register";
       auto& r =
           host.add_module<reg::AbdRegisterModule<std::int64_t>>("reg", ro);
+      if (wrap_register) {
+        auto& qr = host.add_module<broadcast::QuasiReliableModule>("qr");
+        r.set_transport(&qr);
+      }
       if (i > readers) continue;  // Pure replica.
       reg::RegisterWorkloadModule::Options wo;
       wo.num_ops = opt_.reg_ops;

@@ -22,11 +22,26 @@
 namespace wfd::explore {
 
 struct ScenarioOptions {
-  /// consensus | consensus-bug | qc | nbac | sigma | register |
-  /// register-regular | abcast.
+  /// consensus | consensus-bug | consensus-crash-bug | qc | nbac | sigma |
+  /// register | register-regular | abcast | rb.
   std::string problem = "consensus";
   int n = 3;
   int crashes = 0;
+  /// "script": crashes happen at pre-scripted times (crash_time below, or
+  /// a kEnvironment menu). "explore": crash timing is a per-step schedule
+  /// choice — `crashes` becomes the injection budget, the scripted
+  /// pattern stays empty, and the pattern is reconstructed on the fly as
+  /// the explorer injects (see src/inject/fault_plan.h).
+  std::string crash_mode = "script";
+  /// Per-directed-link injected-loss budgets (0 = reliable links). The
+  /// register problems route their traffic through the quasi-reliable
+  /// retransmission wrapper when either is nonzero.
+  int loss_drops = 0;
+  int loss_dups = 0;
+  /// Adversarial detector: every query is a fresh choice over the menus
+  /// legal for the *evolving* pattern (inject/fd_adversary.h). Forces
+  /// per-query choice; requires stabilization == kNever.
+  bool fd_adversarial = false;
   /// kNever: crash times are exploration choice points (a small menu of
   /// times within the horizon). Otherwise faulty process i crashes at
   /// crash_time * (i + 1).

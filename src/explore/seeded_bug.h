@@ -8,9 +8,19 @@
 // rarely notice anything; but any schedule in which two processes first
 // hear different proposals violates agreement. wfd_check must find such
 // a schedule, shrink it, and replay it deterministically.
+// CrashTimingConsensusModule is a second seeded bug, aimed at crash
+// *injection* rather than schedules: a two-phase coordinator protocol
+// that is correct on every crash-free schedule and under every "early"
+// crash, but violates agreement when the coordinator crashes in the
+// window between completing phase 1 (where it — the bug — already
+// decides) and broadcasting phase 2 on its next tick. Scripted crash
+// times that predate the phase-1 collect can never exhibit it;
+// `wfd_check --crash=explore` places the crash relative to the schedule
+// and finds it.
 #pragma once
 
 #include "consensus/consensus_api.h"
+#include "fd/values.h"
 #include "sim/module.h"
 #include "sim/payload.h"
 
@@ -64,6 +74,124 @@ class FirstHeardConsensusModule : public sim::Module {
   bool proposed_ = false;
   int proposal_ = 0;
   bool decided_ = false;
+  int decision_ = 0;
+};
+
+/// The crash-timing bug. Process 0 is the coordinator; it broadcasts
+/// Phase1, collects one ack per peer, then decides its own proposal —
+/// and only on its NEXT tick broadcasts Phase2 carrying the decision
+/// (deferring the broadcast past the decide is the seeded bug; the
+/// correct protocol does both in the same atomic step). Participants
+/// decide the Phase2 value; a participant whose FS detector turns red
+/// before Phase2 arrives falls back to deciding its own proposal.
+///
+/// Crash-free runs and crashes before the phase-1 collect completes are
+/// safe (either Phase2 reaches everyone, or nobody saw a coordinator
+/// decision and the fallback is unanimous). A coordinator crash at or
+/// after the collect leaves its decision in the trace with Phase2 unsent
+/// (or partially delivered), so red participants decide the other value.
+class CrashTimingConsensusModule : public sim::Module {
+ public:
+  /// Must be called before the run starts.
+  void propose(int value) {
+    proposed_ = true;
+    proposal_ = value;
+  }
+
+  [[nodiscard]] bool decided() const { return decided_; }
+  [[nodiscard]] int decision() const { return decision_; }
+  [[nodiscard]] bool done() const override {
+    return !proposed_ || (decided_ && !pending_phase2_);
+  }
+
+  void on_start() override {
+    if (self() != kCoordinator) return;
+    acks_ = 1;  // Its own.
+    maybe_decide();
+    broadcast(sim::make_payload<Msg>(Msg::kPhase1, proposal_),
+              /*include_self=*/false);
+  }
+
+  void on_message(ProcessId from, const sim::Payload& msg) override {
+    const auto* m = sim::payload_cast<Msg>(msg);
+    if (m == nullptr) return;
+    switch (m->tag) {
+      case Msg::kPhase1:
+        send(from, sim::make_payload<Msg>(Msg::kAck, proposal_));
+        break;
+      case Msg::kAck:
+        if (self() != kCoordinator) break;
+        ++acks_;
+        maybe_decide();
+        break;
+      case Msg::kPhase2:
+        if (!decided_) {
+          decided_ = true;
+          decision_ = m->value;
+          emit("decide", decision_);
+        }
+        break;
+    }
+  }
+
+  void on_tick() override {
+    if (pending_phase2_) {
+      pending_phase2_ = false;
+      broadcast(sim::make_payload<Msg>(Msg::kPhase2, decision_),
+                /*include_self=*/false);
+      return;
+    }
+    // Participant fallback: the coordinator is gone and Phase2 never
+    // arrived here — decide our own proposal.
+    if (self() != kCoordinator && proposed_ && !decided_ &&
+        detector().fs == fd::FsColor::kRed) {
+      decided_ = true;
+      decision_ = proposal_;
+      emit("decide", decision_);
+    }
+  }
+
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("proposed", proposed_);
+    enc.field("proposal", proposal_);
+    enc.field("acks", acks_);
+    enc.field("decided", decided_);
+    enc.field("decision", decision_);
+    enc.field("pending-phase2", pending_phase2_);
+  }
+
+ private:
+  static constexpr ProcessId kCoordinator = 0;
+
+  void maybe_decide() {
+    if (decided_ || acks_ < n()) return;
+    decided_ = true;
+    decision_ = proposal_;
+    emit("decide", decision_);
+    pending_phase2_ = true;  // BUG: should broadcast Phase2 right here.
+  }
+
+  // Audited non-commuting: phase transitions are threshold-counted and
+  // the fallback races against Phase2 delivery by design.
+  struct Msg final : sim::Payload {
+    enum Tag { kPhase1, kAck, kPhase2 };
+    Msg(Tag t, int v) : tag(t), value(v) {}
+    Tag tag;
+    int value;
+    void encode_state(sim::StateEncoder& enc) const override {
+      enc.field("tag", tag);
+      enc.field("value", value);
+    }
+    [[nodiscard]] std::string_view kind() const override {
+      return "bug.crash-timing";
+    }
+  };
+
+  bool proposed_ = false;
+  int proposal_ = 0;
+  int acks_ = 0;
+  bool decided_ = false;
+  bool pending_phase2_ = false;
   int decision_ = 0;
 };
 

@@ -151,6 +151,9 @@ void stats_to_text(std::ostream& out, const ExploreStats& st) {
   out << "hb_races=" << st.hb_races << "\n";
   out << "backtrack_points=" << st.backtrack_points << "\n";
   out << "commute_skips=" << st.commute_skips << "\n";
+  out << "injected_crashes=" << st.injected_crashes << "\n";
+  out << "injected_drops=" << st.injected_drops << "\n";
+  out << "injected_dups=" << st.injected_dups << "\n";
   out << "violations=" << st.violations << "\n";
   out << "exhausted=" << (st.exhausted ? 1 : 0) << "\n";
 }
@@ -174,6 +177,12 @@ bool stats_apply(ExploreStats& st, const std::string& key,
     *ok = parse_u64(val, &st.backtrack_points);
   } else if (key == "commute_skips") {
     *ok = parse_u64(val, &st.commute_skips);
+  } else if (key == "injected_crashes") {
+    *ok = parse_u64(val, &st.injected_crashes);
+  } else if (key == "injected_drops") {
+    *ok = parse_u64(val, &st.injected_drops);
+  } else if (key == "injected_dups") {
+    *ok = parse_u64(val, &st.injected_dups);
   } else if (key == "violations") {
     *ok = parse_u64(val, &st.violations);
   } else if (key == "exhausted") {
@@ -220,7 +229,9 @@ std::string to_text(const StateSnapshot& s) {
 }
 
 std::optional<StateSnapshot> parse_snapshot(const std::string& text,
-                                            std::string* error) {
+                                            std::string* error,
+                                            bool* wrong_version) {
+  if (wrong_version != nullptr) *wrong_version = false;
   const auto fail =
       [&](const std::string& why) -> std::optional<StateSnapshot> {
     if (error != nullptr) *error = "bad snapshot: " + why;
@@ -298,8 +309,12 @@ std::optional<StateSnapshot> parse_snapshot(const std::string& text,
     if (!ok) return fail("bad value for " + key + ": " + val);
   }
   if (s.version != StateSnapshot::kVersion) {
-    return fail("unsupported snapshot_version (want " +
-                std::to_string(StateSnapshot::kVersion) + ")");
+    if (wrong_version != nullptr) *wrong_version = true;
+    return fail("unsupported snapshot_version " + std::to_string(s.version) +
+                " (this build reads and writes version " +
+                std::to_string(StateSnapshot::kVersion) +
+                "; stored frontiers are not sound across format versions — "
+                "restart the search without --resume)");
   }
   if (!saw_end) return fail("truncated (missing end marker)");
   if (!frames_total.has_value() || *frames_total != s.frames.size()) {
@@ -337,7 +352,9 @@ bool save_snapshot(const std::string& path, const StateSnapshot& s,
 }
 
 std::optional<StateSnapshot> load_snapshot(const std::string& path,
-                                           std::string* error) {
+                                           std::string* error,
+                                           bool* wrong_version) {
+  if (wrong_version != nullptr) *wrong_version = false;
   std::ifstream in(path);
   if (!in) {
     if (error != nullptr) *error = "cannot open " + path;
@@ -345,7 +362,7 @@ std::optional<StateSnapshot> load_snapshot(const std::string& path,
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return parse_snapshot(buf.str(), error);
+  return parse_snapshot(buf.str(), error, wrong_version);
 }
 
 std::string resume_mismatch(const StateSnapshot& snap,

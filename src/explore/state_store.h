@@ -61,7 +61,13 @@ struct StateSnapshot {
   /// Format version; parse rejects anything else. Bump on any change to
   /// the frame encoding or the fingerprint semantics — nothing below is
   /// sound to reuse across explorer algorithm changes.
-  static constexpr std::uint32_t kVersion = 1;
+  ///
+  /// History: v1 was the original format. v2 (fault injection) added the
+  /// crash_mode / loss_drops / loss_dups / fd_adversarial scenario
+  /// header fields, let frame labels carry fault action bits 46-47
+  /// (sim/scheduler.h), and added the injected_* stats counters — v1
+  /// frontiers and fingerprints are not sound against any of these.
+  static constexpr std::uint32_t kVersion = 2;
   std::uint32_t version = kVersion;
 
   ScenarioOptions scenario;
@@ -88,17 +94,22 @@ struct StateSnapshot {
 
 /// Renders / parses the text format. parse returns nullopt (with a
 /// diagnosis in *error when given) on malformed, truncated or
-/// wrong-version input.
+/// wrong-version input; `wrong_version`, when given, distinguishes a
+/// well-formed snapshot of another format version (an incompatibility,
+/// reported as resume_rejected) from a corrupt file (an I/O-level
+/// failure).
 std::string to_text(const StateSnapshot& s);
 std::optional<StateSnapshot> parse_snapshot(const std::string& text,
-                                            std::string* error = nullptr);
+                                            std::string* error = nullptr,
+                                            bool* wrong_version = nullptr);
 
 /// File wrappers. save writes to `path + ".tmp"` and renames into place,
 /// so an interrupted save leaves the previous snapshot intact.
 bool save_snapshot(const std::string& path, const StateSnapshot& s,
                    std::string* error = nullptr);
 std::optional<StateSnapshot> load_snapshot(const std::string& path,
-                                           std::string* error = nullptr);
+                                           std::string* error = nullptr,
+                                           bool* wrong_version = nullptr);
 
 /// Empty string when `snap` is sound to resume under the given scenario
 /// and explorer options; otherwise a diagnosis naming the first

@@ -283,6 +283,66 @@ CheckResult check_psi_history(const std::vector<FdSampleRecord>& samples,
   return r;
 }
 
+CheckResult check_fs_prefix(const std::vector<FdSampleRecord>& samples,
+                            const FailurePattern& f) {
+  for (const auto& s : samples) {
+    if (!s.value.fs.has_value()) {
+      return CheckResult::failure("sample lacks an fs component" +
+                                  at(s.p, s.t));
+    }
+    if (*s.value.fs == FsColor::kRed && !f.failure_by(s.t)) {
+      return CheckResult::failure("red output before any failure" +
+                                  at(s.p, s.t));
+    }
+  }
+  return CheckResult{};
+}
+
+CheckResult check_psi_prefix(const std::vector<FdSampleRecord>& samples,
+                             const FailurePattern& f) {
+  std::vector<PsiValue::Mode> mode(static_cast<std::size_t>(f.n()),
+                                   PsiValue::Mode::kBottom);
+  bool branch_known = false;
+  bool fs_branch = false;
+  for (const auto& s : samples) {
+    if (!s.value.psi.has_value()) {
+      return CheckResult::failure("sample lacks a psi component" +
+                                  at(s.p, s.t));
+    }
+    WFD_CHECK(s.p >= 0 && s.p < f.n());
+    const PsiValue& v = *s.value.psi;
+    PsiValue::Mode& m = mode[static_cast<std::size_t>(s.p)];
+    if (v.mode == PsiValue::Mode::kBottom) {
+      if (m != PsiValue::Mode::kBottom) {
+        return CheckResult::failure("bottom after the switch" + at(s.p, s.t));
+      }
+      continue;
+    }
+    const bool this_fs = (v.mode == PsiValue::Mode::kFs);
+    if (m == PsiValue::Mode::kBottom) {
+      if (branch_known && this_fs != fs_branch) {
+        return CheckResult::failure(
+            "processes switched to different branches" + at(s.p, s.t));
+      }
+      branch_known = true;
+      fs_branch = this_fs;
+      if (this_fs && !f.failure_by(s.t)) {
+        return CheckResult::failure(
+            "FS branch chosen before any failure" + at(s.p, s.t));
+      }
+      m = v.mode;
+    } else if (m != v.mode) {
+      return CheckResult::failure("branch changed after the switch" +
+                                  at(s.p, s.t));
+    }
+    if (this_fs && v.fs == FsColor::kRed && !f.failure_by(s.t)) {
+      return CheckResult::failure("red output before any failure" +
+                                  at(s.p, s.t));
+    }
+  }
+  return CheckResult{};
+}
+
 CheckResult check_perfect_history(const std::vector<FdSampleRecord>& samples,
                                   const FailurePattern& f) {
   for (const auto& s : samples) {

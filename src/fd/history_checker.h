@@ -56,6 +56,23 @@ CheckResult check_fs_history(const std::vector<sim::FdSampleRecord>& samples,
 CheckResult check_psi_history(const std::vector<sim::FdSampleRecord>& samples,
                               const sim::FailurePattern& f);
 
+/// FS safety alone — red only at-or-after a failure — with no eventual
+/// clause. Unlike the full checkers above this is prefix-checkable: it
+/// can be asserted after every step of a run whose failure pattern is
+/// still *evolving* under injected crashes, because a crash is always
+/// injected "now" and so can never retroactively legalise an earlier
+/// red sample — a failed verdict is final.
+CheckResult check_fs_prefix(const std::vector<sim::FdSampleRecord>& samples,
+                            const sim::FailurePattern& f);
+
+/// Psi branch discipline alone — bottom prefix, at most one switch per
+/// process, one common branch across all processes, the FS branch (and
+/// red within it) only at-or-after a failure — with no convergence
+/// clauses. Prefix-checkable under an evolving pattern for the same
+/// reason as check_fs_prefix.
+CheckResult check_psi_prefix(const std::vector<sim::FdSampleRecord>& samples,
+                             const sim::FailurePattern& f);
+
 /// P: strong accuracy and (eventual, sampled) strong completeness.
 CheckResult check_perfect_history(
     const std::vector<sim::FdSampleRecord>& samples,

@@ -31,6 +31,17 @@ class Oracle {
   /// simulator queries once per step).
   virtual FdValue query(ProcessId p, Time t) = 0;
 
+  /// The failure pattern just changed: p crashed at time t (fault
+  /// injection reconstructs the pattern on the fly). Oracles that
+  /// received the pattern at begin_run may ignore this — a history legal
+  /// for the scripted pattern stays prefix-extendable — but pattern-aware
+  /// adversarial oracles update their live copy here so later answers
+  /// (FS red, Ψ's failure branch) see the injected crash.
+  virtual void on_crash(ProcessId p, Time t) {
+    (void)p;
+    (void)t;
+  }
+
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Fold everything about the realised history that can still influence
@@ -63,6 +74,10 @@ class TupleOracle : public Oracle {
   void begin_run(const sim::FailurePattern& f, std::uint64_t seed,
                  Time horizon) override;
   FdValue query(ProcessId p, Time t) override;
+  void on_crash(ProcessId p, Time t) override {
+    a_->on_crash(p, t);
+    b_->on_crash(p, t);
+  }
   [[nodiscard]] std::string name() const override;
   void encode_state(sim::StateEncoder& enc, Time now) const override {
     enc.push("a");

@@ -1,0 +1,69 @@
+#include "inject/fault_plan.h"
+
+#include "common/check.h"
+
+namespace wfd::inject {
+
+void FaultState::begin_run(int n) {
+  WFD_CHECK(n >= 1 && n <= kMaxProcesses);
+  n_ = n;
+  crashes_ = 0;
+  drops_ = 0;
+  dups_ = 0;
+  const std::size_t links = static_cast<std::size_t>(n) * n;
+  link_drops_.assign(links, 0);
+  link_dups_.assign(links, 0);
+}
+
+bool FaultState::may_crash(ProcessId p, const sim::FailurePattern& f,
+                           Time now) const {
+  if (plan_.crash_mode != CrashMode::kExplore) return false;
+  if (crashes_ >= plan_.crash_budget) return false;
+  if (!f.alive(p, now)) return false;
+  int alive = 0;
+  for (ProcessId q = 0; q < n_; ++q) {
+    if (f.alive(q, now)) ++alive;
+  }
+  return alive - 1 >= plan_.min_alive;
+}
+
+bool FaultState::may_drop(ProcessId from, ProcessId to) const {
+  return plan_.drop_budget > 0 && link_drops_[link(from, to)] < plan_.drop_budget;
+}
+
+bool FaultState::may_dup(ProcessId from, ProcessId to) const {
+  return plan_.dup_budget > 0 && link_dups_[link(from, to)] < plan_.dup_budget;
+}
+
+void FaultState::note_crash() { ++crashes_; }
+
+void FaultState::note_drop(ProcessId from, ProcessId to) {
+  ++link_drops_[link(from, to)];
+  ++drops_;
+}
+
+void FaultState::note_dup(ProcessId from, ProcessId to) {
+  ++link_dups_[link(from, to)];
+  ++dups_;
+}
+
+void FaultState::encode_state(sim::StateEncoder& enc) const {
+  enc.field("crashes-left",
+            plan_.crash_mode == CrashMode::kExplore
+                ? plan_.crash_budget - crashes_
+                : 0);
+  if (plan_.drop_budget > 0 || plan_.dup_budget > 0) {
+    for (ProcessId from = 0; from < n_; ++from) {
+      for (ProcessId to = 0; to < n_; ++to) {
+        const std::size_t l = link(from, to);
+        if (link_drops_[l] == 0 && link_dups_[l] == 0) continue;
+        enc.push("link", l);
+        enc.field("drops-left", plan_.drop_budget - link_drops_[l]);
+        enc.field("dups-left", plan_.dup_budget - link_dups_[l]);
+        enc.pop();
+      }
+    }
+  }
+}
+
+}  // namespace wfd::inject

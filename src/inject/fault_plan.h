@@ -1,0 +1,93 @@
+// Fault-injection plans: what the adversary may do to a run beyond
+// scheduling — crash still-correct processes, drop or duplicate in-flight
+// messages — and the per-run ledger that keeps every injected fault
+// inside the scenario's environment (e.g. never crashing down to a
+// minority in a Σ-based scenario, never exceeding a per-link loss
+// budget, so quasi-reliable retransmission terminates).
+//
+// A FaultPlan is pure configuration; a FaultState is one run's mutable
+// accounting. The Simulator owns the FaultState, the ReplayScheduler
+// borrows it to decide which fault labels go on the step menu, and the
+// explorer reads the counters into its stats after each run. Remaining
+// budgets feed the state fingerprint: two states with different budgets
+// left have different reachable futures and must never be merged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/failure_pattern.h"
+#include "sim/state_encoder.h"
+
+namespace wfd::inject {
+
+enum class CrashMode {
+  kNone,     ///< No crash injection (scripted pattern only, possibly empty).
+  kScript,   ///< Crashes happen at pre-scripted (or kEnvironment-chosen) times.
+  kExplore,  ///< Crash timing is a per-step schedule choice of the explorer.
+};
+
+/// Static description of the faults a scenario allows the adversary.
+struct FaultPlan {
+  CrashMode crash_mode = CrashMode::kNone;
+  /// Max crashes the explorer may inject (kExplore only).
+  int crash_budget = 0;
+  /// Environment floor: an injected crash may never leave fewer than this
+  /// many processes alive (n/2+1 for Σ-majority scenarios, 1 otherwise).
+  int min_alive = 1;
+  /// Per directed link: how many pending messages may be dropped.
+  int drop_budget = 0;
+  /// Per directed link: how many pending messages may be duplicated.
+  int dup_budget = 0;
+
+  [[nodiscard]] bool any() const {
+    return crash_mode == CrashMode::kExplore || drop_budget > 0 ||
+           dup_budget > 0;
+  }
+};
+
+/// One run's fault ledger. begin_run() resets it; the menu queries are
+/// pure, the note_* mutations record an executed fault.
+class FaultState {
+ public:
+  explicit FaultState(FaultPlan plan) : plan_(plan) {}
+
+  void begin_run(int n);
+
+  /// May the explorer crash p right now? Requires explore mode, budget
+  /// left, p alive, and at least min_alive processes alive afterwards.
+  [[nodiscard]] bool may_crash(ProcessId p, const sim::FailurePattern& f,
+                               Time now) const;
+  [[nodiscard]] bool may_drop(ProcessId from, ProcessId to) const;
+  [[nodiscard]] bool may_dup(ProcessId from, ProcessId to) const;
+
+  void note_crash();
+  void note_drop(ProcessId from, ProcessId to);
+  void note_dup(ProcessId from, ProcessId to);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] int crashes() const { return crashes_; }
+  [[nodiscard]] int drops() const { return drops_; }
+  [[nodiscard]] int dups() const { return dups_; }
+
+  /// Fold the remaining budgets (what the adversary can still do — the
+  /// only part of the ledger that steers future menus).
+  void encode_state(sim::StateEncoder& enc) const;
+
+ private:
+  [[nodiscard]] std::size_t link(ProcessId from, ProcessId to) const {
+    return static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(to);
+  }
+
+  FaultPlan plan_;
+  int n_ = 0;
+  int crashes_ = 0;
+  int drops_ = 0;
+  int dups_ = 0;
+  std::vector<int> link_drops_;  ///< n*n, indexed by link(from, to).
+  std::vector<int> link_dups_;
+};
+
+}  // namespace wfd::inject

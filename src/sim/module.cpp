@@ -13,11 +13,23 @@ fd::FdValue Module::detector() const {
 }
 
 void Module::send(ProcessId to, PayloadPtr payload) {
+  if (transport_ != nullptr) {
+    transport_->module_send(name_, to, std::move(payload));
+    return;
+  }
   host().ctx().send(
       to, make_payload<ModuleEnvelope>(name_, std::move(payload)));
 }
 
 void Module::broadcast(PayloadPtr payload, bool include_self) {
+  if (transport_ != nullptr) {
+    const int count = n();
+    for (ProcessId q = 0; q < count; ++q) {
+      if (!include_self && q == self()) continue;
+      transport_->module_send(name_, q, payload);
+    }
+    return;
+  }
   auto wrapped = make_payload<ModuleEnvelope>(name_, std::move(payload));
   host().ctx().broadcast(std::move(wrapped), include_self);
 }

@@ -37,6 +37,21 @@ class FdSource {
   [[nodiscard]] virtual fd::FdValue fd_value() const = 0;
 };
 
+/// Interposes on a module's outgoing inter-process traffic. A transport
+/// module (e.g. broadcast::QuasiReliableModule) implements this so that
+/// algorithm modules written against reliable links can run unchanged
+/// over lossy ones — the transport wraps each payload with whatever
+/// sequencing/retransmission state it needs and delivers it to the
+/// destination's same-named module on the far side.
+class ModuleTransport {
+ public:
+  virtual ~ModuleTransport() = default;
+
+  /// Ship `payload` to the module named `module` on process `to`.
+  virtual void module_send(const std::string& module, ProcessId to,
+                           PayloadPtr payload) = 0;
+};
+
 /// A protocol component living inside a ModularProcess. The protected
 /// helpers (send, fd, ...) are valid only during a step of the host, which
 /// is the only time module code runs.
@@ -75,6 +90,11 @@ class Module {
   /// host's oracle sample (pass nullptr to restore the oracle).
   void set_fd_source(const FdSource* src) { fd_source_ = src; }
 
+  /// Route this module's send/broadcast through `t` instead of the raw
+  /// network (pass nullptr to restore direct sends). The transport must
+  /// live on the same host and must not itself have a transport set.
+  void set_transport(ModuleTransport* t) { transport_ = t; }
+
   /// Fold every member that influences this module's future behaviour
   /// into `enc` (see StateEncoder for the conventions). The host wraps
   /// the call in a per-module scope, so tags only need to be unique
@@ -104,6 +124,7 @@ class Module {
   ModularProcess* host_ = nullptr;
   std::string name_;
   const FdSource* fd_source_ = nullptr;
+  ModuleTransport* transport_ = nullptr;
 };
 
 /// Wire format: every inter-process message of a module is wrapped with

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "inject/fault_plan.h"
 
 namespace wfd::sim {
 
@@ -179,13 +180,47 @@ StepChoice ReplayScheduler::next(const Network& net, const FailurePattern& f,
       labels.push_back(label(p, 0));
     }
   }
+  if (opt_.faults != nullptr) {
+    // Adversary moves go after the normal labels so default (index-0)
+    // exploration prefers progress. Drop/duplicate apply to exactly the
+    // deliveries already on the menu — dropping a message the reduction
+    // would not offer for delivery is covered by dropping the offered
+    // (older) one first.
+    const std::size_t normal = options.size();
+    for (std::size_t i = 0; i < normal; ++i) {
+      // By value: the push_backs below may reallocate `options`.
+      const StepChoice c = options[i];
+      if (c.message_id == 0) continue;
+      const ProcessId from = net.get(c.message_id).from;
+      if (opt_.faults->may_drop(from, c.p)) {
+        options.push_back(
+            StepChoice{c.p, c.message_id, StepChoice::Action::kDrop});
+        labels.push_back(
+            label(c.p, c.message_id, StepChoice::Action::kDrop));
+      }
+      if (opt_.faults->may_dup(from, c.p)) {
+        options.push_back(
+            StepChoice{c.p, c.message_id, StepChoice::Action::kDup});
+        labels.push_back(
+            label(c.p, c.message_id, StepChoice::Action::kDup));
+      }
+    }
+    for (ProcessId p = 0; p < n_; ++p) {
+      if (opt_.faults->may_crash(p, f, now)) {
+        options.push_back(StepChoice{p, 0, StepChoice::Action::kCrash});
+        labels.push_back(label(p, 0, StepChoice::Action::kCrash));
+      }
+    }
+  }
   if (options.empty()) return StepChoice{};  // Everyone crashed.
   std::size_t idx = 0;
   if (options.size() >= 2) {
     idx = choices_->choose(ChoiceKind::kSchedule, labels);
     WFD_CHECK(idx < options.size());
   }
-  started_[static_cast<std::size_t>(options[idx].p)] = true;
+  if (options[idx].action == StepChoice::Action::kDeliver) {
+    started_[static_cast<std::size_t>(options[idx].p)] = true;
+  }
   return options[idx];
 }
 

@@ -17,12 +17,27 @@
 #include "sim/failure_pattern.h"
 #include "sim/network.h"
 
+namespace wfd::inject {
+class FaultState;
+}  // namespace wfd::inject
+
 namespace wfd::sim {
 
 /// The scheduler's decision for one global step.
 struct StepChoice {
+  /// What the step does. kDeliver covers the normal moves (start, lambda,
+  /// message delivery); the others are adversary moves from an injected
+  /// fault plan — no process code runs during them.
+  enum class Action : std::uint8_t {
+    kDeliver = 0,  ///< Normal step (start / lambda / delivery).
+    kDrop = 1,     ///< Discard pending message `message_id` (lossy link).
+    kDup = 2,      ///< Re-enqueue a copy of pending message `message_id`.
+    kCrash = 3,    ///< Crash process p at the current time.
+  };
+
   ProcessId p = kNoProcess;      ///< kNoProcess: no process can step (halt).
   std::uint64_t message_id = 0;  ///< 0: lambda step.
+  Action action = Action::kDeliver;
 };
 
 class Scheduler {
@@ -158,6 +173,12 @@ class ReplayScheduler : public Scheduler {
     /// protocols that act on timeouts; disable to focus on
     /// message-driven branching.
     bool lambda_always = true;
+    /// Borrowed fault ledger; when set (and its plan allows anything) the
+    /// menu additionally offers adversary moves — crash labels for
+    /// processes the budget permits crashing, drop/duplicate labels for
+    /// every delivery on the menu whose link budget permits. Null: menus
+    /// are byte-identical to the fault-free scheduler.
+    const inject::FaultState* faults = nullptr;
   };
 
   /// `choices` is borrowed and must outlive the scheduler.
@@ -170,19 +191,37 @@ class ReplayScheduler : public Scheduler {
                   Time now) override;
   [[nodiscard]] std::string name() const override { return "replay"; }
 
-  /// Stable label of a schedule option: which process steps and which
-  /// message (0 = lambda) it receives. Stable across reorderings of
-  /// other processes' steps, which is what sleep-set reduction needs.
+  /// Stable label of a schedule option: which process steps, which
+  /// message (0 = lambda) it receives, and — bits 46..47 of the message
+  /// field — which action the step takes (0 = deliver/λ/start, so plain
+  /// delivery labels are byte-identical to the pre-fault encoding).
+  /// Stable across reorderings of other processes' steps, which is what
+  /// sleep-set reduction needs.
+  static constexpr std::uint64_t kMessageMask =
+      (std::uint64_t{1} << 46) - 1;
   static std::uint64_t label(ProcessId p, std::uint64_t message_id) {
     return ((static_cast<std::uint64_t>(p) + 1) << 48) |
-           (message_id & ((std::uint64_t{1} << 48) - 1));
+           (message_id & kMessageMask);
+  }
+  static std::uint64_t label(ProcessId p, std::uint64_t message_id,
+                             StepChoice::Action action) {
+    return label(p, message_id) |
+           (static_cast<std::uint64_t>(action) << 46);
   }
   static ProcessId label_process(std::uint64_t label) {
     return static_cast<ProcessId>(label >> 48) - 1;
   }
-  /// The message id a label delivers (0 = lambda or start step).
+  /// The message id a label acts on (0 = lambda or start step).
   static std::uint64_t label_message(std::uint64_t label) {
-    return label & ((std::uint64_t{1} << 48) - 1);
+    return label & kMessageMask;
+  }
+  /// The action a label performs (kDeliver for all pre-fault labels).
+  static StepChoice::Action label_action(std::uint64_t label) {
+    return static_cast<StepChoice::Action>((label >> 46) & 3);
+  }
+  /// Whether a label is an adversary move (crash/drop/duplicate).
+  static bool label_is_fault(std::uint64_t label) {
+    return label_action(label) != StepChoice::Action::kDeliver;
   }
 
  private:

@@ -38,6 +38,7 @@ void Simulator::ensure_started() {
   WFD_CHECK_MSG(static_cast<int>(procs_.size()) == cfg_.n,
                 "add_process must be called exactly n times before run");
   scheduler_->begin_run(cfg_.n, pattern_, cfg_.seed);
+  if (faults_ != nullptr) faults_->begin_run(cfg_.n);
   oracle_->begin_run(pattern_, cfg_.seed ^ 0xd1b54a32d192ed03ULL,
                      cfg_.max_steps);
   Rng root(cfg_.seed ^ 0xabcdef1234567890ULL);
@@ -55,6 +56,42 @@ bool Simulator::step() {
   const StepChoice choice = scheduler_->next(net_, pattern_, now_);
   if (choice.p == kNoProcess) return false;  // Everyone crashed.
   WFD_CHECK(pattern_.alive(choice.p, now_));
+
+  if (choice.action != StepChoice::Action::kDeliver) {
+    // Adversary move: no process code runs, no FD query happens.
+    WFD_CHECK(faults_ != nullptr);
+    last_step_ = LastStep{};
+    last_step_.p = choice.p;
+    last_step_.action = choice.action;
+    switch (choice.action) {
+      case StepChoice::Action::kCrash:
+        pattern_.crash_at(choice.p, now_);
+        oracle_->on_crash(choice.p, now_);
+        faults_->note_crash();
+        break;
+      case StepChoice::Action::kDrop: {
+        Envelope env = net_.take(choice.message_id);
+        WFD_CHECK(env.to == choice.p);
+        last_step_.fault_msg = choice.message_id;
+        faults_->note_drop(env.from, env.to);
+        break;
+      }
+      case StepChoice::Action::kDup: {
+        Envelope copy = net_.get(choice.message_id);
+        WFD_CHECK(copy.to == choice.p);
+        last_step_.fault_msg = choice.message_id;
+        faults_->note_dup(copy.from, copy.to);
+        last_step_.dup_id = net_.send(std::move(copy));
+        trace_.count_send();
+        break;
+      }
+      case StepChoice::Action::kDeliver:
+        break;  // Unreachable.
+    }
+    trace_.count_step(false);
+    ++now_;
+    return true;
+  }
 
   const fd::FdValue v = oracle_->query(choice.p, now_);
   trace_.record_sample(choice.p, now_, v);
@@ -121,6 +158,11 @@ void Simulator::encode_state(StateEncoder& enc) const {
   enc.push("oracle");
   oracle_->encode_state(enc, now_);
   enc.pop();
+  if (faults_ != nullptr && faults_->plan().any()) {
+    enc.push("faults");
+    faults_->encode_state(enc);
+    enc.pop();
+  }
 }
 
 std::optional<std::uint64_t> Simulator::state_fingerprint() const {

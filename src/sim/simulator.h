@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "fd/oracle.h"
+#include "inject/fault_plan.h"
 #include "sim/failure_pattern.h"
 #include "sim/network.h"
 #include "sim/process.h"
@@ -42,6 +43,13 @@ struct LastStep {
   /// λ step whose process declared its tick a no-op (Process::tick_noop,
   /// evaluated as the step began); always false for starts/deliveries.
   bool tick_noop = false;
+  /// What the step did; non-kDeliver steps are adversary moves (injected
+  /// fault) during which no process code ran and `delivered` stays 0.
+  StepChoice::Action action = StepChoice::Action::kDeliver;
+  /// The message the adversary dropped or duplicated (kDrop/kDup).
+  std::uint64_t fault_msg = 0;
+  /// Fresh id the duplicate was enqueued under (kDup only).
+  std::uint64_t dup_id = 0;
 };
 
 class Simulator {
@@ -75,6 +83,16 @@ class Simulator {
   [[nodiscard]] int n() const { return cfg_.n; }
   [[nodiscard]] const SimConfig& config() const { return cfg_; }
   [[nodiscard]] const FailurePattern& pattern() const { return pattern_; }
+
+  /// Install a fault ledger (fault injection). Call before the first
+  /// step; the same FaultState must be handed (borrowed) to the
+  /// scheduler's menu via ReplayScheduler::Options::faults.
+  void adopt_faults(std::unique_ptr<inject::FaultState> faults) {
+    faults_ = std::move(faults);
+  }
+  [[nodiscard]] const inject::FaultState* faults() const {
+    return faults_.get();
+  }
 
   Process& process(ProcessId p);
   Network& network() { return net_; }
@@ -114,6 +132,7 @@ class Simulator {
 
   SimConfig cfg_;
   FailurePattern pattern_;
+  std::unique_ptr<inject::FaultState> faults_;
   std::unique_ptr<fd::Oracle> oracle_;
   std::unique_ptr<Scheduler> scheduler_;
   std::vector<std::unique_ptr<Process>> procs_;

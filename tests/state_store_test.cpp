@@ -120,7 +120,7 @@ TEST(StateStoreTest, ParseRejectsCorruption) {
 
   // Unknown versions are rejected, not guessed at.
   std::string vers = good;
-  const std::size_t v = vers.find("snapshot_version=1");
+  const std::size_t v = vers.find("snapshot_version=");
   ASSERT_NE(v, std::string::npos);
   vers[v + std::string("snapshot_version=").size()] = '9';
   EXPECT_FALSE(parse_snapshot(vers, &error).has_value());
@@ -143,6 +143,35 @@ TEST(StateStoreTest, ParseRejectsCorruption) {
                      &error)
           .has_value());
   EXPECT_NE(error.find("bad frame"), std::string::npos) << error;
+}
+
+TEST(StateStoreTest, OldFormatVersionIsIncompatibleNotCorrupt) {
+  // A well-formed snapshot of a previous format version must be refused
+  // as an *incompatibility* (wrong_version), with a message that tells
+  // the user what to do — not lumped in with corrupt files. The v1->v2
+  // bump (fault injection) changed what frame labels and fingerprints
+  // mean, so resuming a v1 frontier under a v2 build would silently
+  // explore the wrong tree.
+  std::string old = to_text(sample_snapshot());
+  const std::string tag =
+      "snapshot_version=" + std::to_string(StateSnapshot::kVersion);
+  const std::size_t at = old.find(tag);
+  ASSERT_NE(at, std::string::npos);
+  old.replace(at, tag.size(), "snapshot_version=1");
+
+  std::string error;
+  bool wrong_version = false;
+  EXPECT_FALSE(parse_snapshot(old, &error, &wrong_version).has_value());
+  EXPECT_TRUE(wrong_version);
+  EXPECT_NE(error.find("snapshot_version 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("version 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("--resume"), std::string::npos) << error;
+
+  // Corruption, by contrast, must NOT claim a version mismatch.
+  wrong_version = true;
+  EXPECT_FALSE(
+      parse_snapshot("not a snapshot\n", &error, &wrong_version).has_value());
+  EXPECT_FALSE(wrong_version);
 }
 
 TEST(StateStoreTest, ResumeMismatchNamesTheField) {
@@ -316,6 +345,54 @@ TEST(ResumeTest, MismatchedScenarioIsRejected) {
   EXPECT_NE(rep.resume_error.find("different scenario"), std::string::npos)
       << rep.resume_error;
   // Nothing ran.
+  EXPECT_EQ(rep.stats.nodes, 0u);
+  EXPECT_EQ(rep.stats.runs, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ResumeTest, OldFormatSnapshotIsRejectedAsIncompatible) {
+  // End-to-end exit-2 contract: Explorer resume from a v1 file sets
+  // resume_rejected (wfd_check maps that to the incompatible-snapshot
+  // exit code) and runs nothing.
+  const ScenarioOptions scenario = bug_options();
+  const std::string path = testing::TempDir() + "wfd_resume_oldver.wfds";
+  ExplorerOptions save;
+  save.budget_states = 5;
+  save.save_path = path;
+  save.scenario = scenario;
+  Explorer first(ScenarioFactory(scenario).builder(), save);
+  ASSERT_EQ(first.run().save_error, "");
+
+  // Downgrade the stored version tag in place.
+  std::string text;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+    std::fclose(f);
+  }
+  const std::string tag =
+      "snapshot_version=" + std::to_string(StateSnapshot::kVersion);
+  const std::size_t at = text.find(tag);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, tag.size(), "snapshot_version=1");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+
+  ExplorerOptions eo;
+  eo.resume_path = path;
+  eo.scenario = scenario;
+  Explorer second(ScenarioFactory(scenario).builder(), eo);
+  const ExploreReport rep = second.run();
+  EXPECT_TRUE(rep.resume_rejected);
+  EXPECT_NE(rep.resume_error.find("snapshot_version"), std::string::npos)
+      << rep.resume_error;
   EXPECT_EQ(rep.stats.nodes, 0u);
   EXPECT_EQ(rep.stats.runs, 0u);
   std::remove(path.c_str());

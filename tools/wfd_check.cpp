@@ -37,11 +37,16 @@
 // coverage=complete / modulo-fingerprints (0); see tools/resume_check.sh.
 // The split search visits exactly the states one uninterrupted run
 // would.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "explore/campaign.h"
 #include "explore/explorer.h"
@@ -67,6 +72,11 @@ struct Args {
   std::string save_state_path;
   std::string resume_path;
   std::uint64_t budget_states = 0;
+  /// 0 = no deadline. Otherwise a watchdog converts a still-running
+  /// exhaustive search into a cooperative cancel after this many
+  /// milliseconds: partial report, frontier saved (with --save-state),
+  /// exit 4 — a hung lane becomes a budget-style verdict, not a timeout.
+  std::uint64_t deadline_ms = 0;
   std::uint64_t max_states = 100000;
   std::uint64_t runs = 10000;
   int threads = 4;
@@ -88,8 +98,9 @@ void usage() {
   std::printf(
       "usage: wfd_check [--problem=%s]\n"
       "                 [--n=N] [--crashes=K] [--crash-time=T]\n"
+      "                 [--crash=script|explore] [--loss=drop:N[,dup:M]]\n"
       "                 [--depth=T] [--seed=S] [--stab=T]\n"
-      "                 [--fd=flap|static] [--nbac-no-voter=P]\n"
+      "                 [--fd=flap|static|adversarial] [--nbac-no-voter=P]\n"
       "                 [--reg-ops=N] [--reg-readers=N] [--abcast-senders=N]\n"
       "                 [--exhaustive | --campaign | --replay=FILE]\n"
       "                 [--max-states=N] [--runs=N] [--threads=N]\n"
@@ -98,7 +109,15 @@ void usage() {
       "                 [--no-fingerprints] [--no-shrink]\n"
       "                 [--no-lambda] [--all-pending] [--save=FILE]\n"
       "                 [--save-state=FILE] [--resume=FILE]\n"
-      "                 [--budget-states=N] [--json]\n"
+      "                 [--budget-states=N] [--deadline-ms=N] [--json]\n"
+      "\n"
+      "--crash=explore makes crash timing a per-step exploration choice\n"
+      "(--crashes becomes the injection budget, default 1); --loss gives\n"
+      "the adversary per-link drop/duplicate budgets; --fd=adversarial\n"
+      "turns every detector query into a worst-case choice against the\n"
+      "evolving failure pattern. --deadline-ms converts a long exhaustive\n"
+      "run into a cooperative cancel: partial report, frontier saved with\n"
+      "--save-state, exit 4.\n"
       "\n"
       "--save-state persists a resumable snapshot of an exhaustive\n"
       "search (frontier + visited fingerprints); --resume continues\n"
@@ -111,6 +130,32 @@ void usage() {
       "               resume snapshot from a different scenario),\n"
       "             4 state budget exhausted, frontier saved\n",
       problems.c_str());
+}
+
+/// --loss=drop:N[,dup:M] (either component, any order).
+bool parse_loss(const std::string& v, explore::ScenarioOptions& s) {
+  std::size_t start = 0;
+  while (start < v.size()) {
+    const std::size_t comma = v.find(',', start);
+    const std::string part =
+        v.substr(start, comma == std::string::npos ? std::string::npos
+                                                   : comma - start);
+    const std::size_t colon = part.find(':');
+    if (colon == std::string::npos) return false;
+    const std::string key = part.substr(0, colon);
+    const int budget = std::atoi(part.substr(colon + 1).c_str());
+    if (budget < 1) return false;
+    if (key == "drop") {
+      s.loss_drops = budget;
+    } else if (key == "dup") {
+      s.loss_dups = budget;
+    } else {
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return s.loss_drops > 0 || s.loss_dups > 0;
 }
 
 bool parse(int argc, char** argv, Args& a) {
@@ -138,8 +183,23 @@ bool parse(int argc, char** argv, Args& a) {
     } else if (auto v7 = val("stab")) {
       s.stabilization = std::strtoull(v7->c_str(), nullptr, 10);
     } else if (auto v8 = val("fd")) {
-      if (*v8 != "flap" && *v8 != "static") return false;
-      s.fd_per_query = (*v8 == "flap");
+      if (*v8 == "adversarial") {
+        s.fd_adversarial = true;
+        s.fd_per_query = true;  // Forced by the adversary anyway.
+      } else if (*v8 == "flap" || *v8 == "static") {
+        s.fd_adversarial = false;
+        s.fd_per_query = (*v8 == "flap");
+      } else {
+        return false;
+      }
+    } else if (auto vc = val("crash")) {
+      if (*vc != "script" && *vc != "explore") return false;
+      s.crash_mode = *vc;
+    } else if (auto vl = val("loss")) {
+      if (!parse_loss(*vl, s)) return false;
+    } else if (auto vdl = val("deadline-ms")) {
+      a.deadline_ms = std::strtoull(vdl->c_str(), nullptr, 10);
+      if (a.deadline_ms == 0) return false;
     } else if (auto v9 = val("nbac-no-voter")) {
       s.nbac_no_voter = std::atoi(v9->c_str());
     } else if (auto vr = val("reg-ops")) {
@@ -203,6 +263,11 @@ bool parse(int argc, char** argv, Args& a) {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
     }
+  }
+  // Injected crashes are bounded by --crashes; exploring with a zero
+  // budget would silently degenerate to the crash-free tree.
+  if (a.scenario.crash_mode == "explore" && a.scenario.crashes == 0) {
+    a.scenario.crashes = 1;
   }
   return true;
 }
@@ -283,8 +348,36 @@ int run_exhaustive(const Args& a) {
   eo.save_path = a.save_state_path;
   eo.resume_path = a.resume_path;
   eo.scenario = a.scenario;
+
+  // --deadline-ms: arm a watchdog that flips the explorer's cooperative
+  // cancel flag, so a search that would outlive the deadline stops at a
+  // clean run boundary (partial stats, resumable frontier) instead of
+  // hanging its lane.
+  std::atomic<bool> cancel{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool finished = false;
+  std::thread watchdog;
+  if (a.deadline_ms > 0) {
+    eo.cancel = &cancel;
+    watchdog = std::thread([&a, &cancel, &mu, &cv, &finished] {
+      std::unique_lock<std::mutex> lock(mu);
+      const bool done = cv.wait_for(
+          lock, std::chrono::milliseconds(a.deadline_ms),
+          [&finished] { return finished; });
+      if (!done) cancel.store(true, std::memory_order_relaxed);
+    });
+  }
   explore::Explorer ex(build, eo);
   const explore::ExploreReport rep = ex.run();
+  if (watchdog.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      finished = true;
+    }
+    cv.notify_all();
+    watchdog.join();
+  }
   if (!rep.resume_error.empty()) {
     std::fprintf(stderr, "cannot resume %s: %s\n", a.resume_path.c_str(),
                  rep.resume_error.c_str());
@@ -301,14 +394,21 @@ int run_exhaustive(const Args& a) {
   if (save_failed) {
     std::fprintf(stderr, "cannot save state: %s\n", rep.save_error.c_str());
   }
+  // A deadline cancel is a budget-style verdict: the search stopped at a
+  // clean run boundary with frontier left, so the lane's save/resume
+  // loop treats it exactly like a spent state budget.
+  const bool deadline_hit = rep.cancelled && !rep.cex.has_value();
   const bool budget_left =
-      a.budget_states != 0 && !st.exhausted && !rep.cex.has_value();
+      (a.budget_states != 0 || deadline_hit) && !st.exhausted &&
+      !rep.cex.has_value();
   if (a.json && !rep.cex.has_value()) {
     std::printf(
         "{\"verdict\":\"clean\",\"mode\":\"exhaustive\",\"states\":%llu,"
         "\"runs\":%llu,\"steps\":%llu,\"sleep_skips\":%llu,"
         "\"fp_prunes\":%llu,\"hb_races\":%llu,\"backtrack_points\":%llu,"
-        "\"commute_skips\":%llu,\"conservative_payloads\":%s,"
+        "\"commute_skips\":%llu,\"injected_crashes\":%llu,"
+        "\"injected_drops\":%llu,\"injected_dups\":%llu,"
+        "\"conservative_payloads\":%s,"
         "\"status\":\"%s\",\"coverage\":\"%s\","
         "\"resumed\":%s,\"resume_generation\":%llu}\n",
         static_cast<unsigned long long>(st.nodes),
@@ -319,9 +419,14 @@ int run_exhaustive(const Args& a) {
         static_cast<unsigned long long>(st.hb_races),
         static_cast<unsigned long long>(st.backtrack_points),
         static_cast<unsigned long long>(st.commute_skips),
+        static_cast<unsigned long long>(st.injected_crashes),
+        static_cast<unsigned long long>(st.injected_drops),
+        static_cast<unsigned long long>(st.injected_dups),
         conservative_to_json(rep.conservative_payloads).c_str(),
-        st.exhausted ? "exhausted" : "budget", cov.c_str(),
-        rep.resumed ? "true" : "false",
+        st.exhausted   ? "exhausted"
+        : deadline_hit ? "deadline"
+                       : "budget",
+        cov.c_str(), rep.resumed ? "true" : "false",
         static_cast<unsigned long long>(rep.resume_generation));
     if (save_failed) return kExitUsage;
     return budget_left ? kExitBudget : kExitClean;
@@ -346,8 +451,16 @@ int run_exhaustive(const Args& a) {
         static_cast<unsigned long long>(st.commute_skips),
         st.exhausted          ? "tree exhausted"
         : rep.cex.has_value() ? "stopped at violation"
+        : deadline_hit        ? "deadline reached"
                               : "budget reached",
         cov.c_str());
+    if (st.injected_crashes + st.injected_drops + st.injected_dups != 0) {
+      std::printf(
+          "injected faults: %llu crashes, %llu drops, %llu duplicates\n",
+          static_cast<unsigned long long>(st.injected_crashes),
+          static_cast<unsigned long long>(st.injected_drops),
+          static_cast<unsigned long long>(st.injected_dups));
+    }
     if (!rep.conservative_payloads.empty()) {
       std::printf("conservative payloads (no commutativity audit):");
       for (const std::string& id : rep.conservative_payloads) {
@@ -362,7 +475,9 @@ int run_exhaustive(const Args& a) {
                 a.save_state_path.c_str(), a.save_state_path.c_str());
   }
   std::printf("no violation found%s\n",
-              budget_left ? " yet (budget exhausted, frontier saved)" : "");
+              !budget_left   ? ""
+              : deadline_hit ? " yet (deadline reached, partial results)"
+                             : " yet (budget exhausted, frontier saved)");
   if (save_failed) return kExitUsage;
   return budget_left ? kExitBudget : kExitClean;
 }
@@ -455,10 +570,10 @@ int main(int argc, char** argv) {
   }
   if (a.mode != Args::Mode::kExhaustive &&
       (!a.save_state_path.empty() || !a.resume_path.empty() ||
-       a.budget_states != 0)) {
+       a.budget_states != 0 || a.deadline_ms != 0)) {
     std::fprintf(stderr,
-                 "--save-state/--resume/--budget-states require "
-                 "--exhaustive\n");
+                 "--save-state/--resume/--budget-states/--deadline-ms "
+                 "require --exhaustive\n");
     return kExitUsage;
   }
   // Every registered problem/mode combination must be declared supported;
