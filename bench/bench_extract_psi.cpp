@@ -66,7 +66,7 @@ PsiXStats run_extraction(int crashes, fd::PsiOracle::Branch branch,
   for (int i = 0; i < n; ++i) {
     auto& host = s.add_process<sim::ModularProcess>();
     PsiExtractionModule::OuterFactory outer =
-        [](sim::ModularProcess& h,
+        [](sim::ModuleHost& h,
            const std::string& nm) -> qc::QcApi<ExtractProposal>& {
       return h.add_module<qc::PsiQcModule<ExtractProposal>>(nm);
     };

@@ -279,4 +279,38 @@ std::optional<Violation> EventualDecisionProperty::check_final(
   return std::nullopt;
 }
 
+std::optional<Violation> EventualLeadershipProperty::check_final(
+    const sim::Simulator& sim) {
+  const ProcessSet correct = sim.pattern().correct();
+  ProcessId expected = kNoProcess;
+  for (ProcessId p : correct.members()) {
+    if (expected == kNoProcess || p < expected) expected = p;
+  }
+  const auto& events = sim.trace().events();
+  for (ProcessId p : correct.members()) {
+    ProcessId last = kNoProcess;
+    bool any = false;
+    for (const auto& e : events) {
+      if (e.p != p || e.kind != kind_) continue;
+      any = true;
+      last = static_cast<ProcessId>(e.value);
+    }
+    if (!any) {
+      return Violation{name(),
+                       "correct process p" + std::to_string(p) +
+                           " never emitted " + kind_,
+                       sim.now()};
+    }
+    if (last != expected) {
+      return Violation{name(),
+                       "correct process p" + std::to_string(p) +
+                           " last trusted p" + std::to_string(last) +
+                           " but the smallest correct process is p" +
+                           std::to_string(expected),
+                       sim.now()};
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace wfd::explore

@@ -262,4 +262,23 @@ class EventualDecisionProperty : public EventualProperty {
   std::string kind_;
 };
 
+/// Eventual leadership (the Omega specification, for *implemented*
+/// detectors): by the end of a synchronous-enough run, the last leader
+/// event (`kind`, value = leader id) emitted by every correct process
+/// names the same correct process — and, since heartbeat Omega
+/// stabilises on the smallest trusted id, specifically the smallest
+/// correct one.
+class EventualLeadershipProperty : public EventualProperty {
+ public:
+  explicit EventualLeadershipProperty(std::string kind)
+      : kind_(std::move(kind)) {}
+  [[nodiscard]] std::string name() const override {
+    return "eventual-leadership(" + kind_ + ")";
+  }
+  std::optional<Violation> check_final(const sim::Simulator& sim) override;
+
+ private:
+  std::string kind_;
+};
+
 }  // namespace wfd::explore

@@ -9,6 +9,7 @@
 #include "consensus/omega_sigma_consensus.h"
 #include "explore/choice_oracle.h"
 #include "explore/seeded_bug.h"
+#include "fd/heartbeat_omega.h"
 #include "inject/fault_plan.h"
 #include "inject/fd_adversary.h"
 #include "nbac/nbac_from_qc.h"
@@ -78,6 +79,12 @@ const std::vector<ProblemSpec>& ScenarioFactory::problems() {
       {"qc"},        {"nbac"},             {"sigma"},
       {"register"},  {"register-regular"}, {"abcast"},
       {"rb"},
+      // The implementable heartbeat Omega is a service: its modules are
+      // never done, so runs always fill the horizon — exhaustive
+      // exploration would enumerate the full schedule tree with no
+      // halting states to prune, which explodes. Campaign (randomized
+      // liveness) and replay are the meaningful modes.
+      {"omega-impl", /*exhaustive=*/false},
   };
   return kProblems;
 }
@@ -400,6 +407,27 @@ Scenario ScenarioFactory::build(sim::ChoiceSource& choices) const {
           "wait", &rb, static_cast<std::uint64_t>(opt_.abcast_senders));
     }
     out.invariants.push_back(std::move(inv));
+  } else if (opt_.problem == "omega-impl") {
+    // The *implemented* heartbeat/lease Omega (the module the runtime
+    // host runs behind the replicated KV), model-checked as an ordinary
+    // module: no oracle component is enabled, so the only
+    // nondeterminism is the schedule (plus injected crashes). The
+    // eventual property is the Omega specification itself — on
+    // fair-enough schedules every correct process's *last* emitted
+    // leader is the smallest correct process. Timing is deliberately
+    // conservative (timeout = 12 periods, with adaptive doubling on any
+    // false suspicion) so random fair schedules within the horizon count
+    // as "synchronous enough".
+    fd::HeartbeatOmegaModule::Options ho;
+    ho.period = static_cast<Time>(2 * opt_.n);
+    ho.timeout = 12 * ho.period;
+    ho.lease = 2 * ho.timeout;
+    for (int i = 0; i < opt_.n; ++i) {
+      auto& host = s.add_process<sim::ModularProcess>();
+      host.add_module<fd::HeartbeatOmegaModule>("omega", ho);
+    }
+    out.eventuals.push_back(
+        std::make_unique<EventualLeadershipProperty>("omega-leader"));
   }
   return out;
 }

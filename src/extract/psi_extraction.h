@@ -66,7 +66,7 @@ class PsiExtractionModule : public sim::Module, public sim::FdSource {
   /// Creates the real execution of A over ExtractProposal values in the
   /// host process, under the given module name.
   using OuterFactory =
-      std::function<qc::QcApi<ExtractProposal>&(sim::ModularProcess& host,
+      std::function<qc::QcApi<ExtractProposal>&(sim::ModuleHost& host,
                                                 const std::string& name)>;
 
   struct Options {

@@ -1,0 +1,143 @@
+#include "fd/phi_accrual.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string_view>
+
+#include "common/check.h"
+
+namespace wfd::fd {
+
+namespace {
+constexpr double kLn10 = 2.302585092994046;
+}  // namespace
+
+struct PhiAccrualModule::Beat final : sim::Payload {
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("kind", "beat");
+  }
+  [[nodiscard]] std::string_view kind() const override { return "phi.beat"; }
+};
+
+PhiAccrualModule::PhiAccrualModule(Options opt) : opt_(opt) {
+  WFD_CHECK(opt_.period > 0);
+  WFD_CHECK(opt_.threshold > 0.0);
+  WFD_CHECK(opt_.confirm >= opt_.threshold);
+  WFD_CHECK(opt_.window > 0);
+  WFD_CHECK(opt_.min_mean > 0);
+}
+
+void PhiAccrualModule::on_start() {
+  self_id_ = self();
+  n_cached_ = n();
+  const Time t = now();
+  observed_ = t;
+  peers_.assign(static_cast<std::size_t>(n_cached_), PeerStats{});
+  for (auto& s : peers_) s.last_arrival = t;
+  next_beat_ = t + opt_.period;
+  // Until evidence accrues, everyone is trusted: the full set is a
+  // majority quorum and intersects every later view.
+  for (ProcessId p = 0; p < n_cached_; ++p) quorum_.insert(p);
+  broadcast(sim::make_payload<Beat>(), /*include_self=*/false);
+}
+
+void PhiAccrualModule::on_message(ProcessId from, const sim::Payload& msg) {
+  if (sim::payload_cast<Beat>(msg) == nullptr) return;
+  if (from < 0 || from >= n_cached_) return;
+  const Time t = now();
+  observed_ = std::max(observed_, t);
+  PeerStats& s = peers_[static_cast<std::size_t>(from)];
+  const Time interval = t - s.last_arrival;
+  s.last_arrival = t;
+  s.intervals.push_back(interval);
+  s.interval_sum += interval;
+  if (s.intervals.size() > opt_.window) {
+    s.interval_sum -= s.intervals.front();
+    s.intervals.pop_front();
+  }
+  s.suspected = false;
+}
+
+void PhiAccrualModule::on_tick() {
+  const Time t = now();
+  observed_ = std::max(observed_, t);
+  if (t >= next_beat_) {
+    broadcast(sim::make_payload<Beat>(), /*include_self=*/false);
+    next_beat_ = t + opt_.period;
+  }
+  refresh(t);
+}
+
+double PhiAccrualModule::phi_at(const PeerStats& s, Time t) const {
+  // Mean inter-arrival; before any sample arrives, fall back to the
+  // nominal period (heartbeats *should* be period apart).
+  double mean = s.intervals.empty()
+                    ? static_cast<double>(opt_.period)
+                    : static_cast<double>(s.interval_sum) /
+                          static_cast<double>(s.intervals.size());
+  mean = std::max(mean, static_cast<double>(opt_.min_mean));
+  const double silence = static_cast<double>(t - s.last_arrival);
+  return silence / (mean * kLn10);
+}
+
+void PhiAccrualModule::refresh(Time t) {
+  ProcessSet trusted;
+  for (ProcessId p = 0; p < n_cached_; ++p) {
+    if (p == self_id_) {
+      trusted.insert(p);
+      continue;
+    }
+    PeerStats& s = peers_[static_cast<std::size_t>(p)];
+    const double level = phi_at(s, t);
+    s.suspected = level >= opt_.threshold;
+    if (level >= opt_.confirm) red_ = true;
+    if (!s.suspected) trusted.insert(p);
+  }
+  // Publish the trusted set as the quorum view only while it is still a
+  // majority; otherwise keep the previous majority view (it intersects
+  // every other retained majority — safety over freshness).
+  if (2 * trusted.size() > n_cached_) {
+    quorum_ = trusted;
+  }
+}
+
+FdValue PhiAccrualModule::fd_value() const {
+  FdValue v;
+  v.sigma = quorum_;
+  v.suspected = suspected();
+  v.fs = red_ ? FsColor::kRed : FsColor::kGreen;
+  return v;
+}
+
+double PhiAccrualModule::phi(ProcessId q) const {
+  if (q < 0 || q >= n_cached_ || q == self_id_) return 0.0;
+  return phi_at(peers_[static_cast<std::size_t>(q)], observed_);
+}
+
+ProcessSet PhiAccrualModule::suspected() const {
+  ProcessSet s;
+  for (ProcessId p = 0; p < n_cached_; ++p) {
+    if (p != self_id_ && peers_[static_cast<std::size_t>(p)].suspected) {
+      s.insert(p);
+    }
+  }
+  return s;
+}
+
+void PhiAccrualModule::encode_state(sim::StateEncoder& enc) const {
+  enc.field("next-beat", next_beat_ - observed_);
+  for (std::size_t q = 0; q < peers_.size(); ++q) {
+    const PeerStats& s = peers_[q];
+    enc.push("peer", q);
+    enc.field("silence", observed_ - s.last_arrival);
+    sim::encode_field(enc, "intervals",
+                      std::vector<Time>(s.intervals.begin(),
+                                        s.intervals.end()));
+    enc.field("suspected", s.suspected);
+    enc.pop();
+  }
+  enc.field("quorum", quorum_);
+  enc.field("red", red_);
+}
+
+}  // namespace wfd::fd

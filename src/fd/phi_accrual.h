@@ -1,0 +1,101 @@
+// An implementable suspicion detector in the φ-accrual lineage
+// [Hayashibara et al., SRDS 2004], feeding an FS/Σ-style quorum view.
+//
+// Each process broadcasts a heartbeat every `period` host time units and
+// keeps, per peer, a sliding window of heartbeat inter-arrival times.
+// Instead of a boolean timeout the detector outputs a *suspicion level*
+//
+//   φ(q) = -log10 P(another beat would arrive this late)
+//
+// under an exponential inter-arrival model: with mean interval m and
+// silence t since the last beat, P = exp(-t/m), so φ = t / (m·ln 10).
+// φ crosses `threshold` smoothly as silence grows, and the window makes
+// the scale self-tuning: a slow-but-steady peer inflates its own mean
+// rather than getting falsely suspected.
+//
+// The accrued suspicions feed two paper-shaped outputs:
+//   - a Σ-style quorum view: the trusted set, published only while it
+//     still contains a majority; when too many peers look dead the
+//     previous majority view is *retained*, keeping the two-quorum
+//     intersection property that registers and (Ω,Σ)-consensus rely on
+//     (stale quorums cost liveness, never safety);
+//   - an FS-style latch: red forever once some peer's φ exceeds the
+//     higher `confirm` threshold. Unlike the FS oracle this can go red
+//     without a real crash in an asynchronous run — it is the
+//     partial-synchrony approximation, which is exactly why the paper
+//     needs the oracle for the lower bounds.
+//
+// All timing is host time (ModuleHost::now()), so the module runs
+// unmodified under the simulator (steps) and the runtime host (ms).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/process_set.h"
+#include "sim/module.h"
+
+namespace wfd::fd {
+
+class PhiAccrualModule : public sim::Module, public sim::FdSource {
+ public:
+  struct Options {
+    /// Host time units between heartbeats.
+    Time period = 8;
+    /// Suspicion threshold: φ ≥ threshold marks a peer suspected.
+    double threshold = 3.0;
+    /// Latch threshold: φ ≥ confirm latches the FS-style red signal.
+    double confirm = 6.0;
+    /// Inter-arrival samples kept per peer.
+    std::size_t window = 32;
+    /// Floor on the mean-interval estimate, so a burst of back-to-back
+    /// beats cannot collapse the scale to zero.
+    Time min_mean = 1;
+  };
+
+  PhiAccrualModule() : PhiAccrualModule(Options{}) {}
+  explicit PhiAccrualModule(Options opt);
+
+  void on_start() override;
+  void on_message(ProcessId from, const sim::Payload& msg) override;
+  void on_tick() override;
+  /// A failure detector is a service: it never terminates on its own.
+  [[nodiscard]] bool done() const override { return false; }
+
+  /// FdSource: sigma = latest majority trusted view, suspected = current
+  /// φ-threshold crossings, fs = the red latch.
+  [[nodiscard]] FdValue fd_value() const override;
+
+  /// Current suspicion level for peer q (0 for self).
+  [[nodiscard]] double phi(ProcessId q) const;
+  [[nodiscard]] ProcessSet suspected() const;
+  [[nodiscard]] const ProcessSet& quorum_view() const { return quorum_; }
+  [[nodiscard]] bool red() const { return red_; }
+
+  void encode_state(sim::StateEncoder& enc) const override;
+
+ private:
+  struct Beat;
+
+  struct PeerStats {
+    Time last_arrival = 0;
+    std::deque<Time> intervals;  ///< Sliding window, newest at the back.
+    Time interval_sum = 0;
+    bool suspected = false;
+  };
+
+  [[nodiscard]] double phi_at(const PeerStats& s, Time t) const;
+  void refresh(Time t);
+
+  Options opt_;
+  ProcessId self_id_ = kNoProcess;
+  int n_cached_ = 0;
+  Time observed_ = 0;
+  Time next_beat_ = 0;
+  std::vector<PeerStats> peers_;
+  ProcessSet quorum_;  ///< Last trusted view that held a majority.
+  bool red_ = false;
+};
+
+}  // namespace wfd::fd

@@ -1,0 +1,243 @@
+#include "runtime/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace wfd::runtime {
+
+namespace {
+
+/// Blocking full-buffer read; false on EOF/error.
+bool read_exact(int fd, void* buf, std::size_t len) {
+  auto* p = static_cast<char*>(buf);
+  while (len > 0) {
+    const ssize_t r = ::read(fd, p, len);
+    if (r <= 0) return false;
+    p += r;
+    len -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_exact(int fd, const void* buf, std::size_t len) {
+  const auto* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    const ssize_t w = ::write(fd, p, len);
+    if (w <= 0) return false;
+    p += w;
+    len -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(int n) : n_(n), listeners_(static_cast<std::size_t>(n)) {
+  WFD_CHECK(n > 0);
+  for (ProcessId p = 0; p < n_; ++p) {
+    Listener& l = listeners_[static_cast<std::size_t>(p)];
+    l.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    WFD_CHECK_MSG(l.fd >= 0, "socket() failed");
+    const int one = 1;
+    ::setsockopt(l.fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // Ephemeral.
+    WFD_CHECK_MSG(::bind(l.fd, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr)) == 0,
+                  "bind() failed");
+    WFD_CHECK_MSG(::listen(l.fd, n_) == 0, "listen() failed");
+    socklen_t len = sizeof(addr);
+    WFD_CHECK(::getsockname(l.fd, reinterpret_cast<sockaddr*>(&addr),
+                            &len) == 0);
+    l.port = ntohs(addr.sin_port);
+  }
+}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+std::uint16_t TcpTransport::port(ProcessId p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WFD_CHECK(p >= 0 && p < n_);
+  return listeners_[static_cast<std::size_t>(p)].port;
+}
+
+void TcpTransport::attach(ProcessId p, Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WFD_CHECK(p >= 0 && p < n_);
+  Listener& l = listeners_[static_cast<std::size_t>(p)];
+  l.sink = std::move(sink);
+  if (!l.attached) {
+    l.attached = true;
+    l.acceptor = std::thread([this, p] { acceptor_loop(p); });
+  }
+}
+
+void TcpTransport::detach(ProcessId p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (p < 0 || p >= n_) return;
+  // Keep the acceptor running (peers may still dial and get their
+  // connection reset later); just stop delivering.
+  listeners_[static_cast<std::size_t>(p)].sink = nullptr;
+}
+
+void TcpTransport::acceptor_loop(ProcessId p) {
+  while (true) {
+    int lfd;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (down_) return;
+      lfd = listeners_[static_cast<std::size_t>(p)].fd;
+    }
+    if (lfd < 0) return;
+    const int conn = ::accept(lfd, nullptr, nullptr);
+    if (conn < 0) return;  // Listener closed: shutdown.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (down_) {
+      ::close(conn);
+      return;
+    }
+    Listener& l = listeners_[static_cast<std::size_t>(p)];
+    l.conns.push_back(conn);
+    l.readers.emplace_back([this, p, conn] { reader_loop(p, conn); });
+  }
+}
+
+void TcpTransport::reader_loop(ProcessId p, int fd) {
+  Frame f;
+  while (read_exact(fd, &f, sizeof(f))) {
+    WireMessage msg;
+    msg.from = f.from;
+    msg.to = f.to;
+    Sink sink;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (down_) return;
+      auto it = arena_.find(f.token);
+      if (it == arena_.end()) continue;  // Token GC'd by shutdown race.
+      msg.payload = it->second;
+      arena_.erase(it);
+      sink = listeners_[static_cast<std::size_t>(p)].sink;
+    }
+    if (sink && msg.to == p) sink(std::move(msg));
+  }
+}
+
+int TcpTransport::connect_to(ProcessId to) {
+  const std::uint16_t prt = listeners_[static_cast<std::size_t>(to)].port;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(prt);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void TcpTransport::send(WireMessage msg) {
+  std::shared_ptr<Conn> conn;
+  Frame f;
+  f.from = msg.from;
+  f.to = msg.to;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (down_) return;
+    if (msg.to < 0 || msg.to >= n_) return;
+    const auto key = std::make_pair(msg.from, msg.to);
+    auto it = out_.find(key);
+    if (it == out_.end()) {
+      // Dial under the lock: connects to loopback are effectively
+      // instantaneous and dialling races would duplicate connections.
+      const int fd = connect_to(msg.to);
+      if (fd < 0) return;
+      auto c = std::make_shared<Conn>();
+      c->fd = fd;
+      it = out_.emplace(key, std::move(c)).first;
+    }
+    conn = it->second;
+    f.token = next_token_++;
+    arena_.emplace(f.token, std::move(msg.payload));
+  }
+  // Write outside the transport lock (a full socket buffer blocks here);
+  // the per-connection mutex keeps frames whole and per-link FIFO.
+  bool ok;
+  {
+    std::lock_guard<std::mutex> wlock(conn->wmu);
+    ok = write_exact(conn->fd, &f, sizeof(f));
+  }
+  if (!ok) {
+    std::lock_guard<std::mutex> lock(mu_);
+    arena_.erase(f.token);
+    auto it = out_.find(std::make_pair(msg.from, msg.to));
+    if (it != out_.end() && it->second == conn) {
+      // Another sender may still hold this Conn; taking its write
+      // mutex before close() excludes a concurrent write_exact on the
+      // fd being freed (mu_ -> wmu is the only nesting order used).
+      std::lock_guard<std::mutex> wlock(conn->wmu);
+      ::close(conn->fd);
+      conn->fd = -1;
+      out_.erase(it);
+    }
+  }
+}
+
+void TcpTransport::shutdown() {
+  // Callers must stop every sender first (RuntimeCluster::stop joins
+  // the host loops before shutting the transport down); acceptor and
+  // reader threads are ours to unwind here.
+  std::vector<std::thread> joiners;
+  std::vector<int> to_close;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (down_) return;
+    down_ = true;
+    for (auto& [key, conn] : out_) {
+      ::shutdown(conn->fd, SHUT_RDWR);
+      to_close.push_back(conn->fd);
+    }
+    out_.clear();
+    for (Listener& l : listeners_) {
+      if (l.fd >= 0) {
+        // shutdown() wakes a blocked accept(); the fd itself must stay
+        // open until the acceptor thread is joined.
+        ::shutdown(l.fd, SHUT_RDWR);
+        to_close.push_back(l.fd);
+        l.fd = -1;
+      }
+      for (int c : l.conns) {
+        ::shutdown(c, SHUT_RDWR);
+        to_close.push_back(c);
+      }
+      l.conns.clear();
+      l.sink = nullptr;
+      if (l.acceptor.joinable()) joiners.push_back(std::move(l.acceptor));
+      for (auto& r : l.readers) {
+        if (r.joinable()) joiners.push_back(std::move(r));
+      }
+      l.readers.clear();
+    }
+    arena_.clear();
+  }
+  for (auto& t : joiners) t.join();
+  // Close only now: close() concurrent with a blocked read()/accept()
+  // on the same fd is a use-after-close race (the number can be
+  // recycled by another open() the moment it is freed).
+  for (int fd : to_close) ::close(fd);
+}
+
+}  // namespace wfd::runtime

@@ -1,0 +1,80 @@
+// Loopback-TCP transport: the same Transport interface as
+// ChannelTransport, but every message really crosses the kernel via a
+// socket — real framing, real backpressure, real interleaving with
+// other traffic, which is what the runtime smoke tests want to shake
+// out.
+//
+// Honesty note on serialization: protocol payloads are private nested
+// C++ types (e.g. a consensus round's internal messages) with no wire
+// codec yet, so the 16-byte frame carries (from, to, token) and the
+// payload body itself travels out-of-band through an in-process token
+// arena keyed by the frame. Delivery order, connection loss and
+// detachment semantics are all real TCP; byte-level payload
+// serialization is the recorded open item (ROADMAP).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/transport.h"
+
+namespace wfd::runtime {
+
+class TcpTransport final : public Transport {
+ public:
+  /// Opens one loopback listening socket per process (ephemeral ports).
+  explicit TcpTransport(int n);
+  ~TcpTransport() override;
+
+  void attach(ProcessId p, Sink sink) override;
+  void detach(ProcessId p) override;
+  void send(WireMessage msg) override;
+  void shutdown() override;
+
+  [[nodiscard]] std::uint16_t port(ProcessId p) const;
+
+ private:
+  struct Frame {
+    std::int32_t from = 0;
+    std::int32_t to = 0;
+    std::uint64_t token = 0;
+  };
+
+  struct Listener {
+    int fd = -1;
+    std::uint16_t port = 0;
+    Sink sink;
+    bool attached = false;
+    std::thread acceptor;
+    std::vector<int> conns;
+    std::vector<std::thread> readers;
+  };
+
+  /// An outgoing connection; writes serialize on the connection's own
+  /// mutex so a blocking write (full socket buffer) never holds the
+  /// transport mutex the readers need to make progress.
+  struct Conn {
+    int fd = -1;
+    std::mutex wmu;
+  };
+
+  void acceptor_loop(ProcessId p);
+  void reader_loop(ProcessId p, int fd);
+  [[nodiscard]] int connect_to(ProcessId to);
+
+  int n_;
+  mutable std::mutex mu_;
+  bool down_ = false;
+  std::vector<Listener> listeners_;
+  /// Outgoing connection per (from, to) ordered pair, lazily dialled.
+  std::map<std::pair<ProcessId, ProcessId>, std::shared_ptr<Conn>> out_;
+  /// Token arena: payload bodies referenced by in-flight frames.
+  std::map<std::uint64_t, sim::PayloadPtr> arena_;
+  std::uint64_t next_token_ = 1;
+};
+
+}  // namespace wfd::runtime

@@ -1,0 +1,106 @@
+// A hashed timer wheel on the host's monotonic clock.
+//
+// The runtime host's event loop owns one wheel per process and drives it
+// from a single thread: timers are scheduled relative to the time of the
+// last advance() and fire inside advance() once their deadline passes.
+// Slots hash deadlines modulo the wheel size, so an advance over k time
+// units inspects min(k, slots) buckets instead of every pending timer —
+// the classic scheme of Varghese & Lauck. Not thread safe by design; the
+// loop thread is the only caller.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace wfd::runtime {
+
+class TimerWheel {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit TimerWheel(std::size_t slots = 64) : slots_(slots) {
+    WFD_CHECK(slots > 0);
+  }
+
+  /// Schedule cb to fire once `delay` time units after the wheel's
+  /// current time. A delay of 0 is promoted to 1: deadlines always lie
+  /// strictly in the future, matching the buckets advance() inspects.
+  void schedule(Time delay, Callback cb) {
+    const Time deadline = now_ + std::max<Time>(delay, 1);
+    slots_[static_cast<std::size_t>(deadline) % slots_.size()].push_back(
+        Entry{deadline, std::move(cb)});
+    ++pending_;
+    if (pending_ == 1 || deadline < next_deadline_) next_deadline_ = deadline;
+  }
+
+  /// Advance the wheel to `now`, firing every timer whose deadline has
+  /// passed (in deadline order per slot, not globally). Callbacks may
+  /// schedule new timers; those fire on a later advance even if already
+  /// due, which keeps a self-rescheduling periodic tick from spinning.
+  /// Returns the number of timers fired.
+  std::size_t advance(Time now) {
+    if (now <= now_ || pending_ == 0 || now < next_deadline_) {
+      now_ = std::max(now_, now);
+      return 0;
+    }
+    std::vector<Entry> due;
+    // A jump of `span` units touches span buckets; past one full lap
+    // every bucket is inspected exactly once.
+    const Time span = now - now_;
+    const std::size_t lap = slots_.size();
+    const std::size_t steps =
+        span >= static_cast<Time>(lap) ? lap : static_cast<std::size_t>(span);
+    for (std::size_t i = 1; i <= steps; ++i) {
+      auto& bucket =
+          slots_[static_cast<std::size_t>(now_ + static_cast<Time>(i)) %
+                 lap];
+      for (auto it = bucket.begin(); it != bucket.end();) {
+        if (it->deadline <= now) {
+          due.push_back(std::move(*it));
+          it = bucket.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    now_ = now;
+    pending_ -= due.size();
+    next_deadline_ = Time{0} - 1;
+    if (pending_ > 0) recompute_next();
+    for (Entry& e : due) e.cb();
+    return due.size();
+  }
+
+  [[nodiscard]] std::size_t pending() const { return pending_; }
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Earliest pending deadline; meaningless when pending() == 0.
+  [[nodiscard]] Time next_deadline() const { return next_deadline_; }
+
+ private:
+  struct Entry {
+    Time deadline = 0;
+    Callback cb;
+  };
+
+  void recompute_next() {
+    for (const auto& bucket : slots_) {
+      for (const Entry& e : bucket) {
+        next_deadline_ = std::min(next_deadline_, e.deadline);
+      }
+    }
+  }
+
+  std::vector<std::vector<Entry>> slots_;
+  Time now_ = 0;
+  Time next_deadline_ = Time{0} - 1;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace wfd::runtime

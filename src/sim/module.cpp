@@ -1,11 +1,13 @@
 #include "sim/module.h"
 
+#include "sim/simulator.h"
+
 namespace wfd::sim {
 
-ProcessId Module::self() const { return host().ctx().self(); }
-int Module::n() const { return host().ctx().n(); }
-Time Module::now() const { return host().ctx().now(); }
-const fd::FdValue& Module::fd() const { return host().ctx().fd(); }
+ProcessId Module::self() const { return host().self(); }
+int Module::n() const { return host().n(); }
+Time Module::now() const { return host().now(); }
+const fd::FdValue& Module::fd() const { return host().fd_sample(); }
 
 fd::FdValue Module::detector() const {
   if (fd_source_ != nullptr) return fd_source_->fd_value();
@@ -17,8 +19,7 @@ void Module::send(ProcessId to, PayloadPtr payload) {
     transport_->module_send(name_, to, std::move(payload));
     return;
   }
-  host().ctx().send(
-      to, make_payload<ModuleEnvelope>(name_, std::move(payload)));
+  host().module_out(name_, to, std::move(payload));
 }
 
 void Module::broadcast(PayloadPtr payload, bool include_self) {
@@ -30,27 +31,38 @@ void Module::broadcast(PayloadPtr payload, bool include_self) {
     }
     return;
   }
-  auto wrapped = make_payload<ModuleEnvelope>(name_, std::move(payload));
-  host().ctx().broadcast(std::move(wrapped), include_self);
+  host().module_broadcast(name_, std::move(payload), include_self);
 }
 
 void Module::emit(const std::string& kind, std::int64_t value) {
-  host().ctx().emit(kind, value);
+  host().emit_event(kind, value);
 }
 
-Rng& Module::rng() { return host().ctx().rng(); }
+Rng& Module::rng() { return host().host_rng(); }
 
-ModularProcess& Module::host() const {
+ModuleHost& Module::host() const {
   WFD_CHECK(host_ != nullptr);
   return *host_;
 }
 
-Module* ModularProcess::find_module(const std::string& module_name) const {
+ModuleHost::~ModuleHost() = default;
+
+Module* ModuleHost::find_module(const std::string& module_name) const {
   auto it = by_name_.find(module_name);
   return it == by_name_.end() ? nullptr : it->second;
 }
 
-void ModularProcess::start_module(Module& m) {
+void ModuleHost::attach_module(std::unique_ptr<Module> mod,
+                               std::string module_name) {
+  Module& ref = *mod;
+  mod->host_ = this;
+  mod->name_ = std::move(module_name);
+  by_name_.emplace(mod->name_, mod.get());
+  modules_.push_back(std::move(mod));
+  if (started_) start_module(ref);
+}
+
+void ModuleHost::start_module(Module& m) {
   m.on_start();
   // Replay messages that arrived before the module existed.
   auto it = undelivered_.find(m.name());
@@ -63,18 +75,16 @@ void ModularProcess::start_module(Module& m) {
   }
 }
 
-void ModularProcess::on_start(Context& ctx) {
-  current_ = &ctx;
+void ModuleHost::start_modules() {
   started_ = true;
   // Snapshot: modules may add further modules while starting (those are
   // started inline by add_module since started_ is already true).
   const std::size_t initial = modules_.size();
   for (std::size_t i = 0; i < initial; ++i) start_module(*modules_[i]);
-  for (std::size_t i = 0; i < modules_.size(); ++i) modules_[i]->on_tick();
-  current_ = nullptr;
 }
 
-void ModularProcess::dispatch(ProcessId from, const ModuleEnvelope& env) {
+void ModuleHost::dispatch_module_msg(ProcessId from,
+                                     const ModuleEnvelope& env) {
   if (Module* m = find_module(env.module)) {
     m->on_message(from, *env.inner);
   } else {
@@ -82,29 +92,27 @@ void ModularProcess::dispatch(ProcessId from, const ModuleEnvelope& env) {
   }
 }
 
-void ModularProcess::on_step(Context& ctx, const Envelope* msg) {
-  current_ = &ctx;
-  if (msg != nullptr && msg->payload != nullptr) {
-    const auto* env = payload_cast<ModuleEnvelope>(*msg->payload);
-    WFD_CHECK_MSG(env != nullptr,
-                  "ModularProcess received a non-module message");
-    dispatch(msg->from, *env);
-  }
-  // Tick by index: modules added during this step are ticked too, which
+void ModuleHost::tick_modules() {
+  // Tick by index: modules added during this sweep are ticked too, which
   // is harmless (their on_tick sees a consistent started state).
   for (std::size_t i = 0; i < modules_.size(); ++i) modules_[i]->on_tick();
-  current_ = nullptr;
 }
 
-bool ModularProcess::tick_noop() const {
-  if (!started_) return false;
+bool ModuleHost::modules_done() const {
+  for (const auto& m : modules_) {
+    if (!m->done()) return false;
+  }
+  return true;
+}
+
+bool ModuleHost::modules_tick_noop() const {
   for (const auto& m : modules_) {
     if (!m->tick_noop()) return false;
   }
   return true;
 }
 
-void ModularProcess::encode_state(StateEncoder& enc) const {
+void ModuleHost::encode_modules(StateEncoder& enc) const {
   enc.field("started", started_);
   for (const auto& m : modules_) {
     enc.push("module");
@@ -129,12 +137,60 @@ void ModularProcess::encode_state(StateEncoder& enc) const {
   }
 }
 
-bool ModularProcess::done() const {
-  if (!started_) return false;  // Not done before the first step.
-  for (const auto& m : modules_) {
-    if (!m->done()) return false;
-  }
-  return true;
+void ModularProcess::on_start(Context& ctx) {
+  current_ = &ctx;
+  start_modules();
+  tick_modules();
+  current_ = nullptr;
 }
+
+void ModularProcess::on_step(Context& ctx, const Envelope* msg) {
+  current_ = &ctx;
+  if (msg != nullptr && msg->payload != nullptr) {
+    const auto* env = payload_cast<ModuleEnvelope>(*msg->payload);
+    WFD_CHECK_MSG(env != nullptr,
+                  "ModularProcess received a non-module message");
+    dispatch_module_msg(msg->from, *env);
+  }
+  tick_modules();
+  current_ = nullptr;
+}
+
+bool ModularProcess::tick_noop() const {
+  if (!modules_started()) return false;
+  return modules_tick_noop();
+}
+
+void ModularProcess::encode_state(StateEncoder& enc) const {
+  encode_modules(enc);
+}
+
+bool ModularProcess::done() const {
+  if (!modules_started()) return false;  // Not done before the first step.
+  return modules_done();
+}
+
+ProcessId ModularProcess::self() const { return ctx().self(); }
+int ModularProcess::n() const { return ctx().n(); }
+Time ModularProcess::now() const { return ctx().now(); }
+const fd::FdValue& ModularProcess::fd_sample() const { return ctx().fd(); }
+
+void ModularProcess::module_out(const std::string& module, ProcessId to,
+                                PayloadPtr payload) {
+  ctx().send(to, make_payload<ModuleEnvelope>(module, std::move(payload)));
+}
+
+void ModularProcess::module_broadcast(const std::string& module,
+                                      PayloadPtr payload, bool include_self) {
+  // One shared allocation for the whole broadcast, as before the seam.
+  ctx().broadcast(make_payload<ModuleEnvelope>(module, std::move(payload)),
+                  include_self);
+}
+
+void ModularProcess::emit_event(const std::string& kind, std::int64_t value) {
+  ctx().emit(kind, value);
+}
+
+Rng& ModularProcess::host_rng() { return ctx().rng(); }
 
 }  // namespace wfd::sim

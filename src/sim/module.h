@@ -4,10 +4,18 @@
 // FS (Fig. 4), QC on top of NBAC (Fig. 5), QC on top of consensus
 // (Fig. 2), the Sigma extraction on top of n register instances (Fig. 1),
 // FS is built from infinitely many NBAC instances, and register-based
-// consensus uses n register instances. A ModularProcess hosts named
-// modules inside one process; messages are routed by module name, and
-// modules interact locally through direct method calls and completion
-// callbacks, all within the host's atomic steps.
+// consensus uses n register instances. A ModuleHost hosts named modules
+// inside one process; messages are routed by module name, and modules
+// interact locally through direct method calls and completion callbacks,
+// all within the host's atomic steps.
+//
+// Two hosts exist (the sim-vs-runtime contract, DESIGN.md §11):
+// sim::ModularProcess runs the modules as a process automaton inside the
+// discrete-event simulator (and the explorer / model checker), and
+// runtime::RuntimeProcess (src/runtime/host.h, where `runtime::Host`
+// aliases ModuleHost) runs the *same* module objects as a thread over
+// real channels with a monotonic clock. Module code must therefore only
+// ever talk to the world through the ModuleHost surface below.
 #pragma once
 
 #include <map>
@@ -17,12 +25,17 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/rng.h"
+#include "fd/values.h"
+#include "sim/payload.h"
 #include "sim/process.h"
-#include "sim/simulator.h"
+#include "sim/state_encoder.h"
 
 namespace wfd::sim {
 
+class Module;
 class ModularProcess;
+struct ModuleEnvelope;
 
 /// A local source of failure-detector values. Algorithm modules read
 /// their detector through this indirection so the same algorithm can run
@@ -52,9 +65,128 @@ class ModuleTransport {
                            PayloadPtr payload) = 0;
 };
 
-/// A protocol component living inside a ModularProcess. The protected
-/// helpers (send, fd, ...) are valid only during a step of the host, which
-/// is the only time module code runs.
+/// Everything a Module needs from whatever is hosting it — the seam that
+/// lets one module codebase run under both the simulator/explorer and
+/// the concurrent runtime (aliased as runtime::Host there).
+///
+/// The surface splits in two:
+///
+///  * the *module container* (add_module / find_module / module) is
+///    concrete and shared: dynamic instance creation ("nbac/7",
+///    consensus round k) and pre-existence message buffering behave
+///    identically under every host;
+///
+///  * the *environment* (identity, time, detector sample, sends, event
+///    emission, randomness) is virtual: the simulator answers from the
+///    current step's Context, the runtime from real clocks, channels and
+///    its configured implementable detector.
+///
+/// Delivery and tick *scheduling* deliberately stay outside this
+/// interface: the host decides when on_message/on_tick run (the
+/// simulator per atomic step, the runtime per inbox batch and timer-
+/// wheel deadline); modules only ever observe the calls.
+class ModuleHost {
+ public:
+  virtual ~ModuleHost();
+
+  /// Add a module under a unique name. If the host is mid-run the module
+  /// is started immediately and receives any messages that arrived for
+  /// its name before it existed (instances created on demand, e.g.
+  /// "nbac/7", rely on this).
+  template <typename M, typename... Args>
+  M& add_module(std::string module_name, Args&&... args) {
+    WFD_CHECK_MSG(by_name_.find(module_name) == by_name_.end(),
+                  "duplicate module name");
+    auto mod = std::make_unique<M>(std::forward<Args>(args)...);
+    M& ref = *mod;
+    attach_module(std::move(mod), std::move(module_name));
+    return ref;
+  }
+
+  /// Find a module by name; nullptr when absent.
+  [[nodiscard]] Module* find_module(const std::string& module_name) const;
+
+  /// Find and downcast; asserts on absence or type mismatch.
+  template <typename M>
+  [[nodiscard]] M& module(const std::string& module_name) const;
+
+  // --- Environment surface (what Module's protected helpers consume).
+
+  [[nodiscard]] virtual ProcessId self() const = 0;
+  [[nodiscard]] virtual int n() const = 0;
+
+  /// The host's notion of time, in host time units: the simulator's
+  /// global step index, the runtime's milliseconds since cluster start.
+  /// Monotone non-decreasing; modules must treat the unit as opaque and
+  /// take any absolute scale (timeouts, periods) from their Options.
+  [[nodiscard]] virtual Time now() const = 0;
+
+  /// The failure-detector value a module without an FdSource acts on.
+  /// The reference is valid for the duration of the current
+  /// on_start/on_message/on_tick call.
+  [[nodiscard]] virtual const fd::FdValue& fd_sample() const = 0;
+
+  /// Ship `payload` to the same-named module of process `to` (the host
+  /// wraps it in a ModuleEnvelope on the wire).
+  virtual void module_out(const std::string& module, ProcessId to,
+                          PayloadPtr payload) = 0;
+
+  /// Ship `payload` to the same-named module of every process
+  /// (optionally including self; self-delivery goes through the host's
+  /// delivery machinery like any other message, never inline).
+  virtual void module_broadcast(const std::string& module, PayloadPtr payload,
+                                bool include_self) = 0;
+
+  /// Record a protocol-level event (e.g. a decision): the simulator's
+  /// Trace, the runtime's per-process event log.
+  virtual void emit_event(const std::string& kind, std::int64_t value) = 0;
+
+  /// Per-process deterministic randomness for protocol-internal choices.
+  [[nodiscard]] virtual Rng& host_rng() = 0;
+
+ protected:
+  // --- Shared container machinery for concrete hosts.
+
+  /// Start every module added so far (modules added *while* starting are
+  /// started inline by add_module), then tick all — the host's first
+  /// step. Idempotent per host lifetime.
+  void start_modules();
+
+  /// Route one unwrapped envelope to its module (buffering it when the
+  /// module does not exist yet).
+  void dispatch_module_msg(ProcessId from, const ModuleEnvelope& env);
+
+  /// Tick every module, by index: modules added during the sweep are
+  /// ticked too, which is harmless (their on_tick sees a consistent
+  /// started state).
+  void tick_modules();
+
+  [[nodiscard]] bool modules_started() const { return started_; }
+  [[nodiscard]] bool modules_done() const;
+  [[nodiscard]] bool modules_tick_noop() const;
+
+  /// Composes the per-module encodings (each in a scope keyed by the
+  /// module's name) plus the pre-existence message buffer.
+  void encode_modules(StateEncoder& enc) const;
+
+ private:
+  struct BufferedMsg {
+    ProcessId from;
+    PayloadPtr inner;
+  };
+
+  void attach_module(std::unique_ptr<Module> mod, std::string module_name);
+  void start_module(Module& m);
+
+  std::vector<std::unique_ptr<Module>> modules_;
+  std::map<std::string, Module*> by_name_;
+  std::map<std::string, std::vector<BufferedMsg>> undelivered_;
+  bool started_ = false;
+};
+
+/// A protocol component living inside a ModuleHost. The protected
+/// helpers (send, fd, ...) are valid only while the host is delivering a
+/// message or ticking, which is the only time module code runs.
 class Module {
  public:
   virtual ~Module() = default;
@@ -87,7 +219,7 @@ class Module {
   [[nodiscard]] virtual bool done() const { return true; }
 
   /// Route this module's detector reads through `src` instead of the
-  /// host's oracle sample (pass nullptr to restore the oracle).
+  /// host's sample (pass nullptr to restore the host's detector).
   void set_fd_source(const FdSource* src) { fd_source_ = src; }
 
   /// Route this module's send/broadcast through `t` instead of the raw
@@ -106,7 +238,7 @@ class Module {
 
  protected:
   /// The failure-detector value this module should act on in this step:
-  /// the configured FdSource if any, else the oracle sample.
+  /// the configured FdSource if any, else the host's sample.
   [[nodiscard]] fd::FdValue detector() const;
 
   [[nodiscard]] ProcessId self() const;
@@ -117,15 +249,24 @@ class Module {
   void broadcast(PayloadPtr payload, bool include_self = true);
   void emit(const std::string& kind, std::int64_t value);
   Rng& rng();
-  [[nodiscard]] ModularProcess& host() const;
+  [[nodiscard]] ModuleHost& host() const;
 
  private:
-  friend class ModularProcess;
-  ModularProcess* host_ = nullptr;
+  friend class ModuleHost;
+  ModuleHost* host_ = nullptr;
   std::string name_;
   const FdSource* fd_source_ = nullptr;
   ModuleTransport* transport_ = nullptr;
 };
+
+template <typename M>
+M& ModuleHost::module(const std::string& module_name) const {
+  Module* m = find_module(module_name);
+  WFD_CHECK_MSG(m != nullptr, "module not found");
+  auto* typed = dynamic_cast<M*>(m);
+  WFD_CHECK_MSG(typed != nullptr, "module type mismatch");
+  return *typed;
+}
 
 /// Wire format: every inter-process message of a module is wrapped with
 /// the module's name so the receiving host can route it.
@@ -200,39 +341,11 @@ class MergedFdSource : public FdSource {
   const FdSource* b_;
 };
 
-class ModularProcess : public Process {
+/// The simulator's host: a process automaton whose atomic steps deliver
+/// at most one module message and then tick every module, with the
+/// environment answered from the current step's Context.
+class ModularProcess : public Process, public ModuleHost {
  public:
-  /// Add a module under a unique name. If the host is mid-run the module
-  /// is started immediately and receives any messages that arrived for
-  /// its name before it existed (instances created on demand, e.g.
-  /// "nbac/7", rely on this).
-  template <typename M, typename... Args>
-  M& add_module(std::string module_name, Args&&... args) {
-    WFD_CHECK_MSG(by_name_.find(module_name) == by_name_.end(),
-                  "duplicate module name");
-    auto mod = std::make_unique<M>(std::forward<Args>(args)...);
-    M& ref = *mod;
-    mod->host_ = this;
-    mod->name_ = std::move(module_name);
-    by_name_.emplace(mod->name_, mod.get());
-    modules_.push_back(std::move(mod));
-    if (started_) start_module(ref);
-    return ref;
-  }
-
-  /// Find a module by name; nullptr when absent.
-  [[nodiscard]] Module* find_module(const std::string& module_name) const;
-
-  /// Find and downcast; asserts on absence or type mismatch.
-  template <typename M>
-  [[nodiscard]] M& module(const std::string& module_name) const {
-    Module* m = find_module(module_name);
-    WFD_CHECK_MSG(m != nullptr, "module not found");
-    auto* typed = dynamic_cast<M*>(m);
-    WFD_CHECK_MSG(typed != nullptr, "module type mismatch");
-    return *typed;
-  }
-
   void on_start(Context& ctx) override;
   void on_step(Context& ctx, const Envelope* msg) override;
   [[nodiscard]] bool done() const override;
@@ -257,20 +370,20 @@ class ModularProcess : public Process {
   /// any hosted module is.
   void encode_state(StateEncoder& enc) const override;
 
+  // --- ModuleHost environment surface, answered from the step Context.
+  [[nodiscard]] ProcessId self() const override;
+  [[nodiscard]] int n() const override;
+  [[nodiscard]] Time now() const override;
+  [[nodiscard]] const fd::FdValue& fd_sample() const override;
+  void module_out(const std::string& module, ProcessId to,
+                  PayloadPtr payload) override;
+  void module_broadcast(const std::string& module, PayloadPtr payload,
+                        bool include_self) override;
+  void emit_event(const std::string& kind, std::int64_t value) override;
+  [[nodiscard]] Rng& host_rng() override;
+
  private:
-  struct BufferedMsg {
-    ProcessId from;
-    PayloadPtr inner;
-  };
-
-  void start_module(Module& m);
-  void dispatch(ProcessId from, const ModuleEnvelope& env);
-
-  std::vector<std::unique_ptr<Module>> modules_;
-  std::map<std::string, Module*> by_name_;
-  std::map<std::string, std::vector<BufferedMsg>> undelivered_;
   Context* current_ = nullptr;
-  bool started_ = false;
   TransportInstrument* instrument_ = nullptr;
 };
 

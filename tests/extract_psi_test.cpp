@@ -245,7 +245,7 @@ void build_psi_extraction(sim::Simulator& s, int n, const SandboxSpec& spec,
 
 /// Real execution of A = the Psi-based QC (needs a Psi component in D).
 PsiExtractionModule::OuterFactory psi_outer() {
-  return [](sim::ModularProcess& h,
+  return [](sim::ModuleHost& h,
             const std::string& nm) -> qc::QcApi<ExtractProposal>& {
     return h.add_module<qc::PsiQcModule<ExtractProposal>>(nm);
   };
@@ -253,7 +253,7 @@ PsiExtractionModule::OuterFactory psi_outer() {
 
 /// Real execution of A = consensus-as-QC (needs (Omega, Sigma) in D).
 PsiExtractionModule::OuterFactory consensus_outer() {
-  return [](sim::ModularProcess& h,
+  return [](sim::ModuleHost& h,
             const std::string& nm) -> qc::QcApi<ExtractProposal>& {
     return h.add_module<qc::ConsensusAsQcModule<ExtractProposal>>(nm);
   };

@@ -490,7 +490,13 @@ int run_campaign_mode(const Args& a) {
   co.runs = a.runs;
   co.seed = a.scenario.seed;
   co.shrink = a.shrink;
-  co.frontier_workers = a.frontier;
+  // Frontier DFS only makes sense for problems whose runs halt; on
+  // service scenarios (never-done modules, e.g. omega-impl) a DFS never
+  // reaches a terminal state and would just burn its whole budget.
+  co.frontier_workers =
+      explore::ScenarioFactory::supports_mode(a.scenario.problem, "exhaustive")
+          ? a.frontier
+          : 0;
   co.frontier_states = a.max_states;
   const explore::CampaignReport rep = explore::run_campaign(build, co);
   if (a.json && !rep.cex.has_value()) {
