@@ -29,7 +29,8 @@ void BM_ExplorerDfs(benchmark::State& state) {
   ScenarioOptions opt =
       consensus_options(static_cast<int>(state.range(0)), 25);
   const ScenarioBuilder build = ScenarioFactory(opt).builder();
-  ExplorerOptions eo;
+  SearchConfig eo;
+  eo.scenario = opt;
   eo.max_states = 5000;
   std::uint64_t states = 0;
   std::uint64_t steps = 0;
@@ -47,9 +48,10 @@ void BM_ExplorerDfs(benchmark::State& state) {
 BENCHMARK(BM_ExplorerDfs)->Arg(2)->Arg(3)->Arg(4);
 
 void BM_ExplorerDfsNoReduction(benchmark::State& state) {
-  const ScenarioBuilder build =
-      ScenarioFactory(consensus_options(3, 25)).builder();
-  ExplorerOptions eo;
+  const ScenarioOptions opt = consensus_options(3, 25);
+  const ScenarioBuilder build = ScenarioFactory(opt).builder();
+  SearchConfig eo;
+  eo.scenario = opt;
   eo.max_states = 5000;
   eo.reduction = Reduction::kNone;
   eo.state_fingerprints = false;
@@ -63,13 +65,22 @@ void BM_ExplorerDfsNoReduction(benchmark::State& state) {
 }
 BENCHMARK(BM_ExplorerDfsNoReduction);
 
-// DPOR-vs-sleep-set ablation: the same exhaustible scenarios explored
-// to completion under both reductions, with fingerprint pruning OFF so
-// the comparison isolates the reduction itself. The interesting numbers
-// are the per-scenario counters: states explored, runs, prunes, races,
-// backtrack points; wall time is the benchmark's own metric. Depths and
-// static detector histories are chosen so every case exhausts within
-// the state cap under both reductions.
+// Per-lever reduction ablation: for every scenario, lever 0 is the
+// full default stack (DPOR + content dependence + fault-aware
+// dependence + fingerprint pruning, one thread) and every other lever
+// index changes exactly ONE knob away from that baseline, so a row's
+// delta against its scenario's baseline row is that lever's isolated
+// contribution. Downgrade levers (sleep-sets, process dependence,
+// no-fault-dep, no-fingerprints) show their win as the growth of the
+// ablated tree; symmetry is opt-in, so its row turns it ON and shows
+// its win as shrinkage; threads=4 must show exact state parity (the
+// wave schedule is thread-invariant — and on this project's 1-CPU
+// reference box it cannot show wall-clock wins, so parity is the whole
+// claim). The interesting numbers are the per-scenario counters:
+// states explored, runs, prunes, races, backtrack points; wall time is
+// the benchmark's own metric. Depths and static detector histories are
+// chosen so every case exhausts within the state cap under every
+// lever.
 struct AblationCase {
   const char* name;
   ScenarioOptions opt;
@@ -135,30 +146,92 @@ const std::vector<AblationCase>& ablation_cases() {
       c.opt.abcast_senders = 2;
       v->push_back(c);
     }
+    {
+      // Explored crash timing: the fault-dependence lever's home turf
+      // (every step grows a crash branch; sparse fault dependence is
+      // what keeps sleep sets alive across those edges).
+      AblationCase c{"crash-explore-n3", {}};
+      c.opt = consensus_options(3, 12);
+      c.opt.fd_per_query = false;
+      c.opt.crash_mode = "explore";
+      c.opt.crashes = 1;
+      v->push_back(c);
+    }
     return v;
   }();
   return *cases;
 }
 
+/// One knob away from the full-stack baseline (see BM_ReductionAblation
+/// comment). Keep lever_name in sync.
+enum Lever : int {
+  kLeverBaseline = 0,
+  kLeverSleepSets,       ///< Reduction downgraded to sleep sets only.
+  kLeverProcessDep,      ///< Dependence coarsened to process-level.
+  kLeverNoFaultDep,      ///< Fault labels dependent with everything.
+  kLeverNoFingerprints,  ///< State-fingerprint pruning off.
+  kLeverSymmetry,        ///< Canonicalize under process renaming (ON).
+  kLeverThreads4,        ///< threads=4; must reproduce baseline states.
+  kLeverCount,
+};
+
+const char* lever_name(int lever) {
+  switch (lever) {
+    case kLeverBaseline: return "baseline";
+    case kLeverSleepSets: return "sleep-sets";
+    case kLeverProcessDep: return "process-dep";
+    case kLeverNoFaultDep: return "no-fault-dep";
+    case kLeverNoFingerprints: return "no-fingerprints";
+    case kLeverSymmetry: return "symmetry";
+    case kLeverThreads4: return "threads-4";
+  }
+  return "unknown";
+}
+
 void BM_ReductionAblation(benchmark::State& state) {
   const AblationCase& c =
       ablation_cases()[static_cast<std::size_t>(state.range(0))];
-  const bool dpor = state.range(1) == 0;
-  const bool content = state.range(2) == 1;
-  const ScenarioBuilder build = ScenarioFactory(c.opt).builder();
-  ExplorerOptions eo;
+  const int lever = static_cast<int>(state.range(1));
+  SearchConfig eo;
+  eo.scenario = c.opt;
   eo.max_states = 3000000;
   eo.stop_at_first = false;  // Violating scenarios still explore fully.
-  eo.reduction = dpor ? Reduction::kDpor : Reduction::kSleepSets;
-  eo.dependence = content ? Dependence::kContent : Dependence::kProcess;
-  eo.state_fingerprints = false;
+  switch (lever) {
+    case kLeverSleepSets:
+      eo.reduction = Reduction::kSleepSets;
+      break;
+    case kLeverProcessDep:
+      eo.dependence = Dependence::kProcess;
+      break;
+    case kLeverNoFaultDep:
+      eo.fault_dependence = false;
+      break;
+    case kLeverNoFingerprints:
+      eo.state_fingerprints = false;
+      break;
+    case kLeverSymmetry:
+      eo.symmetry = true;
+      break;
+    case kLeverThreads4:
+      eo.threads = 4;
+      break;
+    default:
+      break;
+  }
+  state.SetLabel(std::string(c.name) + "/" + lever_name(lever));
+  // Levers that do not apply to this scenario (symmetry without
+  // interchangeable processes) report as skipped, not as fake parity.
+  const std::string why = validate(eo);
+  if (!why.empty()) {
+    state.SkipWithError(why.c_str());
+    return;
+  }
+  const ScenarioBuilder build = ScenarioFactory(c.opt).builder();
   ExploreStats last{};
   for (auto _ : state) {
     Explorer ex(build, eo);
     last = ex.run().stats;
   }
-  state.SetLabel(std::string(c.name) + "/" + (dpor ? "dpor" : "sleep-sets") +
-                 "/" + (content ? "content" : "process"));
   state.counters["states"] = static_cast<double>(last.nodes);
   state.counters["runs"] = static_cast<double>(last.runs);
   state.counters["fp_prunes"] = static_cast<double>(last.fp_prunes);
@@ -168,21 +241,26 @@ void BM_ReductionAblation(benchmark::State& state) {
       static_cast<double>(last.commute_skips);
   state.counters["backtrack_points"] =
       static_cast<double>(last.backtrack_points);
+  state.counters["injected_crashes"] =
+      static_cast<double>(last.injected_crashes);
   state.counters["exhausted"] = last.exhausted ? 1 : 0;
 }
-// The dependence axis only matters under DPOR (sleep-set-only rows keep
-// the process relation regardless), so the sleep-sets/content cell is a
-// sanity duplicate rather than a distinct configuration.
 BENCHMARK(BM_ReductionAblation)
-    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6}, {0, 1}, {0, 1}})
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6, 7},
+                   {kLeverBaseline, kLeverSleepSets, kLeverProcessDep,
+                    kLeverNoFaultDep, kLeverNoFingerprints, kLeverSymmetry,
+                    kLeverThreads4}})
     ->Unit(benchmark::kMillisecond);
 
 // Fault-injection cost: the same exhaustible consensus instance with no
 // adversary, with crash timing explorable (budget 1), and with lossy
-// links (drop budget 1 per link). Fault labels are conservatively
-// dependent with everything (DESIGN.md §10), so the interesting
-// counters are how much the tree grows relative to row 0 and how many
-// adversary moves actually execute.
+// links (drop budget 1 per link). Fault labels carry the sparse
+// dependence relation of sim/dependence.h (DESIGN.md §12) — a fault
+// commutes with steps of processes it does not touch — so the
+// interesting counters are how much the tree still grows relative to
+// row 0 and how many adversary moves actually execute (the
+// no-fault-dep lever of BM_ReductionAblation prices the relation
+// itself).
 void BM_FaultInjection(benchmark::State& state) {
   ScenarioOptions opt = consensus_options(3, 14);
   opt.fd_per_query = false;
@@ -201,7 +279,8 @@ void BM_FaultInjection(benchmark::State& state) {
       break;
   }
   const ScenarioBuilder build = ScenarioFactory(opt).builder();
-  ExplorerOptions eo;
+  SearchConfig eo;
+  eo.scenario = opt;
   eo.max_states = 3000000;
   ExploreStats last{};
   for (auto _ : state) {
@@ -265,7 +344,7 @@ void BM_SnapshotRoundTrip(benchmark::State& state) {
   opt.fd_per_query = false;
   const ScenarioBuilder build = ScenarioFactory(opt).builder();
   const std::string path = "bench_snapshot_scratch.wfds";
-  ExplorerOptions eo;
+  SearchConfig eo;
   eo.budget_states = static_cast<std::uint64_t>(state.range(0));
   eo.save_path = path;
   eo.scenario = opt;
@@ -294,7 +373,9 @@ void BM_ShrinkSeededBug(benchmark::State& state) {
   opt.n = 3;
   opt.max_steps = 30;
   const ScenarioBuilder build = ScenarioFactory(opt).builder();
-  Explorer ex(build, ExplorerOptions{});
+  SearchConfig eo;
+  eo.scenario = opt;
+  Explorer ex(build, eo);
   const ExploreReport rep = ex.run();
   for (auto _ : state) {
     benchmark::DoNotOptimize(

@@ -73,24 +73,24 @@ class AtomicBroadcastModule : public sim::Module {
 
   void encode_state(sim::StateEncoder& enc) const override {
     for (const AppMessage& m : unordered_) {
-      sim::StateEncoder sub;
+      sim::StateEncoder sub = enc.child();
       m.encode_state(sub);
       enc.merge("unordered", sub);
     }
     for (const AppMessage& m : ordered_) {
-      sim::StateEncoder sub;
+      sim::StateEncoder sub = enc.child();
       m.encode_state(sub);
       enc.merge("ordered", sub);
     }
     sim::encode_field(enc, "log", log_);
     enc.field("round", round_);
     for (const std::uint64_t k : joined_) {
-      sim::StateEncoder sub;
+      sim::StateEncoder sub = enc.child();
       sub.field("k", k);
       enc.merge("joined", sub);
     }
     for (const auto& [k, batch] : decisions_) {
-      sim::StateEncoder sub;
+      sim::StateEncoder sub = enc.child();
       sub.field("k", k);
       sim::encode_field(sub, "batch", batch);
       enc.merge("decision", sub);

@@ -100,9 +100,9 @@ class QuasiReliableModule : public sim::Module, public sim::ModuleTransport {
     enc.field("next-seq", next_seq_);
     enc.field("ticks", ticks_);
     for (const Entry& e : pending_) {
-      sim::StateEncoder sub;
+      sim::StateEncoder sub = enc.child();
       sub.field("seq", e.seq);
-      sub.field("to", e.to);
+      sub.pid_field("to", e.to);
       sub.field("module", e.module);
       sub.push("inner");
       e.inner->encode_state(sub);
@@ -110,8 +110,8 @@ class QuasiReliableModule : public sim::Module, public sim::ModuleTransport {
       enc.merge("pending", sub);
     }
     for (const auto& [from, seq] : delivered_) {
-      sim::StateEncoder sub;
-      sub.field("from", from);
+      sim::StateEncoder sub = enc.child();
+      sub.pid_field("from", from);
       sub.field("seq", seq);
       enc.merge("delivered", sub);
     }

@@ -76,7 +76,7 @@ class UrbModule : public sim::Module {
     enc.field("next-seq", next_seq_);
     sim::encode_field(enc, "outbox", outbox_);
     for (const auto& [origin, seq] : seen_) {
-      sim::StateEncoder sub;
+      sim::StateEncoder sub = enc.child();
       sub.field("origin", origin);
       sub.field("seq", seq);
       enc.merge("seen", sub);

@@ -37,6 +37,24 @@ enum class ConsensusQuorumRule {
               ///< exactly why Omega alone is weakest only there.
 };
 
+/// Rounds are round-robin owned (round = cycle*n + owner with cycle >= 1;
+/// 0 is the "no round yet" sentinel). Fingerprints fold them as
+/// (cycle, renamed owner) rather than the raw number, so a symmetry
+/// renaming maps a run's round numbers exactly the way the renamed
+/// execution would have numbered them (sim/state_encoder.h).
+inline void encode_round(sim::StateEncoder& enc, std::string_view tag,
+                         std::uint64_t round, int n) {
+  enc.push(tag);
+  if (round == 0 || n <= 0) {
+    enc.field("none", true);
+  } else {
+    enc.field("cycle", round / static_cast<std::uint64_t>(n));
+    enc.pid_field(
+        "owner", static_cast<ProcessId>(round % static_cast<std::uint64_t>(n)));
+  }
+  enc.pop();
+}
+
 template <typename V>
 class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
  public:
@@ -89,9 +107,9 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
       if (m->round > promised_) {
         promised_ = m->round;
         send(from, sim::make_payload<Promise>(m->round, accepted_round_,
-                                              accepted_val_));
+                                              accepted_val_, n()));
       } else {
-        send(from, sim::make_payload<Nack>(m->round, promised_));
+        send(from, sim::make_payload<Nack>(m->round, promised_, n()));
       }
       return;
     }
@@ -110,9 +128,9 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
         promised_ = m->round;
         accepted_round_ = m->round;
         accepted_val_ = m->value;
-        send(from, sim::make_payload<Accepted>(m->round));
+        send(from, sim::make_payload<Accepted>(m->round, n()));
       } else {
-        send(from, sim::make_payload<Nack>(m->round, promised_));
+        send(from, sim::make_payload<Nack>(m->round, promised_, n()));
       }
       return;
     }
@@ -158,19 +176,26 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
     start_round();
   }
 
+  void on_start() override { enc_n_ = n(); }
+
+  // Uses the process count cached at on_start: the encoder runs outside
+  // any step, where the host environment (n()) is unreachable. Before
+  // on_start every round member is still 0, which encode_round renders
+  // as "none" for any n — so the pre-start encoding is renaming-stable
+  // even while the cache still holds 0.
   void encode_state(sim::StateEncoder& enc) const override {
     enc.field("proposed", proposed_);
     sim::encode_field(enc, "proposal", proposal_);
-    enc.field("promised", promised_);
-    enc.field("accepted-round", accepted_round_);
+    encode_round(enc, "promised", promised_, enc_n_);
+    encode_round(enc, "accepted-round", accepted_round_, enc_n_);
     sim::encode_field(enc, "accepted-val", accepted_val_);
     enc.field("leading", leading_);
     enc.field("phase", phase_);
-    enc.field("round", round_);
-    enc.field("max-seen", max_seen_);
+    encode_round(enc, "round", round_, enc_n_);
+    encode_round(enc, "max-seen", max_seen_, enc_n_);
     enc.field("stall", stall_);
     enc.field("repliers", repliers_);
-    enc.field("best-round", best_round_);
+    encode_round(enc, "best-round", best_round_, enc_n_);
     sim::encode_field(enc, "best-val", best_val_);
     sim::encode_field(enc, "chosen", chosen_);
     enc.field("decided", decided_);
@@ -197,11 +222,12 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
   // the first one wins a Promise, the second a Nack, so swapping them
   // swaps which sender gets which reply.
   struct Prepare final : sim::Payload {
-    explicit Prepare(Round r) : round(r) {}
+    Prepare(Round r, int procs) : round(r), n(procs) {}
     Round round;
+    int n;
     void encode_state(sim::StateEncoder& enc) const override {
       enc.field("kind", "prepare");
-      enc.field("round", round);
+      encode_round(enc, "round", round, n);
     }
     [[nodiscard]] std::string_view kind() const override {
       return "cons.prepare";
@@ -211,15 +237,17 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
   // the handler; whichever promise completes it fixes the replier
   // snapshot and the step at which phase 2 starts.
   struct Promise final : sim::Payload {
-    Promise(Round r, Round ar, std::optional<V> av)
-        : round(r), accepted_round(ar), accepted_val(std::move(av)) {}
+    Promise(Round r, Round ar, std::optional<V> av, int procs)
+        : round(r), accepted_round(ar), accepted_val(std::move(av)),
+          n(procs) {}
     Round round;
     Round accepted_round;
     std::optional<V> accepted_val;
+    int n;
     void encode_state(sim::StateEncoder& enc) const override {
       enc.field("kind", "promise");
-      enc.field("round", round);
-      enc.field("accepted-round", accepted_round);
+      encode_round(enc, "round", round, n);
+      encode_round(enc, "accepted-round", accepted_round, n);
       sim::encode_field(enc, "accepted-val", accepted_val);
     }
     [[nodiscard]] std::string_view kind() const override {
@@ -229,12 +257,14 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
   // Two identical Accepts (a leader's retry storm) commute: the handler's
   // writes and its Accepted/Nack/Decide reply depend only on the content.
   struct Accept final : sim::Payload {
-    Accept(Round r, V v) : round(r), value(std::move(v)) {}
+    Accept(Round r, V v, int procs)
+        : round(r), value(std::move(v)), n(procs) {}
     Round round;
     V value;
+    int n;
     void encode_state(sim::StateEncoder& enc) const override {
       enc.field("kind", "accept");
-      enc.field("round", round);
+      encode_round(enc, "round", round, n);
       sim::encode_field(enc, "value", value);
     }
     [[nodiscard]] std::string_view kind() const override {
@@ -249,11 +279,12 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
   };
   // Audited non-commuting: phase-2 quorum check inside the handler.
   struct Accepted final : sim::Payload {
-    explicit Accepted(Round r) : round(r) {}
+    Accepted(Round r, int procs) : round(r), n(procs) {}
     Round round;
+    int n;
     void encode_state(sim::StateEncoder& enc) const override {
       enc.field("kind", "accepted");
-      enc.field("round", round);
+      encode_round(enc, "round", round, n);
     }
     [[nodiscard]] std::string_view kind() const override {
       return "cons.accepted";
@@ -263,13 +294,14 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
   // idempotent leading_ reset); different contents race for max_seen_'s
   // intermediate value and the leading_ flag.
   struct Nack final : sim::Payload {
-    Nack(Round r, Round p) : round(r), promised(p) {}
+    Nack(Round r, Round p, int procs) : round(r), promised(p), n(procs) {}
     Round round;
     Round promised;
+    int n;
     void encode_state(sim::StateEncoder& enc) const override {
       enc.field("kind", "nack");
-      enc.field("round", round);
-      enc.field("promised", promised);
+      encode_round(enc, "round", round, n);
+      encode_round(enc, "promised", promised, n);
     }
     [[nodiscard]] std::string_view kind() const override {
       return "cons.nack";
@@ -316,7 +348,7 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
     repliers_ = ProcessSet{};
     best_round_ = 0;
     best_val_.reset();
-    broadcast(sim::make_payload<Prepare>(round_));
+    broadcast(sim::make_payload<Prepare>(round_, n()));
   }
 
   [[nodiscard]] bool have_quorum() const {
@@ -339,7 +371,7 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
       repliers_ = ProcessSet{};
       const V value = best_val_.has_value() ? *best_val_ : proposal_;
       chosen_ = value;
-      broadcast(sim::make_payload<Accept>(round_, value));
+      broadcast(sim::make_payload<Accept>(round_, value, n()));
       return;
     }
     // Phase 2 closed on a quorum: the value is decided. The broadcast
@@ -363,6 +395,10 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
   }
 
   Options opt_;
+
+  /// Process count cached at on_start for encode_state (which runs
+  /// outside any step, where n() is unreachable). 0 until started.
+  int enc_n_ = 0;
 
   // Proposer state.
   bool proposed_ = false;

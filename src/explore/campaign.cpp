@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "explore/explorer.h"
 #include "explore/shrink.h"
 #include "sim/choice.h"
 
@@ -22,7 +23,7 @@ std::uint64_t mix(std::uint64_t x) {
 }  // namespace
 
 CampaignReport run_campaign(const ScenarioBuilder& build,
-                            const CampaignOptions& opt) {
+                            const SearchConfig& cfg) {
   std::atomic<std::uint64_t> next_run{0};
   std::atomic<std::uint64_t> runs{0};
   std::atomic<std::uint64_t> steps{0};
@@ -36,7 +37,7 @@ CampaignReport run_campaign(const ScenarioBuilder& build,
 
   const auto claim = [&](Counterexample candidate) {
     violations.fetch_add(1, std::memory_order_relaxed);
-    if (opt.stop_at_first) stop.store(true, std::memory_order_relaxed);
+    if (cfg.stop_at_first) stop.store(true, std::memory_order_relaxed);
     bool expected = false;
     if (claimed.compare_exchange_strong(expected, true)) {
       cex = std::move(candidate);
@@ -47,8 +48,8 @@ CampaignReport run_campaign(const ScenarioBuilder& build,
     while (!stop.load(std::memory_order_relaxed)) {
       const std::uint64_t i =
           next_run.fetch_add(1, std::memory_order_relaxed);
-      if (i >= opt.runs) break;
-      sim::RandomChoices random(mix(opt.seed ^ mix(i)));
+      if (i >= cfg.runs) break;
+      sim::RandomChoices random(mix(cfg.scenario.seed ^ mix(i)));
       sim::RecordingChoices rec(random);
       Scenario sc = build(rec);
       std::optional<Violation> v;
@@ -67,7 +68,7 @@ CampaignReport run_campaign(const ScenarioBuilder& build,
         claim(Counterexample{rec.log(), *v, run_steps});
         continue;
       }
-      if (opt.check_eventual) {
+      if (cfg.check_eventual) {
         for (auto& ev : sc.eventuals) {
           if (ev->check_final(*sc.sim).has_value()) {
             suspects.fetch_add(1, std::memory_order_relaxed);
@@ -78,16 +79,24 @@ CampaignReport run_campaign(const ScenarioBuilder& build,
     }
   };
 
-  const auto frontier_worker = [&](int w) {
-    ExplorerOptions eo;
-    eo.max_states = opt.frontier_states;
-    eo.stop_at_first = true;
-    eo.order_seed = mix(opt.seed ^ (0xf0f0f0f0ull + static_cast<unsigned>(w)));
-    // Cooperative cancel: when another worker claims a counterexample
-    // under stop_at_first, frontier workers must stop within one
-    // expansion instead of burning their full frontier_states budget.
-    eo.cancel = &stop;
-    Explorer ex(build, eo);
+  // The frontier is one wave-parallel exhaustive search, not N
+  // independent per-seed DFS workers: its frontier_workers threads
+  // cooperate on a single deterministic frontier instead of racing
+  // into overlapping subtrees. Cooperative cancel couples it to the
+  // walkers: when either side claims a counterexample under
+  // stop_at_first, the other stops within one step.
+  const auto frontier_worker = [&] {
+    SearchConfig fc = cfg;
+    fc.threads = std::max(cfg.frontier_workers, 1);
+    fc.max_states =
+        cfg.frontier_states != 0 ? cfg.frontier_states : cfg.max_states;
+    fc.stop_at_first = true;
+    fc.order_seed = mix(cfg.scenario.seed ^ 0xf0f0f0f0ull);
+    fc.budget_states = 0;
+    fc.save_path.clear();
+    fc.resume_path.clear();
+    fc.cancel = &stop;
+    Explorer ex(build, fc);
     const ExploreReport rep = ex.run();
     steps.fetch_add(rep.stats.steps, std::memory_order_relaxed);
     nodes.fetch_add(rep.stats.nodes, std::memory_order_relaxed);
@@ -95,12 +104,10 @@ CampaignReport run_campaign(const ScenarioBuilder& build,
   };
 
   std::vector<std::thread> pool;
-  const int walkers = std::max(opt.threads, 1);
-  pool.reserve(static_cast<std::size_t>(walkers + opt.frontier_workers));
+  const int walkers = std::max(cfg.threads, 1);
+  pool.reserve(static_cast<std::size_t>(walkers) + 1);
   for (int i = 0; i < walkers; ++i) pool.emplace_back(random_worker);
-  for (int w = 0; w < opt.frontier_workers; ++w) {
-    pool.emplace_back(frontier_worker, w);
-  }
+  if (cfg.frontier_workers > 0) pool.emplace_back(frontier_worker);
   for (std::thread& t : pool) t.join();
 
   CampaignReport rep;
@@ -110,7 +117,7 @@ CampaignReport run_campaign(const ScenarioBuilder& build,
   rep.violations = violations.load();
   rep.liveness_suspects = suspects.load();
   rep.cex = std::move(cex);
-  if (rep.cex.has_value() && opt.shrink) {
+  if (rep.cex.has_value() && cfg.shrink) {
     const ShrinkResult s =
         shrink(build, rep.cex->decisions, rep.cex->violation.property);
     rep.shrunk_from = s.original_size;

@@ -5,12 +5,13 @@
 //  * Random-walk workers draw whole runs from the choice tree with
 //    per-run deterministic seeds, recording every decision so any
 //    violating run is immediately replayable (and shrinkable).
-//  * Frontier workers each run a budgeted DFS whose per-frame child
-//    order is rotated by a worker-specific seed, so different workers
-//    sink into different regions of the same tree. They share the
-//    campaign's stop flag (ExplorerOptions::cancel), so a stop_at_first
-//    counterexample claimed by any worker halts them within one
-//    expansion instead of letting each burn its full budget.
+//  * The frontier is ONE wave-scheduled exhaustive Explorer running
+//    with SearchConfig::frontier_workers threads (and an order seed
+//    derived from the campaign seed), alongside the walkers. It shares
+//    the campaign's stop flag (SearchConfig::cancel on the frontier's
+//    config), so a stop_at_first counterexample claimed by any worker
+//    halts it within one step instead of letting it burn its full
+//    state budget — and vice versa.
 //
 // Safety violations yield a counterexample (the first one is claimed by
 // an atomic flag and, optionally, shrunk). Liveness clauses are only
@@ -22,42 +23,28 @@
 #include <cstdint>
 #include <optional>
 
-#include "explore/explorer.h"
 #include "explore/scenario.h"
+#include "explore/search_config.h"
 #include "explore/types.h"
 
 namespace wfd::explore {
 
-struct CampaignOptions {
-  /// Worker threads for random walks (at least 1).
-  int threads = 4;
-  /// Total random-walk runs across all workers.
-  std::uint64_t runs = 1000;
-  /// Root seed; run i uses a hash of (seed, i), so reports are
-  /// reproducible regardless of thread interleaving.
-  std::uint64_t seed = 1;
-  bool stop_at_first = true;
-  /// Shrink the claimed counterexample before reporting it.
-  bool shrink = true;
-  /// Additional threads running randomized-order budgeted DFS.
-  int frontier_workers = 0;
-  /// Per-frontier-worker choice-point budget.
-  std::uint64_t frontier_states = 20000;
-  /// Evaluate EventualProperties at the end of each completed run.
-  bool check_eventual = true;
-};
-
 struct CampaignReport {
   std::uint64_t runs = 0;   ///< Random-walk runs completed.
   std::uint64_t steps = 0;  ///< Simulator steps, all workers.
-  std::uint64_t nodes = 0;  ///< Choice points, frontier workers.
+  std::uint64_t nodes = 0;  ///< Choice points, frontier search.
   std::uint64_t violations = 0;
   std::uint64_t liveness_suspects = 0;
   std::optional<Counterexample> cex;  ///< First claimed (shrunk if asked).
   std::uint64_t shrunk_from = 0;  ///< Decisions before shrinking (0: none).
 };
 
+/// Runs the campaign described by `cfg` (the campaign section plus
+/// scenario/seed/stop_at_first; `threads` is the random-walk worker
+/// count, `frontier_workers` the frontier Explorer's thread count — 0
+/// disables the frontier, `frontier_states` its state cap with 0
+/// falling back to `max_states`). `cfg` must already be valid.
 CampaignReport run_campaign(const ScenarioBuilder& build,
-                            const CampaignOptions& opt);
+                            const SearchConfig& cfg);
 
 }  // namespace wfd::explore

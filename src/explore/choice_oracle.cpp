@@ -172,10 +172,10 @@ void ChoiceOracle::encode_state(sim::StateEncoder& enc, Time now) const {
   } else {
     enc.field("stabilized", opt_.stabilization != kNever);
   }
-  enc.field("static-omega", static_omega_);
+  enc.pid_field("static-omega", static_omega_);
   enc.field("static-sigma", static_sigma_);
   for (std::size_t p = 0; p < fs_red_.size(); ++p) {
-    enc.push("proc", p);
+    enc.push_proc("proc", static_cast<ProcessId>(p));
     enc.field("fs-red", static_cast<bool>(fs_red_[p]));
     enc.field("psi-fs-red", static_cast<bool>(psi_fs_red_[p]));
     enc.field("psi-switched", static_cast<bool>(psi_switched_[p]));

@@ -1,6 +1,11 @@
 #include "explore/explorer.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <map>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
@@ -25,72 +30,358 @@ std::uint64_t mix(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-}  // namespace
+std::uint32_t index_of(const std::vector<std::uint64_t>& labels,
+                       std::uint64_t label) {
+  const auto it = std::find(labels.begin(), labels.end(), label);
+  WFD_CHECK_MSG(it != labels.end(), "label not in frame menu");
+  return static_cast<std::uint32_t>(it - labels.begin());
+}
 
-/// Walks the recorded path, replaying frames below frames_.size() and
-/// materializing new ones past the end. A run is the unique extension of
-/// the current path in which every fresh choice point takes its first
-/// eligible option.
-class Explorer::DfsSource : public sim::ChoiceSource {
+/// Identifies a choice-tree node by hashing the (kind, chosen label)
+/// edge sequence from the root — two independent mix lanes, so an
+/// accidental collision between distinct paths needs to defeat 128
+/// bits. Keys are recomputed from the frames on snapshot load, never
+/// trusted from the wire.
+using ChainKey = std::array<std::uint64_t, 2>;
+
+constexpr ChainKey kRootKey = {0x9b1a6e3c5d4f2a07ull, 0x6f4b2d9c8e1a3f55ull};
+
+ChainKey advance_key(const ChainKey& k, sim::ChoiceKind kind,
+                     std::uint64_t label) {
+  const std::uint64_t e = (static_cast<std::uint64_t>(kind) << 62) ^ label;
+  return ChainKey{mix(k[0] ^ mix(e)),
+                  mix(k[1] + mix(e ^ 0xd1b54a32d192ed03ull))};
+}
+
+/// One choice point on a unit's DFS path.
+struct Frame {
+  sim::ChoiceKind kind{};
+  std::vector<std::uint64_t> labels;
+  std::uint32_t chosen = 0;
+  std::uint32_t start = 0;  ///< Rotation offset of the visit order.
+  std::vector<std::uint64_t> sleep;     ///< Labels asleep at this node.
+  std::vector<std::uint64_t> explored;  ///< Labels fully explored here.
+  /// DPOR: the labels this schedule frame must (still) explore. Seeded
+  /// with the default child; grown by race insertion and by the
+  /// conservative prune expansion.
+  std::vector<std::uint64_t> backtrack;
+  bool blocked = false;  ///< Every option was asleep on arrival.
+};
+
+/// One work unit: a fixed path prefix (frames[0, floor) never change;
+/// backtracking stops at floor) plus the unit's private DFS frontier
+/// above it. keys[d] is the chain key of the node at depth d, kept for
+/// depths 0..floor so deferred insertions and decomposition can name
+/// prefix nodes without re-walking the path.
+struct Unit {
+  std::uint64_t id = 0;
+  std::size_t floor = 0;
+  /// The current path has not been executed to completion (fresh unit):
+  /// continuing means re-executing it, not backtracking past it.
+  bool path_pending = true;
+  std::vector<Frame> frames;
+  std::vector<ChainKey> keys;  ///< Size floor + 1.
+};
+
+enum class UnitOutcome {
+  kExhausted,  ///< Backtrack walked back to the floor: subtree done.
+  kBudget,     ///< Hit the per-wave node budget (path fully executed).
+  kViolation,  ///< stop_at_first and this unit's run violated.
+  kCancelled,  ///< SearchConfig::cancel observed mid-wave.
+};
+
+/// A DPOR backtrack insertion that targeted a frame below the unit's
+/// floor: the prefix is shared with sibling units, so the insertion is
+/// resolved against the node registry at the wave barrier instead of
+/// mutating the local copy.
+struct DeferredOp {
+  std::size_t depth = 0;  ///< Frame index, < unit.floor.
+  std::uint64_t label = 0;
+  bool race = false;  ///< Counts toward hb_races when accepted.
+};
+
+struct UnitResult {
+  Unit unit;
+  UnitOutcome outcome = UnitOutcome::kExhausted;
+  /// Stats delta of this wave's execution (merged at the barrier).
+  ExploreStats delta;
+  std::set<std::string> conservative;
+  /// Fingerprints first seen (or seen earlier) by this unit; merged
+  /// min-wise into the committed set at the barrier.
+  std::unordered_map<std::uint64_t, std::uint64_t> fps_overlay;
+  std::vector<DeferredOp> deferred;
+  std::optional<Counterexample> cex;
+};
+
+/// Registry entry for a node whose frontier was split across units: the
+/// labels already assigned, in assignment order (the order defines the
+/// sleep-set asymmetry between sibling units — a later-assigned label's
+/// unit sees every earlier one as explored, never the reverse).
+struct NodeReg {
+  std::vector<std::uint64_t> assigned;
+};
+
+/// Read-only shared context of one wave.
+struct WaveContext {
+  const SearchConfig* cfg = nullptr;
+  /// ScenarioFactory::pattern_sensitive of the scenario — whether crash
+  /// labels stay dependent with everything (sim/dependence.h).
+  bool pattern_sensitive = false;
+  /// Non-identity renamings of the scenario's symmetry group (empty
+  /// unless SearchConfig::symmetry).
+  const std::vector<std::vector<ProcessId>>* perms = nullptr;
+  /// Fingerprints committed at the wave start (frozen for the wave).
+  const std::unordered_map<std::uint64_t, std::uint64_t>* fps = nullptr;
+  /// Committed node count at the wave start (order_seed mixing).
+  std::uint64_t base_nodes = 0;
+  /// Per-unit cap on nodes materialized this wave.
+  std::uint64_t wave_budget = 0;
+};
+
+/// Send-time metadata of a message of the current run.
+struct MsgInfo {
+  ProcessId sender = kNoProcess;
+  std::uint64_t sent_time = 0;       ///< Global step number of the send.
+  std::vector<std::uint64_t> clock;  ///< Sender's vector clock at send.
+  /// The payload itself (kContent only; shared with the envelope).
+  sim::PayloadPtr payload;
+  /// Content digest when the payload's encoding is complete (kContent
+  /// only); fuels the same-sender identical-copy rule.
+  std::optional<std::uint64_t> digest;
+};
+
+/// One executed event of one process within the current run.
+struct StepRec {
+  int frame = -1;  ///< Index into the unit's frames, -1 = forced move.
+  std::uint64_t time = 0;       ///< Global step number within the run.
+  std::uint64_t delivered = 0;  ///< Message id; 0 for lambda/start.
+  bool is_start = false;
+  /// λ step the process declared inert (Process::tick_noop): commutes
+  /// with tick-insensitive deliveries under Dependence::kContent.
+  bool tick_inert = false;
+};
+
+// ---- UnitEngine ------------------------------------------------------
+
+/// Runs one unit for one wave: the classic stateless-model-checking
+/// loop (re-execute the scenario along the recorded path, extend to a
+/// halt, backtrack the deepest frame with an alternative) with three
+/// twists — the backtrack walk stops at the unit's floor, backtrack
+/// insertions below the floor are deferred to the wave barrier, and
+/// fingerprint writes go to a private overlay. Everything the engine
+/// reads from shared state is frozen for the wave, so a unit's result
+/// is a pure function of (unit, committed state): independent of
+/// thread count, scheduling and sibling units.
+class UnitEngine {
  public:
-  explicit DfsSource(Explorer& owner) : owner_(&owner) {}
+  UnitEngine(ScenarioBuilder build, const WaveContext& ctx)
+      : build_(std::move(build)), ctx_(ctx), cfg_(*ctx.cfg) {}
+
+  UnitResult run(Unit unit) {
+    res_.unit = std::move(unit);
+    u_ = &res_.unit;
+    // A re-queued unit (budget break with the search stopping, or a
+    // violation stop) holds a fully executed path: the next move is
+    // the backtrack flip the uninterrupted search would have made.
+    if (!u_->path_pending) {
+      if (!backtrack()) {
+        res_.outcome = UnitOutcome::kExhausted;
+        return std::move(res_);
+      }
+      u_->path_pending = true;
+    }
+    const bool dpor = cfg_.reduction == Reduction::kDpor;
+    while (true) {
+      if (cancel_requested()) {
+        res_.outcome = UnitOutcome::kCancelled;
+        return std::move(res_);
+      }
+      // One re-execution: replay the prefix, extend to a halt. States
+      // reached while the source is still inside the replayed prefix
+      // are re-visits of the previous run's own states — invisible to
+      // fingerprint pruning, or every run would prune itself at step
+      // one.
+      const std::size_t replay_len = u_->frames.size();
+      DfsSource source(*this);
+      run_blocked_ = false;
+      Scenario sc = build_(source);
+      if (dpor) {
+        const auto n = static_cast<std::size_t>(sc.sim->n());
+        proc_events_.assign(n, {});
+        clock_.assign(n, std::vector<std::uint64_t>(n, 0));
+        msgs_.clear();
+        prev_sent_ = sc.sim->network().total_sent();
+      }
+      std::optional<Violation> violation;
+      std::uint64_t run_steps = 0;
+      while (!run_blocked_) {
+        // Once per step, so at least once per choice-point expansion.
+        if (cancel_requested()) {
+          res_.outcome = UnitOutcome::kCancelled;
+          return std::move(res_);
+        }
+        const std::size_t pos_before = source.pos();
+        if (!sc.sim->step()) break;
+        ++run_steps;
+        if (run_blocked_) break;
+        if (dpor) {
+          // The schedule frame consumed by this step, if the step was
+          // an actual choice (forced moves never reach choose()).
+          int frame = -1;
+          for (std::size_t j = pos_before; j < source.pos(); ++j) {
+            if (u_->frames[j].kind == sim::ChoiceKind::kSchedule) {
+              frame = static_cast<int>(j);
+            }
+          }
+          observe_step(*sc.sim, frame, run_steps);
+        }
+        for (auto& inv : sc.invariants) {
+          violation = inv->check(*sc.sim);
+          if (violation.has_value()) break;
+        }
+        if (violation.has_value()) break;
+
+        if (source.pos() < replay_len) continue;  // Still replaying.
+        if (!cfg_.state_fingerprints) continue;
+        const std::optional<std::uint64_t> fp = fingerprint(sc);
+        if (!fp.has_value()) continue;
+        // Keyed on sim time: the fingerprint does not fold the
+        // remaining horizon, so a revisit only subsumes the earlier
+        // visit when at least as much future is left (same or earlier
+        // time).
+        const auto t = static_cast<std::uint64_t>(sc.sim->now());
+        const std::optional<std::uint64_t> known = fps_lookup(*fp);
+        if (known.has_value() && *known <= t) {
+          ++res_.delta.fp_prunes;
+          // The unexecuted suffix can no longer testify about races
+          // with this path; re-arm the whole path conservatively.
+          if (dpor) expand_path_on_prune();
+          break;
+        }
+        const auto [it, fresh] = res_.fps_overlay.emplace(*fp, t);
+        if (!fresh && it->second > t) it->second = t;
+      }
+      u_->path_pending = false;
+      if (dpor) end_of_run_races(*sc.sim);
+      res_.delta.steps += run_steps;
+      ++res_.delta.runs;
+      if (const inject::FaultState* fs = sc.sim->faults()) {
+        res_.delta.injected_crashes +=
+            static_cast<std::uint64_t>(fs->crashes());
+        res_.delta.injected_drops += static_cast<std::uint64_t>(fs->drops());
+        res_.delta.injected_dups += static_cast<std::uint64_t>(fs->dups());
+      }
+      if (violation.has_value()) {
+        ++res_.delta.violations;
+        if (!res_.cex.has_value()) {
+          res_.cex = Counterexample{decisions(), *violation, run_steps};
+        }
+        if (cfg_.stop_at_first) {
+          res_.outcome = UnitOutcome::kViolation;
+          return std::move(res_);
+        }
+      }
+      if (res_.delta.nodes >= ctx_.wave_budget) {
+        res_.outcome = UnitOutcome::kBudget;
+        return std::move(res_);
+      }
+      if (!backtrack()) {
+        res_.outcome = UnitOutcome::kExhausted;
+        return std::move(res_);
+      }
+      u_->path_pending = true;
+    }
+  }
+
+ private:
+  /// Walks the recorded path, replaying frames below frames.size() and
+  /// materializing new ones past the end. A run is the unique extension
+  /// of the current path in which every fresh choice point takes its
+  /// first eligible option.
+  class DfsSource : public sim::ChoiceSource {
+   public:
+    explicit DfsSource(UnitEngine& owner) : owner_(&owner) {}
+
+    std::size_t choose(sim::ChoiceKind kind,
+                       const std::vector<std::uint64_t>& labels) override {
+      return owner_->choose(kind, labels, pos_);
+    }
+
+    [[nodiscard]] std::size_t pos() const { return pos_; }
+
+   private:
+    UnitEngine* owner_;
+    std::size_t pos_ = 0;
+  };
 
   std::size_t choose(sim::ChoiceKind kind,
-                     const std::vector<std::uint64_t>& labels) override {
-    Explorer& ex = *owner_;
+                     const std::vector<std::uint64_t>& labels,
+                     std::size_t& pos) {
     WFD_CHECK_MSG(labels.size() >= 2, "forced move reached choose()");
-    if (pos_ < ex.frames_.size()) {
-      Frame& f = ex.frames_[pos_];
+    std::vector<Frame>& frames = u_->frames;
+    if (pos < frames.size()) {
+      Frame& f = frames[pos];
       WFD_CHECK_MSG(f.kind == kind && f.labels == labels,
                     "scenario is not a pure function of its decisions");
-      ++pos_;
+      ++pos;
       return f.chosen;
     }
     Frame f;
     f.kind = kind;
     f.labels = labels;
-    if (ex.opt_.order_seed != 0) {
+    if (cfg_.order_seed != 0) {
       f.start = static_cast<std::uint32_t>(
-          mix(ex.opt_.order_seed ^ ex.stats_.nodes) % labels.size());
+          mix(cfg_.order_seed ^ node_counter()) % labels.size());
     }
     const bool dpor_schedule = kind == sim::ChoiceKind::kSchedule &&
-                               ex.opt_.reduction == Reduction::kDpor;
+                               cfg_.reduction == Reduction::kDpor;
     if (kind == sim::ChoiceKind::kSchedule &&
-        ex.opt_.reduction != Reduction::kNone) {
+        cfg_.reduction != Reduction::kNone) {
       // Inherit the sleep set along the edge from the nearest schedule
       // ancestor g: everything asleep or already explored at g stays
       // asleep here unless it is dependent with the action that just
       // ran. Under kProcess that means "same process acted"; under
       // kContent (kDpor only — kSleepSets stays the unchanged ablation
-      // baseline) a sleeping delivery additionally survives a commuting
-      // delivery to the same process.
-      for (auto it = ex.frames_.rbegin(); it != ex.frames_.rend(); ++it) {
+      // baseline) a sleeping delivery additionally survives a
+      // commuting delivery to the same process. Fault labels use the
+      // sparse relation of sim/dependence.h when fault_dependence is
+      // on: a crash/drop/dup commutes with steps of processes it does
+      // not touch, so sleep survives fault edges and fault labels may
+      // themselves sleep. With the lever off they fall back to the
+      // conservative pre-relation behaviour (dependent with
+      // everything: no inheritance across a fault edge, faults never
+      // sleep).
+      for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
         if (it->kind != sim::ChoiceKind::kSchedule) continue;
         const Frame& g = *it;
         const std::uint64_t executed = g.labels[g.chosen];
-        // Fault actions (crash/drop/duplicate) live outside the
-        // happens-before framework: a crash rewrites the failure pattern
-        // (everyone's menus), a drop/dup rewrites the shared message
-        // buffer. Treat them as dependent with everything — inherit no
-        // sleep across a fault edge, and never put a fault label to
-        // sleep.
-        if (sim::ReplayScheduler::label_is_fault(executed)) break;
+        const bool exec_fault =
+            sim::ReplayScheduler::label_is_fault(executed);
+        if (exec_fault && !cfg_.fault_dependence) break;
         const ProcessId acted =
             sim::ReplayScheduler::label_process(executed);
         for (const auto* set : {&g.sleep, &g.explored}) {
           for (std::uint64_t a : *set) {
-            if (sim::ReplayScheduler::label_is_fault(a)) continue;
+            const bool a_fault = sim::ReplayScheduler::label_is_fault(a);
+            if (a_fault && !cfg_.fault_dependence) continue;
             if (contains(f.sleep, a)) continue;
-            bool indep = sim::ReplayScheduler::label_process(a) != acted;
-            if (!indep && dpor_schedule) {
-              const std::uint64_t am = sim::ReplayScheduler::label_message(a);
-              const std::uint64_t em =
-                  sim::ReplayScheduler::label_message(executed);
-              if (am != 0 && em != 0 && am != em) {
-                const auto ai = ex.msgs_.find(am);
-                const auto ei = ex.msgs_.find(em);
-                indep = ai != ex.msgs_.end() && ei != ex.msgs_.end() &&
-                        ex.deliveries_independent(ai->second, ei->second);
+            bool indep;
+            if (a_fault || exec_fault) {
+              indep = !sim::fault_labels_dependent(a, executed,
+                                                   ctx_.pattern_sensitive);
+            } else {
+              indep = sim::ReplayScheduler::label_process(a) != acted;
+              if (!indep && dpor_schedule) {
+                const std::uint64_t am =
+                    sim::ReplayScheduler::label_message(a);
+                const std::uint64_t em =
+                    sim::ReplayScheduler::label_message(executed);
+                if (am != 0 && em != 0 && am != em) {
+                  const auto ai = msgs_.find(am);
+                  const auto ei = msgs_.find(em);
+                  indep = ai != msgs_.end() && ei != msgs_.end() &&
+                          deliveries_independent(ai->second, ei->second);
+                }
               }
             }
             if (indep) f.sleep.push_back(a);
@@ -100,8 +391,9 @@ class Explorer::DfsSource : public sim::ChoiceSource {
       }
     }
     const std::optional<std::uint32_t> first =
-        dpor_schedule ? ex.dpor_default_choice(f)
-                      : ex.next_choice(f, /*counting_skips=*/true);
+        dpor_schedule ? dpor_default_choice(f)
+                      : next_choice(f, /*counting_skips=*/true);
+    const std::size_t idx = frames.size();
     if (first.has_value()) {
       f.chosen = *first;
       // Under DPOR the frame starts out owing only its default child;
@@ -110,412 +402,734 @@ class Explorer::DfsSource : public sim::ChoiceSource {
         f.backtrack.push_back(f.labels[f.chosen]);
         // Race insertion only reasons about deliveries and lambdas, so
         // fault labels would never enter a backtrack set dynamically:
-        // any frame whose menu offers a fault is fully expanded instead
-        // (soundness over reduction — the fault subtrees, and every
-        // ordering against them, are enumerated outright).
+        // any frame whose menu offers a fault is fully expanded
+        // instead (soundness over reduction — the fault subtrees, and
+        // every ordering against them, are enumerated outright). The
+        // fault_dependence lever does not relax this: it sparsifies
+        // the sleep relation, which is what lets most of these
+        // expanded labels be skipped as already-covered.
         if (std::any_of(labels.begin(), labels.end(),
                         sim::ReplayScheduler::label_is_fault)) {
-          for (std::uint64_t l : labels) ex.add_backtrack(f, l);
+          for (std::uint64_t l : labels) {
+            if (!contains(f.backtrack, l)) {
+              f.backtrack.push_back(l);
+              ++res_.delta.backtrack_points;
+            }
+          }
         }
       }
     } else {
       // Every option is asleep: the subtree is covered elsewhere. Pick
-      // an arbitrary option to satisfy the caller and have the explorer
+      // an arbitrary option to satisfy the caller and have the engine
       // abort the run right after this step.
       f.blocked = true;
       f.chosen = 0;
-      ex.run_blocked_ = true;
+      run_blocked_ = true;
     }
-    ++ex.stats_.nodes;
-    ex.frames_.push_back(std::move(f));
-    ++pos_;
-    return ex.frames_.back().chosen;
+    ++res_.delta.nodes;
+    frames.push_back(std::move(f));
+    ++pos;
+    return frames.back().chosen;
   }
 
-  [[nodiscard]] std::size_t pos() const { return pos_; }
-
- private:
-  Explorer* owner_;
-  std::size_t pos_ = 0;
-};
-
-Explorer::Explorer(ScenarioBuilder build, ExplorerOptions opt)
-    : build_(std::move(build)), opt_(std::move(opt)) {
-  WFD_CHECK(build_ != nullptr);
-}
-
-std::optional<std::uint32_t> Explorer::next_choice(Frame& f,
-                                                   bool counting_skips) {
-  const std::size_t k = f.labels.size();
-  const bool dpor_schedule = f.kind == sim::ChoiceKind::kSchedule &&
-                             opt_.reduction == Reduction::kDpor;
-  for (std::size_t i = 0; i < k; ++i) {
-    const auto idx = static_cast<std::uint32_t>((f.start + i) % k);
-    const std::uint64_t label = f.labels[idx];
-    if (dpor_schedule && !contains(f.backtrack, label)) continue;
-    if (contains(f.explored, label)) continue;
-    if (contains(f.sleep, label)) {
-      if (counting_skips) ++stats_.sleep_skips;
-      continue;
+  std::optional<std::uint32_t> next_choice(Frame& f, bool counting_skips) {
+    const std::size_t k = f.labels.size();
+    const bool dpor_schedule = f.kind == sim::ChoiceKind::kSchedule &&
+                               cfg_.reduction == Reduction::kDpor;
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto idx = static_cast<std::uint32_t>((f.start + i) % k);
+      const std::uint64_t label = f.labels[idx];
+      if (dpor_schedule && !contains(f.backtrack, label)) continue;
+      if (contains(f.explored, label)) continue;
+      if (contains(f.sleep, label)) {
+        if (counting_skips) ++res_.delta.sleep_skips;
+        continue;
+      }
+      return idx;
     }
-    return idx;
+    return std::nullopt;
   }
-  return std::nullopt;
-}
 
-std::optional<std::uint32_t> Explorer::dpor_default_choice(Frame& f) {
-  // Round-robin fairness: prefer the successor of the process that acted
-  // at the nearest schedule ancestor. A greedy "first label" default
-  // would keep stepping process 0 and push everyone else's turns into
-  // backtrack churn; rotating actors keeps default runs representative
-  // and the backtrack sets small.
-  int pref = 0;
-  if (opt_.order_seed != 0) {
-    pref = static_cast<int>(mix(opt_.order_seed ^ stats_.nodes) %
-                            kMaxProcesses);
-  } else {
-    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
-      if (it->kind != sim::ChoiceKind::kSchedule) continue;
-      pref = (sim::ReplayScheduler::label_process(it->labels[it->chosen]) +
-              1) %
-             kMaxProcesses;
-      break;
+  std::optional<std::uint32_t> dpor_default_choice(Frame& f) {
+    // Round-robin fairness: prefer the successor of the process that
+    // acted at the nearest schedule ancestor. A greedy "first label"
+    // default would keep stepping process 0 and push everyone else's
+    // turns into backtrack churn; rotating actors keeps default runs
+    // representative and the backtrack sets small.
+    int pref = 0;
+    if (cfg_.order_seed != 0) {
+      pref = static_cast<int>(mix(cfg_.order_seed ^ node_counter()) %
+                              kMaxProcesses);
+    } else {
+      for (auto it = u_->frames.rbegin(); it != u_->frames.rend(); ++it) {
+        if (it->kind != sim::ChoiceKind::kSchedule) continue;
+        pref =
+            (sim::ReplayScheduler::label_process(it->labels[it->chosen]) +
+             1) %
+            kMaxProcesses;
+        break;
+      }
     }
+    std::optional<std::uint32_t> best;
+    std::uint64_t bf = 0, bd = 0, bl = 0, bm = 0;
+    for (std::uint32_t i = 0; i < f.labels.size(); ++i) {
+      const std::uint64_t label = f.labels[i];
+      if (contains(f.explored, label)) continue;
+      if (contains(f.sleep, label)) {
+        ++res_.delta.sleep_skips;
+        continue;
+      }
+      const int p = sim::ReplayScheduler::label_process(label);
+      const std::uint64_t msg = sim::ReplayScheduler::label_message(label);
+      const auto d = static_cast<std::uint64_t>((p - pref + kMaxProcesses) %
+                                                kMaxProcesses);
+      const std::uint64_t lam = (msg == 0) ? 1 : 0;  // Deliveries first.
+      // Faults rank dead last: the default run makes progress, fault
+      // subtrees are visited on backtrack.
+      const std::uint64_t flt =
+          sim::ReplayScheduler::label_is_fault(label) ? 1 : 0;
+      if (!best.has_value() || flt < bf ||
+          (flt == bf &&
+           (d < bd || (d == bd && (lam < bl || (lam == bl && msg < bm)))))) {
+        best = i;
+        bf = flt;
+        bd = d;
+        bl = lam;
+        bm = msg;
+      }
+    }
+    return best;
   }
-  std::optional<std::uint32_t> best;
-  std::uint64_t bf = 0, bd = 0, bl = 0, bm = 0;
-  for (std::uint32_t i = 0; i < f.labels.size(); ++i) {
-    const std::uint64_t label = f.labels[i];
-    if (contains(f.explored, label)) continue;
-    if (contains(f.sleep, label)) {
-      ++stats_.sleep_skips;
-      continue;
-    }
-    const int p = sim::ReplayScheduler::label_process(label);
-    const std::uint64_t msg = sim::ReplayScheduler::label_message(label);
-    const auto d =
-        static_cast<std::uint64_t>((p - pref + kMaxProcesses) % kMaxProcesses);
-    const std::uint64_t lam = (msg == 0) ? 1 : 0;  // Deliveries first.
-    // Faults rank dead last: the default run makes progress, fault
-    // subtrees are visited on backtrack.
-    const std::uint64_t flt =
-        sim::ReplayScheduler::label_is_fault(label) ? 1 : 0;
-    if (!best.has_value() || flt < bf ||
-        (flt == bf &&
-         (d < bd || (d == bd && (lam < bl || (lam == bl && msg < bm)))))) {
-      best = i;
-      bf = flt;
-      bd = d;
-      bl = lam;
-      bm = msg;
-    }
-  }
-  return best;
-}
 
-bool Explorer::add_backtrack(Frame& f, std::uint64_t label) {
-  if (contains(f.backtrack, label)) return false;
-  f.backtrack.push_back(label);
-  ++stats_.backtrack_points;
-  return true;
-}
-
-bool Explorer::insert_backtrack(Frame& f, ProcessId receiver,
-                                std::uint64_t msg, ProcessId sender) {
-  const std::uint64_t want = sim::ReplayScheduler::label(receiver, msg);
-  if (contains(f.labels, want)) return add_backtrack(f, want);
-  // Oldest-per-channel delivery hid the exact message behind an older
-  // one from the same sender; delivering that one is the first move of
-  // every schedule that delivers `msg` here, so it stands in. Fault
-  // labels never stand in for a delivery (dropping the older copy is not
-  // a move toward delivering `msg`).
-  for (std::uint64_t label : f.labels) {
-    if (sim::ReplayScheduler::label_is_fault(label)) continue;
-    const std::uint64_t m = sim::ReplayScheduler::label_message(label);
-    if (m == 0 || sim::ReplayScheduler::label_process(label) != receiver) {
-      continue;
+  /// Adds `label` to the backtrack set of the frame at `idx`. Below the
+  /// unit's floor the frame is a shared prefix: the insertion is
+  /// deferred to the barrier (returns false — the barrier counts it if
+  /// the registry accepts it). At or above the floor it mutates the
+  /// local frame and returns whether the label was new.
+  bool add_backtrack(std::size_t idx, std::uint64_t label, bool race) {
+    if (idx < u_->floor) {
+      if (defer_seen_.emplace(idx, label).second) {
+        res_.deferred.push_back(DeferredOp{idx, label, race});
+      }
+      return false;
     }
-    const auto it = msgs_.find(m);
-    if (it != msgs_.end() && it->second.sender == sender) {
-      return add_backtrack(f, label);
-    }
-  }
-  // Unreachable in practice — the message was pending, so its channel
-  // offers some delivery — but degrade to full expansion, not silence.
-  bool any = false;
-  for (std::uint64_t label : f.labels) any = add_backtrack(f, label) || any;
-  return any;
-}
-
-void Explorer::expand_path_on_prune() {
-  for (Frame& f : frames_) {
-    if (f.kind != sim::ChoiceKind::kSchedule) continue;
-    for (std::uint64_t label : f.labels) add_backtrack(f, label);
-  }
-}
-
-bool Explorer::deliveries_independent(const MsgInfo& a, const MsgInfo& b) {
-  if (opt_.dependence != Dependence::kContent) return false;
-  if (a.payload == nullptr || b.payload == nullptr) return false;
-  // Same-sender copies with identical content: the channel delivers
-  // interchangeable messages, so either order is the same execution.
-  if (a.sender == b.sender && a.digest.has_value() &&
-      b.digest.has_value() && *a.digest == *b.digest) {
+    Frame& f = u_->frames[idx];
+    if (contains(f.backtrack, label)) return false;
+    f.backtrack.push_back(label);
+    ++res_.delta.backtrack_points;
     return true;
   }
-  return sim::payloads_commute(*a.payload, *b.payload, &conservative_);
-}
 
-void Explorer::race_delivery(ProcessId p, std::uint64_t msg,
-                             const MsgInfo& mi) {
-  const auto pi = static_cast<std::size_t>(p);
-  const std::uint64_t send_knows_p = mi.clock[pi];
-  const auto& events = proc_events_[pi];
-  for (std::size_t j = events.size(); j-- > 0;) {
-    const StepRec& ej = events[j];
-    // All three guards are monotone going backward, so they end the scan.
-    if (mi.sent_time >= ej.time) break;  // Not yet sent: no race.
-    if (send_knows_p >= j + 1) break;    // Send happens-after e_j.
-    if (ej.is_start) break;              // No delivery before start.
-    // Content-aware dependence: a commuting pair of deliveries is not a
-    // race. Keep scanning — msg may still race with an earlier event.
-    if (ej.delivered != 0) {
-      const auto eit = msgs_.find(ej.delivered);
-      if (eit != msgs_.end() &&
-          deliveries_independent(mi, eit->second)) {
-        ++stats_.commute_skips;
+  /// Insert `the delivery of msg to receiver` into the backtrack set of
+  /// the frame at `idx` — the exact label when the menu offers it, else
+  /// the channel-oldest delivery from the same sender, else
+  /// (unreachable in practice) the whole menu. Returns true when a new
+  /// label was added locally.
+  bool insert_backtrack(std::size_t idx, ProcessId receiver,
+                        std::uint64_t msg, ProcessId sender) {
+    const Frame& f = u_->frames[idx];
+    const std::uint64_t want = sim::ReplayScheduler::label(receiver, msg);
+    if (contains(f.labels, want)) {
+      return add_backtrack(idx, want, /*race=*/true);
+    }
+    // Oldest-per-channel delivery hid the exact message behind an older
+    // one from the same sender; delivering that one is the first move
+    // of every schedule that delivers `msg` here, so it stands in.
+    // Fault labels never stand in for a delivery (dropping the older
+    // copy is not a move toward delivering `msg`).
+    for (std::uint64_t label : f.labels) {
+      if (sim::ReplayScheduler::label_is_fault(label)) continue;
+      const std::uint64_t m = sim::ReplayScheduler::label_message(label);
+      if (m == 0 ||
+          sim::ReplayScheduler::label_process(label) != receiver) {
         continue;
       }
-    } else if (ej.tick_inert && opt_.dependence == Dependence::kContent &&
-               mi.payload != nullptr && mi.payload->tick_insensitive()) {
-      // An inert lambda (every module tick a declared no-op) commutes
-      // with a tick-insensitive delivery: neither side observes the
-      // one-step time shift the reorder causes.
-      ++stats_.commute_skips;
-      continue;
-    }
-    if (ej.frame >= 0 &&
-        insert_backtrack(frames_[static_cast<std::size_t>(ej.frame)], p, msg,
-                         mi.sender)) {
-      ++stats_.hb_races;
-    }
-  }
-}
-
-void Explorer::race_lambda(ProcessId p, bool inert) {
-  const auto& events = proc_events_[static_cast<std::size_t>(p)];
-  const bool skip_inert = inert && opt_.dependence == Dependence::kContent;
-  for (std::size_t j = events.size(); j-- > 0;) {
-    const StepRec& ej = events[j];
-    if (ej.is_start) return;
-    if (ej.delivered == 0) {
-      // λ after λ needs no backtrack (same label, same schedule) — but an
-      // inert lambda commutes with earlier inert lambdas, so keep looking
-      // for the delivery it may still race with.
-      if (skip_inert && ej.tick_inert) continue;
-      return;
-    }
-    if (skip_inert) {
-      const auto eit = msgs_.find(ej.delivered);
-      if (eit != msgs_.end() && eit->second.payload != nullptr &&
-          eit->second.payload->tick_insensitive()) {
-        ++stats_.commute_skips;
-        continue;
+      const auto it = msgs_.find(m);
+      if (it != msgs_.end() && it->second.sender == sender) {
+        return add_backtrack(idx, label, /*race=*/true);
       }
     }
-    if (ej.frame >= 0 &&
-        add_backtrack(frames_[static_cast<std::size_t>(ej.frame)],
-                      sim::ReplayScheduler::label(p, 0))) {
-      ++stats_.hb_races;
+    // Unreachable in practice — the message was pending, so its channel
+    // offers some delivery — but degrade to full expansion, not
+    // silence.
+    bool any = false;
+    const std::vector<std::uint64_t> menu = f.labels;
+    for (std::uint64_t label : menu) {
+      any = add_backtrack(idx, label, /*race=*/true) || any;
     }
-    return;
-  }
-}
-
-void Explorer::end_of_run_races(sim::Simulator& sim) {
-  sim.network().for_each_pending([this](const sim::Envelope& env) {
-    const auto mit = msgs_.find(env.id);
-    if (mit == msgs_.end()) return;  // Sent before tracking started.
-    race_delivery(env.to, env.id, mit->second);
-  });
-  for (std::size_t p = 0; p < proc_events_.size(); ++p) {
-    const auto pid = static_cast<ProcessId>(p);
-    race_lambda(pid, sim.process_tick_noop(pid));
-  }
-}
-
-void Explorer::observe_step(sim::Simulator& sim, int frame,
-                            std::uint64_t step_time) {
-  const sim::LastStep& ls = sim.last_step();
-  if (ls.p == kNoProcess) return;
-  const auto p = static_cast<std::size_t>(ls.p);
-  if (p >= proc_events_.size()) return;
-
-  if (ls.action != sim::StepChoice::Action::kDeliver) {
-    // An adversary move. Its frame is fully expanded (see choose()), so
-    // no race insertion is needed; record it as an opaque event of the
-    // affected process — race scans treat it as dependent, which is the
-    // conservative direction.
-    std::vector<std::uint64_t>& cp = clock_[p];
-    cp[p] = proc_events_[p].size() + 1;
-    proc_events_[p].push_back(
-        StepRec{frame, step_time, 0, false, false});
-    if (ls.action == sim::StepChoice::Action::kDup && ls.dup_id != 0) {
-      // The duplicate inherits the original's send metadata — payload,
-      // digest, sender and (crucially, for the conservative direction)
-      // the sender's clock — but exists only from this step on.
-      const auto mit = msgs_.find(ls.fault_msg);
-      if (mit != msgs_.end()) {
-        MsgInfo info = mit->second;
-        info.sent_time = step_time;
-        msgs_.emplace(ls.dup_id, std::move(info));
-      }
-    }
-    prev_sent_ = sim.network().total_sent();
-    return;
+    return any;
   }
 
-  // Race detection runs before this event joins the clocks: it compares
-  // the *delivery* against the acting process's earlier events. Two
-  // steps of different processes always commute (a step consumes only
-  // its own pending messages and appends sends), so dependence — and
-  // hence every race — is within one process's event sequence; under
-  // Dependence::kContent, race_delivery further exempts same-process
-  // delivery pairs whose payloads commute.
-  if (!ls.was_start && ls.delivered != 0) {
-    const auto mit = msgs_.find(ls.delivered);
-    if (mit != msgs_.end()) race_delivery(ls.p, ls.delivered, mit->second);
-  } else if (!ls.was_start) {
-    race_lambda(ls.p, ls.tick_noop);
-  }
-
-  // Fold the event into the happens-before state.
-  std::vector<std::uint64_t>& cp = clock_[p];
-  if (ls.delivered != 0) {
-    const auto mit = msgs_.find(ls.delivered);
-    if (mit != msgs_.end()) {
-      const auto& mc = mit->second.clock;
-      for (std::size_t q = 0; q < cp.size(); ++q) {
-        cp[q] = std::max(cp[q], mc[q]);
+  /// A fingerprint prune cuts the run before its races are observable:
+  /// conservatively re-expand every schedule frame on the path (prefix
+  /// frames via deferral).
+  void expand_path_on_prune() {
+    for (std::size_t idx = 0; idx < u_->frames.size(); ++idx) {
+      const Frame& f = u_->frames[idx];
+      if (f.kind != sim::ChoiceKind::kSchedule) continue;
+      const std::vector<std::uint64_t> menu = f.labels;
+      for (std::uint64_t label : menu) {
+        add_backtrack(idx, label, /*race=*/false);
       }
     }
   }
-  cp[p] = proc_events_[p].size() + 1;
-  proc_events_[p].push_back(
-      StepRec{frame, step_time, ls.delivered, ls.was_start, ls.tick_noop});
 
-  // Every message sent during this step carries the sender's clock;
-  // under kContent also its payload and content digest, so dependence
-  // can be decided at race time without the (possibly consumed)
-  // envelope.
-  const std::uint64_t total = sim.network().total_sent();
-  for (std::uint64_t id = prev_sent_ + 1; id <= total; ++id) {
-    MsgInfo info{ls.p, step_time, cp, nullptr, std::nullopt};
-    if (opt_.dependence == Dependence::kContent) {
-      info.payload = sim.network().get(id).payload;
-      if (info.payload != nullptr) {
-        if (info.payload->kind().empty()) {
-          conservative_.insert(info.payload->identity());
-        }
-        sim::StateEncoder enc;
-        info.payload->encode_state(enc);
-        if (enc.complete()) info.digest = enc.digest();
-      }
-    }
-    msgs_.emplace(id, std::move(info));
-  }
-  prev_sent_ = total;
-}
-
-bool Explorer::backtrack() {
-  while (!frames_.empty()) {
-    Frame& f = frames_.back();
-    if (!f.blocked) f.explored.push_back(f.labels[f.chosen]);
-    const std::optional<std::uint32_t> next =
-        next_choice(f, /*counting_skips=*/true);
-    if (next.has_value()) {
-      f.chosen = *next;
-      f.blocked = false;
+  /// Under kContent: true when the two deliveries commute (declared by
+  /// their payloads, or same-sender copies with equal content digests),
+  /// so reordering them cannot be observable. Always false under
+  /// kProcess. Records conservative-default payloads as a side effect.
+  [[nodiscard]] bool deliveries_independent(const MsgInfo& a,
+                                            const MsgInfo& b) {
+    if (cfg_.dependence != Dependence::kContent) return false;
+    if (a.payload == nullptr || b.payload == nullptr) return false;
+    // Same-sender copies with identical content: the channel delivers
+    // interchangeable messages, so either order is the same execution.
+    if (a.sender == b.sender && a.digest.has_value() &&
+        b.digest.has_value() && *a.digest == *b.digest) {
       return true;
     }
-    frames_.pop_back();
+    return sim::payloads_commute(*a.payload, *b.payload,
+                                 &res_.conservative);
   }
-  return false;
-}
 
-sim::DecisionLog Explorer::decisions() const {
-  sim::DecisionLog log;
-  log.reserve(frames_.size());
-  for (const Frame& f : frames_) log.push_back(f.chosen);
-  return log;
-}
-
-void Explorer::restore(const StateSnapshot& snap) {
-  frames_.clear();
-  frames_.reserve(snap.frames.size());
-  for (const FrameState& fs : snap.frames) {
-    Frame f;
-    f.kind = fs.kind;
-    f.labels = fs.labels;
-    f.chosen = fs.chosen;
-    f.start = fs.start;
-    f.sleep = fs.sleep;
-    f.explored = fs.explored;
-    f.backtrack = fs.backtrack;
-    f.blocked = fs.blocked;
-    frames_.push_back(std::move(f));
-  }
-  fps_.clear();
-  fps_.reserve(snap.fingerprints.size());
-  for (const auto& [fp, t] : snap.fingerprints) fps_.emplace(fp, t);
-  stats_ = snap.stats;
-  conservative_ = snap.conservative_payloads;
-  path_pending_ = snap.path_pending;
-  resume_generation_ = snap.resume_generation;
-}
-
-StateSnapshot Explorer::make_snapshot() const {
-  StateSnapshot snap;
-  snap.scenario = opt_.scenario;
-  snap.reduction = opt_.reduction;
-  snap.dependence = opt_.dependence;
-  snap.state_fingerprints = opt_.state_fingerprints;
-  snap.order_seed = opt_.order_seed;
-  snap.resume_generation = resume_generation_ + 1;
-  snap.path_pending = path_pending_;
-  snap.stats = stats_;
-  snap.conservative_payloads = conservative_;
-  snap.frames.reserve(frames_.size());
-  for (const Frame& f : frames_) {
-    FrameState fs;
-    fs.kind = f.kind;
-    fs.labels = f.labels;
-    fs.chosen = f.chosen;
-    fs.start = f.start;
-    fs.sleep = f.sleep;
-    fs.explored = f.explored;
-    fs.backtrack = f.backtrack;
-    fs.blocked = f.blocked;
-    snap.frames.push_back(std::move(fs));
-  }
-  snap.fingerprints.assign(fps_.begin(), fps_.end());
-  // Deterministic files: equal stores serialize byte-identically.
-  std::sort(snap.fingerprints.begin(), snap.fingerprints.end());
-  return snap;
-}
-
-void Explorer::rollback_run(std::size_t replay_len,
-                            const ExploreStats& run_start_stats) {
-  frames_.resize(replay_len);
-  for (auto it = fp_log_.rbegin(); it != fp_log_.rend(); ++it) {
-    if (it->second.has_value()) {
-      fps_[it->first] = *it->second;
-    } else {
-      fps_.erase(it->first);
+  /// Race-detect the delivery of msg to p (executed or hypothetical)
+  /// against p's earlier events, inserting backtrack labels at every
+  /// racing choice point.
+  void race_delivery(ProcessId p, std::uint64_t msg, const MsgInfo& mi) {
+    const auto pi = static_cast<std::size_t>(p);
+    const std::uint64_t send_knows_p = mi.clock[pi];
+    const auto& events = proc_events_[pi];
+    for (std::size_t j = events.size(); j-- > 0;) {
+      const StepRec& ej = events[j];
+      // All three guards are monotone going backward, so they end the
+      // scan.
+      if (mi.sent_time >= ej.time) break;  // Not yet sent: no race.
+      if (send_knows_p >= j + 1) break;    // Send happens-after e_j.
+      if (ej.is_start) break;              // No delivery before start.
+      // Content-aware dependence: a commuting pair of deliveries is not
+      // a race. Keep scanning — msg may still race with an earlier
+      // event.
+      if (ej.delivered != 0) {
+        const auto eit = msgs_.find(ej.delivered);
+        if (eit != msgs_.end() &&
+            deliveries_independent(mi, eit->second)) {
+          ++res_.delta.commute_skips;
+          continue;
+        }
+      } else if (ej.tick_inert &&
+                 cfg_.dependence == Dependence::kContent &&
+                 mi.payload != nullptr && mi.payload->tick_insensitive()) {
+        // An inert lambda (every module tick a declared no-op) commutes
+        // with a tick-insensitive delivery: neither side observes the
+        // one-step time shift the reorder causes.
+        ++res_.delta.commute_skips;
+        continue;
+      }
+      if (ej.frame >= 0 &&
+          insert_backtrack(static_cast<std::size_t>(ej.frame), p, msg,
+                           mi.sender)) {
+        ++res_.delta.hb_races;
+      }
     }
   }
-  stats_ = run_start_stats;
+
+  /// Race-detect a lambda step of p against p's earlier events: a
+  /// lambda commutes with everything except a delivery to p right
+  /// before it. Once the reordered branch runs, its own lambda re-races
+  /// with the next delivery down, so the single-step rule covers every
+  /// depth. An *inert* lambda further commutes backward past
+  /// tick-insensitive deliveries and other inert lambdas under
+  /// Dependence::kContent, so the scan continues through those until
+  /// the first genuinely dependent event.
+  void race_lambda(ProcessId p, bool inert) {
+    const auto& events = proc_events_[static_cast<std::size_t>(p)];
+    const bool skip_inert =
+        inert && cfg_.dependence == Dependence::kContent;
+    for (std::size_t j = events.size(); j-- > 0;) {
+      const StepRec& ej = events[j];
+      if (ej.is_start) return;
+      if (ej.delivered == 0) {
+        // λ after λ needs no backtrack (same label, same schedule) —
+        // but an inert lambda commutes with earlier inert lambdas, so
+        // keep looking for the delivery it may still race with.
+        if (skip_inert && ej.tick_inert) continue;
+        return;
+      }
+      if (skip_inert) {
+        const auto eit = msgs_.find(ej.delivered);
+        if (eit != msgs_.end() && eit->second.payload != nullptr &&
+            eit->second.payload->tick_insensitive()) {
+          ++res_.delta.commute_skips;
+          continue;
+        }
+      }
+      if (ej.frame >= 0 &&
+          add_backtrack(static_cast<std::size_t>(ej.frame),
+                        sim::ReplayScheduler::label(p, 0),
+                        /*race=*/true)) {
+        ++res_.delta.hb_races;
+      }
+      return;
+    }
+  }
+
+  /// A run's halt leaves transitions enabled-but-never-executed: the
+  /// messages still in flight (their receivers went done, crashed, or
+  /// the horizon hit) and the lambda of every process whose last event
+  /// was a delivery. Those hypothetical events race with executed ones
+  /// exactly like executed events do — without this pass DPOR would
+  /// never revisit a choice point whose alternative delivery only
+  /// happens on the road not taken.
+  void end_of_run_races(sim::Simulator& sim) {
+    sim.network().for_each_pending([this](const sim::Envelope& env) {
+      const auto mit = msgs_.find(env.id);
+      if (mit == msgs_.end()) return;  // Sent before tracking started.
+      race_delivery(env.to, env.id, mit->second);
+    });
+    for (std::size_t p = 0; p < proc_events_.size(); ++p) {
+      const auto pid = static_cast<ProcessId>(p);
+      race_lambda(pid, sim.process_tick_noop(pid));
+    }
+  }
+
+  /// Record one executed simulator step into the happens-before state
+  /// and run race detection against the acting process's earlier
+  /// events.
+  void observe_step(sim::Simulator& sim, int frame,
+                    std::uint64_t step_time) {
+    const sim::LastStep& ls = sim.last_step();
+    if (ls.p == kNoProcess) return;
+    const auto p = static_cast<std::size_t>(ls.p);
+    if (p >= proc_events_.size()) return;
+
+    if (ls.action != sim::StepChoice::Action::kDeliver) {
+      // An adversary move. Its frame is fully expanded (see choose()),
+      // so no race insertion is needed; record it as an opaque event of
+      // the affected process — race scans treat it as dependent, which
+      // is the conservative direction.
+      std::vector<std::uint64_t>& cp = clock_[p];
+      cp[p] = proc_events_[p].size() + 1;
+      proc_events_[p].push_back(StepRec{frame, step_time, 0, false, false});
+      if (ls.action == sim::StepChoice::Action::kDup && ls.dup_id != 0) {
+        // The duplicate inherits the original's send metadata —
+        // payload, digest, sender and (crucially, for the conservative
+        // direction) the sender's clock — but exists only from this
+        // step on.
+        const auto mit = msgs_.find(ls.fault_msg);
+        if (mit != msgs_.end()) {
+          MsgInfo info = mit->second;
+          info.sent_time = step_time;
+          msgs_.emplace(ls.dup_id, std::move(info));
+        }
+      }
+      prev_sent_ = sim.network().total_sent();
+      return;
+    }
+
+    // Race detection runs before this event joins the clocks: it
+    // compares the *delivery* against the acting process's earlier
+    // events. Two steps of different processes always commute (a step
+    // consumes only its own pending messages and appends sends), so
+    // dependence — and hence every race — is within one process's
+    // event sequence; under Dependence::kContent, race_delivery
+    // further exempts same-process delivery pairs whose payloads
+    // commute.
+    if (!ls.was_start && ls.delivered != 0) {
+      const auto mit = msgs_.find(ls.delivered);
+      if (mit != msgs_.end()) {
+        race_delivery(ls.p, ls.delivered, mit->second);
+      }
+    } else if (!ls.was_start) {
+      race_lambda(ls.p, ls.tick_noop);
+    }
+
+    // Fold the event into the happens-before state.
+    std::vector<std::uint64_t>& cp = clock_[p];
+    if (ls.delivered != 0) {
+      const auto mit = msgs_.find(ls.delivered);
+      if (mit != msgs_.end()) {
+        const auto& mc = mit->second.clock;
+        for (std::size_t q = 0; q < cp.size(); ++q) {
+          cp[q] = std::max(cp[q], mc[q]);
+        }
+      }
+    }
+    cp[p] = proc_events_[p].size() + 1;
+    proc_events_[p].push_back(
+        StepRec{frame, step_time, ls.delivered, ls.was_start, ls.tick_noop});
+
+    // Every message sent during this step carries the sender's clock;
+    // under kContent also its payload and content digest, so dependence
+    // can be decided at race time without the (possibly consumed)
+    // envelope.
+    const std::uint64_t total = sim.network().total_sent();
+    for (std::uint64_t id = prev_sent_ + 1; id <= total; ++id) {
+      MsgInfo info{ls.p, step_time, cp, nullptr, std::nullopt};
+      if (cfg_.dependence == Dependence::kContent) {
+        info.payload = sim.network().get(id).payload;
+        if (info.payload != nullptr) {
+          if (info.payload->kind().empty()) {
+            res_.conservative.insert(info.payload->identity());
+          }
+          sim::StateEncoder enc;
+          info.payload->encode_state(enc);
+          if (enc.complete()) info.digest = enc.digest();
+        }
+      }
+      msgs_.emplace(id, std::move(info));
+    }
+    prev_sent_ = total;
+  }
+
+  /// Flip the deepest frame above the floor with an unvisited
+  /// alternative; false when the unit's whole subtree has been visited.
+  bool backtrack() {
+    while (u_->frames.size() > u_->floor) {
+      Frame& f = u_->frames.back();
+      if (!f.blocked) f.explored.push_back(f.labels[f.chosen]);
+      const std::optional<std::uint32_t> next =
+          next_choice(f, /*counting_skips=*/true);
+      if (next.has_value()) {
+        f.chosen = *next;
+        f.blocked = false;
+        return true;
+      }
+      u_->frames.pop_back();
+    }
+    return false;
+  }
+
+  [[nodiscard]] sim::DecisionLog decisions() const {
+    sim::DecisionLog log;
+    log.reserve(u_->frames.size());
+    for (const Frame& f : u_->frames) log.push_back(f.chosen);
+    return log;
+  }
+
+  /// The state digest at the current step — canonicalized as the
+  /// minimum over the symmetry group when renamings are configured, so
+  /// runs differing only by a renaming of interchangeable processes
+  /// merge. nullopt when any component is opaque (pruning would be
+  /// unsound).
+  [[nodiscard]] std::optional<std::uint64_t> fingerprint(
+      const Scenario& sc) const {
+    const auto one = [&sc](const std::vector<ProcessId>* perm)
+        -> std::optional<std::uint64_t> {
+      sim::StateEncoder enc(perm);
+      sc.sim->encode_state(enc);
+      std::size_t i = 0;
+      for (const auto& inv : sc.invariants) {
+        enc.push("invariant", i++);
+        inv->encode_state(enc);
+        enc.pop();
+      }
+      if (!enc.complete()) return std::nullopt;
+      return enc.digest();
+    };
+    std::optional<std::uint64_t> fp = one(nullptr);
+    if (!fp.has_value()) return std::nullopt;
+    for (const auto& perm : *ctx_.perms) {
+      const std::optional<std::uint64_t> alt = one(&perm);
+      if (!alt.has_value()) return std::nullopt;
+      fp = std::min(*fp, *alt);
+    }
+    return fp;
+  }
+
+  [[nodiscard]] std::optional<std::uint64_t> fps_lookup(
+      std::uint64_t fp) const {
+    std::optional<std::uint64_t> t;
+    if (const auto it = ctx_.fps->find(fp); it != ctx_.fps->end()) {
+      t = it->second;
+    }
+    if (const auto it = res_.fps_overlay.find(fp);
+        it != res_.fps_overlay.end()) {
+      t = t.has_value() ? std::min(*t, it->second) : it->second;
+    }
+    return t;
+  }
+
+  [[nodiscard]] bool cancel_requested() const {
+    return cfg_.cancel != nullptr &&
+           cfg_.cancel->load(std::memory_order_relaxed);
+  }
+
+  /// Node counter for order_seed mixing: committed total at the wave
+  /// start plus this unit's local delta — deterministic and
+  /// thread-independent (the serial explorer used the global cumulative
+  /// count; any deterministic stream works, the seed only diversifies).
+  [[nodiscard]] std::uint64_t node_counter() const {
+    return ctx_.base_nodes + res_.delta.nodes;
+  }
+
+  ScenarioBuilder build_;
+  const WaveContext& ctx_;
+  const SearchConfig& cfg_;
+
+  UnitResult res_;
+  Unit* u_ = nullptr;  ///< = &res_.unit while run() executes.
+  bool run_blocked_ = false;
+  /// Dedup of deferred insertions: one op per (depth, label) per wave.
+  std::set<std::pair<std::size_t, std::uint64_t>> defer_seen_;
+
+  // Per-run happens-before state (rebuilt every re-execution).
+  std::vector<std::vector<StepRec>> proc_events_;
+  std::vector<std::vector<std::uint64_t>> clock_;
+  std::unordered_map<std::uint64_t, MsgInfo> msgs_;
+  std::uint64_t prev_sent_ = 0;
+};
+
+// ---- Orchestration ---------------------------------------------------
+
+/// Units per wave. Fixed (not a knob): wave composition must be a pure
+/// function of the committed queue, and 32 keeps every thread count up
+/// to a large machine busy once the queue has grown past the first few
+/// waves.
+constexpr std::size_t kWaveUnits = 32;
+
+/// Per-unit node budget of wave w: 4 · 4^w, capped at 256. Early waves
+/// stay tiny so the root unit decomposes quickly (parallelism ramps up
+/// within a few waves — and a "budget 5" style caller still gets a
+/// chance to stop before the tree is blown past); later waves run long
+/// enough that barrier overhead stops mattering.
+std::uint64_t wave_budget(std::uint64_t wave) {
+  std::uint64_t b = 4;
+  for (std::uint64_t i = 0; i < wave && b < 256; ++i) b *= 4;
+  return std::min<std::uint64_t>(b, 256);
 }
+
+Frame frame_from_state(const FrameState& fs) {
+  Frame f;
+  f.kind = fs.kind;
+  f.chosen = fs.chosen;
+  f.start = fs.start;
+  f.blocked = fs.blocked;
+  f.labels = fs.labels;
+  f.sleep = fs.sleep;
+  f.explored = fs.explored;
+  f.backtrack = fs.backtrack;
+  return f;
+}
+
+FrameState frame_to_state(const Frame& f) {
+  FrameState fs;
+  fs.kind = f.kind;
+  fs.chosen = f.chosen;
+  fs.start = f.start;
+  fs.blocked = f.blocked;
+  fs.labels = f.labels;
+  fs.sleep = f.sleep;
+  fs.explored = f.explored;
+  fs.backtrack = f.backtrack;
+  return fs;
+}
+
+/// Chain keys are recomputed from the frames, never trusted from the
+/// wire (the parser has already validated floor <= frames.size() and
+/// chosen < labels.size()).
+Unit unit_from_state(const UnitState& us) {
+  Unit u;
+  u.id = us.id;
+  u.floor = static_cast<std::size_t>(us.floor);
+  u.path_pending = us.path_pending;
+  u.frames.reserve(us.frames.size());
+  for (const FrameState& fs : us.frames) {
+    u.frames.push_back(frame_from_state(fs));
+  }
+  u.keys.reserve(u.floor + 1);
+  u.keys.push_back(kRootKey);
+  for (std::size_t i = 0; i < u.floor; ++i) {
+    const Frame& f = u.frames[i];
+    u.keys.push_back(advance_key(u.keys[i], f.kind, f.labels[f.chosen]));
+  }
+  return u;
+}
+
+UnitState unit_to_state(const Unit& u) {
+  UnitState us;
+  us.id = u.id;
+  us.floor = static_cast<std::uint64_t>(u.floor);
+  us.path_pending = u.path_pending;
+  us.frames.reserve(u.frames.size());
+  for (const Frame& f : u.frames) us.frames.push_back(frame_to_state(f));
+  return us;
+}
+
+/// Expands the per-class interchangeable-process sets into the full
+/// symmetry group minus the identity: the cartesian product of each
+/// class's permutations, written as full 0..n-1 renaming vectors
+/// (identity outside every class). next_permutation from the sorted
+/// base enumerates each class's permutations in a canonical order, so
+/// the group — and hence the canonical (minimum) fingerprint — is
+/// deterministic.
+std::vector<std::vector<ProcessId>> symmetry_permutations(
+    const std::vector<std::vector<ProcessId>>& classes, int n) {
+  std::vector<std::vector<ProcessId>> perms;
+  if (classes.empty() || n <= 0) return perms;
+  std::vector<std::vector<ProcessId>> bases;
+  std::vector<std::vector<std::vector<ProcessId>>> images;
+  for (const std::vector<ProcessId>& cls : classes) {
+    std::vector<ProcessId> base = cls;
+    std::sort(base.begin(), base.end());
+    std::vector<std::vector<ProcessId>> per;
+    std::vector<ProcessId> p = base;
+    do {
+      per.push_back(p);
+    } while (std::next_permutation(p.begin(), p.end()));
+    bases.push_back(std::move(base));
+    images.push_back(std::move(per));
+  }
+  std::vector<std::size_t> pick(classes.size(), 0);
+  while (true) {
+    std::vector<ProcessId> full(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) {
+      full[static_cast<std::size_t>(p)] = static_cast<ProcessId>(p);
+    }
+    bool identity = true;
+    for (std::size_t c = 0; c < bases.size(); ++c) {
+      const std::vector<ProcessId>& img = images[c][pick[c]];
+      for (std::size_t j = 0; j < bases[c].size(); ++j) {
+        full[static_cast<std::size_t>(bases[c][j])] = img[j];
+        if (img[j] != bases[c][j]) identity = false;
+      }
+    }
+    if (!identity) perms.push_back(std::move(full));
+    std::size_t c = 0;
+    for (; c < pick.size(); ++c) {
+      if (++pick[c] < images[c].size()) break;
+      pick[c] = 0;
+    }
+    if (c == pick.size()) break;
+  }
+  return perms;
+}
+
+void merge_stats(ExploreStats& into, const ExploreStats& d) {
+  into.nodes += d.nodes;
+  into.runs += d.runs;
+  into.steps += d.steps;
+  into.sleep_skips += d.sleep_skips;
+  into.fp_prunes += d.fp_prunes;
+  into.hb_races += d.hb_races;
+  into.backtrack_points += d.backtrack_points;
+  into.commute_skips += d.commute_skips;
+  into.injected_crashes += d.injected_crashes;
+  into.injected_drops += d.injected_drops;
+  into.injected_dups += d.injected_dups;
+  into.violations += d.violations;
+}
+
+/// Splits a budget-stopped unit's subtree across fresh units — the
+/// work-stealing move. Every frame of the final path donates its
+/// unvisited-but-owed labels (rotation order from the frame's start
+/// offset; under DPOR only labels in the backtrack set are owed): each
+/// donated label becomes a unit whose floor pins the path down to and
+/// including that label. The node is simultaneously entered into the
+/// registry with the full assignment order, explored + chosen + sleep
+/// first — so a later deferred insertion of an already-covered label is
+/// rejected, and each child sees everything assigned before it as
+/// explored (the sleep-set asymmetry, preserved across units). The
+/// decomposed unit itself is dropped: its chosen chain was executed to
+/// completion (the deepest frame's run), and every sidetrack it still
+/// owed now lives in a child or in the registry.
+void decompose(const Unit& u, const SearchConfig& cfg,
+               std::map<ChainKey, NodeReg>& registry,
+               std::map<std::uint64_t, Unit>& queue,
+               std::uint64_t& next_unit_id) {
+  // Chain keys along the final path (the unit only stores them up to
+  // its floor).
+  std::vector<ChainKey> keys = u.keys;
+  keys.reserve(u.frames.size() + 1);
+  for (std::size_t j = u.floor; j < u.frames.size(); ++j) {
+    const Frame& f = u.frames[j];
+    keys.push_back(advance_key(keys[j], f.kind, f.labels[f.chosen]));
+  }
+  for (std::size_t j = u.floor; j < u.frames.size(); ++j) {
+    const Frame& f = u.frames[j];
+    NodeReg reg;
+    if (f.blocked) {
+      // Every option was asleep: covered elsewhere, nothing to steal —
+      // but register the full menu so no deferred insertion re-spawns
+      // the node.
+      reg.assigned = f.labels;
+    } else {
+      reg.assigned = f.explored;
+      const std::uint64_t chosen = f.labels[f.chosen];
+      if (!contains(reg.assigned, chosen)) reg.assigned.push_back(chosen);
+      for (std::uint64_t l : f.sleep) {
+        if (!contains(reg.assigned, l)) reg.assigned.push_back(l);
+      }
+      const bool dpor_schedule = f.kind == sim::ChoiceKind::kSchedule &&
+                                 cfg.reduction == Reduction::kDpor;
+      const std::size_t k = f.labels.size();
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::uint64_t l = f.labels[(f.start + i) % k];
+        if (dpor_schedule && !contains(f.backtrack, l)) continue;
+        if (contains(reg.assigned, l)) continue;
+        Unit child;
+        child.id = next_unit_id++;
+        child.floor = j + 1;
+        child.frames.assign(u.frames.begin(),
+                            u.frames.begin() +
+                                static_cast<std::ptrdiff_t>(j) + 1);
+        Frame& cf = child.frames.back();
+        cf.chosen = index_of(f.labels, l);
+        cf.explored = reg.assigned;
+        cf.blocked = false;
+        child.keys.assign(keys.begin(),
+                          keys.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+        child.keys.push_back(advance_key(keys[j], f.kind, l));
+        reg.assigned.push_back(l);
+        queue.emplace(child.id, std::move(child));
+      }
+    }
+    // Units partition the tree by edges: a node at depth >= floor
+    // belongs to exactly one live unit, so it is registered exactly
+    // once — here, when that unit decomposes.
+    const bool fresh = registry.emplace(keys[j], std::move(reg)).second;
+    WFD_CHECK_MSG(fresh, "choice point decomposed twice");
+  }
+}
+
+/// Resolves one deferred backtrack insertion at the barrier. The target
+/// node (below the deferring unit's floor) is always in the registry —
+/// it was registered by the decomposition that spawned the first unit
+/// below it. An already-assigned label is rejected (that reordering is
+/// someone's work already, or sleeps); a fresh one is assigned and
+/// spawns a unit that takes it at the target node, seeing every earlier
+/// assignment as explored.
+void apply_deferred(const Unit& du, const DeferredOp& op,
+                    std::map<ChainKey, NodeReg>& registry,
+                    std::map<std::uint64_t, Unit>& queue,
+                    std::uint64_t& next_unit_id, ExploreStats& stats) {
+  WFD_CHECK_MSG(op.depth < du.floor && op.depth + 1 < du.keys.size(),
+                "deferred op outside the unit's prefix");
+  const auto it = registry.find(du.keys[op.depth]);
+  WFD_CHECK_MSG(it != registry.end(), "deferred target not registered");
+  NodeReg& reg = it->second;
+  if (contains(reg.assigned, op.label)) return;
+  Unit child;
+  child.id = next_unit_id++;
+  child.floor = op.depth + 1;
+  child.frames.assign(du.frames.begin(),
+                      du.frames.begin() +
+                          static_cast<std::ptrdiff_t>(op.depth) + 1);
+  Frame& cf = child.frames.back();
+  cf.chosen = index_of(cf.labels, op.label);
+  cf.explored = reg.assigned;
+  cf.blocked = false;
+  child.keys.assign(du.keys.begin(),
+                    du.keys.begin() +
+                        static_cast<std::ptrdiff_t>(op.depth) + 1);
+  child.keys.push_back(
+      advance_key(child.keys[op.depth], cf.kind, op.label));
+  reg.assigned.push_back(op.label);
+  ++stats.backtrack_points;
+  if (op.race) ++stats.hb_races;
+  queue.emplace(child.id, std::move(child));
+}
+
+}  // namespace
 
 Coverage coverage(const ExploreStats& stats) {
   if (!stats.exhausted) return Coverage::kBudget;
@@ -535,182 +1149,256 @@ std::string coverage_name(Coverage c) {
   return "unknown";
 }
 
+Explorer::Explorer(ScenarioBuilder build, SearchConfig cfg)
+    : build_(std::move(build)), cfg_(std::move(cfg)) {
+  WFD_CHECK_MSG(build_ != nullptr, "Explorer needs a scenario builder");
+}
+
 ExploreReport Explorer::run() {
-  frames_.clear();
-  fps_.clear();
-  stats_ = ExploreStats{};
-  conservative_.clear();
-  path_pending_ = true;  // A fresh search still owes the root its run.
-  cancelled_ = false;
-  resume_generation_ = 0;
   ExploreReport rep;
 
-  if (!opt_.resume_path.empty()) {
-    std::string error;
+  // The committed search state. Mutated only here, between waves.
+  std::map<std::uint64_t, Unit> queue;
+  std::map<ChainKey, NodeReg> registry;
+  std::unordered_map<std::uint64_t, std::uint64_t> fps;
+  ExploreStats stats;
+  std::set<std::string> conservative;
+  std::uint64_t wave = 0;
+  std::uint64_t next_unit_id = 0;
+  std::uint64_t gen = 0;
+
+  if (!cfg_.resume_path.empty()) {
+    std::string err;
     bool wrong_version = false;
     const std::optional<StateSnapshot> snap =
-        load_snapshot(opt_.resume_path, &error, &wrong_version);
+        load_snapshot(cfg_.resume_path, &err, &wrong_version);
     if (!snap.has_value()) {
-      rep.resume_error = error;
-      // A well-formed snapshot of another format version is an
-      // incompatibility (like a scenario mismatch), not a corrupt file.
+      rep.resume_error = err.empty() ? "failed to load snapshot" : err;
       rep.resume_rejected = wrong_version;
       return rep;
     }
-    const std::string why = resume_mismatch(*snap, opt_.scenario, opt_);
-    if (!why.empty()) {
-      rep.resume_error = why;
+    const std::string mismatch = resume_mismatch(*snap, cfg_);
+    if (!mismatch.empty()) {
+      rep.resume_error = mismatch;
       rep.resume_rejected = true;
       return rep;
     }
-    restore(*snap);
+    stats = snap->stats;
+    conservative = snap->conservative_payloads;
+    wave = snap->wave;
+    next_unit_id = snap->next_unit_id;
+    gen = snap->resume_generation;
+    for (const auto& [fp, t] : snap->fingerprints) fps.emplace(fp, t);
+    for (const NodeState& ns : snap->nodes) {
+      registry.emplace(ChainKey{ns.key[0], ns.key[1]},
+                       NodeReg{ns.assigned});
+    }
+    for (const UnitState& us : snap->units) {
+      queue.emplace(us.id, unit_from_state(us));
+    }
     rep.resumed = true;
+  } else {
+    Unit root;
+    root.id = next_unit_id++;
+    root.keys.push_back(kRootKey);
+    queue.emplace(root.id, std::move(root));
   }
-  rep.resume_generation = resume_generation_;
-  const std::uint64_t base_nodes = stats_.nodes;
+  rep.resume_generation = gen;
 
-  // Continue exactly where the stored search stopped. A snapshot taken
-  // at a budget break holds a fully executed path, so the next move is
-  // the backtrack flip the uninterrupted search would have made; a
-  // pending path (fresh root, or a run abandoned by cancel) is
-  // re-executed first instead.
-  bool done = stats_.exhausted;
-  if (!done && !path_pending_) {
-    if (backtrack()) {
-      path_pending_ = true;
+  const std::uint64_t base_total = stats.nodes;
+  const bool pattern_sensitive =
+      ScenarioFactory::pattern_sensitive(cfg_.scenario);
+  std::vector<std::vector<ProcessId>> perms;
+  if (cfg_.symmetry) {
+    perms = symmetry_permutations(
+        ScenarioFactory::symmetry_classes(cfg_.scenario), cfg_.scenario.n);
+  }
+
+  while (true) {
+    if (cfg_.cancel != nullptr &&
+        cfg_.cancel->load(std::memory_order_relaxed)) {
+      rep.cancelled = true;
+      break;
+    }
+    // A resumed snapshot of an already-exhausted search has nothing
+    // left to do (and must not report fresh work).
+    if (stats.exhausted) break;
+    if (queue.empty()) {
+      stats.exhausted = true;
+      break;
+    }
+
+    // Compose the wave: the first kWaveUnits queued units in id order —
+    // a pure function of the committed queue.
+    std::vector<Unit> batch;
+    batch.reserve(kWaveUnits);
+    while (!queue.empty() && batch.size() < kWaveUnits) {
+      const auto it = queue.begin();
+      batch.push_back(std::move(it->second));
+      queue.erase(it);
+    }
+    // Pristine copies, so a cancelled wave can be discarded wholesale:
+    // the snapshot then equals the last barrier state and a resumed run
+    // re-executes this wave verbatim.
+    std::vector<Unit> pristine;
+    if (cfg_.cancel != nullptr) pristine = batch;
+
+    const WaveContext ctx{&cfg_,  pattern_sensitive, &perms,
+                          &fps,   stats.nodes,       wave_budget(wave)};
+
+    // Execute the wave. Workers pull slots from an atomic dispenser;
+    // results land by slot, so the merge below sees canonical unit
+    // order no matter which thread ran what.
+    std::vector<UnitResult> results(batch.size());
+    const std::size_t nthreads = std::min<std::size_t>(
+        static_cast<std::size_t>(std::max(1, cfg_.threads)), batch.size());
+    if (nthreads <= 1) {
+      for (std::size_t s = 0; s < batch.size(); ++s) {
+        UnitEngine eng(build_, ctx);
+        results[s] = eng.run(std::move(batch[s]));
+      }
     } else {
-      stats_.exhausted = true;
-      done = true;
+      std::atomic<std::size_t> slot{0};
+      const auto worker = [&] {
+        while (true) {
+          const std::size_t s = slot.fetch_add(1, std::memory_order_relaxed);
+          if (s >= batch.size()) return;
+          UnitEngine eng(build_, ctx);
+          results[s] = eng.run(std::move(batch[s]));
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(nthreads);
+      for (std::size_t i = 0; i < nthreads; ++i) pool.emplace_back(worker);
+      for (std::thread& th : pool) th.join();
     }
-  }
 
-  while (!done) {
-    if (cancel_requested()) {
-      cancelled_ = true;
-      break;  // Path untouched since the last completed run: stays pending.
-    }
-    // One re-execution: replay the prefix, extend to a halt. States
-    // reached while source.pos() is still inside the replayed prefix are
-    // re-visits of the previous run's own states — invisible to
-    // fingerprint pruning, or every run would prune itself at step one.
-    const std::size_t replay_len = frames_.size();
-    const ExploreStats run_start_stats = stats_;
-    fp_log_.clear();
-    DfsSource source(*this);
-    run_blocked_ = false;
-    Scenario sc = build_(source);
-    const bool dpor = opt_.reduction == Reduction::kDpor;
-    if (dpor) {
-      const auto n = static_cast<std::size_t>(sc.sim->n());
-      proc_events_.assign(n, {});
-      clock_.assign(n, std::vector<std::uint64_t>(n, 0));
-      msgs_.clear();
-      prev_sent_ = sc.sim->network().total_sent();
-    }
-    std::optional<Violation> violation;
-    std::uint64_t run_steps = 0;
-    while (!run_blocked_) {
-      // Once per step, so at least once per choice-point expansion.
-      if (cancel_requested()) {
-        cancelled_ = true;
+    // Barrier. A wave any unit of which was cancelled is discarded
+    // wholesale (determinism: a partial wave's merge order would depend
+    // on which units the cancel signal caught). The first
+    // counterexample a completed unit found is still reported — the
+    // caller cancelled, it should know why others might have — but
+    // nothing is committed.
+    bool wave_cancelled = false;
+    for (const UnitResult& r : results) {
+      if (r.outcome == UnitOutcome::kCancelled) {
+        wave_cancelled = true;
         break;
       }
-      const std::size_t pos_before = source.pos();
-      if (!sc.sim->step()) break;
-      ++run_steps;
-      if (run_blocked_) break;
-      if (dpor) {
-        // The schedule frame consumed by this step, if the step was an
-        // actual choice (forced moves never reach choose()).
-        int frame = -1;
-        for (std::size_t j = pos_before; j < source.pos(); ++j) {
-          if (frames_[j].kind == sim::ChoiceKind::kSchedule) {
-            frame = static_cast<int>(j);
-          }
+    }
+    if (wave_cancelled) {
+      for (Unit& u : pristine) {
+        const std::uint64_t id = u.id;
+        queue.emplace(id, std::move(u));
+      }
+      for (const UnitResult& r : results) {
+        if (r.outcome != UnitOutcome::kCancelled && r.cex.has_value() &&
+            !rep.cex.has_value()) {
+          rep.cex = r.cex;
         }
-        observe_step(*sc.sim, frame, run_steps);
       }
-      for (auto& inv : sc.invariants) {
-        violation = inv->check(*sc.sim);
-        if (violation.has_value()) break;
-      }
-      if (violation.has_value()) break;
+      rep.cancelled = true;
+      break;
+    }
 
-      if (source.pos() < replay_len) continue;  // Still replaying.
-      std::optional<std::uint64_t> fp;
-      if (opt_.state_fingerprints) {
-        sim::StateEncoder enc;
-        sc.sim->encode_state(enc);
-        std::size_t i = 0;
-        for (const auto& inv : sc.invariants) {
-          enc.push("invariant", i++);
-          inv->encode_state(enc);
-          enc.pop();
-        }
-        if (enc.complete()) fp = enc.digest();
+    // Pass 1 (slot order): fold per-unit deltas into the committed
+    // state — stats, conservative-payload audit, fingerprint overlays
+    // (min-wise on the earliest-time value), first counterexample.
+    bool wave_violation = false;
+    for (UnitResult& r : results) {
+      merge_stats(stats, r.delta);
+      conservative.insert(r.conservative.begin(), r.conservative.end());
+      for (const auto& [fp, t] : r.fps_overlay) {
+        const auto [it, fresh] = fps.emplace(fp, t);
+        if (!fresh && it->second > t) it->second = t;
       }
-      if (fp.has_value()) {
-        // Keyed on sim time: the fingerprint does not fold the remaining
-        // horizon, so a revisit only subsumes the earlier visit when at
-        // least as much future is left (same or earlier time).
-        const auto t = static_cast<std::uint64_t>(sc.sim->now());
-        auto [it, fresh] = fps_.emplace(*fp, t);
-        if (!fresh && it->second <= t) {
-          ++stats_.fp_prunes;
-          // The unexecuted suffix can no longer testify about races with
-          // this path; re-arm the whole path conservatively.
-          if (dpor) expand_path_on_prune();
+      if (r.cex.has_value() && !rep.cex.has_value()) rep.cex = r.cex;
+      if (r.outcome == UnitOutcome::kViolation) wave_violation = true;
+    }
+    const bool stopping = cfg_.stop_at_first && wave_violation;
+
+    // Pass 2 (slot order): decompose budget-stopped units into fresh
+    // work — unless the search is stopping, in which case they are
+    // re-queued as-is in pass 4 (the snapshot stays small and resumable
+    // either way).
+    if (!stopping) {
+      for (const UnitResult& r : results) {
+        if (r.outcome == UnitOutcome::kBudget) {
+          decompose(r.unit, cfg_, registry, queue, next_unit_id);
+        }
+      }
+    }
+
+    // Pass 3 (slot order): deferred backtrack insertions — applied even
+    // when stopping, or pending reorderings recorded nowhere else would
+    // be lost and a later resume would be unsound.
+    for (const UnitResult& r : results) {
+      for (const DeferredOp& op : r.deferred) {
+        apply_deferred(r.unit, op, registry, queue, next_unit_id, stats);
+      }
+    }
+
+    // Pass 4 (slot order): dispose. Exhausted units are done;
+    // violation-stopped and (when stopping) budget-stopped units go
+    // back on the queue with their executed path, so a resume continues
+    // with the exact backtrack flip an uninterrupted run would make.
+    for (UnitResult& r : results) {
+      switch (r.outcome) {
+        case UnitOutcome::kExhausted:
+          break;
+        case UnitOutcome::kViolation: {
+          const std::uint64_t id = r.unit.id;
+          queue.emplace(id, std::move(r.unit));
           break;
         }
-        // Log mutations while cancel is armed, so an abandoned run's
-        // fingerprints can be undone — otherwise its own half-explored
-        // states would prune the re-execution after a resume.
-        if (opt_.cancel != nullptr) {
-          fp_log_.emplace_back(
-              *fp, fresh ? std::nullopt : std::optional(it->second));
-        }
-        if (!fresh) it->second = t;
+        case UnitOutcome::kBudget:
+          if (stopping) {
+            const std::uint64_t id = r.unit.id;
+            queue.emplace(id, std::move(r.unit));
+          }
+          break;
+        case UnitOutcome::kCancelled:
+          WFD_CHECK_MSG(false, "cancelled unit past the wave gate");
+          break;
       }
     }
-    if (cancelled_) {
-      rollback_run(replay_len, run_start_stats);
+
+    // The snapshot stores the *next* wave index: the per-unit budget
+    // schedule continues across an interruption exactly as it would
+    // have uninterrupted.
+    ++wave;
+
+    if (stopping) break;
+    if (cfg_.max_states != 0 && stats.nodes >= cfg_.max_states) break;
+    if (cfg_.budget_states != 0 &&
+        stats.nodes - base_total >= cfg_.budget_states) {
       break;
     }
-    path_pending_ = false;
-    if (dpor) end_of_run_races(*sc.sim);
-    stats_.steps += run_steps;
-    ++stats_.runs;
-    if (const inject::FaultState* fs = sc.sim->faults()) {
-      stats_.injected_crashes += static_cast<std::uint64_t>(fs->crashes());
-      stats_.injected_drops += static_cast<std::uint64_t>(fs->drops());
-      stats_.injected_dups += static_cast<std::uint64_t>(fs->dups());
-    }
-    if (violation.has_value()) {
-      ++stats_.violations;
-      if (!rep.cex.has_value()) {
-        rep.cex = Counterexample{decisions(), *violation, run_steps};
-      }
-      if (opt_.stop_at_first) break;
-    }
-    if (stats_.nodes >= opt_.max_states) break;
-    if (opt_.budget_states != 0 &&
-        stats_.nodes - base_nodes >= opt_.budget_states) {
-      break;
-    }
-    if (opt_.max_runs != 0 && stats_.runs >= opt_.max_runs) break;
-    if (!backtrack()) {
-      stats_.exhausted = true;
-      break;
-    }
-    path_pending_ = true;
+    if (cfg_.max_runs != 0 && stats.runs >= cfg_.max_runs) break;
   }
-  rep.cancelled = cancelled_;
-  rep.stats = stats_;
-  rep.conservative_payloads = conservative_;
-  if (!opt_.save_path.empty()) {
-    std::string error;
-    if (!save_snapshot(opt_.save_path, make_snapshot(), &error)) {
-      rep.save_error = error;
+
+  rep.stats = stats;
+  rep.conservative_payloads = std::move(conservative);
+
+  if (!cfg_.save_path.empty()) {
+    StateSnapshot snap;
+    snap.config = cfg_;
+    snap.resume_generation = gen + 1;
+    snap.wave = wave;
+    snap.next_unit_id = next_unit_id;
+    snap.stats = stats;
+    snap.conservative_payloads = rep.conservative_payloads;
+    snap.units.reserve(queue.size());
+    for (const auto& [id, u] : queue) snap.units.push_back(unit_to_state(u));
+    snap.nodes.reserve(registry.size());
+    for (const auto& [key, reg] : registry) {
+      snap.nodes.push_back(NodeState{{key[0], key[1]}, reg.assigned});
+    }
+    snap.fingerprints.assign(fps.begin(), fps.end());
+    std::sort(snap.fingerprints.begin(), snap.fingerprints.end());
+    std::string err;
+    if (!save_snapshot(cfg_.save_path, snap, &err)) {
+      rep.save_error = err.empty() ? "failed to write snapshot" : err;
     }
   }
   return rep;

@@ -1,156 +1,78 @@
-// Bounded depth-first exploration of the choice tree of a scenario.
+// Bounded exploration of the choice tree of a scenario — the wave-
+// scheduled, work-stealing successor of the original single-threaded
+// DFS.
 //
-// The explorer re-executes runs: each run rebuilds the scenario from
-// scratch and replays the current path prefix through the recorded
-// per-choice-point frames, then extends the path with fresh frames until
-// the run halts (horizon, everyone done, or everyone crashed), a safety
-// invariant is violated, or a fingerprint prune fires. Backtracking
-// flips the deepest frame with an unvisited alternative and the next
-// re-execution descends into it — classic stateless model checking.
+// The search state is a queue of *units*. A unit owns one edge of the
+// choice tree: a fixed path prefix (its frames below `floor` never
+// change) plus the DFS frontier it has grown below that prefix. Units
+// execute independently — each one is the classic stateless-model-
+// checking loop (re-execute the scenario along the recorded path,
+// extend to a halt, backtrack the deepest frame with an unvisited
+// alternative) with the backtrack walk stopping at the unit's floor.
 //
-// Reductions (ExplorerOptions::reduction):
-//  * kDpor (default): dynamic partial-order reduction over schedule
-//    choices, combined with sleep sets (Flanagan-Godefroid). Every
-//    executed step feeds a vector-clock happens-before relation; when a
-//    delivery to process p is found to race with an earlier event of p
-//    (the message was already in flight and the send does not causally
-//    depend on that event), the delivery is inserted into the *backtrack
-//    set* of the earlier choice point. A schedule frame then only
-//    revisits labels in its backtrack set instead of its whole menu: the
-//    menu is expanded lazily, exactly where executions prove reorderings
-//    reachable. The dependence relation between two schedule actions is
-//    selectable (ExplorerOptions::dependence): under kProcess two
-//    actions are dependent iff the same process acts (a step of p never
-//    consumes q's pending messages; sends only append to the buffer and
-//    delivery is a separate explicit choice); under kContent (the
-//    default) two deliveries to the same process are additionally
-//    independent when their payloads declare themselves commuting
-//    (Payload::commutes_with, audited per protocol) or when they are
-//    same-sender copies with identical content — see DESIGN.md for the
-//    soundness argument. As with the sleep-set mode below, the reduction
-//    is exact
-//    when option menus are time-independent; explored crash times or a
-//    stabilization cutoff inside the horizon may make it skip a small
-//    fraction of timing-only interleavings — use kNone for strict
-//    exhaustiveness. When a fingerprint prune cuts a run short, every
-//    schedule frame on the current path is conservatively re-expanded to
-//    its full menu (the unexecuted suffix can no longer prove races), so
-//    pruned paths degrade to sleep-set coverage instead of losing
-//    soundness.
-//  * kSleepSets: sleep sets only — the static approximation kDpor
-//    subsumes; kept as the ablation baseline.
-//  * kNone: full enumeration.
-//  * Oldest-per-channel delivery (see ReplayScheduler::Options), applied
-//    at choice-enumeration time, composes with all of the above.
-//  * State-fingerprint pruning (on by default): the simulator composes
-//    every module's Module::encode_state, the in-flight message multiset
-//    and the oracle's latched history into an order-insensitive digest
-//    (sim/state_encoder.h), and the invariants fold their own
-//    history-derived state on top. A branch is cut when its fingerprint
-//    was already seen at the same or an earlier time (same-or-larger
-//    remaining horizon). If any component reports itself opaque the
-//    digest is unusable and pruning is disabled for that run — soundness
-//    over reduction.
+// Units run in *waves*: up to a fixed number of queued units execute
+// concurrently on SearchConfig::threads workers, each against the
+// fingerprint set committed at the wave start plus a private overlay.
+// A barrier then merges the results in canonical unit order: stats and
+// fingerprint overlays fold in, units that exhausted their subtree are
+// dropped, and units stopped by the per-wave node budget are
+// *decomposed* — every frame of their final path donates its
+// unvisited-but-owed labels as freshly spawned units (work stealing by
+// splitting the frontier, not by locking a shared stack). A registry
+// keyed by a per-node path-hash chain records, for every node whose
+// frontier has been split, the ordered set of labels already assigned
+// to some unit; DPOR race insertions that target a frame below the
+// inserting unit's floor are deferred to the barrier and resolved
+// against that registry, so the same reordering is never explored
+// twice and sleep-set asymmetry (later-assigned labels sleep
+// earlier-assigned independent ones, never the reverse) is preserved
+// across units.
 //
-// Full trees are intractable beyond toy sizes, so exploration is
-// budgeted (max_states choice points); coverage() reports honestly
-// whether the tree was completed, completed modulo fingerprint
-// equivalence, or merely ran out of budget. A budget-capped search can
-// be persisted (ExplorerOptions::save_path) and resumed
-// (ExplorerOptions::resume_path) across invocations — the snapshot
-// carries the DFS frontier, the visited-fingerprint set and the
-// cumulative stats (state_store.h), so k budgeted invocations visit
-// exactly the states one uninterrupted run would.
+// Every decision that shapes the search — wave composition, per-wave
+// budgets, decomposition order, deferred-insertion order — is a pure
+// function of the committed search state, never of thread timing.
+// Results (states, coverage, violations, snapshots) are therefore
+// identical for every SearchConfig::threads value; threads only buy
+// wall clock. Cooperative cancellation discards the entire in-flight
+// wave, so a snapshot saved afterwards is exactly the last barrier
+// state and a resumed run re-executes the discarded wave verbatim.
+//
+// Reductions (SearchConfig::reduction) are unchanged in spirit from
+// the serial explorer: kDpor layers dynamic partial-order reduction
+// and sleep sets over the schedule choices, kSleepSets keeps only the
+// static sleep-set approximation, kNone enumerates everything. Two
+// levers refine the dependence relation the reduction consumes:
+//  * fault_dependence (on by default): crash/drop/duplicate labels use
+//    the sparse relation of sim/dependence.h — a fault commutes with
+//    steps of processes it does not touch — instead of being dependent
+//    with everything. Frames whose menu offers a fault are still fully
+//    expanded (soundness over reduction); the lever lets fault labels
+//    participate in sleep sets and lets sleep sets survive fault
+//    edges, which is where the crash-exploration blowup lived.
+//  * symmetry (opt-in): state fingerprints are canonicalized under
+//    process renaming within ScenarioFactory::symmetry_classes — the
+//    stored fingerprint is the minimum digest over the scenario's
+//    symmetry group, so runs that differ only by a renaming of
+//    interchangeable processes merge.
+//
+// Coverage is reported honestly (coverage()): complete, complete
+// modulo fingerprint equivalence, or budget-capped. A capped search
+// persists its unit queue, node registry and fingerprint set
+// (SearchConfig::save_path, state_store.h) and resumes across
+// invocations; k budgeted invocations visit exactly the states one
+// uninterrupted run would.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <set>
 #include <string>
-#include <unordered_map>
-#include <utility>
-#include <vector>
 
 #include "explore/scenario.h"
+#include "explore/search_config.h"
 #include "explore/types.h"
-#include "sim/choice.h"
-#include "sim/payload.h"
 
 namespace wfd::explore {
-
-/// Which schedule-space reduction the DFS applies.
-enum class Reduction {
-  kNone,       ///< Enumerate every option at every choice point.
-  kSleepSets,  ///< Static sleep sets (ablation baseline).
-  kDpor,       ///< Dynamic partial-order reduction + sleep sets.
-};
-
-/// Which dependence relation DPOR's race detection (and the sleep-set
-/// inheritance under kDpor) uses for pairs of schedule actions.
-enum class Dependence {
-  /// Same process acts => dependent. The classical, coarsest-sound
-  /// relation for this simulator (ablation baseline).
-  kProcess,
-  /// Refines kProcess: two *deliveries* to the same process are
-  /// independent when Payload::commutes_with declares both directions
-  /// commuting, or when they are same-sender copies with identical
-  /// encoded content. Payloads that never override the hook keep the
-  /// conservative default and are reported
-  /// (ExploreReport::conservative_payloads).
-  kContent,
-};
-
-struct ExplorerOptions {
-  /// Budget on materialized choice points across the whole exploration.
-  std::uint64_t max_states = 100000;
-  /// 0 = unlimited.
-  std::uint64_t max_runs = 0;
-  Reduction reduction = Reduction::kDpor;
-  /// Prune branches whose composed Module::encode_state fingerprint was
-  /// already visited (disabled automatically while any state component
-  /// is opaque).
-  bool state_fingerprints = true;
-  /// Stop at the first violating run (the usual bug hunt); false keeps
-  /// counting violations until the tree or the budget runs out.
-  bool stop_at_first = true;
-  /// 0 = canonical child order (DPOR: round-robin fairness; otherwise
-  /// first-option-first). Nonzero seeds a deterministic per-frame
-  /// rotation of the visit order, which is how campaign frontier workers
-  /// diversify their partial explorations.
-  std::uint64_t order_seed = 0;
-  /// Dependence relation for DPOR race detection; ignored outside kDpor.
-  Dependence dependence = Dependence::kContent;
-  /// Cooperative cancel: when non-null, the explorer polls it once per
-  /// simulator step (so at least once per choice-point expansion) and
-  /// stops as soon as it reads true, abandoning the in-flight run
-  /// without trace (its frames, fingerprints and stats are rolled back,
-  /// so a snapshot taken afterwards is still resumable). A cancelled
-  /// search never claims exhaustion — coverage() reports kBudget. This
-  /// is how a campaign's stop_at_first reaches its frontier workers.
-  const std::atomic<bool>* cancel = nullptr;
-  /// Budget on NEW choice points materialized by this invocation
-  /// (0 = off). Unlike max_states — a cap on the cumulative total,
-  /// which includes every node restored from a resumed snapshot — this
-  /// bounds the per-invocation increment; the knob --budget-states
-  /// loops on.
-  std::uint64_t budget_states = 0;
-  /// Non-empty: when run() returns, persist the search state here as a
-  /// resumable snapshot (state_store.h; written via temp-file + rename,
-  /// so a killed run never leaves a torn snapshot).
-  std::string save_path;
-  /// Non-empty: seed the DFS from the snapshot stored here instead of
-  /// the root — restore the backtrack frontier, union the
-  /// visited-fingerprint set, accumulate stats on top of the stored
-  /// ones. The snapshot's scenario header must match `scenario` and its
-  /// explorer options must match this struct, or run() refuses
-  /// (ExploreReport::resume_error / resume_rejected).
-  std::string resume_path;
-  /// Scenario header recorded into snapshots and validated on resume.
-  /// Must describe the same options the ScenarioBuilder was built from;
-  /// only consulted when save_path / resume_path are set.
-  ScenarioOptions scenario;
-};
 
 struct ExploreStats {
   std::uint64_t nodes = 0;        ///< Choice points materialized.
@@ -195,180 +117,42 @@ struct ExploreReport {
   /// conservative commutes_with default (empty kind()): the audit
   /// backlog of Dependence::kContent. Sorted for stable output.
   std::set<std::string> conservative_payloads;
-  /// True when the search was seeded from ExplorerOptions::resume_path.
+  /// True when the search was seeded from SearchConfig::resume_path.
   bool resumed = false;
   /// Save/resume generations behind this search (0 = fresh start).
   std::uint64_t resume_generation = 0;
   /// Non-empty: resuming failed and nothing ran. resume_rejected
   /// distinguishes an incompatible snapshot (different scenario or
-  /// explorer options — the caller's exit-2 case) from an unreadable or
-  /// corrupt one.
+  /// search configuration — the caller's exit-2 case) from an
+  /// unreadable or corrupt one.
   std::string resume_error;
   bool resume_rejected = false;
   /// Non-empty: the search ran but the final snapshot was not written.
   std::string save_error;
-  /// The search was stopped by ExplorerOptions::cancel.
+  /// The search was stopped by SearchConfig::cancel.
   bool cancelled = false;
 };
 
-struct StateSnapshot;
-
 class Explorer {
  public:
-  Explorer(ScenarioBuilder build, ExplorerOptions opt);
+  /// `cfg` must already be valid (validate(cfg) empty); the scenario in
+  /// `cfg.scenario` must describe the same construction `build` runs.
+  /// The explorer consults it for soundness decisions, not just
+  /// bookkeeping: ScenarioFactory::pattern_sensitive(cfg.scenario)
+  /// gates the sparse fault-dependence relation and
+  /// ScenarioFactory::symmetry_classes(cfg.scenario) defines the
+  /// renaming group for --symmetry, so a mismatched scenario can prune
+  /// real interleavings.
+  Explorer(ScenarioBuilder build, SearchConfig cfg);
 
   /// Explore until a violation (when stop_at_first), the budget, or the
   /// whole tree is done. Re-entrant: each call restarts from scratch —
-  /// or from ExplorerOptions::resume_path when set.
+  /// or from SearchConfig::resume_path when set.
   ExploreReport run();
 
  private:
-  /// One choice point on the current DFS path.
-  struct Frame {
-    sim::ChoiceKind kind{};
-    std::vector<std::uint64_t> labels;
-    std::uint32_t chosen = 0;
-    std::uint32_t start = 0;  ///< Rotation offset of the visit order.
-    std::vector<std::uint64_t> sleep;     ///< Labels asleep at this node.
-    std::vector<std::uint64_t> explored;  ///< Labels fully explored here.
-    /// DPOR: the labels this schedule frame must (still) explore. Seeded
-    /// with the default child; grown by race insertion and by the
-    /// conservative prune expansion.
-    std::vector<std::uint64_t> backtrack;
-    bool blocked = false;  ///< Every option was asleep on arrival.
-  };
-
-  /// One executed event of one process within the current run.
-  struct StepRec {
-    int frame = -1;  ///< Index into frames_, or -1 for a forced move.
-    std::uint64_t time = 0;       ///< Global step number within the run.
-    std::uint64_t delivered = 0;  ///< Message id; 0 for lambda/start.
-    bool is_start = false;
-    /// λ step the process declared inert (Process::tick_noop): commutes
-    /// with tick-insensitive deliveries under Dependence::kContent.
-    bool tick_inert = false;
-  };
-
-  /// Send-time metadata of a message of the current run.
-  struct MsgInfo {
-    ProcessId sender = kNoProcess;
-    std::uint64_t sent_time = 0;  ///< Global step number of the send.
-    std::vector<std::uint64_t> clock;  ///< Sender's vector clock at send.
-    /// The payload itself (kContent only; shared with the envelope).
-    sim::PayloadPtr payload;
-    /// Content digest when the payload's encoding is complete (kContent
-    /// only); fuels the same-sender identical-copy rule.
-    std::optional<std::uint64_t> digest;
-  };
-
-  class DfsSource;
-
-  /// The next index to visit at `f`, honouring the active reduction,
-  /// rotation, sleep and explored sets; nullopt when the frame has no
-  /// eligible option left.
-  std::optional<std::uint32_t> next_choice(Frame& f, bool counting_skips);
-
-  /// DPOR default child of a fresh schedule frame: round-robin-fair
-  /// preferred process (successor of the nearest schedule ancestor's
-  /// actor), deliveries before lambda, smallest message id.
-  std::optional<std::uint32_t> dpor_default_choice(Frame& f);
-
-  /// Record one executed simulator step into the happens-before state
-  /// and run race detection against the acting process's earlier events.
-  void observe_step(sim::Simulator& sim, int frame, std::uint64_t step_time);
-
-  /// Under kContent: true when the two deliveries commute (declared by
-  /// their payloads, or same-sender copies with equal content digests),
-  /// so reordering them cannot be observable. Always false under
-  /// kProcess. Records conservative-default payloads as a side effect.
-  [[nodiscard]] bool deliveries_independent(const MsgInfo& a,
-                                            const MsgInfo& b);
-
-  /// Race-detect the delivery of msg to p (executed or hypothetical)
-  /// against p's earlier events, inserting backtrack labels at every
-  /// racing choice point.
-  void race_delivery(ProcessId p, std::uint64_t msg, const MsgInfo& mi);
-
-  /// Race-detect a lambda step of p against p's earlier events: a
-  /// lambda commutes with everything except a delivery to p right before
-  /// it. Once the reordered branch runs, its own lambda re-races with
-  /// the next delivery down, so the single-step rule covers every depth.
-  /// An *inert* lambda (every module's tick a declared no-op) further
-  /// commutes backward past tick-insensitive deliveries and other inert
-  /// lambdas under Dependence::kContent, so the scan continues through
-  /// those until the first genuinely dependent event.
-  void race_lambda(ProcessId p, bool inert);
-
-  /// A run's halt leaves transitions enabled-but-never-executed: the
-  /// messages still in flight (their receivers went done, crashed, or
-  /// the horizon hit) and the lambda of every process whose last event
-  /// was a delivery. Those hypothetical events race with executed ones
-  /// exactly like executed events do — without this pass DPOR would
-  /// never revisit a choice point whose alternative delivery only
-  /// happens on the road not taken.
-  void end_of_run_races(sim::Simulator& sim);
-
-  /// Insert `the delivery of msg to receiver` into f's backtrack set —
-  /// the exact label when the menu offers it, else the channel-oldest
-  /// delivery from the same sender, else (unreachable in practice) the
-  /// whole menu. Returns true when a new label was added.
-  bool insert_backtrack(Frame& f, ProcessId receiver, std::uint64_t msg,
-                        ProcessId sender);
-  bool add_backtrack(Frame& f, std::uint64_t label);
-
-  /// A fingerprint prune cuts the run before its races are observable:
-  /// conservatively re-expand every schedule frame on the path.
-  void expand_path_on_prune();
-
-  /// Flip the deepest frame with an unvisited alternative; false when
-  /// the whole tree has been visited.
-  bool backtrack();
-
-  [[nodiscard]] sim::DecisionLog decisions() const;
-
-  [[nodiscard]] bool cancel_requested() const {
-    return opt_.cancel != nullptr &&
-           opt_.cancel->load(std::memory_order_relaxed);
-  }
-
-  /// Snapshot conversion for save/resume (state_store.h).
-  void restore(const StateSnapshot& snap);
-  [[nodiscard]] StateSnapshot make_snapshot() const;
-
-  /// Erase every trace of a run abandoned mid-execution (cooperative
-  /// cancel): drop the frames it materialized, undo its fingerprint
-  /// insertions, restore the stats. Backtrack labels it raced into
-  /// pre-existing frames are kept — they only add pending work, and the
-  /// re-execution after resume re-derives them identically.
-  void rollback_run(std::size_t replay_len,
-                    const ExploreStats& run_start_stats);
-
   ScenarioBuilder build_;
-  ExplorerOptions opt_;
-  std::vector<Frame> frames_;
-  /// fp -> earliest sim time it was reached at (prune only when the
-  /// revisit has the same or less remaining horizon).
-  std::unordered_map<std::uint64_t, std::uint64_t> fps_;
-  ExploreStats stats_;
-  /// Identities of in-flight payloads with the conservative default.
-  std::set<std::string> conservative_;
-  bool run_blocked_ = false;
-  /// The current path has not been executed to completion (fresh root,
-  /// or a run abandoned by cancel): continuing means re-executing it,
-  /// not backtracking past it.
-  bool path_pending_ = true;
-  bool cancelled_ = false;
-  /// Generation of the snapshot this search resumed from (0 = fresh).
-  std::uint64_t resume_generation_ = 0;
-  /// Undo log of the current run's fps_ mutations (fp, prior time or
-  /// nullopt for a fresh insert); only kept while cancel is armed.
-  std::vector<std::pair<std::uint64_t, std::optional<std::uint64_t>>> fp_log_;
-
-  // Per-run happens-before state (rebuilt every re-execution).
-  std::vector<std::vector<StepRec>> proc_events_;
-  std::vector<std::vector<std::uint64_t>> clock_;
-  std::unordered_map<std::uint64_t, MsgInfo> msgs_;
-  std::uint64_t prev_sent_ = 0;
+  SearchConfig cfg_;
 };
 
 }  // namespace wfd::explore

@@ -163,8 +163,8 @@ void RegisterAtomicityInvariant::encode_state(sim::StateEncoder& enc) const {
   }
   for (std::size_t i = 0; i < ops.size(); ++i) {
     const reg::OpRecord& op = ops[i];
-    sim::StateEncoder sub;
-    sub.field("client", op.client);
+    sim::StateEncoder sub = enc.child();
+    sub.pid_field("client", op.client);
     sub.field("seq", op_seq[i]);
     sub.field("is-write", op.is_write);
     const bool completed = op.responded != kNever;
@@ -174,8 +174,8 @@ void RegisterAtomicityInvariant::encode_state(sim::StateEncoder& enc) const {
     // relative overlap structure without the absolute times.
     for (std::size_t j = 0; j < ops.size(); ++j) {
       if (completed && op.responded <= ops[j].invoked) {
-        sim::StateEncoder edge;
-        edge.field("client", ops[j].client);
+        sim::StateEncoder edge = sub.child();
+        edge.pid_field("client", ops[j].client);
         edge.field("seq", op_seq[j]);
         sub.merge("precedes", edge);
       }

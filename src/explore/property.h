@@ -128,8 +128,9 @@ class SigmaIntersectionInvariant : public Invariant {
   std::optional<Violation> check(const sim::Simulator& sim) override;
   void encode_state(sim::StateEncoder& enc) const override {
     for (const std::uint64_t mask : seen_) {
-      sim::StateEncoder sub;
-      sub.field("mask", mask);
+      sim::StateEncoder sub = enc.child();
+      // Fold the quorum as a (renamable) process set, not a raw mask.
+      sub.field("mask", ProcessSet::from_raw(mask));
       enc.merge("quorum", sub);
     }
   }

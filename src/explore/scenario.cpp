@@ -149,6 +149,69 @@ std::string ScenarioFactory::validate(const ScenarioOptions& opt) {
   return "";
 }
 
+bool ScenarioFactory::pattern_sensitive(const ScenarioOptions& opt) {
+  // Mirrors the oracle-component table in build(): FS and Psi are the
+  // only components whose outputs read failure_by(t) mid-run.
+  return opt.problem == "qc" || opt.problem == "nbac" ||
+         opt.problem == "consensus-crash-bug";
+}
+
+std::vector<std::vector<ProcessId>> ScenarioFactory::symmetry_classes(
+    const ScenarioOptions& opt) {
+  // Scripted crashes pin concrete process ids (faulty set = the first
+  // `crashes` processes at fixed times): no renaming maps those runs to
+  // runs. Explored crashes draw from symmetric per-process budgets.
+  if (opt.crashes > 0 && opt.crash_mode != "explore") return {};
+  // After stabilization the oracle's outputs collapse to min(correct),
+  // which renaming does not commute with; kNever keeps every query a
+  // symmetric menu choice.
+  if (opt.stabilization != kNever) return {};
+  std::vector<std::vector<ProcessId>> classes;
+  const auto add = [&classes](std::vector<ProcessId> cls) {
+    if (cls.size() >= 2) classes.push_back(std::move(cls));
+  };
+  if (opt.problem == "consensus" || opt.problem == "consensus-bug" ||
+      opt.problem == "qc") {
+    // Initial proposals are i % 2: same-parity processes run identical
+    // modules with identical inputs.
+    std::vector<ProcessId> evens;
+    std::vector<ProcessId> odds;
+    for (int i = 0; i < opt.n; ++i) {
+      (i % 2 == 0 ? evens : odds).push_back(i);
+    }
+    add(std::move(evens));
+    add(std::move(odds));
+  } else if (opt.problem == "nbac") {
+    // Every Yes voter is interchangeable; the No voter (if any) is a
+    // singleton role.
+    std::vector<ProcessId> yes;
+    for (int i = 0; i < opt.n; ++i) {
+      if (i != opt.nbac_no_voter) yes.push_back(i);
+    }
+    add(std::move(yes));
+  } else if (opt.problem == "sigma") {
+    // Pure FD probes: every process is identical.
+    std::vector<ProcessId> all;
+    for (int i = 0; i < opt.n; ++i) all.push_back(i);
+    add(std::move(all));
+  } else if (opt.problem == "register" || opt.problem == "register-regular") {
+    // Process 0 writes; 1..readers read; the rest are pure replicas.
+    const int readers = opt.reg_readers == 0 ? opt.n - 1 : opt.reg_readers;
+    std::vector<ProcessId> reading;
+    std::vector<ProcessId> replicas;
+    for (int i = 1; i < opt.n; ++i) {
+      (i <= readers ? reading : replicas).push_back(i);
+    }
+    add(std::move(reading));
+    add(std::move(replicas));
+  }
+  // abcast/rb broadcast distinct values per sender, consensus-crash-bug
+  // has a distinguished coordinator, and omega-impl elects by smallest
+  // pid — none verified symmetric (the non-sender / participant classes
+  // would need their module encodes audited first).
+  return classes;
+}
+
 sim::FailurePattern ScenarioFactory::make_pattern(
     sim::ChoiceSource& choices) const {
   sim::FailurePattern f(opt_.n);

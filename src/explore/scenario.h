@@ -113,6 +113,27 @@ class ScenarioFactory {
   /// Empty string when the options are valid, else a diagnosis.
   [[nodiscard]] static std::string validate(const ScenarioOptions& opt);
 
+  /// True when the enabled detector components read the *evolving*
+  /// failure pattern mid-run (an FS or Psi component consults
+  /// failure_by(t)): an injected crash is then observable by every
+  /// process through its next query, and the explorer must keep crash
+  /// labels dependent with everything. Omega/Sigma menus — static or
+  /// per-query, adversarial included — never re-read the pattern before
+  /// stabilization, and exploration requires stabilization == kNever.
+  [[nodiscard]] static bool pattern_sensitive(const ScenarioOptions& opt);
+
+  /// Interchangeable-process classes for symmetry reduction: renaming
+  /// processes within a class maps runs to runs (identical modules,
+  /// identical initial values, symmetric detector menus and fault
+  /// budgets). Empty when the scenario is not verified symmetric —
+  /// scripted crashes pin concrete processes, a finite stabilization
+  /// time makes the oracle's limit values renaming-sensitive, and some
+  /// problems (distinct broadcast values, pid-ordered leader election)
+  /// have no interchangeable processes at all. Singleton classes are
+  /// omitted; a non-empty result always licenses a nontrivial renaming.
+  [[nodiscard]] static std::vector<std::vector<ProcessId>> symmetry_classes(
+      const ScenarioOptions& opt);
+
   [[nodiscard]] Scenario build(sim::ChoiceSource& choices) const;
 
   /// The build() entry point as a value (captures the options by copy).

@@ -15,53 +15,11 @@ namespace {
 using detail::escape_line;
 using detail::parse_bool;
 using detail::parse_u64;
-using detail::scenario_apply;
-using detail::scenario_to_text;
 using detail::unescape_line;
 
 /// Fingerprint entries per fps= line: keeps lines bounded without
 /// bloating the file with one key per entry.
 constexpr std::size_t kFpsPerLine = 512;
-
-std::string reduction_to_text(Reduction r) {
-  switch (r) {
-    case Reduction::kNone:
-      return "none";
-    case Reduction::kSleepSets:
-      return "sleep-sets";
-    case Reduction::kDpor:
-      return "dpor";
-  }
-  return "unknown";
-}
-
-bool parse_reduction(const std::string& s, Reduction* out) {
-  if (s == "none") {
-    *out = Reduction::kNone;
-  } else if (s == "sleep-sets") {
-    *out = Reduction::kSleepSets;
-  } else if (s == "dpor") {
-    *out = Reduction::kDpor;
-  } else {
-    return false;
-  }
-  return true;
-}
-
-std::string dependence_to_text(Dependence d) {
-  return d == Dependence::kContent ? "content" : "process";
-}
-
-bool parse_dependence(const std::string& s, Dependence* out) {
-  if (s == "content") {
-    *out = Dependence::kContent;
-  } else if (s == "process") {
-    *out = Dependence::kProcess;
-  } else {
-    return false;
-  }
-  return true;
-}
 
 void labels_to_text(std::ostream& out, const char* tag,
                     const std::vector<std::uint64_t>& v) {
@@ -142,6 +100,65 @@ bool parse_frame(const std::string& s, FrameState* f) {
          f->start < f->labels.size();
 }
 
+// unit=id=<id>;floor=<floor>;pending=<0|1>;frames=<count> — the next
+// <count> frame= lines belong to this unit.
+void unit_to_text(std::ostream& out, const UnitState& u) {
+  out << "unit=id=" << u.id << ";floor=" << u.floor
+      << ";pending=" << (u.path_pending ? 1 : 0)
+      << ";frames=" << u.frames.size() << "\n";
+  for (const FrameState& f : u.frames) frame_to_text(out, f);
+}
+
+bool parse_unit(const std::string& s, UnitState* u,
+                std::uint64_t* frames_expected) {
+  bool saw_id = false;
+  bool saw_frames = false;
+  std::string part;
+  std::istringstream parts(s);
+  while (std::getline(parts, part, ';')) {
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = part.substr(0, eq);
+    const std::string val = part.substr(eq + 1);
+    if (key == "id") {
+      if (!parse_u64(val, &u->id)) return false;
+      saw_id = true;
+    } else if (key == "floor") {
+      if (!parse_u64(val, &u->floor)) return false;
+    } else if (key == "pending") {
+      if (!parse_bool(val, &u->path_pending)) return false;
+    } else if (key == "frames") {
+      if (!parse_u64(val, frames_expected)) return false;
+      saw_frames = true;
+    } else {
+      return false;
+    }
+  }
+  return saw_id && saw_frames;
+}
+
+// node=<k0>:<k1>;a=<labels in assignment order>
+void node_to_text(std::ostream& out, const NodeState& n) {
+  out << "node=" << n.key[0] << ":" << n.key[1] << ";";
+  labels_to_text(out, "a", n.assigned);
+  out << "\n";
+}
+
+bool parse_node(const std::string& s, NodeState* n) {
+  const std::size_t semi = s.find(';');
+  if (semi == std::string::npos) return false;
+  const std::string key = s.substr(0, semi);
+  const std::string rest = s.substr(semi + 1);
+  const std::size_t colon = key.find(':');
+  if (colon == std::string::npos) return false;
+  if (!parse_u64(key.substr(0, colon), &n->key[0]) ||
+      !parse_u64(key.substr(colon + 1), &n->key[1])) {
+    return false;
+  }
+  if (rest.rfind("a=", 0) != 0) return false;
+  return parse_labels(rest.substr(2), &n->assigned);
+}
+
 void stats_to_text(std::ostream& out, const ExploreStats& st) {
   out << "nodes=" << st.nodes << "\n";
   out << "runs=" << st.runs << "\n";
@@ -199,18 +216,20 @@ std::string to_text(const StateSnapshot& s) {
   std::ostringstream out;
   out << "# wfd_check search snapshot\n";
   out << "snapshot_version=" << s.version << "\n";
-  scenario_to_text(out, s.scenario);
-  out << "reduction=" << reduction_to_text(s.reduction) << "\n";
-  out << "dependence=" << dependence_to_text(s.dependence) << "\n";
-  out << "state_fingerprints=" << (s.state_fingerprints ? 1 : 0) << "\n";
-  out << "order_seed=" << s.order_seed << "\n";
+  search_header_to_text(out, s.config);
   out << "resume_generation=" << s.resume_generation << "\n";
-  out << "path_pending=" << (s.path_pending ? 1 : 0) << "\n";
+  out << "wave=" << s.wave << "\n";
+  out << "next_unit_id=" << s.next_unit_id << "\n";
   stats_to_text(out, s.stats);
   for (const std::string& id : s.conservative_payloads) {
     out << "conservative=" << escape_line(id) << "\n";
   }
-  for (const FrameState& f : s.frames) frame_to_text(out, f);
+  std::uint64_t frames_total = 0;
+  for (const UnitState& u : s.units) {
+    unit_to_text(out, u);
+    frames_total += u.frames.size();
+  }
+  for (const NodeState& n : s.nodes) node_to_text(out, n);
   for (std::size_t i = 0; i < s.fingerprints.size(); i += kFpsPerLine) {
     out << "fps=";
     const std::size_t end = std::min(i + kFpsPerLine, s.fingerprints.size());
@@ -222,7 +241,9 @@ std::string to_text(const StateSnapshot& s) {
   }
   // Trailer: count checks plus an end marker, so a torn or truncated
   // file (no matter how it was produced) fails the parse.
-  out << "frames_total=" << s.frames.size() << "\n";
+  out << "units_total=" << s.units.size() << "\n";
+  out << "nodes_total=" << s.nodes.size() << "\n";
+  out << "frames_total=" << frames_total << "\n";
   out << "fps_total=" << s.fingerprints.size() << "\n";
   out << "end=snapshot\n";
   return out.str();
@@ -242,8 +263,13 @@ std::optional<StateSnapshot> parse_snapshot(const std::string& text,
   std::istringstream in(text);
   std::string line;
   bool saw_end = false;
+  std::optional<std::uint64_t> units_total;
+  std::optional<std::uint64_t> nodes_total;
   std::optional<std::uint64_t> frames_total;
   std::optional<std::uint64_t> fps_total;
+  std::uint64_t frames_seen = 0;
+  /// Frames still owed to the unit last opened by a unit= line.
+  std::uint64_t frames_owed = 0;
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
@@ -252,33 +278,43 @@ std::optional<StateSnapshot> parse_snapshot(const std::string& text,
     const std::string key = line.substr(0, eq);
     const std::string val = line.substr(eq + 1);
     bool ok = true;
-    if (scenario_apply(s.scenario, key, val, &ok) ||
+    if (search_header_apply(s.config, key, val, &ok) ||
         stats_apply(s.stats, key, val, &ok)) {
-      // Scenario / stats field; ok already reflects the parse.
+      // Header / stats field; ok already reflects the parse.
     } else if (key == "snapshot_version") {
       std::uint64_t v = 0;
       ok = parse_u64(val, &v) && v <= UINT32_MAX;
       if (ok) s.version = static_cast<std::uint32_t>(v);
-    } else if (key == "reduction") {
-      ok = parse_reduction(val, &s.reduction);
-    } else if (key == "dependence") {
-      ok = parse_dependence(val, &s.dependence);
-    } else if (key == "state_fingerprints") {
-      ok = parse_bool(val, &s.state_fingerprints);
-    } else if (key == "order_seed") {
-      ok = parse_u64(val, &s.order_seed);
     } else if (key == "resume_generation") {
       ok = parse_u64(val, &s.resume_generation);
-    } else if (key == "path_pending") {
-      ok = parse_bool(val, &s.path_pending);
+    } else if (key == "wave") {
+      ok = parse_u64(val, &s.wave);
+    } else if (key == "next_unit_id") {
+      ok = parse_u64(val, &s.next_unit_id);
     } else if (key == "conservative") {
       std::string id;
       ok = unescape_line(val, &id);
       if (ok) s.conservative_payloads.insert(id);
+    } else if (key == "unit") {
+      if (frames_owed != 0) return fail("unit with missing frames");
+      UnitState u;
+      std::uint64_t expected = 0;
+      if (!parse_unit(val, &u, &expected)) return fail("bad unit: " + val);
+      frames_owed = expected;
+      s.units.push_back(std::move(u));
     } else if (key == "frame") {
+      if (s.units.empty() || frames_owed == 0) {
+        return fail("frame without an owning unit");
+      }
       FrameState f;
       if (!parse_frame(val, &f)) return fail("bad frame: " + val);
-      s.frames.push_back(std::move(f));
+      s.units.back().frames.push_back(std::move(f));
+      --frames_owed;
+      ++frames_seen;
+    } else if (key == "node") {
+      NodeState n;
+      if (!parse_node(val, &n)) return fail("bad node: " + val);
+      s.nodes.push_back(std::move(n));
     } else if (key == "fps") {
       std::string item;
       std::istringstream items(val);
@@ -293,6 +329,14 @@ std::optional<StateSnapshot> parse_snapshot(const std::string& text,
         }
         s.fingerprints.emplace_back(fp, t);
       }
+    } else if (key == "units_total") {
+      std::uint64_t v = 0;
+      ok = parse_u64(val, &v);
+      if (ok) units_total = v;
+    } else if (key == "nodes_total") {
+      std::uint64_t v = 0;
+      ok = parse_u64(val, &v);
+      if (ok) nodes_total = v;
     } else if (key == "frames_total") {
       std::uint64_t v = 0;
       ok = parse_u64(val, &v);
@@ -317,13 +361,26 @@ std::optional<StateSnapshot> parse_snapshot(const std::string& text,
                 "restart the search without --resume)");
   }
   if (!saw_end) return fail("truncated (missing end marker)");
-  if (!frames_total.has_value() || *frames_total != s.frames.size()) {
+  if (frames_owed != 0) return fail("unit with missing frames");
+  if (!units_total.has_value() || *units_total != s.units.size()) {
+    return fail("unit count mismatch");
+  }
+  if (!nodes_total.has_value() || *nodes_total != s.nodes.size()) {
+    return fail("node count mismatch");
+  }
+  if (!frames_total.has_value() || *frames_total != frames_seen) {
     return fail("frame count mismatch");
   }
   if (!fps_total.has_value() || *fps_total != s.fingerprints.size()) {
     return fail("fingerprint count mismatch");
   }
-  const std::string why = ScenarioFactory::validate(s.scenario);
+  for (const UnitState& u : s.units) {
+    if (u.floor > u.frames.size()) {
+      return fail("unit " + std::to_string(u.id) +
+                  ": floor exceeds its frame count");
+    }
+  }
+  const std::string why = validate(s.config);
   if (!why.empty()) return fail(why);
   return s;
 }
@@ -366,49 +423,28 @@ std::optional<StateSnapshot> load_snapshot(const std::string& path,
 }
 
 std::string resume_mismatch(const StateSnapshot& snap,
-                            const ScenarioOptions& scenario,
-                            const ExplorerOptions& opt) {
-  // Compare the rendered scenario headers line by line, so every field
-  // (including ones added later) participates automatically.
+                            const SearchConfig& cfg) {
+  // Compare the rendered search headers line by line, so every scenario
+  // field and every reduction lever (including ones added later)
+  // participates automatically — and only those: threads, budgets and
+  // paths are execution-shape knobs a resume may change freely.
   std::ostringstream have;
   std::ostringstream want;
-  scenario_to_text(have, snap.scenario);
-  scenario_to_text(want, scenario);
-  if (have.str() != want.str()) {
-    std::istringstream ih(have.str());
-    std::istringstream iw(want.str());
-    std::string lh;
-    std::string lw;
-    while (std::getline(ih, lh) && std::getline(iw, lw)) {
-      if (lh != lw) {
-        return "snapshot is for a different scenario: snapshot has '" + lh +
-               "', this run has '" + lw + "'";
-      }
+  search_header_to_text(have, snap.config);
+  search_header_to_text(want, cfg);
+  if (have.str() == want.str()) return "";
+  std::istringstream ih(have.str());
+  std::istringstream iw(want.str());
+  std::string lh;
+  std::string lw;
+  while (std::getline(ih, lh) && std::getline(iw, lw)) {
+    if (lh != lw) {
+      return "snapshot is for a different scenario or search "
+             "configuration: snapshot has '" +
+             lh + "', this run has '" + lw + "'";
     }
-    return "snapshot is for a different scenario";
   }
-  // The frontier's sleep/backtrack sets and visit order are only sound
-  // under the exact reduction configuration that produced them.
-  if (snap.reduction != opt.reduction) {
-    return "snapshot was explored with --reduction=" +
-           reduction_to_text(snap.reduction) + ", this run uses " +
-           reduction_to_text(opt.reduction);
-  }
-  if (snap.dependence != opt.dependence) {
-    return "snapshot was explored with --dep=" +
-           dependence_to_text(snap.dependence) + ", this run uses " +
-           dependence_to_text(opt.dependence);
-  }
-  if (snap.state_fingerprints != opt.state_fingerprints) {
-    return std::string("snapshot fingerprint pruning was ") +
-           (snap.state_fingerprints ? "on" : "off") + ", this run has it " +
-           (opt.state_fingerprints ? "on" : "off");
-  }
-  if (snap.order_seed != opt.order_seed) {
-    return "snapshot order_seed " + std::to_string(snap.order_seed) +
-           " differs from this run's " + std::to_string(opt.order_seed);
-  }
-  return "";
+  return "snapshot is for a different scenario or search configuration";
 }
 
 }  // namespace wfd::explore

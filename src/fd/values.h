@@ -57,7 +57,7 @@ struct PsiValue {
 
   void encode_state(sim::StateEncoder& enc) const {
     enc.field("mode", mode);
-    enc.field("omega", omega);
+    enc.pid_field("omega", omega);
     enc.field("sigma", sigma);
     enc.field("fs", fs);
   }
@@ -86,7 +86,8 @@ struct FdValue {
   [[nodiscard]] std::string to_string() const;
 
   void encode_state(sim::StateEncoder& enc) const {
-    enc.field("omega", omega);
+    enc.field("omega?", omega.has_value());
+    if (omega.has_value()) enc.pid_field("omega", *omega);
     enc.field("sigma", sigma);
     enc.field("fs", fs);
     enc.field("psi?", psi.has_value());

@@ -57,9 +57,13 @@ void FaultState::encode_state(sim::StateEncoder& enc) const {
       for (ProcessId to = 0; to < n_; ++to) {
         const std::size_t l = link(from, to);
         if (link_drops_[l] == 0 && link_dups_[l] == 0) continue;
-        enc.push("link", l);
+        // Scope by the (renamed) endpoints, not the linear index, so a
+        // symmetry renaming maps link budgets to the renamed link.
+        enc.push_proc("link-from", from);
+        enc.push_proc("link-to", to);
         enc.field("drops-left", plan_.drop_budget - link_drops_[l]);
         enc.field("dups-left", plan_.dup_budget - link_dups_[l]);
+        enc.pop();
         enc.pop();
       }
     }

@@ -104,7 +104,12 @@ class NbacFromQcModule : public sim::Module, public NbacApi {
     enc.field("announced", announced_);
     enc.field("proposed", proposed_);
     enc.field("my-vote", my_vote_);
-    sim::encode_field(enc, "votes", votes_);
+    for (std::size_t p = 0; p < votes_.size(); ++p) {
+      // Slot p is *process p's* vote: scope by the renamable identity.
+      enc.push_proc("vote-of", static_cast<ProcessId>(p));
+      sim::encode_field(enc, "vote", votes_[p]);
+      enc.pop();
+    }
     enc.field("votes-received", votes_received_);
     enc.field("decided", decided_);
     enc.field("decision", decision_);

@@ -46,7 +46,7 @@ struct Stamp {
 
   void encode_state(sim::StateEncoder& enc) const {
     enc.field("counter", counter);
-    enc.field("writer", writer);
+    enc.pid_field("writer", writer);
   }
 };
 

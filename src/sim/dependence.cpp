@@ -1,5 +1,7 @@
 #include "sim/dependence.h"
 
+#include "sim/scheduler.h"
+
 namespace wfd::sim {
 
 bool payloads_commute(const Payload& a, const Payload& b,
@@ -12,6 +14,45 @@ bool payloads_commute(const Payload& a, const Payload& b,
   }
   if (!a_classified || !b_classified) return false;
   return a.commutes_with(b) && b.commutes_with(a);
+}
+
+ProcessId label_affected_process(std::uint64_t label) {
+  // The label encodes the affected process directly for every action:
+  // the stepping process for deliver/lambda/start, the crash target for
+  // kCrash, the delivery target for kDrop/kDup (scheduler.h builds those
+  // labels from the pending delivery's target).
+  return ReplayScheduler::label_process(label);
+}
+
+bool fault_step_dependent(std::uint64_t fault, ProcessId step_process,
+                          bool pattern_sensitive) {
+  const StepChoice::Action action = ReplayScheduler::label_action(fault);
+  if (action == StepChoice::Action::kCrash && pattern_sensitive) {
+    // The detector re-reads the evolving pattern: every process can
+    // observe the crash through its next query.
+    return true;
+  }
+  return label_affected_process(fault) == step_process;
+}
+
+bool fault_labels_dependent(std::uint64_t a, std::uint64_t b,
+                            bool pattern_sensitive) {
+  const bool a_fault = ReplayScheduler::label_is_fault(a);
+  const bool b_fault = ReplayScheduler::label_is_fault(b);
+  if (a_fault && b_fault) {
+    // Crash/drop/dup budgets are global: any fault can disable any
+    // other fault label.
+    return true;
+  }
+  if (a_fault) {
+    return fault_step_dependent(a, label_affected_process(b),
+                                pattern_sensitive);
+  }
+  if (b_fault) {
+    return fault_step_dependent(b, label_affected_process(a),
+                                pattern_sensitive);
+  }
+  return label_affected_process(a) == label_affected_process(b);
 }
 
 }  // namespace wfd::sim

@@ -127,8 +127,8 @@ void ModuleHost::encode_modules(StateEncoder& enc) const {
     enc.push("undelivered");
     enc.push(target);
     for (const BufferedMsg& bm : msgs) {
-      StateEncoder sub;
-      sub.field("from", bm.from);
+      StateEncoder sub = enc.child();
+      sub.pid_field("from", bm.from);
       bm.inner->encode_state(sub);
       enc.merge("msg", sub);
     }

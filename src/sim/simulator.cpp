@@ -133,7 +133,7 @@ bool Simulator::process_tick_noop(ProcessId p) const {
 
 void Simulator::encode_state(StateEncoder& enc) const {
   for (ProcessId p = 0; p < cfg_.n; ++p) {
-    enc.push("proc", static_cast<std::uint64_t>(p));
+    enc.push_proc("proc", p);
     enc.field("started", static_cast<bool>(
                              started_p_[static_cast<std::size_t>(p)]));
     enc.field("crashed", !pattern_.alive(p, now_));
@@ -147,9 +147,9 @@ void Simulator::encode_state(StateEncoder& enc) const {
     enc.pop();
   }
   net_.for_each_pending([&enc](const Envelope& env) {
-    StateEncoder sub;
-    sub.field("from", env.from);
-    sub.field("to", env.to);
+    StateEncoder sub = enc.child();
+    sub.pid_field("from", env.from);
+    sub.pid_field("to", env.to);
     if (env.payload != nullptr) {
       env.payload->encode_state(sub);
     }

@@ -18,6 +18,20 @@
 // masks), skip what is derivable or write-only (trace emission already
 // happened), and fold times only as *relative* quantities — absolute
 // timestamps make every depth unique and defeat the pruning.
+//
+// Symmetry canonicalization: an encoder may carry a process renaming
+// (a permutation of 0..n-1). Every process identity folded through the
+// pid-aware entry points — pid_field(), push_proc(), and the ProcessSet
+// overload of field() — is mapped through the renaming first, so the
+// digest of a state under permutation pi equals the plain digest of the
+// pi-renamed state, provided every encode_state routes pids through
+// those entry points. The explorer takes the minimum digest over the
+// scenario's symmetry group (ScenarioFactory::symmetry_classes) as the
+// canonical fingerprint. Sub-encoders must be created with child() so
+// the renaming propagates; a pid site folded through the plain scalar
+// field() is simply not collapsed (the reduction degrades to fewer
+// merges, never to unsound ones — only hash collisions can conflate
+// genuinely different states, as with any fingerprint).
 #pragma once
 
 #include <cstdint>
@@ -34,13 +48,43 @@ namespace wfd::sim {
 
 class StateEncoder {
  public:
+  StateEncoder() = default;
+  /// An encoder that renames process ids through `perm` (size n, a
+  /// permutation of 0..n-1; ids outside the range — kNoProcess — pass
+  /// through). The caller keeps `perm` alive for the encoder's lifetime.
+  explicit StateEncoder(const std::vector<ProcessId>* perm) : perm_(perm) {}
+
+  /// A fresh sub-encoder inheriting the renaming (for the multiset
+  /// idiom with merge()). Always build sub-encoders this way.
+  [[nodiscard]] StateEncoder child() const { return StateEncoder(perm_); }
+
+  /// The renamed identity of `p` (identity map without a renaming).
+  [[nodiscard]] ProcessId map_pid(ProcessId p) const {
+    if (perm_ == nullptr || p < 0 ||
+        static_cast<std::size_t>(p) >= perm_->size()) {
+      return p;
+    }
+    return (*perm_)[static_cast<std::size_t>(p)];
+  }
+
   /// Enter a nested scope; every field folded until the matching pop()
   /// is keyed by this scope (e.g. push("proc", p) around a process).
   void push(std::string_view tag) { ctx_.push_back(mix(top() ^ fnv(tag))); }
   void push(std::string_view tag, std::uint64_t index) {
     ctx_.push_back(mix(top() ^ fnv(tag) ^ mix(index)));
   }
+  /// Scope keyed by a *process identity*: the index is renamed.
+  void push_proc(std::string_view tag, ProcessId p) {
+    push(tag, static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(map_pid(p))));
+  }
   void pop() { ctx_.pop_back(); }
+
+  /// Fold a field whose value *is* a process identity (renamed; -1 /
+  /// kNoProcess encodes consistently either way).
+  void pid_field(std::string_view tag, ProcessId p) {
+    field(tag, static_cast<std::int64_t>(map_pid(p)));
+  }
 
   /// Fold one tagged scalar. Accepts any integral or enum type (values
   /// are sign-extended through int64 so -1 encodes consistently), bools,
@@ -62,7 +106,13 @@ class StateEncoder {
     }
   }
   void field(std::string_view tag, const ProcessSet& value) {
-    fold(tag, value.raw());
+    if (perm_ == nullptr) {
+      fold(tag, value.raw());
+      return;
+    }
+    ProcessSet mapped;
+    for (ProcessId p : value.members()) mapped.insert(map_pid(p));
+    fold(tag, mapped.raw());
   }
   /// Optional fields fold presence plus (when present) the value, so
   /// nullopt and a present zero stay distinct.
@@ -123,6 +173,7 @@ class StateEncoder {
   std::uint64_t count_ = 0;
   std::vector<std::uint64_t> ctx_;
   bool complete_ = true;
+  const std::vector<ProcessId>* perm_ = nullptr;
 };
 
 /// Generic field helper for templated protocol state: scalars go through
@@ -173,7 +224,7 @@ void encode_field(StateEncoder& enc, std::string_view tag,
   enc.push(tag);
   enc.field("#", value.size());
   for (const T& x : value) {
-    StateEncoder sub;
+    StateEncoder sub = enc.child();
     encode_field(sub, "elem", x);
     enc.merge("in", sub);
   }

@@ -130,7 +130,7 @@ class BasicSmrRegisterModule : public sim::Module {
     enc.field("unannounced", unannounced_);
     sim::encode_field(enc, "pool", pool_);
     for (const auto& key : applied_cmds_) {
-      sim::StateEncoder sub;
+      sim::StateEncoder sub = enc.child();
       sub.field("client", key.first);
       sub.field("op-id", key.second);
       enc.merge("applied-cmd", sub);

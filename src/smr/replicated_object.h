@@ -58,7 +58,7 @@ class ReplicatedObjectModule : public sim::Module {
       enc.pop();
     }
     for (const auto& entry : inflight_) {
-      sim::StateEncoder sub;
+      sim::StateEncoder sub = enc.child();
       sub.field("seq", entry.first);
       enc.merge("inflight", sub);
     }

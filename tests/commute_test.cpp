@@ -346,9 +346,10 @@ TEST(DependenceEquivalenceTest, ContentModeStillFindsSeededBug) {
   opt.max_steps = 30;
   const ScenarioBuilder build = ScenarioFactory(opt).builder();
 
-  ExplorerOptions process;
+  SearchConfig process;
+  process.scenario = opt;
   process.dependence = Dependence::kProcess;
-  ExplorerOptions content = process;
+  SearchConfig content = process;
   content.dependence = Dependence::kContent;
 
   Explorer pe(build, process);
@@ -373,12 +374,13 @@ TEST(DependenceEquivalenceTest, ContentModeStaysCleanAndExhaustsFaster) {
   opt.fd_per_query = false;
   const ScenarioBuilder build = ScenarioFactory(opt).builder();
 
-  ExplorerOptions process;
+  SearchConfig process;
+  process.scenario = opt;
   process.dependence = Dependence::kProcess;
   process.state_fingerprints = false;
   process.stop_at_first = false;
   process.max_states = 500000;
-  ExplorerOptions content = process;
+  SearchConfig content = process;
   content.dependence = Dependence::kContent;
 
   Explorer pe(build, process);

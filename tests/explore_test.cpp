@@ -44,7 +44,9 @@ TEST(ScenarioTest, ValidateRejectsBadOptions) {
 
 TEST(ExplorerTest, FindsSeededAgreementBug) {
   const ScenarioBuilder build = ScenarioFactory(bug_options()).builder();
-  Explorer ex(build, ExplorerOptions{});
+  SearchConfig cfg;
+  cfg.scenario = bug_options();
+  Explorer ex(build, cfg);
   const ExploreReport rep = ex.run();
   ASSERT_TRUE(rep.cex.has_value());
   EXPECT_EQ(rep.cex->violation.property, "agreement(decide)");
@@ -57,7 +59,8 @@ TEST(ExplorerTest, CleanConsensusHasNoViolationWithinBudget) {
   opt.problem = "consensus";
   opt.n = 3;
   opt.max_steps = 25;
-  ExplorerOptions eo;
+  SearchConfig eo;
+  eo.scenario = opt;
   eo.max_states = 20000;
   Explorer ex(ScenarioFactory(opt).builder(), eo);
   const ExploreReport rep = ex.run();
@@ -69,7 +72,8 @@ TEST(ExplorerTest, ExhaustsTinyTree) {
   ScenarioOptions opt = bug_options();
   opt.n = 2;
   opt.max_steps = 6;
-  ExplorerOptions eo;
+  SearchConfig eo;
+  eo.scenario = opt;
   eo.max_states = 500000;
   eo.stop_at_first = false;  // Keep going past violations.
   Explorer ex(ScenarioFactory(opt).builder(), eo);
@@ -83,13 +87,14 @@ TEST(ExplorerTest, ExhaustsTinyTree) {
 TEST(ExplorerTest, SleepSetsPruneWithoutLosingTheBug) {
   ScenarioOptions opt = bug_options();
   opt.max_steps = 9;
-  ExplorerOptions with;
+  SearchConfig with;
+  with.scenario = opt;
   with.max_states = 40000;
   with.stop_at_first = false;
   with.reduction = Reduction::kSleepSets;
   // Pure reduction ablation: keep fingerprints out of the picture.
   with.state_fingerprints = false;
-  ExplorerOptions without = with;
+  SearchConfig without = with;
   without.reduction = Reduction::kNone;
   const ScenarioBuilder build = ScenarioFactory(opt).builder();
   Explorer a(build, with);
@@ -106,7 +111,8 @@ TEST(ExplorerTest, SleepSetsPruneWithoutLosingTheBug) {
 TEST(ExplorerTest, FingerprintPruningFires) {
   ScenarioOptions opt = bug_options();
   opt.max_steps = 12;
-  ExplorerOptions eo;
+  SearchConfig eo;
+  eo.scenario = opt;
   eo.max_states = 5000;
   eo.stop_at_first = false;
   // The seeded-bug scenario is fully modular, so the composed
@@ -120,7 +126,9 @@ TEST(ExplorerTest, FingerprintPruningFires) {
 
 TEST(ShrinkTest, ShrunkCounterexampleStillReproduces) {
   const ScenarioBuilder build = ScenarioFactory(bug_options()).builder();
-  Explorer ex(build, ExplorerOptions{});
+  SearchConfig cfg;
+  cfg.scenario = bug_options();
+  Explorer ex(build, cfg);
   const ExploreReport rep = ex.run();
   ASSERT_TRUE(rep.cex.has_value());
 
@@ -134,7 +142,9 @@ TEST(ShrinkTest, ShrunkCounterexampleStillReproduces) {
 
 TEST(ReplayTest, ReplayIsDeterministic) {
   const ScenarioBuilder build = ScenarioFactory(bug_options()).builder();
-  Explorer ex(build, ExplorerOptions{});
+  SearchConfig cfg;
+  cfg.scenario = bug_options();
+  Explorer ex(build, cfg);
   const ExploreReport rep = ex.run();
   ASSERT_TRUE(rep.cex.has_value());
   const ReplayOutcome a = run_replay(build, rep.cex->decisions);
@@ -266,7 +276,8 @@ TEST(ReplayTest, RoundTripsEveryProblemAndAwkwardNotes) {
 }
 
 TEST(CampaignTest, FindsSeededBugAndShrinksIt) {
-  CampaignOptions co;
+  SearchConfig co;
+  co.scenario = bug_options();
   co.threads = 4;
   co.runs = 2000;
   co.frontier_workers = 2;
@@ -312,7 +323,7 @@ TEST(CampaignTest, StopFlagCancelsFrontierWorkers) {
   // frontier_states budget after the counterexample was already claimed.
   // The budgets below are sized so that an un-cancelled worker would
   // materialize millions of nodes (minutes of work); with the flag
-  // plumbed through ExplorerOptions::cancel the campaign returns almost
+  // plumbed through SearchConfig::cancel the campaign returns almost
   // immediately and the node total stays far below the budget.
   ScenarioOptions opt;
   opt.problem = "consensus";
@@ -325,7 +336,8 @@ TEST(CampaignTest, StopFlagCancelsFrontierWorkers) {
     sc.invariants.push_back(std::make_unique<OneShotInvariant>(fuse));
     return sc;
   };
-  CampaignOptions co;
+  SearchConfig co;
+  co.scenario = opt;
   co.threads = 2;
   co.runs = 1000000;
   co.frontier_workers = 2;
@@ -350,7 +362,8 @@ TEST(CampaignTest, CorrectProtocolsStayClean) {
     opt.crashes = 1;
     opt.max_steps = 50;
     if (opt.problem == "nbac") opt.nbac_no_voter = 0;
-    CampaignOptions co;
+    SearchConfig co;
+    co.scenario = opt;
     co.threads = 4;
     co.runs = 300;
     co.shrink = false;

@@ -22,7 +22,7 @@ namespace wfd {
 namespace {
 
 using explore::Explorer;
-using explore::ExplorerOptions;
+using explore::SearchConfig;
 using explore::ExploreReport;
 using explore::ScenarioFactory;
 using explore::ScenarioOptions;
@@ -292,7 +292,9 @@ TEST(CrashTimingBugTest, ExploredCrashTimingFindsTheBug) {
   opt.n = 3;
   opt.crash_mode = "explore";
   opt.crashes = 1;
-  Explorer ex(ScenarioFactory(opt).builder(), ExplorerOptions{});
+  SearchConfig cfg;
+  cfg.scenario = opt;
+  Explorer ex(ScenarioFactory(opt).builder(), cfg);
   const ExploreReport rep = ex.run();
   ASSERT_TRUE(rep.cex.has_value())
       << "crash-timing exploration missed the seeded bug";
@@ -310,7 +312,9 @@ TEST(CrashTimingBugTest, ScriptedEarlyCrashProvablyMissesTheBug) {
   opt.n = 3;
   opt.crashes = 1;
   opt.crash_time = 2;
-  Explorer ex(ScenarioFactory(opt).builder(), ExplorerOptions{});
+  SearchConfig cfg;
+  cfg.scenario = opt;
+  Explorer ex(ScenarioFactory(opt).builder(), cfg);
   const ExploreReport rep = ex.run();
   EXPECT_FALSE(rep.cex.has_value())
       << rep.cex->violation.property << ": " << rep.cex->violation.message;
@@ -322,7 +326,9 @@ TEST(CrashTimingBugTest, CrashFreeTreeIsClean) {
   ScenarioOptions opt;
   opt.problem = "consensus-crash-bug";
   opt.n = 3;
-  Explorer ex(ScenarioFactory(opt).builder(), ExplorerOptions{});
+  SearchConfig cfg;
+  cfg.scenario = opt;
+  Explorer ex(ScenarioFactory(opt).builder(), cfg);
   const ExploreReport rep = ex.run();
   EXPECT_FALSE(rep.cex.has_value());
   EXPECT_TRUE(rep.stats.exhausted);
@@ -338,7 +344,8 @@ TEST(LossyLinkTest, RegisterAtomicityHoldsThroughRetransmission) {
   opt.reg_ops = 1;
   opt.reg_readers = 1;
   opt.max_steps = 30;
-  ExplorerOptions eo;
+  SearchConfig eo;
+  eo.scenario = opt;
   eo.budget_states = 8000;
   Explorer ex(ScenarioFactory(opt).builder(), eo);
   const ExploreReport rep = ex.run();

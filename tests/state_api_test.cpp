@@ -108,7 +108,8 @@ TEST(StateApiTest, DefaultCompositionPrunesAndReportsCoverage) {
   opt.problem = "consensus";
   opt.n = 2;
   opt.max_steps = 10;
-  ExplorerOptions eo;
+  SearchConfig eo;
+  eo.scenario = opt;
   eo.max_states = 200000;
   eo.stop_at_first = false;
   Explorer ex(ScenarioFactory(opt).builder(), eo);
@@ -139,12 +140,13 @@ TEST(StateApiTest, DporRefindsSeededBugWithFewerStatesThanSleepSets) {
   opt.max_steps = 6;
   const ScenarioBuilder build = ScenarioFactory(opt).builder();
 
-  ExplorerOptions dpor;
+  SearchConfig dpor;
+  dpor.scenario = opt;
   dpor.max_states = 500000;
   dpor.stop_at_first = false;
   dpor.reduction = Reduction::kDpor;
   dpor.state_fingerprints = false;
-  ExplorerOptions sleep = dpor;
+  SearchConfig sleep = dpor;
   sleep.reduction = Reduction::kSleepSets;
 
   Explorer a(build, dpor);

@@ -1,11 +1,12 @@
 // Persistent search snapshots (explore/state_store.h) and the
-// save/resume path through the explorer: the text format round-trips,
-// corrupt or truncated snapshots are rejected, a snapshot never resumes
-// under a different scenario or reduction configuration, and — the
-// headline property — a search split across budgeted save/resume
-// invocations ends with exactly the stats, coverage and violation of a
-// single uninterrupted run, even when an invocation was abandoned
-// mid-run by cooperative cancel.
+// save/resume path through the explorer: the v3 text format (unit queue
+// + node registry + search header) round-trips, corrupt or truncated
+// snapshots are rejected, a snapshot never resumes under a different
+// scenario or reduction configuration, and — the headline property — a
+// search split across budgeted save/resume invocations ends with
+// exactly the stats, coverage and violation of a single uninterrupted
+// run, even when an invocation was abandoned mid-wave by cooperative
+// cancel.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -17,6 +18,7 @@
 
 #include "explore/explorer.h"
 #include "explore/scenario.h"
+#include "explore/search_config.h"
 #include "explore/state_store.h"
 
 namespace wfd::explore {
@@ -24,14 +26,17 @@ namespace {
 
 StateSnapshot sample_snapshot() {
   StateSnapshot s;
-  s.scenario.problem = "consensus-bug";
-  s.scenario.n = 3;
-  s.scenario.max_steps = 30;
-  s.reduction = Reduction::kDpor;
-  s.dependence = Dependence::kContent;
-  s.order_seed = 7;
+  s.config.scenario.problem = "consensus-bug";
+  s.config.scenario.n = 3;
+  s.config.scenario.max_steps = 30;
+  s.config.reduction = Reduction::kDpor;
+  s.config.dependence = Dependence::kContent;
+  s.config.fault_dependence = true;
+  s.config.symmetry = true;
+  s.config.order_seed = 7;
   s.resume_generation = 3;
-  s.path_pending = true;
+  s.wave = 2;
+  s.next_unit_id = 6;
   s.stats.nodes = 41;
   s.stats.runs = 11;
   s.stats.steps = 512;
@@ -40,6 +45,7 @@ StateSnapshot sample_snapshot() {
   s.stats.hb_races = 2;
   s.stats.backtrack_points = 17;
   s.stats.violations = 1;
+  s.stats.injected_crashes = 3;
   s.conservative_payloads = {"weird\npayload", "zeta"};
   FrameState f0;
   f0.kind = sim::ChoiceKind::kSchedule;
@@ -54,7 +60,24 @@ StateSnapshot sample_snapshot() {
   f1.labels = {0, 1};
   f1.chosen = 0;
   f1.blocked = true;
-  s.frames = {f0, f1};
+  UnitState u0;
+  u0.id = 2;
+  u0.floor = 1;
+  u0.path_pending = true;
+  u0.frames = {f0, f1};
+  UnitState u1;
+  u1.id = 5;
+  u1.floor = 0;
+  u1.path_pending = false;
+  u1.frames = {f0};
+  s.units = {u0, u1};
+  NodeState n0;
+  n0.key = {0x123456789abcdef0ull, 0x0fedcba987654321ull};
+  n0.assigned = {20, 10};
+  NodeState n1;
+  n1.key = {7, 8};
+  n1.assigned = {};
+  s.nodes = {n0, n1};
   s.fingerprints = {{3, 9}, {77, 0}, {12345678901234567890ull, 4}};
   return s;
 }
@@ -65,15 +88,18 @@ TEST(StateStoreTest, TextRoundTripsEveryField) {
   const auto p = parse_snapshot(to_text(s), &error);
   ASSERT_TRUE(p.has_value()) << error;
   EXPECT_EQ(p->version, StateSnapshot::kVersion);
-  EXPECT_EQ(p->scenario.problem, s.scenario.problem);
-  EXPECT_EQ(p->scenario.n, s.scenario.n);
-  EXPECT_EQ(p->scenario.max_steps, s.scenario.max_steps);
-  EXPECT_EQ(p->reduction, s.reduction);
-  EXPECT_EQ(p->dependence, s.dependence);
-  EXPECT_EQ(p->state_fingerprints, s.state_fingerprints);
-  EXPECT_EQ(p->order_seed, s.order_seed);
+  EXPECT_EQ(p->config.scenario.problem, s.config.scenario.problem);
+  EXPECT_EQ(p->config.scenario.n, s.config.scenario.n);
+  EXPECT_EQ(p->config.scenario.max_steps, s.config.scenario.max_steps);
+  EXPECT_EQ(p->config.reduction, s.config.reduction);
+  EXPECT_EQ(p->config.dependence, s.config.dependence);
+  EXPECT_EQ(p->config.fault_dependence, s.config.fault_dependence);
+  EXPECT_EQ(p->config.symmetry, s.config.symmetry);
+  EXPECT_EQ(p->config.state_fingerprints, s.config.state_fingerprints);
+  EXPECT_EQ(p->config.order_seed, s.config.order_seed);
   EXPECT_EQ(p->resume_generation, s.resume_generation);
-  EXPECT_EQ(p->path_pending, s.path_pending);
+  EXPECT_EQ(p->wave, s.wave);
+  EXPECT_EQ(p->next_unit_id, s.next_unit_id);
   EXPECT_EQ(p->stats.nodes, s.stats.nodes);
   EXPECT_EQ(p->stats.runs, s.stats.runs);
   EXPECT_EQ(p->stats.steps, s.stats.steps);
@@ -82,18 +108,32 @@ TEST(StateStoreTest, TextRoundTripsEveryField) {
   EXPECT_EQ(p->stats.hb_races, s.stats.hb_races);
   EXPECT_EQ(p->stats.backtrack_points, s.stats.backtrack_points);
   EXPECT_EQ(p->stats.violations, s.stats.violations);
+  EXPECT_EQ(p->stats.injected_crashes, s.stats.injected_crashes);
   EXPECT_EQ(p->stats.exhausted, s.stats.exhausted);
   EXPECT_EQ(p->conservative_payloads, s.conservative_payloads);
-  ASSERT_EQ(p->frames.size(), s.frames.size());
-  for (std::size_t i = 0; i < s.frames.size(); ++i) {
-    EXPECT_EQ(p->frames[i].kind, s.frames[i].kind) << i;
-    EXPECT_EQ(p->frames[i].chosen, s.frames[i].chosen) << i;
-    EXPECT_EQ(p->frames[i].start, s.frames[i].start) << i;
-    EXPECT_EQ(p->frames[i].blocked, s.frames[i].blocked) << i;
-    EXPECT_EQ(p->frames[i].labels, s.frames[i].labels) << i;
-    EXPECT_EQ(p->frames[i].sleep, s.frames[i].sleep) << i;
-    EXPECT_EQ(p->frames[i].explored, s.frames[i].explored) << i;
-    EXPECT_EQ(p->frames[i].backtrack, s.frames[i].backtrack) << i;
+  ASSERT_EQ(p->units.size(), s.units.size());
+  for (std::size_t i = 0; i < s.units.size(); ++i) {
+    EXPECT_EQ(p->units[i].id, s.units[i].id) << i;
+    EXPECT_EQ(p->units[i].floor, s.units[i].floor) << i;
+    EXPECT_EQ(p->units[i].path_pending, s.units[i].path_pending) << i;
+    ASSERT_EQ(p->units[i].frames.size(), s.units[i].frames.size()) << i;
+    for (std::size_t j = 0; j < s.units[i].frames.size(); ++j) {
+      const FrameState& a = p->units[i].frames[j];
+      const FrameState& b = s.units[i].frames[j];
+      EXPECT_EQ(a.kind, b.kind) << i << "/" << j;
+      EXPECT_EQ(a.chosen, b.chosen) << i << "/" << j;
+      EXPECT_EQ(a.start, b.start) << i << "/" << j;
+      EXPECT_EQ(a.blocked, b.blocked) << i << "/" << j;
+      EXPECT_EQ(a.labels, b.labels) << i << "/" << j;
+      EXPECT_EQ(a.sleep, b.sleep) << i << "/" << j;
+      EXPECT_EQ(a.explored, b.explored) << i << "/" << j;
+      EXPECT_EQ(a.backtrack, b.backtrack) << i << "/" << j;
+    }
+  }
+  ASSERT_EQ(p->nodes.size(), s.nodes.size());
+  for (std::size_t i = 0; i < s.nodes.size(); ++i) {
+    EXPECT_EQ(p->nodes[i].key, s.nodes[i].key) << i;
+    EXPECT_EQ(p->nodes[i].assigned, s.nodes[i].assigned) << i;
   }
   EXPECT_EQ(p->fingerprints, s.fingerprints);
   // Rendering is canonical: parse(text) re-renders byte-identically.
@@ -110,13 +150,13 @@ TEST(StateStoreTest, ParseRejectsCorruption) {
     EXPECT_FALSE(parse_snapshot(good.substr(0, keep), &error).has_value())
         << "accepted a " << keep << "-byte prefix";
   }
-  // A dropped frame line fails the frames_total check.
+  // A dropped frame line leaves its unit owing frames.
   std::string missing = good;
   const std::size_t at = missing.find("frame=");
   ASSERT_NE(at, std::string::npos);
   missing.erase(at, missing.find('\n', at) - at + 1);
   EXPECT_FALSE(parse_snapshot(missing, &error).has_value());
-  EXPECT_NE(error.find("frame count"), std::string::npos) << error;
+  EXPECT_NE(error.find("frames"), std::string::npos) << error;
 
   // Unknown versions are rejected, not guessed at.
   std::string vers = good;
@@ -137,34 +177,55 @@ TEST(StateStoreTest, ParseRejectsCorruption) {
   badfps.insert(fp + 4, "99999999999999999999:1,");
   EXPECT_FALSE(parse_snapshot(badfps, &error).has_value());
 
-  // A frame whose chosen index escapes its menu is structurally invalid.
-  EXPECT_FALSE(
-      parse_snapshot(good + "frame=k=0;c=5;s=0;b=0;l=1,2;sl=;ex=;bt=\n",
-                     &error)
-          .has_value());
+  // A frame whose chosen index escapes its menu is structurally invalid
+  // (first frame's menu has three entries; point `c` past it).
+  std::string badframe = good;
+  const std::size_t fr = badframe.find("frame=k=0;c=1");
+  ASSERT_NE(fr, std::string::npos);
+  badframe.replace(fr, std::string("frame=k=0;c=1").size(),
+                   "frame=k=0;c=5");
+  EXPECT_FALSE(parse_snapshot(badframe, &error).has_value());
   EXPECT_NE(error.find("bad frame"), std::string::npos) << error;
+
+  // A frame with no owning unit (or past its unit's count) is orphaned.
+  std::string orphan = good;
+  const std::size_t u = orphan.find("unit=");
+  ASSERT_NE(u, std::string::npos);
+  orphan.insert(u, "frame=k=0;c=0;s=0;b=0;l=1,2;sl=;ex=;bt=\n");
+  EXPECT_FALSE(parse_snapshot(orphan, &error).has_value());
+  EXPECT_NE(error.find("owning unit"), std::string::npos) << error;
+
+  // A unit whose floor exceeds its frame count could never backtrack.
+  std::string floored = good;
+  const std::size_t uf = floored.find("unit=id=5;floor=0");
+  ASSERT_NE(uf, std::string::npos);
+  floored.replace(uf, std::string("unit=id=5;floor=0").size(),
+                  "unit=id=5;floor=9");
+  EXPECT_FALSE(parse_snapshot(floored, &error).has_value());
+  EXPECT_NE(error.find("floor"), std::string::npos) << error;
 }
 
 TEST(StateStoreTest, OldFormatVersionIsIncompatibleNotCorrupt) {
   // A well-formed snapshot of a previous format version must be refused
   // as an *incompatibility* (wrong_version), with a message that tells
-  // the user what to do — not lumped in with corrupt files. The v1->v2
-  // bump (fault injection) changed what frame labels and fingerprints
-  // mean, so resuming a v1 frontier under a v2 build would silently
-  // explore the wrong tree.
+  // the user what to do — not lumped in with corrupt files. The v2->v3
+  // bump (wave-scheduled search) replaced the single DFS path with the
+  // unit queue and changed the renaming-aware state encoding, so
+  // resuming a v2 frontier under a v3 build would silently explore the
+  // wrong tree.
   std::string old = to_text(sample_snapshot());
   const std::string tag =
       "snapshot_version=" + std::to_string(StateSnapshot::kVersion);
   const std::size_t at = old.find(tag);
   ASSERT_NE(at, std::string::npos);
-  old.replace(at, tag.size(), "snapshot_version=1");
+  old.replace(at, tag.size(), "snapshot_version=2");
 
   std::string error;
   bool wrong_version = false;
   EXPECT_FALSE(parse_snapshot(old, &error, &wrong_version).has_value());
   EXPECT_TRUE(wrong_version);
-  EXPECT_NE(error.find("snapshot_version 1"), std::string::npos) << error;
-  EXPECT_NE(error.find("version 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("snapshot_version 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("version 3"), std::string::npos) << error;
   EXPECT_NE(error.find("--resume"), std::string::npos) << error;
 
   // Corruption, by contrast, must NOT claim a version mismatch.
@@ -176,32 +237,43 @@ TEST(StateStoreTest, OldFormatVersionIsIncompatibleNotCorrupt) {
 
 TEST(StateStoreTest, ResumeMismatchNamesTheField) {
   const StateSnapshot snap = sample_snapshot();
-  ExplorerOptions eo;
-  eo.order_seed = snap.order_seed;
-  EXPECT_EQ(resume_mismatch(snap, snap.scenario, eo), "");
+  // The snapshot's own search header resumes cleanly; execution-shape
+  // knobs (threads, budgets, paths) may differ freely.
+  SearchConfig cfg = snap.config;
+  cfg.threads = 8;
+  cfg.max_states = 1;
+  cfg.budget_states = 99;
+  cfg.save_path = "elsewhere.wfds";
+  EXPECT_EQ(resume_mismatch(snap, cfg), "");
 
-  ScenarioOptions other = snap.scenario;
-  other.n = 4;
-  const std::string why = resume_mismatch(snap, other, eo);
+  SearchConfig other = cfg;
+  other.scenario.n = 4;
+  const std::string why = resume_mismatch(snap, other);
   EXPECT_NE(why.find("different scenario"), std::string::npos) << why;
   EXPECT_NE(why.find("n=3"), std::string::npos) << why;
   EXPECT_NE(why.find("n=4"), std::string::npos) << why;
 
-  ExplorerOptions red = eo;
+  SearchConfig red = cfg;
   red.reduction = Reduction::kNone;
-  EXPECT_NE(resume_mismatch(snap, snap.scenario, red).find("--reduction"),
-            std::string::npos);
-  ExplorerOptions dep = eo;
+  EXPECT_NE(resume_mismatch(snap, red).find("reduction"), std::string::npos);
+  SearchConfig dep = cfg;
   dep.dependence = Dependence::kProcess;
-  EXPECT_NE(resume_mismatch(snap, snap.scenario, dep).find("--dep"),
+  EXPECT_NE(resume_mismatch(snap, dep).find("dependence"),
             std::string::npos);
-  ExplorerOptions fps = eo;
+  SearchConfig fdep = cfg;
+  fdep.fault_dependence = false;
+  EXPECT_NE(resume_mismatch(snap, fdep).find("fault_dependence"),
+            std::string::npos);
+  SearchConfig sym = cfg;
+  sym.symmetry = false;
+  EXPECT_NE(resume_mismatch(snap, sym).find("symmetry"), std::string::npos);
+  SearchConfig fps = cfg;
   fps.state_fingerprints = false;
-  EXPECT_NE(resume_mismatch(snap, snap.scenario, fps).find("fingerprint"),
+  EXPECT_NE(resume_mismatch(snap, fps).find("fingerprint"),
             std::string::npos);
-  ExplorerOptions seed = eo;
+  SearchConfig seed = cfg;
   seed.order_seed = 8;
-  EXPECT_NE(resume_mismatch(snap, snap.scenario, seed).find("order_seed"),
+  EXPECT_NE(resume_mismatch(snap, seed).find("order_seed"),
             std::string::npos);
 }
 
@@ -250,18 +322,18 @@ struct SplitResult {
 /// budget, save, resume from the save, until the tree is done or a
 /// violation is claimed.
 SplitResult run_split(const ScenarioOptions& scenario,
-                      const ExplorerOptions& base, std::uint64_t budget,
+                      const SearchConfig& base, std::uint64_t budget,
                       const std::string& path) {
   const ScenarioBuilder build = ScenarioFactory(scenario).builder();
   SplitResult out;
   std::remove(path.c_str());
   for (int i = 0; i < 200; ++i) {
-    ExplorerOptions eo = base;
-    eo.budget_states = budget;
-    eo.save_path = path;
-    eo.scenario = scenario;
-    if (i > 0) eo.resume_path = path;
-    Explorer ex(build, eo);
+    SearchConfig cfg = base;
+    cfg.budget_states = budget;
+    cfg.save_path = path;
+    cfg.scenario = scenario;
+    if (i > 0) cfg.resume_path = path;
+    Explorer ex(build, cfg);
     out.last = ex.run();
     out.resumes = i;
     EXPECT_EQ(out.last.resume_error, "");
@@ -290,14 +362,21 @@ void expect_stats_eq(const ExploreStats& a, const ExploreStats& b) {
   EXPECT_EQ(a.exhausted, b.exhausted);
 }
 
+SearchConfig scenario_config(const ScenarioOptions& scenario) {
+  SearchConfig cfg;
+  cfg.scenario = scenario;
+  return cfg;
+}
+
 TEST(ResumeTest, SplitSearchMatchesSingleShot) {
   const ScenarioOptions scenario = small_clean_options();
-  Explorer single(ScenarioFactory(scenario).builder(), ExplorerOptions{});
+  Explorer single(ScenarioFactory(scenario).builder(),
+                  scenario_config(scenario));
   const ExploreReport whole = single.run();
   ASSERT_TRUE(whole.stats.exhausted);
 
   const SplitResult split =
-      run_split(scenario, ExplorerOptions{}, 300,
+      run_split(scenario, scenario_config(scenario), 300,
                 testing::TempDir() + "wfd_resume_clean.wfds");
   ASSERT_GE(split.resumes, 2) << "budget too large to exercise resume";
   expect_stats_eq(split.last.stats, whole.stats);
@@ -309,37 +388,37 @@ TEST(ResumeTest, SplitSearchMatchesSingleShot) {
 
 TEST(ResumeTest, SplitSearchFindsTheSameViolation) {
   const ScenarioOptions scenario = bug_options();
-  Explorer single(ScenarioFactory(scenario).builder(), ExplorerOptions{});
+  Explorer single(ScenarioFactory(scenario).builder(),
+                  scenario_config(scenario));
   const ExploreReport whole = single.run();
   ASSERT_TRUE(whole.cex.has_value());
 
   const SplitResult split =
-      run_split(scenario, ExplorerOptions{}, 5,
+      run_split(scenario, scenario_config(scenario), 5,
                 testing::TempDir() + "wfd_resume_bug.wfds");
   ASSERT_GE(split.resumes, 1) << "violation found before any resume";
   ASSERT_TRUE(split.cex.has_value());
   EXPECT_EQ(split.cex->violation.property, whole.cex->violation.property);
-  // Resume continues the very same DFS, so the violating run replays the
-  // identical decision sequence the single-shot search found.
+  // Resume continues the very same wave schedule, so the violating run
+  // replays the identical decision sequence the single-shot search
+  // found.
   EXPECT_EQ(split.cex->decisions, whole.cex->decisions);
 }
 
 TEST(ResumeTest, MismatchedScenarioIsRejected) {
   const ScenarioOptions bug = bug_options();
   const std::string path = testing::TempDir() + "wfd_resume_mismatch.wfds";
-  ExplorerOptions save;
+  SearchConfig save = scenario_config(bug);
   save.budget_states = 5;
   save.save_path = path;
-  save.scenario = bug;
   Explorer first(ScenarioFactory(bug).builder(), save);
   ASSERT_EQ(first.run().save_error, "");
 
   ScenarioOptions clean = bug;
   clean.problem = "consensus";
-  ExplorerOptions eo;
-  eo.resume_path = path;
-  eo.scenario = clean;
-  Explorer second(ScenarioFactory(clean).builder(), eo);
+  SearchConfig cfg = scenario_config(clean);
+  cfg.resume_path = path;
+  Explorer second(ScenarioFactory(clean).builder(), cfg);
   const ExploreReport rep = second.run();
   EXPECT_TRUE(rep.resume_rejected);
   EXPECT_NE(rep.resume_error.find("different scenario"), std::string::npos)
@@ -351,15 +430,14 @@ TEST(ResumeTest, MismatchedScenarioIsRejected) {
 }
 
 TEST(ResumeTest, OldFormatSnapshotIsRejectedAsIncompatible) {
-  // End-to-end exit-2 contract: Explorer resume from a v1 file sets
+  // End-to-end exit-2 contract: Explorer resume from a v2 file sets
   // resume_rejected (wfd_check maps that to the incompatible-snapshot
   // exit code) and runs nothing.
   const ScenarioOptions scenario = bug_options();
   const std::string path = testing::TempDir() + "wfd_resume_oldver.wfds";
-  ExplorerOptions save;
+  SearchConfig save = scenario_config(scenario);
   save.budget_states = 5;
   save.save_path = path;
-  save.scenario = scenario;
   Explorer first(ScenarioFactory(scenario).builder(), save);
   ASSERT_EQ(first.run().save_error, "");
 
@@ -377,7 +455,7 @@ TEST(ResumeTest, OldFormatSnapshotIsRejectedAsIncompatible) {
       "snapshot_version=" + std::to_string(StateSnapshot::kVersion);
   const std::size_t at = text.find(tag);
   ASSERT_NE(at, std::string::npos);
-  text.replace(at, tag.size(), "snapshot_version=1");
+  text.replace(at, tag.size(), "snapshot_version=2");
   {
     std::FILE* f = std::fopen(path.c_str(), "w");
     ASSERT_NE(f, nullptr);
@@ -385,10 +463,9 @@ TEST(ResumeTest, OldFormatSnapshotIsRejectedAsIncompatible) {
     std::fclose(f);
   }
 
-  ExplorerOptions eo;
-  eo.resume_path = path;
-  eo.scenario = scenario;
-  Explorer second(ScenarioFactory(scenario).builder(), eo);
+  SearchConfig cfg = scenario_config(scenario);
+  cfg.resume_path = path;
+  Explorer second(ScenarioFactory(scenario).builder(), cfg);
   const ExploreReport rep = second.run();
   EXPECT_TRUE(rep.resume_rejected);
   EXPECT_NE(rep.resume_error.find("snapshot_version"), std::string::npos)
@@ -407,10 +484,9 @@ TEST(ResumeTest, CorruptSnapshotIsRejectedWithoutRunning) {
     std::fclose(f);
   }
   const ScenarioOptions scenario = bug_options();
-  ExplorerOptions eo;
-  eo.resume_path = path;
-  eo.scenario = scenario;
-  Explorer ex(ScenarioFactory(scenario).builder(), eo);
+  SearchConfig cfg = scenario_config(scenario);
+  cfg.resume_path = path;
+  Explorer ex(ScenarioFactory(scenario).builder(), cfg);
   const ExploreReport rep = ex.run();
   EXPECT_FALSE(rep.resume_error.empty());
   EXPECT_FALSE(rep.resume_rejected);  // Corrupt, not incompatible.
@@ -423,9 +499,9 @@ TEST(ResumeTest, CorruptSnapshotIsRejectedWithoutRunning) {
 
 TEST(CancelTest, PreSetCancelStopsBeforeAnyExpansion) {
   std::atomic<bool> stop{true};
-  ExplorerOptions eo;
-  eo.cancel = &stop;
-  Explorer ex(ScenarioFactory(small_clean_options()).builder(), eo);
+  SearchConfig cfg = scenario_config(small_clean_options());
+  cfg.cancel = &stop;
+  Explorer ex(ScenarioFactory(small_clean_options()).builder(), cfg);
   const ExploreReport rep = ex.run();
   EXPECT_TRUE(rep.cancelled);
   EXPECT_EQ(rep.stats.nodes, 0u);
@@ -443,10 +519,10 @@ TEST(CancelTest, CancelledSearchNeverClaimsExhaustion) {
   opt.max_steps = 40;  // Big enough that the search outlives the timer.
   opt.fd_per_query = true;
   std::atomic<bool> stop{false};
-  ExplorerOptions eo;
-  eo.max_states = 100000000;
-  eo.cancel = &stop;
-  Explorer ex(ScenarioFactory(opt).builder(), eo);
+  SearchConfig cfg = scenario_config(opt);
+  cfg.max_states = 100000000;
+  cfg.cancel = &stop;
+  Explorer ex(ScenarioFactory(opt).builder(), cfg);
   std::thread timer([&stop] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     stop.store(true, std::memory_order_relaxed);
@@ -459,24 +535,23 @@ TEST(CancelTest, CancelledSearchNeverClaimsExhaustion) {
 }
 
 TEST(CancelTest, CancelledRunLeavesNoTraceInTheSnapshot) {
-  // The acid test of the rollback: cancel an invocation at a random
+  // The acid test of the wave discard: cancel an invocation at a random
   // point mid-search, snapshot it, then resume with no cancel and run to
-  // exhaustion. If the abandoned run leaked frames, fingerprints or
+  // exhaustion. If the abandoned wave leaked units, fingerprints or
   // stats into the snapshot, the final totals would diverge from the
   // uninterrupted run's.
   const ScenarioOptions scenario = small_clean_options();
   const ScenarioBuilder build = ScenarioFactory(scenario).builder();
-  Explorer single(build, ExplorerOptions{});
+  Explorer single(build, scenario_config(scenario));
   const ExploreReport whole = single.run();
   ASSERT_TRUE(whole.stats.exhausted);
 
   const std::string path = testing::TempDir() + "wfd_resume_cancel.wfds";
   std::remove(path.c_str());
   std::atomic<bool> stop{false};
-  ExplorerOptions first;
+  SearchConfig first = scenario_config(scenario);
   first.cancel = &stop;
   first.save_path = path;
-  first.scenario = scenario;
   Explorer cancelled(build, first);
   std::thread timer([&stop] {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
@@ -488,12 +563,11 @@ TEST(CancelTest, CancelledRunLeavesNoTraceInTheSnapshot) {
 
   ExploreReport last = partial;
   for (int i = 0; !last.stats.exhausted && i < 200; ++i) {
-    ExplorerOptions eo;
-    eo.budget_states = 500;
-    eo.save_path = path;
-    eo.resume_path = path;
-    eo.scenario = scenario;
-    Explorer ex(build, eo);
+    SearchConfig cfg = scenario_config(scenario);
+    cfg.budget_states = 500;
+    cfg.save_path = path;
+    cfg.resume_path = path;
+    Explorer ex(build, cfg);
     last = ex.run();
     ASSERT_EQ(last.resume_error, "") << last.resume_error;
   }

@@ -5,7 +5,9 @@
 #  1. Clean exhaustive scenario (register n=3): a search split across
 #     --budget-states / --save-state / --resume invocations must end
 #     with the same states, runs, steps and coverage verdict as the
-#     single-shot run.
+#     single-shot run. The looped run uses --threads=4 against a
+#     single-threaded single-shot, so this also pins that snapshots
+#     written by a parallel search resume to serial-identical results.
 #  2. Seeded-bug scenario: the looped search must find the same
 #     violation (property and shrunk decision log) as the single-shot
 #     run.
@@ -62,7 +64,7 @@ BUG_ARGS="--problem=consensus-bug --n=3 --exhaustive --depth=30 --json"
 # --- 1. clean scenario: split == single-shot -------------------------------
 single=$("$CHECK" $REG_ARGS) || fail "single-shot register run exited $?"
 rc=
-run_loop "$DIR/reg.wfds" 5000 $REG_ARGS
+run_loop "$DIR/reg.wfds" 5000 $REG_ARGS --threads=4
 [ "$LOOP_RC" -eq 0 ] || fail "register loop exited $LOOP_RC"
 for key in states runs steps; do
   a=$(jnum "$single" "$key")

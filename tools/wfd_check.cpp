@@ -5,15 +5,21 @@
 // and checks the specification clauses on each run. Three modes:
 //
 //   wfd_check --problem=consensus --n=3 --exhaustive --depth=40
-//       Bounded DFS over the whole choice tree (sleep-set and
-//       oldest-per-channel reductions; --max-states budget).
+//       Wave-scheduled exhaustive search over the whole choice tree
+//       (DPOR + sleep sets + fingerprints; --threads=N workers with
+//       results identical for every N; --max-states budget).
 //
 //   wfd_check --problem=qc --n=3 --campaign --runs=20000 --threads=8
-//       Parallel randomized campaign: recorded random walks plus
-//       randomized-order DFS frontier workers.
+//       Parallel randomized campaign: recorded random walks plus a
+//       shared exhaustive frontier search.
 //
 //   wfd_check --replay=cex.wfdr
 //       Deterministic re-execution of a saved counterexample.
+//
+// All scenario and search knobs are SearchConfig flags
+// (explore/search_config.h) — one parser shared with the campaign
+// driver and the snapshot header; this tool adds only mode and output
+// flags on top.
 //
 // A found safety violation is shrunk to a minimal decision sequence,
 // printed, optionally saved with --save=FILE, and exits with status 3;
@@ -29,14 +35,14 @@
 // Budget-capped searches are resumable: --save-state=FILE persists the
 // search frontier + visited fingerprints on exit, --resume=FILE
 // continues from such a snapshot (a snapshot from a different scenario
-// or explorer configuration is rejected with exit 2), and
+// or search configuration is rejected with exit 2), and
 // --budget-states=N caps the NEW states of this invocation, exiting 4
 // when the budget ran out with frontier left. Scripts keep re-invoking
 // `wfd_check ... --budget-states=N --save-state=s.wfds --resume=s.wfds`
 // while the exit status is 4, until the verdict is a violation (3) or
 // coverage=complete / modulo-fingerprints (0); see tools/resume_check.sh.
 // The split search visits exactly the states one uninterrupted run
-// would.
+// would — as does a --threads=N run versus a serial one.
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -52,6 +58,7 @@
 #include "explore/explorer.h"
 #include "explore/replay_io.h"
 #include "explore/scenario.h"
+#include "explore/search_config.h"
 #include "explore/shrink.h"
 
 using namespace wfd;
@@ -65,26 +72,17 @@ constexpr int kExitViolation = 3;
 constexpr int kExitBudget = 4;
 
 struct Args {
-  explore::ScenarioOptions scenario;
+  /// Scenario + search knobs: parsed exclusively by apply_cli_flag.
+  explore::SearchConfig cfg;
   enum class Mode { kExhaustive, kCampaign, kReplay } mode = Mode::kExhaustive;
   std::string replay_path;
+  /// --save: write a found counterexample as a replay file.
   std::string save_path;
-  std::string save_state_path;
-  std::string resume_path;
-  std::uint64_t budget_states = 0;
   /// 0 = no deadline. Otherwise a watchdog converts a still-running
   /// exhaustive search into a cooperative cancel after this many
   /// milliseconds: partial report, frontier saved (with --save-state),
   /// exit 4 — a hung lane becomes a budget-style verdict, not a timeout.
   std::uint64_t deadline_ms = 0;
-  std::uint64_t max_states = 100000;
-  std::uint64_t runs = 10000;
-  int threads = 4;
-  int frontier = 2;
-  explore::Reduction reduction = explore::Reduction::kDpor;
-  explore::Dependence dependence = explore::Dependence::kContent;
-  bool state_fingerprints = true;
-  bool shrink = true;
   bool json = false;
 };
 
@@ -96,20 +94,14 @@ void usage() {
     problems += p.name;
   }
   std::printf(
-      "usage: wfd_check [--problem=%s]\n"
-      "                 [--n=N] [--crashes=K] [--crash-time=T]\n"
-      "                 [--crash=script|explore] [--loss=drop:N[,dup:M]]\n"
-      "                 [--depth=T] [--seed=S] [--stab=T]\n"
-      "                 [--fd=flap|static|adversarial] [--nbac-no-voter=P]\n"
-      "                 [--reg-ops=N] [--reg-readers=N] [--abcast-senders=N]\n"
-      "                 [--exhaustive | --campaign | --replay=FILE]\n"
-      "                 [--max-states=N] [--runs=N] [--threads=N]\n"
-      "                 [--frontier=N] [--reduction=dpor|sleep-sets|none]\n"
-      "                 [--dep=content|process]\n"
-      "                 [--no-fingerprints] [--no-shrink]\n"
-      "                 [--no-lambda] [--all-pending] [--save=FILE]\n"
-      "                 [--save-state=FILE] [--resume=FILE]\n"
-      "                 [--budget-states=N] [--deadline-ms=N] [--json]\n"
+      "usage: wfd_check [--exhaustive | --campaign | --replay=FILE]\n"
+      "                 [--save=FILE] [--deadline-ms=N] [--json]\n"
+      "                 [scenario/search flags below]\n"
+      "\n"
+      "problems: %s\n"
+      "\n"
+      "scenario + search flags (shared with every exploration driver):\n"
+      "%s"
       "\n"
       "--crash=explore makes crash timing a per-step exploration choice\n"
       "(--crashes becomes the injection budget, default 1); --loss gives\n"
@@ -119,8 +111,10 @@ void usage() {
       "run into a cooperative cancel: partial report, frontier saved with\n"
       "--save-state, exit 4.\n"
       "\n"
-      "--save-state persists a resumable snapshot of an exhaustive\n"
-      "search (frontier + visited fingerprints); --resume continues\n"
+      "--threads=N runs the wave-scheduled exhaustive search on N worker\n"
+      "threads (results are identical for every N); in campaign mode it\n"
+      "is the random-walk worker count. --save-state persists a\n"
+      "resumable snapshot of an exhaustive search; --resume continues\n"
       "from one; --budget-states=N caps the NEW states explored this\n"
       "invocation, so scripts can loop save/resume until coverage is\n"
       "complete (--max-states stays the cap on the cumulative total).\n"
@@ -129,145 +123,59 @@ void usage() {
       "             2 problem/mode combination not supported (or a\n"
       "               resume snapshot from a different scenario),\n"
       "             4 state budget exhausted, frontier saved\n",
-      problems.c_str());
-}
-
-/// --loss=drop:N[,dup:M] (either component, any order).
-bool parse_loss(const std::string& v, explore::ScenarioOptions& s) {
-  std::size_t start = 0;
-  while (start < v.size()) {
-    const std::size_t comma = v.find(',', start);
-    const std::string part =
-        v.substr(start, comma == std::string::npos ? std::string::npos
-                                                   : comma - start);
-    const std::size_t colon = part.find(':');
-    if (colon == std::string::npos) return false;
-    const std::string key = part.substr(0, colon);
-    const int budget = std::atoi(part.substr(colon + 1).c_str());
-    if (budget < 1) return false;
-    if (key == "drop") {
-      s.loss_drops = budget;
-    } else if (key == "dup") {
-      s.loss_dups = budget;
-    } else {
-      return false;
-    }
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return s.loss_drops > 0 || s.loss_dups > 0;
+      problems.c_str(), explore::cli_flags_help().c_str());
 }
 
 bool parse(int argc, char** argv, Args& a) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto val = [&](const char* key) -> std::optional<std::string> {
+    const auto val = [&](const char* key) -> std::optional<std::string> {
       const std::string prefix = std::string("--") + key + "=";
       if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
       return std::nullopt;
     };
-    explore::ScenarioOptions& s = a.scenario;
     if (arg == "--help" || arg == "-h") return false;
-    if (auto v = val("problem")) {
-      s.problem = *v;
-    } else if (auto v2 = val("n")) {
-      s.n = std::atoi(v2->c_str());
-    } else if (auto v3 = val("crashes")) {
-      s.crashes = std::atoi(v3->c_str());
-    } else if (auto v4 = val("crash-time")) {
-      s.crash_time = std::strtoull(v4->c_str(), nullptr, 10);
-    } else if (auto v5 = val("depth")) {
-      s.max_steps = std::strtoull(v5->c_str(), nullptr, 10);
-    } else if (auto v6 = val("seed")) {
-      s.seed = std::strtoull(v6->c_str(), nullptr, 10);
-    } else if (auto v7 = val("stab")) {
-      s.stabilization = std::strtoull(v7->c_str(), nullptr, 10);
-    } else if (auto v8 = val("fd")) {
-      if (*v8 == "adversarial") {
-        s.fd_adversarial = true;
-        s.fd_per_query = true;  // Forced by the adversary anyway.
-      } else if (*v8 == "flap" || *v8 == "static") {
-        s.fd_adversarial = false;
-        s.fd_per_query = (*v8 == "flap");
-      } else {
-        return false;
-      }
-    } else if (auto vc = val("crash")) {
-      if (*vc != "script" && *vc != "explore") return false;
-      s.crash_mode = *vc;
-    } else if (auto vl = val("loss")) {
-      if (!parse_loss(*vl, s)) return false;
-    } else if (auto vdl = val("deadline-ms")) {
-      a.deadline_ms = std::strtoull(vdl->c_str(), nullptr, 10);
-      if (a.deadline_ms == 0) return false;
-    } else if (auto v9 = val("nbac-no-voter")) {
-      s.nbac_no_voter = std::atoi(v9->c_str());
-    } else if (auto vr = val("reg-ops")) {
-      s.reg_ops = std::atoi(vr->c_str());
-    } else if (auto vrr = val("reg-readers")) {
-      s.reg_readers = std::atoi(vrr->c_str());
-    } else if (auto va = val("abcast-senders")) {
-      s.abcast_senders = std::atoi(va->c_str());
-    } else if (arg == "--exhaustive") {
+    if (arg == "--exhaustive") {
       a.mode = Args::Mode::kExhaustive;
-    } else if (arg == "--campaign") {
+      continue;
+    }
+    if (arg == "--campaign") {
       a.mode = Args::Mode::kCampaign;
-    } else if (auto v10 = val("replay")) {
+      continue;
+    }
+    if (auto v = val("replay")) {
       a.mode = Args::Mode::kReplay;
-      a.replay_path = *v10;
-    } else if (auto v11 = val("save")) {
-      a.save_path = *v11;
-    } else if (auto vss = val("save-state")) {
-      a.save_state_path = *vss;
-    } else if (auto vrs = val("resume")) {
-      a.resume_path = *vrs;
-    } else if (auto vbs = val("budget-states")) {
-      a.budget_states = std::strtoull(vbs->c_str(), nullptr, 10);
-    } else if (auto v12 = val("max-states")) {
-      a.max_states = std::strtoull(v12->c_str(), nullptr, 10);
-    } else if (auto v13 = val("runs")) {
-      a.runs = std::strtoull(v13->c_str(), nullptr, 10);
-    } else if (auto v14 = val("threads")) {
-      a.threads = std::atoi(v14->c_str());
-    } else if (auto v15 = val("frontier")) {
-      a.frontier = std::atoi(v15->c_str());
-    } else if (auto vred = val("reduction")) {
-      if (*vred == "dpor") {
-        a.reduction = explore::Reduction::kDpor;
-      } else if (*vred == "sleep-sets") {
-        a.reduction = explore::Reduction::kSleepSets;
-      } else if (*vred == "none") {
-        a.reduction = explore::Reduction::kNone;
-      } else {
-        return false;
-      }
-    } else if (auto vdep = val("dep")) {
-      if (*vdep == "content") {
-        a.dependence = explore::Dependence::kContent;
-      } else if (*vdep == "process") {
-        a.dependence = explore::Dependence::kProcess;
-      } else {
-        return false;
-      }
-    } else if (arg == "--no-fingerprints") {
-      a.state_fingerprints = false;
-    } else if (arg == "--no-shrink") {
-      a.shrink = false;
-    } else if (arg == "--no-lambda") {
-      a.scenario.lambda_always = false;
-    } else if (arg == "--all-pending") {
-      a.scenario.oldest_per_channel = false;
-    } else if (arg == "--json") {
+      a.replay_path = *v;
+      continue;
+    }
+    if (auto v = val("save")) {
+      a.save_path = *v;
+      continue;
+    }
+    if (auto v = val("deadline-ms")) {
+      a.deadline_ms = std::strtoull(v->c_str(), nullptr, 10);
+      if (a.deadline_ms == 0) return false;
+      continue;
+    }
+    if (arg == "--json") {
       a.json = true;
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
-      return false;
+      continue;
+    }
+    switch (explore::apply_cli_flag(a.cfg, arg)) {
+      case explore::CliResult::kApplied:
+        break;
+      case explore::CliResult::kBadValue:
+        std::fprintf(stderr, "bad value: %s\n", arg.c_str());
+        return false;
+      case explore::CliResult::kUnknown:
+        std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+        return false;
     }
   }
   // Injected crashes are bounded by --crashes; exploring with a zero
   // budget would silently degenerate to the crash-free tree.
-  if (a.scenario.crash_mode == "explore" && a.scenario.crashes == 0) {
-    a.scenario.crashes = 1;
+  if (a.cfg.scenario.crash_mode == "explore" && a.cfg.scenario.crashes == 0) {
+    a.cfg.scenario.crashes = 1;
   }
   return true;
 }
@@ -283,9 +191,10 @@ std::string decisions_to_text(const sim::DecisionLog& log) {
 
 /// Shrink, print, optionally save. Returns the process exit status.
 int report_cex(const Args& a, const explore::ScenarioBuilder& build,
-               explore::Counterexample cex, const char* how) {
+               explore::Counterexample cex, const char* how,
+               bool reshrink) {
   std::uint64_t shrunk_from = 0;
-  if (a.shrink) {
+  if (reshrink && a.cfg.shrink) {
     const explore::ShrinkResult s =
         explore::shrink(build, cex.decisions, cex.violation.property);
     shrunk_from = s.original_size;
@@ -312,7 +221,7 @@ int report_cex(const Args& a, const explore::ScenarioBuilder& build,
   }
   if (!a.save_path.empty()) {
     explore::ReplayFile rf;
-    rf.scenario = a.scenario;
+    rf.scenario = a.cfg.scenario;
     rf.decisions = cex.decisions;
     rf.note = cex.violation.property + ": " + cex.violation.message;
     if (!explore::save_replay(a.save_path, rf)) {
@@ -338,20 +247,12 @@ std::string conservative_to_json(const std::set<std::string>& ids) {
 
 int run_exhaustive(const Args& a) {
   const explore::ScenarioBuilder build =
-      explore::ScenarioFactory(a.scenario).builder();
-  explore::ExplorerOptions eo;
-  eo.max_states = a.max_states;
-  eo.reduction = a.reduction;
-  eo.dependence = a.dependence;
-  eo.state_fingerprints = a.state_fingerprints;
-  eo.budget_states = a.budget_states;
-  eo.save_path = a.save_state_path;
-  eo.resume_path = a.resume_path;
-  eo.scenario = a.scenario;
+      explore::ScenarioFactory(a.cfg.scenario).builder();
+  explore::SearchConfig cfg = a.cfg;
 
   // --deadline-ms: arm a watchdog that flips the explorer's cooperative
   // cancel flag, so a search that would outlive the deadline stops at a
-  // clean run boundary (partial stats, resumable frontier) instead of
+  // clean wave boundary (partial stats, resumable frontier) instead of
   // hanging its lane.
   std::atomic<bool> cancel{false};
   std::mutex mu;
@@ -359,7 +260,7 @@ int run_exhaustive(const Args& a) {
   bool finished = false;
   std::thread watchdog;
   if (a.deadline_ms > 0) {
-    eo.cancel = &cancel;
+    cfg.cancel = &cancel;
     watchdog = std::thread([&a, &cancel, &mu, &cv, &finished] {
       std::unique_lock<std::mutex> lock(mu);
       const bool done = cv.wait_for(
@@ -368,7 +269,7 @@ int run_exhaustive(const Args& a) {
       if (!done) cancel.store(true, std::memory_order_relaxed);
     });
   }
-  explore::Explorer ex(build, eo);
+  explore::Explorer ex(build, cfg);
   const explore::ExploreReport rep = ex.run();
   if (watchdog.joinable()) {
     {
@@ -379,11 +280,11 @@ int run_exhaustive(const Args& a) {
     watchdog.join();
   }
   if (!rep.resume_error.empty()) {
-    std::fprintf(stderr, "cannot resume %s: %s\n", a.resume_path.c_str(),
+    std::fprintf(stderr, "cannot resume %s: %s\n", cfg.resume_path.c_str(),
                  rep.resume_error.c_str());
-    // Incompatible snapshot (different scenario / explorer options) is
-    // the "combination not supported" case; corrupt or unreadable input
-    // is a plain usage error.
+    // Incompatible snapshot (different scenario / search configuration)
+    // is the "combination not supported" case; corrupt or unreadable
+    // input is a plain usage error.
     return rep.resume_rejected ? kExitUnsupported : kExitUsage;
   }
   const auto& st = rep.stats;
@@ -395,11 +296,11 @@ int run_exhaustive(const Args& a) {
     std::fprintf(stderr, "cannot save state: %s\n", rep.save_error.c_str());
   }
   // A deadline cancel is a budget-style verdict: the search stopped at a
-  // clean run boundary with frontier left, so the lane's save/resume
+  // clean wave boundary with frontier left, so the lane's save/resume
   // loop treats it exactly like a spent state budget.
   const bool deadline_hit = rep.cancelled && !rep.cex.has_value();
   const bool budget_left =
-      (a.budget_states != 0 || deadline_hit) && !st.exhausted &&
+      (cfg.budget_states != 0 || deadline_hit) && !st.exhausted &&
       !rep.cex.has_value();
   if (a.json && !rep.cex.has_value()) {
     std::printf(
@@ -410,7 +311,8 @@ int run_exhaustive(const Args& a) {
         "\"injected_drops\":%llu,\"injected_dups\":%llu,"
         "\"conservative_payloads\":%s,"
         "\"status\":\"%s\",\"coverage\":\"%s\","
-        "\"resumed\":%s,\"resume_generation\":%llu}\n",
+        "\"resumed\":%s,\"resume_generation\":%llu,"
+        "\"config\":%s}\n",
         static_cast<unsigned long long>(st.nodes),
         static_cast<unsigned long long>(st.runs),
         static_cast<unsigned long long>(st.steps),
@@ -427,14 +329,15 @@ int run_exhaustive(const Args& a) {
         : deadline_hit ? "deadline"
                        : "budget",
         cov.c_str(), rep.resumed ? "true" : "false",
-        static_cast<unsigned long long>(rep.resume_generation));
+        static_cast<unsigned long long>(rep.resume_generation),
+        explore::config_to_json(cfg).c_str());
     if (save_failed) return kExitUsage;
     return budget_left ? kExitBudget : kExitClean;
   }
   if (!a.json) {
     if (rep.resumed) {
       std::printf("resumed from %s (generation %llu)\n",
-                  a.resume_path.c_str(),
+                  cfg.resume_path.c_str(),
                   static_cast<unsigned long long>(rep.resume_generation));
     }
     std::printf(
@@ -469,10 +372,12 @@ int run_exhaustive(const Args& a) {
       std::printf("\n");
     }
   }
-  if (rep.cex.has_value()) return report_cex(a, build, *rep.cex, "exhaustive");
-  if (!a.save_state_path.empty() && !save_failed) {
+  if (rep.cex.has_value()) {
+    return report_cex(a, build, *rep.cex, "exhaustive", /*reshrink=*/true);
+  }
+  if (!cfg.save_path.empty() && !save_failed) {
     std::printf("state saved: %s (continue with --resume=%s)\n",
-                a.save_state_path.c_str(), a.save_state_path.c_str());
+                cfg.save_path.c_str(), cfg.save_path.c_str());
   }
   std::printf("no violation found%s\n",
               !budget_left   ? ""
@@ -484,21 +389,17 @@ int run_exhaustive(const Args& a) {
 
 int run_campaign_mode(const Args& a) {
   const explore::ScenarioBuilder build =
-      explore::ScenarioFactory(a.scenario).builder();
-  explore::CampaignOptions co;
-  co.threads = a.threads;
-  co.runs = a.runs;
-  co.seed = a.scenario.seed;
-  co.shrink = a.shrink;
-  // Frontier DFS only makes sense for problems whose runs halt; on
-  // service scenarios (never-done modules, e.g. omega-impl) a DFS never
-  // reaches a terminal state and would just burn its whole budget.
-  co.frontier_workers =
-      explore::ScenarioFactory::supports_mode(a.scenario.problem, "exhaustive")
-          ? a.frontier
-          : 0;
-  co.frontier_states = a.max_states;
-  const explore::CampaignReport rep = explore::run_campaign(build, co);
+      explore::ScenarioFactory(a.cfg.scenario).builder();
+  explore::SearchConfig cfg = a.cfg;
+  // The frontier search only makes sense for problems whose runs halt;
+  // on service scenarios (never-done modules, e.g. omega-impl) a DFS
+  // never reaches a terminal state and would just burn its whole
+  // budget.
+  if (!explore::ScenarioFactory::supports_mode(a.cfg.scenario.problem,
+                                               "exhaustive")) {
+    cfg.frontier_workers = 0;
+  }
+  const explore::CampaignReport rep = explore::run_campaign(build, cfg);
   if (a.json && !rep.cex.has_value()) {
     std::printf(
         "{\"verdict\":\"clean\",\"mode\":\"campaign\",\"runs\":%llu,"
@@ -519,9 +420,7 @@ int run_campaign_mode(const Args& a) {
       static_cast<unsigned long long>(rep.liveness_suspects));
   if (rep.cex.has_value()) {
     // The campaign already shrank it (when enabled).
-    Args no_reshrink = a;
-    no_reshrink.shrink = false;
-    return report_cex(no_reshrink, build, *rep.cex, "campaign");
+    return report_cex(a, build, *rep.cex, "campaign", /*reshrink=*/false);
   }
   std::printf("no violation found\n");
   return kExitClean;
@@ -568,15 +467,15 @@ int main(int argc, char** argv) {
     return kExitUsage;
   }
   if (a.mode != Args::Mode::kReplay) {
-    const std::string why = explore::ScenarioFactory::validate(a.scenario);
+    const std::string why = explore::validate(a.cfg);
     if (!why.empty()) {
-      std::fprintf(stderr, "invalid scenario: %s\n", why.c_str());
+      std::fprintf(stderr, "invalid configuration: %s\n", why.c_str());
       return kExitUsage;
     }
   }
   if (a.mode != Args::Mode::kExhaustive &&
-      (!a.save_state_path.empty() || !a.resume_path.empty() ||
-       a.budget_states != 0 || a.deadline_ms != 0)) {
+      (!a.cfg.save_path.empty() || !a.cfg.resume_path.empty() ||
+       a.cfg.budget_states != 0 || a.deadline_ms != 0)) {
     std::fprintf(stderr,
                  "--save-state/--resume/--budget-states/--deadline-ms "
                  "require --exhaustive\n");
@@ -588,10 +487,10 @@ int main(int argc, char** argv) {
                           : a.mode == Args::Mode::kCampaign ? "campaign"
                                                             : "replay";
   if (a.mode != Args::Mode::kReplay &&
-      !explore::ScenarioFactory::supports_mode(a.scenario.problem,
+      !explore::ScenarioFactory::supports_mode(a.cfg.scenario.problem,
                                                mode_name)) {
     std::fprintf(stderr, "problem '%s' does not support --%s\n",
-                 a.scenario.problem.c_str(), mode_name);
+                 a.cfg.scenario.problem.c_str(), mode_name);
     return kExitUnsupported;
   }
   switch (a.mode) {
