@@ -300,6 +300,38 @@ BENCHMARK(BM_FaultInjection)
     ->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
+// Liveness (fair-cycle) overhead: the identical scenario explored as a
+// bounded-safety search and as a liveness search. Both rows run under
+// --reduction=none — liveness's own requirement — so the delta prices
+// exactly what liveness adds: recording the state graph (nodes, edges,
+// enabled/deliverable menus) during exploration plus the
+// post-exhaustion fair-cycle (SCC) search, and nothing else.
+void BM_LivenessOverhead(benchmark::State& state) {
+  ScenarioOptions opt = consensus_options(3, 10);
+  opt.fd_per_query = false;
+  if (state.range(0) == 1) opt.liveness = "termination";
+  state.SetLabel(state.range(0) == 1 ? "liveness-on" : "liveness-off");
+  const ScenarioBuilder build = ScenarioFactory(opt).builder();
+  SearchConfig eo;
+  eo.scenario = opt;
+  eo.reduction = Reduction::kNone;
+  eo.max_states = 3000000;
+  ExploreStats last{};
+  for (auto _ : state) {
+    Explorer ex(build, eo);
+    last = ex.run().stats;
+  }
+  state.counters["states"] = static_cast<double>(last.nodes);
+  state.counters["runs"] = static_cast<double>(last.runs);
+  state.counters["graph_states"] = static_cast<double>(last.graph_states);
+  state.counters["graph_edges"] = static_cast<double>(last.graph_edges);
+  state.counters["exhausted"] = last.exhausted ? 1 : 0;
+}
+BENCHMARK(BM_LivenessOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RecordedRandomWalk(benchmark::State& state) {
   const ScenarioBuilder build =
       ScenarioFactory(consensus_options(3, 60)).builder();

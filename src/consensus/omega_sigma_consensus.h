@@ -63,6 +63,13 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
     /// round; 0 = 16 * n.
     Time retry_interval = 0;
     ConsensusQuorumRule quorum_rule = ConsensusQuorumRule::kSigma;
+    /// Seeded liveness bug (explore/seeded_bug.h): once this process has
+    /// started a round and lost it — Nacked by a higher promise, or
+    /// stalled past retry_interval — it never starts another. Safety is
+    /// untouched (every decided value is still quorum-locked); what
+    /// breaks is the retry obligation Omega's eventual leadership is
+    /// useless without. Off in every real configuration.
+    bool give_up_when_opposed = false;
   };
 
   using typename ConsensusApi<V>::DecideCb;
@@ -93,6 +100,11 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
 
   /// Leader rounds started by this process (protocol cost metric).
   [[nodiscard]] std::uint64_t rounds_started() const { return rounds_; }
+
+  /// True while this process is driving a round it has not yet abandoned
+  /// (Omega points here and no Nack/stall has cleared it). Feeds the
+  /// "leadership" liveness clause: eventually some alive process leads.
+  [[nodiscard]] bool is_leading() const { return leading_; }
 
   void on_message(ProcessId from, const sim::Payload& msg) override {
     if (decided_) {
@@ -173,6 +185,10 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
       }
       return;
     }
+    // Seeded liveness bug: a once-burned leader stops retrying, leaving
+    // the system in a quiescent undecided state — a fair cycle of no-op
+    // steps that fair-cycle search must expose as a lasso.
+    if (opt_.give_up_when_opposed && rounds_ > 0) return;
     start_round();
   }
 

@@ -76,6 +76,13 @@ void ChoiceOracle::begin_run(const sim::FailurePattern& f, std::uint64_t seed,
   psi_fs_red_.assign(static_cast<std::size_t>(n_), false);
   psi_switched_.assign(static_cast<std::size_t>(n_), false);
   psi_branch_ = PsiBranch::kUndecided;
+  if (opt_.psi && opt_.psi_converged) {
+    // Converged-from-the-start Psi: adopt the always-legal
+    // (Omega, Sigma) branch immediately (the FS branch presumes a
+    // failure, which a converged limit cannot).
+    psi_branch_ = PsiBranch::kOmegaSigma;
+    psi_switched_.assign(static_cast<std::size_t>(n_), true);
+  }
 }
 
 void ChoiceOracle::on_crash(ProcessId p, Time t) {

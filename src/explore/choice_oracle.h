@@ -48,6 +48,14 @@ class ChoiceOracle : public fd::Oracle {
     /// First time at which outputs are forced to the canonical converged
     /// values. kNever = never force (bounded safety checking only).
     Time stabilization = kNever;
+    /// Force Psi onto its (Omega, Sigma) branch at begin_run: every
+    /// process is switched from time 0, so no per-query switch-timing
+    /// choices remain and the whole history is a converged limit from
+    /// the start. Liveness checking sets this (with per_query false):
+    /// a graph cycle that keeps Psi at bottom forever would otherwise
+    /// be a *legal-prefix* but illegal-limit history and produce
+    /// spurious non-termination lassos for QC/NBAC.
+    bool psi_converged = false;
     /// Track injected crashes: on_crash mutates the oracle's copy of the
     /// failure pattern and recomputes the canonical converged values, so
     /// failure-dependent menus (FS red, Ψ's FS branch) see crashes the

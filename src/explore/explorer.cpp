@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "explore/liveness.h"
 #include "explore/state_store.h"
 #include "inject/fault_plan.h"
 #include "sim/dependence.h"
@@ -111,6 +112,9 @@ struct UnitResult {
   std::unordered_map<std::uint64_t, std::uint64_t> fps_overlay;
   std::vector<DeferredOp> deferred;
   std::optional<Counterexample> cex;
+  /// Liveness mode: the state-graph fragment this unit observed, merged
+  /// into the committed graph at the barrier (slot order).
+  LiveGraph graph;
 };
 
 /// Registry entry for a node whose frontier was split across units: the
@@ -175,7 +179,10 @@ struct StepRec {
 class UnitEngine {
  public:
   UnitEngine(ScenarioBuilder build, const WaveContext& ctx)
-      : build_(std::move(build)), ctx_(ctx), cfg_(*ctx.cfg) {}
+      : build_(std::move(build)),
+        ctx_(ctx),
+        cfg_(*ctx.cfg),
+        liveness_(!cfg_.scenario.liveness.empty()) {}
 
   UnitResult run(Unit unit) {
     res_.unit = std::move(unit);
@@ -212,8 +219,32 @@ class UnitEngine {
         msgs_.clear();
         prev_sent_ = sc.sim->network().total_sent();
       }
+      // Liveness mode: anchor the run at the initial state. The root
+      // fingerprint is taken before the first step, which is where the
+      // scheduler lazily starts the run (so it precedes the oracle's
+      // begin_run picks and is identical across runs and units).
+      const LivenessClause* goal = nullptr;
+      std::uint64_t cur_fp = 0;
+      if (liveness_) {
+        WFD_CHECK_MSG(!sc.liveness.empty(),
+                      "liveness scenario built no clause");
+        goal = sc.liveness.front().get();
+        const std::optional<std::uint64_t> root = fingerprint(sc);
+        WFD_CHECK_MSG(root.has_value(),
+                      "liveness mode requires a complete state encoding");
+        if (!res_.graph.have_root) {
+          res_.graph.root = *root;
+          res_.graph.have_root = true;
+        } else {
+          WFD_CHECK_MSG(res_.graph.root == *root,
+                        "initial-state fingerprint varies across runs");
+        }
+        res_.graph.at(*root).goal = goal->goal(*sc.sim);
+        cur_fp = *root;
+      }
       std::optional<Violation> violation;
       std::uint64_t run_steps = 0;
+      bool pruned = false;
       while (!run_blocked_) {
         // Once per step, so at least once per choice-point expansion.
         if (cancel_requested()) {
@@ -241,9 +272,22 @@ class UnitEngine {
         }
         if (violation.has_value()) break;
 
+        // Liveness mode: record every executed step's transition, even
+        // while replaying — a backtrack flips the chosen option of an
+        // existing frame, so the "replayed" flipped step is in fact a
+        // new transition. add_live_edge dedups by decision block.
+        std::optional<std::uint64_t> fp;
+        if (liveness_) {
+          fp = fingerprint(sc);
+          WFD_CHECK_MSG(fp.has_value(),
+                        "liveness mode requires a complete state encoding");
+          record_transition(sc, *goal, cur_fp, *fp, pos_before, source.pos());
+          cur_fp = *fp;
+        }
+
         if (source.pos() < replay_len) continue;  // Still replaying.
         if (!cfg_.state_fingerprints) continue;
-        const std::optional<std::uint64_t> fp = fingerprint(sc);
+        if (!fp.has_value()) fp = fingerprint(sc);
         if (!fp.has_value()) continue;
         // Keyed on sim time: the fingerprint does not fold the
         // remaining horizon, so a revisit only subsumes the earlier
@@ -251,7 +295,12 @@ class UnitEngine {
         // time).
         const auto t = static_cast<std::uint64_t>(sc.sim->now());
         const std::optional<std::uint64_t> known = fps_lookup(*fp);
-        if (known.has_value() && *known <= t) {
+        // Liveness mode prunes on any revisit regardless of time:
+        // states are time-free under the liveness validate() rules and
+        // the first visitor had at least as much horizon left, so the
+        // prune is an exact merge into an already-expanded graph node.
+        if (known.has_value() && (*known <= t || liveness_)) {
+          pruned = true;
           ++res_.delta.fp_prunes;
           // The unexecuted suffix can no longer testify about races
           // with this path; re-arm the whole path conservatively.
@@ -260,6 +309,15 @@ class UnitEngine {
         }
         const auto [it, fresh] = res_.fps_overlay.emplace(*fp, t);
         if (!fresh && it->second > t) it->second = t;
+      }
+      // Liveness mode: a run that ended only because the horizon ran
+      // out leaves its final state's future unexplored — mark it, so
+      // the fair-cycle verdict can confess where it is silent. Runs
+      // that halted (all alive modules done), pruned into a known node,
+      // blocked, or violated are complete at cur_fp.
+      if (liveness_ && !violation.has_value() && !pruned && !run_blocked_ &&
+          !sc.sim->all_alive_done()) {
+        res_.graph.at(cur_fp).truncated = true;
       }
       u_->path_pending = false;
       if (dpor) end_of_run_races(*sc.sim);
@@ -305,6 +363,13 @@ class UnitEngine {
     std::size_t choose(sim::ChoiceKind kind,
                        const std::vector<std::uint64_t>& labels) override {
       return owner_->choose(kind, labels, pos_);
+    }
+
+    void note_enabled(sim::ChoiceKind kind,
+                      const std::vector<std::uint64_t>& labels) override {
+      if (owner_->liveness_ && kind == sim::ChoiceKind::kSchedule) {
+        owner_->menu_ = labels;
+      }
     }
 
     [[nodiscard]] std::size_t pos() const { return pos_; }
@@ -849,6 +914,57 @@ class UnitEngine {
     return t;
   }
 
+  /// Liveness mode: record into the unit's graph overlay the transition
+  /// src_fp -> dst_fp taken by the step that consumed frames
+  /// [pos_before, pos_after).
+  void record_transition(const Scenario& sc, const LivenessClause& goal,
+                         std::uint64_t src_fp, std::uint64_t dst_fp,
+                         std::size_t pos_before, std::size_t pos_after) {
+    LiveGraphEdge e;
+    e.dst = dst_fp;
+    e.choices.reserve(pos_after - pos_before);
+    std::uint64_t label = 0;
+    bool have_label = false;
+    for (std::size_t j = pos_before; j < pos_after; ++j) {
+      const Frame& f = u_->frames[j];
+      e.choices.push_back(f.chosen);
+      if (f.kind == sim::ChoiceKind::kSchedule) {
+        label = f.labels[f.chosen];
+        have_label = true;
+      }
+    }
+    if (!have_label) {
+      // The menu never reached choose(): a singleton, possible only when
+      // injected crashes leave a single schedulable move. note_enabled
+      // still reported it.
+      WFD_CHECK_MSG(menu_.size() == 1, "scheduled step consumed no frame");
+      label = menu_.front();
+    }
+    e.sched = sim::ReplayScheduler::label_process(label);
+    e.fault = sim::ReplayScheduler::label_is_fault(label);
+    // Non-fault labels with a message id are deliveries; id 0 is a
+    // lambda or start step (sim/scheduler.h label encoding).
+    e.deliver = !e.fault && sim::ReplayScheduler::label_message(label) != 0;
+    std::uint64_t enabled = 0;
+    std::uint64_t deliverable = 0;
+    for (const std::uint64_t l : menu_) {
+      if (sim::ReplayScheduler::label_is_fault(l)) continue;
+      const std::uint64_t bit =
+          std::uint64_t{1} << sim::ReplayScheduler::label_process(l);
+      enabled |= bit;
+      if (sim::ReplayScheduler::label_message(l) != 0) deliverable |= bit;
+    }
+    {
+      // Scoped: at() below may rehash and invalidate this reference.
+      LiveGraphNode& src = res_.graph.at(src_fp);
+      src.expanded = true;
+      src.enabled |= enabled;
+      src.deliverable |= deliverable;
+      add_live_edge(src, std::move(e));
+    }
+    res_.graph.at(dst_fp).goal = goal.goal(*sc.sim);
+  }
+
   [[nodiscard]] bool cancel_requested() const {
     return cfg_.cancel != nullptr &&
            cfg_.cancel->load(std::memory_order_relaxed);
@@ -865,10 +981,15 @@ class UnitEngine {
   ScenarioBuilder build_;
   const WaveContext& ctx_;
   const SearchConfig& cfg_;
+  const bool liveness_;  ///< cfg_.scenario.liveness non-empty.
 
   UnitResult res_;
   Unit* u_ = nullptr;  ///< = &res_.unit while run() executes.
   bool run_blocked_ = false;
+  /// Liveness mode: the schedule menu of the step being executed, as
+  /// reported by the scheduler's note_enabled hook — captured even for
+  /// singleton menus that never reach choose().
+  std::vector<std::uint64_t> menu_;
   /// Dedup of deferred insertions: one op per (depth, label) per wave.
   std::set<std::pair<std::size_t, std::uint64_t>> defer_seen_;
 
@@ -1133,6 +1254,10 @@ void apply_deferred(const Unit& du, const DeferredOp& op,
 
 Coverage coverage(const ExploreStats& stats) {
   if (!stats.exhausted) return Coverage::kBudget;
+  // A liveness-mode fingerprint prune is an exact merge into an
+  // already-expanded state-graph node (states are time-free under the
+  // liveness rules), not an approximation to confess.
+  if (stats.liveness) return Coverage::kComplete;
   return stats.fp_prunes > 0 ? Coverage::kModuloFingerprints
                              : Coverage::kComplete;
 }
@@ -1161,11 +1286,13 @@ ExploreReport Explorer::run() {
   std::map<std::uint64_t, Unit> queue;
   std::map<ChainKey, NodeReg> registry;
   std::unordered_map<std::uint64_t, std::uint64_t> fps;
+  LiveGraph graph;
   ExploreStats stats;
   std::set<std::string> conservative;
   std::uint64_t wave = 0;
   std::uint64_t next_unit_id = 0;
   std::uint64_t gen = 0;
+  const bool liveness = !cfg_.scenario.liveness.empty();
 
   if (!cfg_.resume_path.empty()) {
     std::string err;
@@ -1189,6 +1316,7 @@ ExploreReport Explorer::run() {
     next_unit_id = snap->next_unit_id;
     gen = snap->resume_generation;
     for (const auto& [fp, t] : snap->fingerprints) fps.emplace(fp, t);
+    graph = snap->graph;
     for (const NodeState& ns : snap->nodes) {
       registry.emplace(ChainKey{ns.key[0], ns.key[1]},
                        NodeReg{ns.assigned});
@@ -1312,6 +1440,7 @@ ExploreReport Explorer::run() {
         const auto [it, fresh] = fps.emplace(fp, t);
         if (!fresh && it->second > t) it->second = t;
       }
+      if (liveness) merge_live_graph(graph, r.graph);
       if (r.cex.has_value() && !rep.cex.has_value()) rep.cex = r.cex;
       if (r.outcome == UnitOutcome::kViolation) wave_violation = true;
     }
@@ -1377,6 +1506,23 @@ ExploreReport Explorer::run() {
     if (cfg_.max_runs != 0 && stats.runs >= cfg_.max_runs) break;
   }
 
+  if (liveness) {
+    stats.liveness = true;
+    stats.graph_states = static_cast<std::uint64_t>(graph.order.size());
+    stats.graph_edges = graph.edge_count();
+    stats.graph_truncated = graph.truncated_count();
+    // Post-exhaustion fair-cycle search: only once the graph is the
+    // complete transition system, and only when no safety violation
+    // pre-empted the verdict. A found lasso is reported as the
+    // counterexample but does not count into stats.violations — the
+    // stats are cumulative across save/resume and the search re-runs on
+    // every exhausted (re)invocation.
+    if (stats.exhausted && !rep.cex.has_value() && !rep.cancelled) {
+      rep.fair_cycle_checked = true;
+      rep.cex = find_fair_lasso(graph, cfg_.scenario);
+    }
+  }
+
   rep.stats = stats;
   rep.conservative_payloads = std::move(conservative);
 
@@ -1396,6 +1542,7 @@ ExploreReport Explorer::run() {
     }
     snap.fingerprints.assign(fps.begin(), fps.end());
     std::sort(snap.fingerprints.begin(), snap.fingerprints.end());
+    snap.graph = std::move(graph);
     std::string err;
     if (!save_snapshot(cfg_.save_path, snap, &err)) {
       rep.save_error = err.empty() ? "failed to write snapshot" : err;

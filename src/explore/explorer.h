@@ -61,6 +61,17 @@
 // (SearchConfig::save_path, state_store.h) and resumes across
 // invocations; k budgeted invocations visit exactly the states one
 // uninterrupted run would.
+//
+// Liveness mode (SearchConfig::scenario.liveness non-empty) grows the
+// fingerprint store into an explicit state graph while exploring —
+// per-step fingerprints, goal bits, enabled sets, decision-labelled
+// edges (explore/liveness.h) — and, once the tree is exhausted, runs a
+// fair-cycle search over it: a fair cycle avoiding the clause's goal is
+// a liveness violation, reported as a replayable stem+loop lasso. A
+// fingerprint revisit prunes regardless of time in this mode (the
+// liveness validate() rules make states time-free, so a prune is an
+// exact merge into an already-expanded graph node) and exhaustion
+// therefore reports kComplete coverage even with fp_prunes > 0.
 #pragma once
 
 #include <cstdint>
@@ -92,6 +103,11 @@ struct ExploreStats {
   std::uint64_t injected_dups = 0;
   std::uint64_t violations = 0;   ///< Violating runs found.
   bool exhausted = false;         ///< Whole tree visited within budget.
+  // Liveness (fair-cycle) mode only — all zero otherwise.
+  bool liveness = false;              ///< A state graph was recorded.
+  std::uint64_t graph_states = 0;     ///< Distinct state-graph nodes.
+  std::uint64_t graph_edges = 0;      ///< Distinct recorded transitions.
+  std::uint64_t graph_truncated = 0;  ///< Nodes with horizon-cut futures.
 };
 
 /// How completely the choice tree was covered.
@@ -112,7 +128,14 @@ struct ExploreReport {
   /// The first counterexample found (unshrunk). Counterexamples are not
   /// persisted across save/resume: each invocation reports at most the
   /// first one it finds itself (stats.violations stays cumulative).
+  /// In liveness mode an exhausted search may instead carry a lasso
+  /// from the fair-cycle search (cex->loop non-empty).
   std::optional<Counterexample> cex;
+  /// Liveness mode, tree exhausted, no safety violation pre-empted it:
+  /// the fair-cycle search ran over the completed state graph. Its
+  /// verdict is then cex (a lasso) or — when cex is empty — "no fair
+  /// cycle", exact up to stats.graph_truncated horizon cuts.
+  bool fair_cycle_checked = false;
   /// Identities of payload types observed in flight that still ship the
   /// conservative commutes_with default (empty kind()): the audit
   /// backlog of Dependence::kContent. Sorted for stable output.

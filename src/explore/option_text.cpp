@@ -76,6 +76,7 @@ void scenario_to_text(std::ostream& out, const ScenarioOptions& o) {
   out << "abcast_senders=" << o.abcast_senders << "\n";
   out << "oldest_per_channel=" << (o.oldest_per_channel ? 1 : 0) << "\n";
   out << "lambda_always=" << (o.lambda_always ? 1 : 0) << "\n";
+  out << "liveness=" << o.liveness << "\n";
 }
 
 bool scenario_apply(ScenarioOptions& o, const std::string& key,
@@ -120,6 +121,8 @@ bool scenario_apply(ScenarioOptions& o, const std::string& key,
     *ok = parse_bool(val, &o.oldest_per_channel);
   } else if (key == "lambda_always") {
     *ok = parse_bool(val, &o.lambda_always);
+  } else if (key == "liveness") {
+    o.liveness = val;  // Clause-name validity is ScenarioFactory::validate's.
   } else {
     return false;
   }

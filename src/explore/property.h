@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -50,6 +51,102 @@ class EventualProperty {
   virtual ~EventualProperty() = default;
   [[nodiscard]] virtual std::string name() const = 0;
   virtual std::optional<Violation> check_final(const sim::Simulator& sim) = 0;
+};
+
+/// A liveness clause for fair-cycle checking over the explored state
+/// graph, interpreted as the omega-regular property "eventually goal
+/// holds forever" (<>[]goal). A fair lasso whose loop visits at least
+/// one goal-false state refutes it; for absorbing goals (termination:
+/// once every module is done it stays done) <>[]goal coincides with
+/// <>goal. Contrast EventualProperty: that one is a heuristic end-of-run
+/// *suspect* check for randomized campaigns, while a LivenessClause
+/// feeds the explorer's SCC search and yields genuine counterexamples.
+///
+/// Contract: goal() must be a pure function of the state the explorer
+/// fingerprints (module state, in-flight messages, the oracle's latched
+/// history, the failure pattern) — never of the trace, absolute time or
+/// any history the fingerprint discards — so that a goal bit can be
+/// attached to a graph node once and reused for every path reaching it.
+class LivenessClause {
+ public:
+  virtual ~LivenessClause() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual bool goal(const sim::Simulator& sim) const = 0;
+};
+
+/// Termination (consensus "decide", QC/NBAC decisions, rb delivery
+/// completion — uniformly): every currently-alive process's protocol
+/// stack reports done(). Modules latch their decisions, so the goal is
+/// absorbing and <>[]goal degenerates to plain eventual termination.
+class TerminationClause : public LivenessClause {
+ public:
+  [[nodiscard]] std::string name() const override { return "termination"; }
+  [[nodiscard]] bool goal(const sim::Simulator& sim) const override {
+    return sim.all_alive_done();
+  }
+};
+
+/// Omega eventual leadership at the protocol level: eventually, forever,
+/// some alive process is actively leading (has an open round) or the
+/// run has terminated. A fair loop in which no leader ever has a round
+/// open and nobody decides is exactly the "Omega never stabilizes into
+/// an acting leader" failure the paper's liveness argument excludes.
+/// The scenario wires one is-leading accessor per process at build().
+class LeadershipClause : public LivenessClause {
+ public:
+  explicit LeadershipClause(std::vector<std::function<bool()>> leading)
+      : leading_(std::move(leading)) {}
+  [[nodiscard]] std::string name() const override { return "leadership"; }
+  [[nodiscard]] bool goal(const sim::Simulator& sim) const override {
+    if (sim.all_alive_done()) return true;
+    for (ProcessId p = 0; p < static_cast<ProcessId>(leading_.size()); ++p) {
+      if (sim.pattern().alive(p, sim.now()) &&
+          leading_[static_cast<std::size_t>(p)]()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::function<bool()>> leading_;  ///< One per process.
+};
+
+/// Strong completeness of an *implemented* detector (heartbeat Omega):
+/// eventually, forever, no alive process trusts a crashed one — its
+/// emitted leader is alive and its suspected set covers every crashed
+/// process. The scenario wires per-process (leader, suspected-mask)
+/// accessors at build(); both read module state the fingerprint folds.
+class FdCompletenessClause : public LivenessClause {
+ public:
+  struct View {
+    std::function<ProcessId()> leader;
+    std::function<std::uint64_t()> suspected_mask;
+  };
+  explicit FdCompletenessClause(std::vector<View> views)
+      : views_(std::move(views)) {}
+  [[nodiscard]] std::string name() const override { return "fd-completeness"; }
+  [[nodiscard]] bool goal(const sim::Simulator& sim) const override {
+    std::uint64_t crashed = 0;
+    for (ProcessId p = 0; p < sim.n(); ++p) {
+      if (!sim.pattern().alive(p, sim.now())) {
+        crashed |= std::uint64_t{1} << p;
+      }
+    }
+    for (ProcessId p = 0; p < static_cast<ProcessId>(views_.size()); ++p) {
+      if ((crashed >> p) & 1) continue;  // Crashed observers don't count.
+      const View& v = views_[static_cast<std::size_t>(p)];
+      const ProcessId leader = v.leader();
+      if (leader != kNoProcess && ((crashed >> leader) & 1) != 0) {
+        return false;
+      }
+      if ((v.suspected_mask() & crashed) != crashed) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<View> views_;  ///< One per process.
 };
 
 /// Agreement: all trace events of `kind` carry the same value (covers

@@ -19,6 +19,11 @@ namespace wfd::explore {
 struct ReplayFile {
   ScenarioOptions scenario;
   sim::DecisionLog decisions;
+  /// Liveness lassos only: the repeatable decision block. When
+  /// non-empty, `decisions` is the stem and the file replays through
+  /// run_lasso (the loop must close on the stem's landing state) rather
+  /// than run_replay.
+  sim::DecisionLog loop;
   /// Free-form provenance (which property failed, how it was found).
   std::string note;
 };
@@ -48,5 +53,33 @@ struct ReplayOutcome {
 /// so shrunk prefixes still run to a halt.
 ReplayOutcome run_replay(const ScenarioBuilder& build,
                          const sim::DecisionLog& decisions);
+
+/// What one validation replay of a lasso (stem + loop) established.
+struct LassoOutcome {
+  /// The lasso is a genuine fair goal-avoiding cycle: the loop closes
+  /// on the stem's landing fingerprint, schedules every process enabled
+  /// in it, serves every continuously pending delivery, contains no
+  /// adversary move (faults have budgets, so they cannot repeat
+  /// forever), and visits a goal-false state.
+  bool ok = false;
+  std::string reason;  ///< Why not, when !ok. Empty when ok.
+  /// A safety invariant fired mid-replay (also !ok; the lasso claim is
+  /// moot but the violation itself is worth reporting).
+  std::optional<Violation> violation;
+  std::uint64_t stem_steps = 0;
+  std::uint64_t loop_steps = 0;
+};
+
+/// Validate a lasso counterexample by deterministic re-execution — the
+/// graph-free twin of find_fair_lasso's claim, used by --replay and by
+/// shrink_lasso's reproduction predicate. The scenario must carry a
+/// liveness clause, and the builder's horizon must cover
+/// stem.size()+loop.size() steps (callers widen max_steps; under the
+/// liveness validate() rules menus and fingerprints are
+/// horizon-independent, so widening never changes the replayed
+/// transitions).
+LassoOutcome run_lasso(const ScenarioBuilder& build,
+                       const sim::DecisionLog& stem,
+                       const sim::DecisionLog& loop);
 
 }  // namespace wfd::explore

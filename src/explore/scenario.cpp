@@ -54,9 +54,10 @@ class UrbWaiter : public sim::Module {
 /// their failure patterns — scripted or reconstructed by injection —
 /// must keep a majority correct.
 bool needs_majority(const std::string& problem) {
-  return problem == "consensus" || problem == "qc" || problem == "nbac" ||
-         problem == "sigma" || problem == "register" ||
-         problem == "register-regular" || problem == "abcast";
+  return problem == "consensus" || problem == "consensus-live-bug" ||
+         problem == "qc" || problem == "nbac" || problem == "sigma" ||
+         problem == "register" || problem == "register-regular" ||
+         problem == "abcast";
 }
 
 std::vector<std::int64_t> proposals(int n) {
@@ -76,15 +77,18 @@ ScenarioFactory::ScenarioFactory(ScenarioOptions opt) : opt_(std::move(opt)) {
 const std::vector<ProblemSpec>& ScenarioFactory::problems() {
   static const std::vector<ProblemSpec> kProblems = {
       {"consensus"}, {"consensus-bug"},    {"consensus-crash-bug"},
+      {"consensus-live-bug"},
       {"qc"},        {"nbac"},             {"sigma"},
       {"register"},  {"register-regular"}, {"abcast"},
       {"rb"},
       // The implementable heartbeat Omega is a service: its modules are
-      // never done, so runs always fill the horizon — exhaustive
-      // exploration would enumerate the full schedule tree with no
-      // halting states to prune, which explodes. Campaign (randomized
-      // liveness) and replay are the meaningful modes.
-      {"omega-impl", /*exhaustive=*/false},
+      // never done, so bounded-safety exhaustion has no halting states
+      // to prune and fills the horizon everywhere. Exhaustive mode
+      // exists for --liveness=fd-completeness (fair-cycle search over
+      // the depth-bounded state graph, with truncation reported);
+      // campaign (randomized liveness) and replay remain the scalable
+      // modes.
+      {"omega-impl"},
   };
   return kProblems;
 }
@@ -146,6 +150,56 @@ std::string ScenarioFactory::validate(const ScenarioOptions& opt) {
   if (opt.abcast_senders < 1 || opt.abcast_senders > opt.n) {
     return "abcast_senders must be in [1, n]";
   }
+  if (!opt.liveness.empty()) {
+    const std::vector<std::string> clauses = liveness_clauses(opt.problem);
+    if (std::find(clauses.begin(), clauses.end(), opt.liveness) ==
+        clauses.end()) {
+      std::string avail;
+      for (const std::string& c : clauses) {
+        if (!avail.empty()) avail += ", ";
+        avail += c;
+      }
+      return "liveness clause '" + opt.liveness + "' is not available for "
+             "problem '" + opt.problem + "'" +
+             (avail.empty() ? "" : " (available: " + avail + ")");
+    }
+    // Fair-cycle search reads every infinite unrolling of a graph cycle
+    // as a run of the system, so each source of nondeterminism must be
+    // legal *in the limit* — not merely prefix-legal — and the enabled
+    // menu at a state must be a function of its fingerprint alone.
+    if (opt.fd_adversarial) {
+      return "liveness checking needs limit-legal detector histories; "
+             "fd_adversarial explores prefix-legal flapping";
+    }
+    if (opt.stabilization != kNever) {
+      return "liveness checking folds convergence into the static "
+             "history itself; stabilization must stay unset";
+    }
+    if (!opt.lambda_always) {
+      return "liveness fairness quantifies over tick steps and needs "
+             "lambda_always";
+    }
+    // Among the liveness-capable problems, these consult an oracle
+    // component (mirrors the table in build()).
+    const bool oracle_backed = opt.problem == "consensus" ||
+                               opt.problem == "consensus-live-bug" ||
+                               opt.problem == "qc" || opt.problem == "nbac";
+    if (oracle_backed && opt.fd_per_query) {
+      return "liveness checking requires --fd=static on oracle-backed "
+             "problems: a cycle of per-query detector choices is a "
+             "flapping history, illegal in the limit";
+    }
+    if (oracle_backed && opt.crashes > 0) {
+      return "liveness checking on oracle-backed problems requires a "
+             "crash-free pattern: the static history converges from the "
+             "start and cannot anticipate later crashes";
+    }
+    if (opt.crashes > 0 && opt.crash_mode != "explore") {
+      return "liveness checking requires crash_mode 'explore' when "
+             "crashes > 0: scripted crash times make the enabled menu a "
+             "function of absolute time, not of the state fingerprint";
+    }
+  }
   return "";
 }
 
@@ -154,6 +208,21 @@ bool ScenarioFactory::pattern_sensitive(const ScenarioOptions& opt) {
   // only components whose outputs read failure_by(t) mid-run.
   return opt.problem == "qc" || opt.problem == "nbac" ||
          opt.problem == "consensus-crash-bug";
+}
+
+std::vector<std::string> ScenarioFactory::liveness_clauses(
+    const std::string& problem) {
+  std::vector<std::string> out;
+  if (problem == "consensus" || problem == "consensus-bug" ||
+      problem == "consensus-live-bug" || problem == "qc" ||
+      problem == "nbac" || problem == "rb") {
+    out.emplace_back("termination");
+  }
+  if (problem == "consensus" || problem == "consensus-live-bug") {
+    out.emplace_back("leadership");
+  }
+  if (problem == "omega-impl") out.emplace_back("fd-completeness");
+  return out;
 }
 
 std::vector<std::vector<ProcessId>> ScenarioFactory::symmetry_classes(
@@ -248,7 +317,10 @@ Scenario ScenarioFactory::build(sim::ChoiceSource& choices) const {
   ChoiceOracle::Options oo;
   oo.per_query = opt_.fd_per_query;
   oo.stabilization = opt_.stabilization;
-  if (opt_.problem == "consensus") {
+  // Liveness mode: Psi must be a converged limit from the start (see
+  // validate()); harmless when no Psi component is enabled.
+  oo.psi_converged = !opt_.liveness.empty();
+  if (opt_.problem == "consensus" || opt_.problem == "consensus-live-bug") {
     oo.omega = true;
     oo.sigma = true;
   } else if (opt_.problem == "qc") {
@@ -318,12 +390,21 @@ Scenario ScenarioFactory::build(sim::ChoiceSource& choices) const {
       lossy && (opt_.problem == "register" ||
                 opt_.problem == "register-regular");
 
-  if (opt_.problem == "consensus") {
+  // Per-process views collected while the modules are built, consumed by
+  // the liveness-clause wiring at the end.
+  std::vector<std::function<bool()>> leading_fns;
+  std::vector<FdCompletenessClause::View> fd_views;
+
+  if (opt_.problem == "consensus" || opt_.problem == "consensus-live-bug") {
     for (int i = 0; i < opt_.n; ++i) {
       auto& host = s.add_process<sim::ModularProcess>();
-      auto& c = host.add_module<consensus::OmegaSigmaConsensusModule<int>>(
-          "cons");
-      c.propose(i % 2, {});
+      consensus::OmegaSigmaConsensusModule<int>* c =
+          opt_.problem == "consensus"
+              ? &host.add_module<consensus::OmegaSigmaConsensusModule<int>>(
+                    "cons")
+              : &host.add_module<GiveUpLeaderConsensusModule>("cons");
+      c->propose(i % 2, {});
+      leading_fns.emplace_back([c] { return c->is_leading(); });
     }
     out.invariants.push_back(std::make_unique<AgreementInvariant>("decide"));
     out.invariants.push_back(
@@ -487,12 +568,47 @@ Scenario ScenarioFactory::build(sim::ChoiceSource& choices) const {
     ho.lease = 2 * ho.timeout;
     for (int i = 0; i < opt_.n; ++i) {
       auto& host = s.add_process<sim::ModularProcess>();
-      host.add_module<fd::HeartbeatOmegaModule>("omega", ho);
+      auto& om = host.add_module<fd::HeartbeatOmegaModule>("omega", ho);
+      fd::HeartbeatOmegaModule* omp = &om;
+      fd_views.push_back(FdCompletenessClause::View{
+          [omp] { return omp->current_leader(); },
+          [omp] { return omp->suspected().raw(); }});
     }
     out.eventuals.push_back(
         std::make_unique<EventualLeadershipProperty>("omega-leader"));
   }
+
+  if (!opt_.liveness.empty()) {
+    if (opt_.liveness == "termination") {
+      out.liveness.push_back(std::make_unique<TerminationClause>());
+    } else if (opt_.liveness == "leadership") {
+      WFD_CHECK(!leading_fns.empty());
+      out.liveness.push_back(
+          std::make_unique<LeadershipClause>(std::move(leading_fns)));
+    } else {
+      WFD_CHECK_MSG(opt_.liveness == "fd-completeness" && !fd_views.empty(),
+                    "liveness clause survived validate() unwired");
+      out.liveness.push_back(
+          std::make_unique<FdCompletenessClause>(std::move(fd_views)));
+    }
+  }
   return out;
+}
+
+std::optional<std::uint64_t> scenario_fingerprint(const Scenario& sc) {
+  // Must stay bit-identical to the explorer's no-renaming fingerprint:
+  // the explorer keys liveness graph nodes with it and run_lasso checks
+  // loop closure against it.
+  sim::StateEncoder enc;
+  sc.sim->encode_state(enc);
+  std::size_t i = 0;
+  for (const auto& inv : sc.invariants) {
+    enc.push("invariant", i++);
+    inv->encode_state(enc);
+    enc.pop();
+  }
+  if (!enc.complete()) return std::nullopt;
+  return enc.digest();
 }
 
 ScenarioBuilder ScenarioFactory::builder() const {

@@ -10,8 +10,10 @@
 // crash times).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -73,6 +75,14 @@ struct ScenarioOptions {
   // ReplayScheduler reductions (see its Options).
   bool oldest_per_channel = true;
   bool lambda_always = true;
+  /// Liveness clause to check by fair-cycle search over the explored
+  /// state graph (empty = bounded safety checking only). Clause names
+  /// and per-problem availability: ScenarioFactory::liveness_clauses.
+  /// Liveness mode constrains the rest of the scenario (static converged
+  /// detector histories, no scripted crashes, lambda_always) — see
+  /// validate() — so that every infinite unrolling of a graph cycle is a
+  /// run of the modelled system under a *legal* detector-history limit.
+  std::string liveness;
 };
 
 /// One built instance: a simulator plus the properties to check on it.
@@ -80,7 +90,18 @@ struct Scenario {
   std::unique_ptr<sim::Simulator> sim;
   std::vector<std::unique_ptr<Invariant>> invariants;
   std::vector<std::unique_ptr<EventualProperty>> eventuals;
+  /// Non-empty iff ScenarioOptions::liveness named a clause; holds
+  /// exactly that clause, wired to this instance's modules.
+  std::vector<std::unique_ptr<LivenessClause>> liveness;
 };
+
+/// The state digest liveness checking keys graph nodes on: the
+/// simulator's complete encoded state plus every invariant's carried
+/// history, with no symmetry canonicalization (liveness forbids
+/// --symmetry: per-process fairness bookkeeping does not survive
+/// renaming). nullopt when any component is opaque.
+[[nodiscard]] std::optional<std::uint64_t> scenario_fingerprint(
+    const Scenario& sc);
 
 /// Builds a fresh instance whose nondeterminism is drawn from the given
 /// source. Copyable and cheap; the explorer re-invokes it per run.
@@ -121,6 +142,14 @@ class ScenarioFactory {
   /// per-query, adversarial included — never re-read the pattern before
   /// stabilization, and exploration requires stabilization == kNever.
   [[nodiscard]] static bool pattern_sensitive(const ScenarioOptions& opt);
+
+  /// The liveness clause names available for `problem` (possibly empty).
+  /// "termination" covers consensus/QC/NBAC decisions and rb delivery
+  /// completion uniformly; "leadership" is the Omega eventual-leadership
+  /// goal on the (Omega, Sigma) consensus protocols; "fd-completeness"
+  /// checks the implemented heartbeat Omega's strong completeness.
+  [[nodiscard]] static std::vector<std::string> liveness_clauses(
+      const std::string& problem);
 
   /// Interchangeable-process classes for symmetry reduction: renaming
   /// processes within a class maps runs to runs (identical modules,

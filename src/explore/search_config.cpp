@@ -104,6 +104,26 @@ std::string validate(const SearchConfig& cfg) {
     return "frontier workers must be in [0, 64], got " +
            std::to_string(cfg.frontier_workers);
   }
+  if (!cfg.scenario.liveness.empty()) {
+    // The fair-cycle search needs the explored graph to be the complete
+    // transition system: every reachable state expanded over its full
+    // menu, prunes only at expanded fingerprints. Reductions drop
+    // interleavings (sound for safety, not for cycle existence) and
+    // symmetry merges nodes under renaming, which breaks the per-process
+    // fairness bookkeeping.
+    if (cfg.reduction != Reduction::kNone) {
+      return "liveness checking requires --reduction=none (partial-order "
+             "reduction drops interleavings that may carry the fair cycle)";
+    }
+    if (cfg.symmetry) {
+      return "liveness checking is incompatible with --symmetry (renamed "
+             "merges break per-process fairness accounting)";
+    }
+    if (!cfg.state_fingerprints) {
+      return "liveness checking requires state fingerprints (the state "
+             "graph is keyed on them); drop --no-fingerprints";
+    }
+  }
   if (cfg.symmetry) {
     const auto classes = ScenarioFactory::symmetry_classes(cfg.scenario);
     if (classes.empty()) {
@@ -154,6 +174,10 @@ CliResult apply_cli_flag(SearchConfig& cfg, const std::string& arg) {
     } else {
       return CliResult::kBadValue;
     }
+    return CliResult::kApplied;
+  }
+  if (auto v = val("liveness")) {
+    s.liveness = *v;
     return CliResult::kApplied;
   }
   if (auto v = val("nbac-no-voter")) {
@@ -222,6 +246,7 @@ std::string cli_flags_help() {
   return "  --problem=NAME --n=N --crashes=K --crash-time=T\n"
          "  --crash=script|explore --loss=drop:N[,dup:M]\n"
          "  --depth=T --seed=S --stab=T --fd=flap|static|adversarial\n"
+         "  --liveness=termination|leadership|fd-completeness\n"
          "  --nbac-no-voter=P --reg-ops=N --reg-readers=N\n"
          "  --abcast-senders=N --no-lambda --all-pending\n"
          "  --max-states=N --max-runs=N --threads=N\n"
@@ -273,6 +298,7 @@ std::string config_to_json(const SearchConfig& cfg) {
       << (s.fd_adversarial ? "true" : "false")
       << ",\"depth\":" << s.max_steps << ",\"seed\":" << s.seed
       << ",\"fd_per_query\":" << (s.fd_per_query ? "true" : "false")
+      << ",\"liveness\":\"" << json_escape(s.liveness) << "\""
       << ",\"max_states\":" << cfg.max_states
       << ",\"max_runs\":" << cfg.max_runs << ",\"reduction\":\""
       << reduction_to_text(cfg.reduction) << "\",\"dependence\":\""

@@ -17,9 +17,20 @@
 // times that predate the phase-1 collect can never exhibit it;
 // `wfd_check --crash=explore` places the crash relative to the schedule
 // and finds it.
+// GiveUpLeaderConsensusModule is a third seeded bug, and the first
+// *liveness* one: the real (Omega, Sigma) consensus protocol with the
+// give_up_when_opposed flag set, so a leader whose first round is
+// opposed (Nacked) or stalls past a short retry interval never starts
+// another round. No safety clause ever fails — bounded exploration
+// reports a clean tree — but the system can wedge in a quiescent
+// undecided state where every process's step is a no-op: a fair cycle
+// avoiding the termination goal, which only the fair-cycle (lasso)
+// search refutes (`wfd_check --problem=consensus-live-bug
+// --liveness=termination`).
 #pragma once
 
 #include "consensus/consensus_api.h"
+#include "consensus/omega_sigma_consensus.h"
 #include "fd/values.h"
 #include "sim/module.h"
 #include "sim/payload.h"
@@ -193,6 +204,29 @@ class CrashTimingConsensusModule : public sim::Module {
   bool decided_ = false;
   bool pending_phase2_ = false;
   int decision_ = 0;
+};
+
+/// The liveness bug (see the file comment): the unmodified
+/// OmegaSigmaConsensusModule run with the seeded give-up flag and a
+/// retry interval short enough that a leader ticked twice before its
+/// Promises arrive already counts as stalled. A schedule that does so —
+/// then drains the in-flight messages — parks the run in a quiescent
+/// undecided state forever. The healthy module retries with a fresh
+/// round from that same schedule, so only the buggy build has a fair
+/// goal-avoiding cycle.
+class GiveUpLeaderConsensusModule
+    : public consensus::OmegaSigmaConsensusModule<int> {
+ public:
+  GiveUpLeaderConsensusModule()
+      : consensus::OmegaSigmaConsensusModule<int>(bug_options()) {}
+
+ private:
+  [[nodiscard]] static Options bug_options() {
+    Options o;
+    o.retry_interval = 2;
+    o.give_up_when_opposed = true;
+    return o;
+  }
 };
 
 }  // namespace wfd::explore

@@ -1,6 +1,7 @@
 #include "explore/shrink.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/check.h"
 #include "explore/replay_io.h"
@@ -9,8 +10,54 @@ namespace wfd::explore {
 
 namespace {
 
+using Reproduces = std::function<bool(const sim::DecisionLog&)>;
+using BudgetLeft = std::function<bool()>;
+
 void trim_trailing_zeros(sim::DecisionLog* log) {
   while (!log->empty() && log->back() == 0) log->pop_back();
+}
+
+/// ddmin-style chunk removal: large chunks first, down to singletons.
+/// Returns whether anything was removed.
+bool ddmin_pass(sim::DecisionLog* log, const Reproduces& reproduces,
+                const BudgetLeft& budget_left) {
+  bool progress = false;
+  for (std::size_t chunk = std::max<std::size_t>(log->size() / 2, 1);
+       chunk >= 1; chunk /= 2) {
+    for (std::size_t at = 0; at < log->size() && budget_left();) {
+      sim::DecisionLog candidate(log->begin(),
+                                 log->begin() + static_cast<long>(at));
+      const std::size_t end = std::min(at + chunk, log->size());
+      candidate.insert(candidate.end(),
+                       log->begin() + static_cast<long>(end), log->end());
+      if (reproduces(candidate)) {
+        *log = std::move(candidate);
+        progress = true;
+        // Re-test the same position: it now holds the next chunk.
+      } else {
+        at += chunk;
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return progress;
+}
+
+/// Canonicalization: rewrite entries to 0 (the explorer's default
+/// branch) where the violation survives it.
+bool zero_pass(sim::DecisionLog* log, const Reproduces& reproduces,
+               const BudgetLeft& budget_left) {
+  bool progress = false;
+  for (std::size_t i = 0; i < log->size() && budget_left(); ++i) {
+    if ((*log)[i] == 0) continue;
+    sim::DecisionLog candidate = *log;
+    candidate[i] = 0;
+    if (reproduces(candidate)) {
+      *log = std::move(candidate);
+      progress = true;
+    }
+  }
+  return progress;
 }
 
 }  // namespace
@@ -20,10 +67,13 @@ ShrinkResult shrink(const ScenarioBuilder& build, sim::DecisionLog log,
   ShrinkResult res;
   res.original_size = log.size();
 
-  const auto reproduces = [&](const sim::DecisionLog& candidate) {
+  const Reproduces reproduces = [&](const sim::DecisionLog& candidate) {
     ++res.attempts;
     const ReplayOutcome out = run_replay(build, candidate);
     return out.violation.has_value() && out.violation->property == property;
+  };
+  const BudgetLeft budget_left = [&] {
+    return res.attempts < opt.max_attempts;
   };
   WFD_CHECK_MSG(reproduces(log), "shrink input does not reproduce");
 
@@ -32,46 +82,81 @@ ShrinkResult shrink(const ScenarioBuilder& build, sim::DecisionLog log,
   trim_trailing_zeros(&log);
 
   bool progress = true;
-  while (progress && res.attempts < opt.max_attempts) {
+  while (progress && budget_left()) {
     progress = false;
-
-    // ddmin-style chunk removal: large chunks first, down to singletons.
-    for (std::size_t chunk = std::max<std::size_t>(log.size() / 2, 1);
-         chunk >= 1; chunk /= 2) {
-      for (std::size_t at = 0;
-           at < log.size() && res.attempts < opt.max_attempts;) {
-        sim::DecisionLog candidate(log.begin(),
-                                   log.begin() + static_cast<long>(at));
-        const std::size_t end = std::min(at + chunk, log.size());
-        candidate.insert(candidate.end(),
-                         log.begin() + static_cast<long>(end), log.end());
-        if (reproduces(candidate)) {
-          log = std::move(candidate);
-          progress = true;
-          // Re-test the same position: it now holds the next chunk.
-        } else {
-          at += chunk;
-        }
-      }
-      if (chunk == 1) break;
-    }
-
-    // Canonicalization: rewrite entries to 0 (the explorer's default
-    // branch) where the violation survives it.
-    for (std::size_t i = 0;
-         i < log.size() && res.attempts < opt.max_attempts; ++i) {
-      if (log[i] == 0) continue;
-      sim::DecisionLog candidate = log;
-      candidate[i] = 0;
-      if (reproduces(candidate)) {
-        log = std::move(candidate);
-        progress = true;
-      }
-    }
+    if (ddmin_pass(&log, reproduces, budget_left)) progress = true;
+    if (zero_pass(&log, reproduces, budget_left)) progress = true;
     trim_trailing_zeros(&log);
   }
 
   res.decisions = std::move(log);
+  return res;
+}
+
+ShrinkLassoResult shrink_lasso(const ScenarioBuilder& build,
+                               sim::DecisionLog stem, sim::DecisionLog loop,
+                               ShrinkOptions opt) {
+  ShrinkLassoResult res;
+  res.original_stem = stem.size();
+  res.original_loop = loop.size();
+
+  // Unlike the safety shrinker, stem entries past a run's last consumed
+  // decision are NOT free to trim: the stem/loop boundary is positional,
+  // so every entry shifts where the loop begins. Everything goes through
+  // full validation.
+  const auto valid = [&](const sim::DecisionLog& s,
+                         const sim::DecisionLog& l) {
+    ++res.attempts;
+    return run_lasso(build, s, l).ok;
+  };
+  const BudgetLeft budget_left = [&] {
+    return res.attempts < opt.max_attempts;
+  };
+  WFD_CHECK_MSG(valid(stem, loop), "shrink input is not a valid lasso");
+
+  const auto main_passes = [&](sim::DecisionLog* s, sim::DecisionLog* l) {
+    bool progress = true;
+    while (progress && budget_left()) {
+      progress = false;
+      const Reproduces loop_ok = [&](const sim::DecisionLog& cand) {
+        return valid(*s, cand);
+      };
+      const Reproduces stem_ok = [&](const sim::DecisionLog& cand) {
+        return valid(cand, *l);
+      };
+      // Loop first: a shorter loop makes every later stem replay cheaper.
+      if (ddmin_pass(l, loop_ok, budget_left)) progress = true;
+      if (zero_pass(l, loop_ok, budget_left)) progress = true;
+      if (ddmin_pass(s, stem_ok, budget_left)) progress = true;
+      if (zero_pass(s, stem_ok, budget_left)) progress = true;
+    }
+  };
+  main_passes(&stem, &loop);
+
+  // Rotation: enter the cycle k steps later — the rotated prefix moves
+  // onto the stem, where ddmin may find a much shorter route to the new
+  // entry state. Keep a rotation only when it shortens the total.
+  for (std::size_t k = 1; k < loop.size() && budget_left(); ++k) {
+    sim::DecisionLog stem2 = stem;
+    stem2.insert(stem2.end(), loop.begin(),
+                 loop.begin() + static_cast<long>(k));
+    sim::DecisionLog loop2(loop.begin() + static_cast<long>(k), loop.end());
+    loop2.insert(loop2.end(), loop.begin(),
+                 loop.begin() + static_cast<long>(k));
+    if (!valid(stem2, loop2)) continue;  // e.g. horizon cut the probe
+    const Reproduces stem_ok = [&](const sim::DecisionLog& cand) {
+      return valid(cand, loop2);
+    };
+    ddmin_pass(&stem2, stem_ok, budget_left);
+    if (stem2.size() + loop2.size() < stem.size() + loop.size()) {
+      stem = std::move(stem2);
+      loop = std::move(loop2);
+      main_passes(&stem, &loop);
+    }
+  }
+
+  res.stem = std::move(stem);
+  res.loop = std::move(loop);
   return res;
 }
 

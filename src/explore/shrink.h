@@ -34,4 +34,24 @@ struct ShrinkResult {
 ShrinkResult shrink(const ScenarioBuilder& build, sim::DecisionLog log,
                     const std::string& property, ShrinkOptions opt = {});
 
+struct ShrinkLassoResult {
+  sim::DecisionLog stem;  ///< Minimized; still a valid fair lasso.
+  sim::DecisionLog loop;
+  std::uint64_t original_stem = 0;
+  std::uint64_t original_loop = 0;
+  std::uint64_t attempts = 0;  ///< Lasso replays spent.
+};
+
+/// Minimize a liveness lasso, preserving run_lasso validity (the loop
+/// keeps closing on the stem's landing state, stays fair, and keeps
+/// avoiding the goal). Stem and loop each get ddmin + zeroing; the loop
+/// additionally tries rotations — entering the cycle at a later state
+/// can admit a much shorter stem (the rotated prefix moves into the
+/// stem and ddmin takes it from there). The input must itself validate
+/// (checked); the result always does. The builder's horizon must cover
+/// the input lasso (shrinking only removes steps).
+ShrinkLassoResult shrink_lasso(const ScenarioBuilder& build,
+                               sim::DecisionLog stem, sim::DecisionLog loop,
+                               ShrinkOptions opt = {});
+
 }  // namespace wfd::explore

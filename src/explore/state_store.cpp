@@ -159,6 +159,102 @@ bool parse_node(const std::string& s, NodeState* n) {
   return parse_labels(rest.substr(2), &n->assigned);
 }
 
+// gnode=<fp>;g=<goal>;en=<enabled>;x=<expanded>;t=<truncated>;
+//       edges=<count> — the next <count> gedge= lines belong to it.
+void gnode_to_text(std::ostream& out, std::uint64_t fp,
+                   const LiveGraphNode& n) {
+  out << "gnode=" << fp << ";g=" << (n.goal ? 1 : 0) << ";en=" << n.enabled
+      << ";dl=" << n.deliverable << ";x=" << (n.expanded ? 1 : 0)
+      << ";t=" << (n.truncated ? 1 : 0) << ";edges=" << n.edges.size()
+      << "\n";
+}
+
+bool parse_gnode(const std::string& s, std::uint64_t* fp, LiveGraphNode* n,
+                 std::uint64_t* edges_expected) {
+  std::string part;
+  std::istringstream parts(s);
+  bool saw_fp = false;
+  bool saw_edges = false;
+  bool first = true;
+  while (std::getline(parts, part, ';')) {
+    if (first) {
+      first = false;
+      if (!parse_u64(part, fp)) return false;
+      saw_fp = true;
+      continue;
+    }
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = part.substr(0, eq);
+    const std::string val = part.substr(eq + 1);
+    if (key == "g") {
+      if (!parse_bool(val, &n->goal)) return false;
+    } else if (key == "en") {
+      if (!parse_u64(val, &n->enabled)) return false;
+    } else if (key == "dl") {
+      if (!parse_u64(val, &n->deliverable)) return false;
+    } else if (key == "x") {
+      if (!parse_bool(val, &n->expanded)) return false;
+    } else if (key == "t") {
+      if (!parse_bool(val, &n->truncated)) return false;
+    } else if (key == "edges") {
+      if (!parse_u64(val, edges_expected)) return false;
+      saw_edges = true;
+    } else {
+      return false;
+    }
+  }
+  return saw_fp && saw_edges;
+}
+
+// gedge=d=<dst>;p=<sched+1, 0 = none>;f=<fault>;c=<decision indices>
+void gedge_to_text(std::ostream& out, const LiveGraphEdge& e) {
+  out << "gedge=d=" << e.dst << ";p=" << (e.sched + 1)
+      << ";f=" << (e.fault ? 1 : 0) << ";dv=" << (e.deliver ? 1 : 0)
+      << ";c=";
+  for (std::size_t i = 0; i < e.choices.size(); ++i) {
+    if (i != 0) out << ",";
+    out << e.choices[i];
+  }
+  out << "\n";
+}
+
+bool parse_gedge(const std::string& s, LiveGraphEdge* e) {
+  std::string part;
+  std::istringstream parts(s);
+  bool saw_dst = false;
+  while (std::getline(parts, part, ';')) {
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = part.substr(0, eq);
+    const std::string val = part.substr(eq + 1);
+    if (key == "d") {
+      if (!parse_u64(val, &e->dst)) return false;
+      saw_dst = true;
+    } else if (key == "p") {
+      std::uint64_t v = 0;
+      if (!parse_u64(val, &v) || v > INT32_MAX) return false;
+      e->sched = static_cast<ProcessId>(v) - 1;
+    } else if (key == "f") {
+      if (!parse_bool(val, &e->fault)) return false;
+    } else if (key == "dv") {
+      if (!parse_bool(val, &e->deliver)) return false;
+    } else if (key == "c") {
+      std::vector<std::uint64_t> raw;
+      if (!parse_labels(val, &raw)) return false;
+      e->choices.clear();
+      e->choices.reserve(raw.size());
+      for (const std::uint64_t v : raw) {
+        if (v > UINT32_MAX) return false;
+        e->choices.push_back(static_cast<std::uint32_t>(v));
+      }
+    } else {
+      return false;
+    }
+  }
+  return saw_dst;
+}
+
 void stats_to_text(std::ostream& out, const ExploreStats& st) {
   out << "nodes=" << st.nodes << "\n";
   out << "runs=" << st.runs << "\n";
@@ -173,6 +269,12 @@ void stats_to_text(std::ostream& out, const ExploreStats& st) {
   out << "injected_dups=" << st.injected_dups << "\n";
   out << "violations=" << st.violations << "\n";
   out << "exhausted=" << (st.exhausted ? 1 : 0) << "\n";
+  // Not `liveness=`: that key belongs to the scenario header (the
+  // clause name), and header keys win the parse dispatch.
+  out << "graph_liveness=" << (st.liveness ? 1 : 0) << "\n";
+  out << "graph_states=" << st.graph_states << "\n";
+  out << "graph_edges=" << st.graph_edges << "\n";
+  out << "graph_truncated=" << st.graph_truncated << "\n";
 }
 
 bool stats_apply(ExploreStats& st, const std::string& key,
@@ -204,6 +306,14 @@ bool stats_apply(ExploreStats& st, const std::string& key,
     *ok = parse_u64(val, &st.violations);
   } else if (key == "exhausted") {
     *ok = parse_bool(val, &st.exhausted);
+  } else if (key == "graph_liveness") {
+    *ok = parse_bool(val, &st.liveness);
+  } else if (key == "graph_states") {
+    *ok = parse_u64(val, &st.graph_states);
+  } else if (key == "graph_edges") {
+    *ok = parse_u64(val, &st.graph_edges);
+  } else if (key == "graph_truncated") {
+    *ok = parse_u64(val, &st.graph_truncated);
   } else {
     return false;
   }
@@ -239,12 +349,25 @@ std::string to_text(const StateSnapshot& s) {
     }
     out << "\n";
   }
+  // State graph (liveness mode), in committed insertion order — the
+  // fair-cycle search is deterministic in that order, so a resumed run
+  // must restore it verbatim.
+  if (s.graph.have_root) out << "groot=" << s.graph.root << "\n";
+  std::uint64_t gedges_total = 0;
+  for (const std::uint64_t fp : s.graph.order) {
+    const LiveGraphNode& n = s.graph.nodes.at(fp);
+    gnode_to_text(out, fp, n);
+    for (const LiveGraphEdge& e : n.edges) gedge_to_text(out, e);
+    gedges_total += static_cast<std::uint64_t>(n.edges.size());
+  }
   // Trailer: count checks plus an end marker, so a torn or truncated
   // file (no matter how it was produced) fails the parse.
   out << "units_total=" << s.units.size() << "\n";
   out << "nodes_total=" << s.nodes.size() << "\n";
   out << "frames_total=" << frames_total << "\n";
   out << "fps_total=" << s.fingerprints.size() << "\n";
+  out << "gnodes_total=" << s.graph.order.size() << "\n";
+  out << "gedges_total=" << gedges_total << "\n";
   out << "end=snapshot\n";
   return out.str();
 }
@@ -267,9 +390,15 @@ std::optional<StateSnapshot> parse_snapshot(const std::string& text,
   std::optional<std::uint64_t> nodes_total;
   std::optional<std::uint64_t> frames_total;
   std::optional<std::uint64_t> fps_total;
+  std::optional<std::uint64_t> gnodes_total;
+  std::optional<std::uint64_t> gedges_total;
   std::uint64_t frames_seen = 0;
   /// Frames still owed to the unit last opened by a unit= line.
   std::uint64_t frames_owed = 0;
+  std::uint64_t gedges_seen = 0;
+  /// Edges still owed to the node last opened by a gnode= line.
+  std::uint64_t gedges_owed = 0;
+  std::uint64_t gnode_open = 0;  ///< That node's fingerprint.
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
@@ -329,6 +458,30 @@ std::optional<StateSnapshot> parse_snapshot(const std::string& text,
         }
         s.fingerprints.emplace_back(fp, t);
       }
+    } else if (key == "groot") {
+      ok = parse_u64(val, &s.graph.root);
+      if (ok) s.graph.have_root = true;
+    } else if (key == "gnode") {
+      if (gedges_owed != 0) return fail("graph node with missing edges");
+      std::uint64_t fp = 0;
+      LiveGraphNode n;
+      std::uint64_t expected = 0;
+      if (!parse_gnode(val, &fp, &n, &expected)) {
+        return fail("bad graph node: " + val);
+      }
+      if (s.graph.nodes.count(fp) != 0) {
+        return fail("duplicate graph node " + std::to_string(fp));
+      }
+      s.graph.at(fp) = std::move(n);
+      gedges_owed = expected;
+      gnode_open = fp;
+    } else if (key == "gedge") {
+      if (gedges_owed == 0) return fail("graph edge without an owning node");
+      LiveGraphEdge e;
+      if (!parse_gedge(val, &e)) return fail("bad graph edge: " + val);
+      s.graph.nodes.find(gnode_open)->second.edges.push_back(std::move(e));
+      --gedges_owed;
+      ++gedges_seen;
     } else if (key == "units_total") {
       std::uint64_t v = 0;
       ok = parse_u64(val, &v);
@@ -345,6 +498,14 @@ std::optional<StateSnapshot> parse_snapshot(const std::string& text,
       std::uint64_t v = 0;
       ok = parse_u64(val, &v);
       if (ok) fps_total = v;
+    } else if (key == "gnodes_total") {
+      std::uint64_t v = 0;
+      ok = parse_u64(val, &v);
+      if (ok) gnodes_total = v;
+    } else if (key == "gedges_total") {
+      std::uint64_t v = 0;
+      ok = parse_u64(val, &v);
+      if (ok) gedges_total = v;
     } else if (key == "end") {
       ok = (val == "snapshot");
       saw_end = ok;
@@ -373,6 +534,25 @@ std::optional<StateSnapshot> parse_snapshot(const std::string& text,
   }
   if (!fps_total.has_value() || *fps_total != s.fingerprints.size()) {
     return fail("fingerprint count mismatch");
+  }
+  if (gedges_owed != 0) return fail("graph node with missing edges");
+  if (!gnodes_total.has_value() || *gnodes_total != s.graph.order.size()) {
+    return fail("graph node count mismatch");
+  }
+  if (!gedges_total.has_value() || *gedges_total != gedges_seen) {
+    return fail("graph edge count mismatch");
+  }
+  if (!s.graph.order.empty() && !s.graph.have_root) {
+    return fail("state graph without a root");
+  }
+  // Internal consistency the fair-cycle search would otherwise
+  // WFD_CHECK-crash on: every edge must land on a stored node.
+  for (const auto& [fp, n] : s.graph.nodes) {
+    for (const LiveGraphEdge& e : n.edges) {
+      if (s.graph.nodes.count(e.dst) == 0) {
+        return fail("graph edge into an unknown node");
+      }
+    }
   }
   for (const UnitState& u : s.units) {
     if (u.floor > u.frames.size()) {

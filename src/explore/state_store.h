@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "explore/explorer.h"
+#include "explore/liveness.h"
 #include "explore/scenario.h"
 #include "explore/search_config.h"
 #include "sim/choice.h"
@@ -106,8 +107,12 @@ struct StateSnapshot {
   /// header levers and the wave / next_unit_id counters, and changed
   /// the state-encoding of process identities (renaming-aware digests)
   /// — v2 frontiers and fingerprints are not sound against any of
-  /// these.
-  static constexpr std::uint32_t kVersion = 3;
+  /// these. v4 (liveness / fair-cycle search) added the liveness
+  /// scenario header field, the state graph (groot= / gnode= / gedge=
+  /// lines) and the liveness stats counters; a v3 frontier lacks the
+  /// graph edges its fingerprint prunes relied on, so it cannot seed a
+  /// liveness run.
+  static constexpr std::uint32_t kVersion = 4;
   std::uint32_t version = kVersion;
 
   /// Only the search-header fields (scenario + reduction levers) are
@@ -131,6 +136,10 @@ struct StateSnapshot {
   /// fingerprint -> earliest sim time seen (sorted by fingerprint, so
   /// equal stores produce byte-identical files).
   std::vector<std::pair<std::uint64_t, std::uint64_t>> fingerprints;
+  /// Liveness mode only: the state graph recorded so far, in committed
+  /// insertion order (stored and restored verbatim — the fair-cycle
+  /// search is deterministic in that order). Empty otherwise.
+  LiveGraph graph;
 };
 
 /// Renders / parses the text format. parse returns nullopt (with a

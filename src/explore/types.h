@@ -23,6 +23,13 @@ struct Counterexample {
   sim::DecisionLog decisions;
   Violation violation;
   std::uint64_t steps = 0;  ///< Simulator steps until the violation.
+  /// Liveness lassos only (fair-cycle search, explore/liveness.h):
+  /// `decisions` is then the stem from the initial state to the cycle
+  /// entry and `loop` the decision block whose endless repetition is
+  /// the violating fair run — replaying stem + loop returns to the
+  /// cycle-entry state fingerprint. Empty for safety counterexamples.
+  sim::DecisionLog loop;
+  std::uint64_t loop_steps = 0;  ///< Simulator steps one unrolling takes.
 };
 
 }  // namespace wfd::explore

@@ -123,11 +123,15 @@ class PsiExtractionModule : public sim::Module, public sim::FdSource {
     enc.field("sigma-rounds", sigma_rounds_);
   }
 
- private:
-  // Audited non-commuting: dag_.merge is order-insensitive on its own,
-  // but the tick between a pair may gossip or analyze the half-merged
-  // DAG, so distinct gossips are order-visible. Identical re-gossips are
-  // already collapsed by the explorer's same-sender/equal-content rule.
+  // Audited commuting (checked in tests/extract_psi_test.cpp): the
+  // handler only folds the snapshot into dag_ via SampleDag::merge,
+  // which extends per-process prefixes — merging two snapshots in
+  // either order yields the per-process prefix union — and sends
+  // nothing, emits no trace events, reads neither clock nor detector.
+  // Every *reaction* to the merged DAG (gossip, analyze, stage
+  // transitions) is tick-deferred to on_tick, which is what makes both
+  // claims sound: consecutive gossip deliveries commute with each
+  // other, and a delivery commutes with an adjacent inert lambda step.
   struct GossipMsg final : sim::Payload {
     explicit GossipMsg(std::vector<DagNode> n) : nodes(std::move(n)) {}
     std::vector<DagNode> nodes;
@@ -138,8 +142,13 @@ class PsiExtractionModule : public sim::Module, public sim::FdSource {
     [[nodiscard]] std::string_view kind() const override {
       return "ext.psi.gossip";
     }
+    [[nodiscard]] bool commutes_with(const sim::Payload& other) const override {
+      return sim::payload_cast<GossipMsg>(other) != nullptr;
+    }
+    [[nodiscard]] bool tick_insensitive() const override { return true; }
   };
 
+ private:
   /// One configuration of the Sigma loop's set C: an initial forest
   /// configuration plus a base schedule prefix.
   struct SigmaConfig {

@@ -43,6 +43,20 @@ class ChoiceSource {
   /// Pick an option index in [0, labels.size()).
   virtual std::size_t choose(ChoiceKind kind,
                              const std::vector<std::uint64_t>& labels) = 0;
+
+  /// Observe the *enabled set* of the upcoming decision — every option
+  /// the caller could legally pick, including forced single-option
+  /// menus that never reach choose(). Choice-aware components call this
+  /// once per decision point, before resolving it; the default ignores
+  /// it. The fairness bookkeeping of liveness checking lives on this
+  /// hook: a lasso is fair only if no process stays enabled (appears
+  /// here) forever while never being scheduled, and forced moves are
+  /// exactly the ones a decision log cannot reveal.
+  virtual void note_enabled(ChoiceKind kind,
+                            const std::vector<std::uint64_t>& labels) {
+    (void)kind;
+    (void)labels;
+  }
 };
 
 /// Replays a fixed decision sequence. Entries are reduced modulo the
@@ -64,6 +78,53 @@ class FixedChoices : public ChoiceSource {
   DecisionLog log_;
   std::size_t pos_ = 0;
   std::uint64_t consumed_ = 0;
+};
+
+/// FixedChoices that also captures, per simulator step, the schedule
+/// menu (via the note_enabled hook, which fires even for forced
+/// single-option menus that never reach choose()) and the schedule
+/// label the step executed. The liveness machinery replays with this to
+/// audit a step against a recorded state-graph edge (which process ran,
+/// was it a delivery / an adversary move) — a landed fingerprint alone
+/// cannot tell two self-loop edges apart.
+class MenuChoices final : public FixedChoices {
+ public:
+  using FixedChoices::FixedChoices;
+
+  std::size_t choose(ChoiceKind kind,
+                     const std::vector<std::uint64_t>& labels) override {
+    const std::size_t idx = FixedChoices::choose(kind, labels);
+    if (kind == ChoiceKind::kSchedule) {
+      chosen_ = labels[idx];
+      have_chosen_ = true;
+    }
+    return idx;
+  }
+
+  void note_enabled(ChoiceKind kind,
+                    const std::vector<std::uint64_t>& labels) override {
+    if (kind != ChoiceKind::kSchedule) return;
+    menu_ = labels;
+    have_chosen_ = false;
+  }
+
+  /// The schedule menu of the most recent step.
+  [[nodiscard]] const std::vector<std::uint64_t>& menu() const {
+    return menu_;
+  }
+
+  /// The schedule label the most recent step executed. A forced menu
+  /// never reaches choose(), so it falls back to the menu's only entry;
+  /// meaningless before the first step (returns 0 on an empty menu).
+  [[nodiscard]] std::uint64_t executed() const {
+    if (have_chosen_) return chosen_;
+    return menu_.empty() ? 0 : menu_.front();
+  }
+
+ private:
+  std::vector<std::uint64_t> menu_;
+  std::uint64_t chosen_ = 0;
+  bool have_chosen_ = false;
 };
 
 /// Forwards to an inner source and records every answer, producing the

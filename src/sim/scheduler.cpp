@@ -213,6 +213,10 @@ StepChoice ReplayScheduler::next(const Network& net, const FailurePattern& f,
     }
   }
   if (options.empty()) return StepChoice{};  // Everyone crashed.
+  // Report the full menu — forced moves included — before the >=2 guard:
+  // liveness fairness bookkeeping needs the enabled set of every step,
+  // and single-option points never reach choose().
+  choices_->note_enabled(ChoiceKind::kSchedule, labels);
   std::size_t idx = 0;
   if (options.size() >= 2) {
     idx = choices_->choose(ChoiceKind::kSchedule, labels);

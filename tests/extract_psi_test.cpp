@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,8 @@
 #include "fd/history_checker.h"
 #include "qc/consensus_qc.h"
 #include "qc/psi_qc.h"
+#include "sim/dependence.h"
+#include "sim/state_encoder.h"
 #include "test_util.h"
 
 namespace wfd {
@@ -96,6 +99,73 @@ TEST(SampleDagTest, SpineIsDeterministicAcrossMergedCopies) {
     EXPECT_EQ(sa[i].p, sb[i].p);
     EXPECT_EQ(sa[i].seq, sb[i].seq);
   }
+}
+
+TEST(SampleDagTest, MergeIsOrderInsensitive) {
+  // Two distinct gossip snapshots folded in either order must yield
+  // digest-identical DAGs — the semantic half of GossipMsg's
+  // commutes_with claim, since the delivery handler does nothing but
+  // this merge. The snapshots share a prefix (p0#1) and each carries a
+  // node the other lacks.
+  SampleDag a(3), b(3);
+  a.add_sample(0, fd::FdValue{});
+  b.merge(a.snapshot());
+  b.add_sample(1, fd::FdValue{});
+  a.add_sample(0, fd::FdValue{});
+  const auto sa = a.snapshot();
+  const auto sb = b.snapshot();
+
+  SampleDag c1(3), c2(3);
+  c1.merge(sa);
+  c1.merge(sb);
+  c2.merge(sb);
+  c2.merge(sa);
+  EXPECT_EQ(c1.size(), 3u);
+  EXPECT_EQ(c1.size(), c2.size());
+  sim::StateEncoder e1, e2;
+  c1.encode_state(e1);
+  c2.encode_state(e2);
+  EXPECT_EQ(e1.digest(), e2.digest());
+}
+
+// ------------------------------------------------- gossip commutativity
+
+// A classified non-gossip payload: GossipMsg's audit covers only its
+// own kind and must fail closed against everything else.
+struct UnrelatedMsg final : sim::Payload {
+  void encode_state(sim::StateEncoder& enc) const override {
+    enc.field("kind", "unrelated");
+  }
+  [[nodiscard]] std::string_view kind() const override {
+    return "test.unrelated";
+  }
+};
+
+TEST(PsiGossipDependenceTest, GossipPairsCommuteWithNothingConservative) {
+  SampleDag a(2), b(2);
+  a.add_sample(0, fd::FdValue{});
+  b.add_sample(1, fd::FdValue{});
+  const PsiExtractionModule::GossipMsg g1(a.snapshot());
+  const PsiExtractionModule::GossipMsg g2(b.snapshot());
+  std::set<std::string> conservative;
+  EXPECT_TRUE(sim::payloads_commute(g1, g2, &conservative));
+  EXPECT_TRUE(sim::payloads_commute(g2, g1, &conservative));
+  // The known candidate is audited: nothing falls back to the
+  // conservative (order-everything) bucket.
+  EXPECT_TRUE(conservative.empty());
+}
+
+TEST(PsiGossipDependenceTest, GossipIsTickInsensitiveButTypeGuarded) {
+  SampleDag a(2);
+  a.add_sample(0, fd::FdValue{});
+  const PsiExtractionModule::GossipMsg g(a.snapshot());
+  // The merge reads neither clock nor detector and all reaction is
+  // tick-deferred, so a gossip delivery commutes with an inert lambda.
+  EXPECT_TRUE(g.tick_insensitive());
+  // Cross-type pairs stay dependent in both consultation orders.
+  const UnrelatedMsg other;
+  EXPECT_FALSE(sim::payloads_commute(g, other, nullptr));
+  EXPECT_FALSE(sim::payloads_commute(other, g, nullptr));
 }
 
 // ------------------------------------------------------- sandbox plumbing

@@ -140,6 +140,116 @@ TEST(StateStoreTest, TextRoundTripsEveryField) {
   EXPECT_EQ(to_text(*p), to_text(s));
 }
 
+/// A v4 snapshot with the liveness state graph populated: two nodes in
+/// insertion order, a self-loop, a cross edge, an adversary edge, and a
+/// truncated unexpanded frontier node.
+StateSnapshot liveness_snapshot() {
+  StateSnapshot s = sample_snapshot();
+  s.config.scenario.problem = "consensus-live-bug";
+  s.config.scenario.liveness = "termination";
+  s.config.scenario.fd_per_query = false;
+  s.config.reduction = Reduction::kNone;
+  s.config.symmetry = false;
+  s.stats.liveness = true;
+  s.stats.graph_states = 2;
+  s.stats.graph_edges = 3;
+  s.stats.graph_truncated = 1;
+  s.graph.root = 0xfeedull;
+  s.graph.have_root = true;
+  LiveGraphNode& a = s.graph.at(0xfeedull);
+  a.goal = false;
+  a.enabled = 0b11;
+  a.deliverable = 0b10;
+  a.expanded = true;
+  LiveGraphEdge self;
+  self.choices = {0};
+  self.dst = 0xfeedull;
+  self.sched = 0;
+  LiveGraphEdge hop;
+  hop.choices = {1, 2, 0};
+  hop.dst = 0xbeefull;
+  hop.sched = 1;
+  hop.deliver = true;
+  LiveGraphEdge crash;
+  crash.choices = {3};
+  crash.dst = 0xbeefull;
+  crash.sched = kNoProcess;
+  crash.fault = true;
+  a.edges = {self, hop, crash};
+  LiveGraphNode& b = s.graph.at(0xbeefull);
+  b.goal = true;
+  b.enabled = 0b01;
+  b.truncated = true;
+  return s;
+}
+
+TEST(StateStoreTest, TextRoundTripsLivenessGraph) {
+  const StateSnapshot s = liveness_snapshot();
+  std::string error;
+  const auto p = parse_snapshot(to_text(s), &error);
+  ASSERT_TRUE(p.has_value()) << error;
+  EXPECT_EQ(p->config.scenario.liveness, "termination");
+  EXPECT_TRUE(p->stats.liveness);
+  EXPECT_EQ(p->stats.graph_states, s.stats.graph_states);
+  EXPECT_EQ(p->stats.graph_edges, s.stats.graph_edges);
+  EXPECT_EQ(p->stats.graph_truncated, s.stats.graph_truncated);
+  EXPECT_TRUE(p->graph.have_root);
+  EXPECT_EQ(p->graph.root, s.graph.root);
+  // Insertion order is part of the format: the fair-cycle search is
+  // only deterministic in it.
+  ASSERT_EQ(p->graph.order, s.graph.order);
+  for (const std::uint64_t fp : s.graph.order) {
+    const LiveGraphNode& want = s.graph.nodes.at(fp);
+    ASSERT_TRUE(p->graph.nodes.count(fp)) << fp;
+    const LiveGraphNode& got = p->graph.nodes.at(fp);
+    EXPECT_EQ(got.goal, want.goal) << fp;
+    EXPECT_EQ(got.enabled, want.enabled) << fp;
+    EXPECT_EQ(got.deliverable, want.deliverable) << fp;
+    EXPECT_EQ(got.expanded, want.expanded) << fp;
+    EXPECT_EQ(got.truncated, want.truncated) << fp;
+    ASSERT_EQ(got.edges.size(), want.edges.size()) << fp;
+    for (std::size_t i = 0; i < want.edges.size(); ++i) {
+      EXPECT_EQ(got.edges[i].choices, want.edges[i].choices) << fp << "/" << i;
+      EXPECT_EQ(got.edges[i].dst, want.edges[i].dst) << fp << "/" << i;
+      EXPECT_EQ(got.edges[i].sched, want.edges[i].sched) << fp << "/" << i;
+      EXPECT_EQ(got.edges[i].fault, want.edges[i].fault) << fp << "/" << i;
+      EXPECT_EQ(got.edges[i].deliver, want.edges[i].deliver)
+          << fp << "/" << i;
+    }
+  }
+  // Rendering is canonical here too.
+  EXPECT_EQ(to_text(*p), to_text(s));
+}
+
+TEST(StateStoreTest, GraphSectionIsStructurallyValidated) {
+  const std::string good = to_text(liveness_snapshot());
+  std::string error;
+  ASSERT_TRUE(parse_snapshot(good, &error).has_value()) << error;
+
+  // A dropped edge line leaves its node owing edges.
+  std::string missing = good;
+  const std::size_t at = missing.find("gedge=");
+  ASSERT_NE(at, std::string::npos);
+  missing.erase(at, missing.find('\n', at) - at + 1);
+  EXPECT_FALSE(parse_snapshot(missing, &error).has_value());
+  EXPECT_NE(error.find("edges"), std::string::npos) << error;
+
+  // An edge with no open node is orphaned.
+  std::string orphan = good;
+  const std::size_t gn = orphan.find("gnode=");
+  ASSERT_NE(gn, std::string::npos);
+  orphan.insert(gn, "gedge=d=1;p=1;f=0;dv=0;c=0\n");
+  EXPECT_FALSE(parse_snapshot(orphan, &error).has_value());
+
+  // The count trailer catches a silently lost node.
+  std::string fewer = good;
+  const std::size_t total = fewer.find("gnodes_total=2");
+  ASSERT_NE(total, std::string::npos);
+  fewer.replace(total, std::string("gnodes_total=2").size(),
+                "gnodes_total=3");
+  EXPECT_FALSE(parse_snapshot(fewer, &error).has_value());
+}
+
 TEST(StateStoreTest, ParseRejectsCorruption) {
   const std::string good = to_text(sample_snapshot());
   std::string error;
@@ -208,28 +318,38 @@ TEST(StateStoreTest, ParseRejectsCorruption) {
 TEST(StateStoreTest, OldFormatVersionIsIncompatibleNotCorrupt) {
   // A well-formed snapshot of a previous format version must be refused
   // as an *incompatibility* (wrong_version), with a message that tells
-  // the user what to do — not lumped in with corrupt files. The v2->v3
-  // bump (wave-scheduled search) replaced the single DFS path with the
-  // unit queue and changed the renaming-aware state encoding, so
-  // resuming a v2 frontier under a v3 build would silently explore the
-  // wrong tree.
-  std::string old = to_text(sample_snapshot());
+  // the user what to do — not lumped in with corrupt files. The v3->v4
+  // bump (liveness / fair-cycle search) added the state graph and the
+  // graph-backed stats: a v3 frontier lacks the graph edges its
+  // fingerprint prunes already merged away, so resuming it under a v4
+  // build could silently certify "no fair cycle" on a graph with holes.
   const std::string tag =
       "snapshot_version=" + std::to_string(StateSnapshot::kVersion);
-  const std::size_t at = old.find(tag);
-  ASSERT_NE(at, std::string::npos);
-  old.replace(at, tag.size(), "snapshot_version=2");
+  const std::string want_current =
+      "version " + std::to_string(StateSnapshot::kVersion);
+  for (const int old_version : {2, 3}) {
+    std::string old = to_text(sample_snapshot());
+    const std::size_t at = old.find(tag);
+    ASSERT_NE(at, std::string::npos);
+    old.replace(at, tag.size(),
+                "snapshot_version=" + std::to_string(old_version));
 
-  std::string error;
-  bool wrong_version = false;
-  EXPECT_FALSE(parse_snapshot(old, &error, &wrong_version).has_value());
-  EXPECT_TRUE(wrong_version);
-  EXPECT_NE(error.find("snapshot_version 2"), std::string::npos) << error;
-  EXPECT_NE(error.find("version 3"), std::string::npos) << error;
-  EXPECT_NE(error.find("--resume"), std::string::npos) << error;
+    std::string error;
+    bool wrong_version = false;
+    EXPECT_FALSE(parse_snapshot(old, &error, &wrong_version).has_value());
+    EXPECT_TRUE(wrong_version) << old_version;
+    // The diagnosis names both versions and the way out.
+    EXPECT_NE(error.find("unsupported snapshot_version " +
+                         std::to_string(old_version)),
+              std::string::npos)
+        << error;
+    EXPECT_NE(error.find(want_current), std::string::npos) << error;
+    EXPECT_NE(error.find("--resume"), std::string::npos) << error;
+  }
 
   // Corruption, by contrast, must NOT claim a version mismatch.
-  wrong_version = true;
+  std::string error;
+  bool wrong_version = true;
   EXPECT_FALSE(
       parse_snapshot("not a snapshot\n", &error, &wrong_version).has_value());
   EXPECT_FALSE(wrong_version);
@@ -360,6 +480,10 @@ void expect_stats_eq(const ExploreStats& a, const ExploreStats& b) {
   EXPECT_EQ(a.commute_skips, b.commute_skips);
   EXPECT_EQ(a.violations, b.violations);
   EXPECT_EQ(a.exhausted, b.exhausted);
+  EXPECT_EQ(a.liveness, b.liveness);
+  EXPECT_EQ(a.graph_states, b.graph_states);
+  EXPECT_EQ(a.graph_edges, b.graph_edges);
+  EXPECT_EQ(a.graph_truncated, b.graph_truncated);
 }
 
 SearchConfig scenario_config(const ScenarioOptions& scenario) {
@@ -403,6 +527,74 @@ TEST(ResumeTest, SplitSearchFindsTheSameViolation) {
   // replays the identical decision sequence the single-shot search
   // found.
   EXPECT_EQ(split.cex->decisions, whole.cex->decisions);
+}
+
+ScenarioOptions liveness_bug_options() {
+  ScenarioOptions opt;
+  opt.problem = "consensus-live-bug";
+  opt.n = 2;
+  opt.max_steps = 12;
+  opt.fd_per_query = false;  // Oracle-backed liveness needs --fd=static.
+  opt.liveness = "termination";
+  return opt;
+}
+
+/// Liveness requires --reduction=none, no symmetry (search_config.cpp
+/// validation); fingerprints stay on — the graph is keyed by them.
+SearchConfig liveness_config(const ScenarioOptions& scenario) {
+  SearchConfig cfg;
+  cfg.scenario = scenario;
+  cfg.reduction = Reduction::kNone;
+  cfg.symmetry = false;
+  return cfg;
+}
+
+TEST(ResumeTest, LivenessSplitSearchReportsTheSameLasso) {
+  // A liveness run split into installments is the acid test of the v4
+  // graph round-trip: the fair-cycle search only runs at exhaustion, on
+  // the graph merged across every installment. Any node or edge lost in
+  // save/resume would change (or lose) the lasso.
+  const ScenarioOptions scenario = liveness_bug_options();
+  Explorer single(ScenarioFactory(scenario).builder(),
+                  liveness_config(scenario));
+  const ExploreReport whole = single.run();
+  ASSERT_TRUE(whole.cex.has_value());
+  ASSERT_FALSE(whole.cex->loop.empty());
+
+  const SplitResult split =
+      run_split(scenario, liveness_config(scenario), 40,
+                testing::TempDir() + "wfd_resume_lasso.wfds");
+  ASSERT_GE(split.resumes, 1) << "lasso found before any resume";
+  ASSERT_TRUE(split.cex.has_value());
+  EXPECT_EQ(split.cex->decisions, whole.cex->decisions);
+  EXPECT_EQ(split.cex->loop, whole.cex->loop);
+  EXPECT_EQ(split.cex->violation.property, whole.cex->violation.property);
+}
+
+TEST(ResumeTest, LivenessSplitSearchMatchesSingleShotOnCleanTree) {
+  // The healthy twin: split exploration must end with the identical
+  // graph stats and still certify "no fair cycle" at the end.
+  ScenarioOptions scenario;
+  scenario.problem = "consensus";
+  scenario.n = 2;
+  scenario.max_steps = 12;
+  scenario.fd_per_query = false;
+  scenario.liveness = "termination";
+  Explorer single(ScenarioFactory(scenario).builder(),
+                  liveness_config(scenario));
+  const ExploreReport whole = single.run();
+  ASSERT_TRUE(whole.stats.exhausted);
+  ASSERT_TRUE(whole.fair_cycle_checked);
+  ASSERT_FALSE(whole.cex.has_value());
+
+  const SplitResult split =
+      run_split(scenario, liveness_config(scenario), 60,
+                testing::TempDir() + "wfd_resume_liveclean.wfds");
+  ASSERT_GE(split.resumes, 1) << "budget too large to exercise resume";
+  EXPECT_TRUE(split.last.fair_cycle_checked);
+  EXPECT_FALSE(split.cex.has_value());
+  expect_stats_eq(split.last.stats, whole.stats);
+  EXPECT_EQ(coverage(split.last.stats), coverage(whole.stats));
 }
 
 TEST(ResumeTest, MismatchedScenarioIsRejected) {

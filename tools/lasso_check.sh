@@ -1,0 +1,71 @@
+#!/bin/sh
+# Lasso lifecycle lane for wfd_check (driven by ctest, see
+# tools/CMakeLists.txt). Exercises the full liveness counterexample
+# path on the seeded bug (--problem=consensus-live-bug):
+#
+#  1. The fair-cycle search finds the wedged-leader lasso, shrinks the
+#     stem and loop, saves a replay file with a loop= line, exits 3.
+#  2. --replay on that file re-validates the fair cycle (closure,
+#     fairness, goal avoidance) by deterministic re-execution, exits 3.
+#  3. Corrupting the loop — dropping one decision — must NOT replay as
+#     a confirmed lasso (exit 0 with a reason), proving the validator
+#     actually checks the cycle rather than rubber-stamping the file.
+#  4. The same search split across --budget-states/--save-state/--resume
+#     invocations reports the byte-identical stem and loop: the graph
+#     snapshot (v4 groot=/gnode=/gedge= lines) round-trips and the
+#     post-exhaustion search is deterministic on the merged graph.
+#
+# Plain POSIX sh, no timing assumptions — runs unchanged under the
+# asan/ubsan/tsan presets.
+#
+# Usage: lasso_check.sh /path/to/wfd_check
+set -u
+
+CHECK=${1:?usage: lasso_check.sh /path/to/wfd_check}
+DIR=$(mktemp -d) || exit 1
+trap 'rm -rf "$DIR"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+SCENARIO="--problem=consensus-live-bug --n=2 --liveness=termination
+          --fd=static --reduction=none --depth=12 --max-states=0"
+
+# 1. Find, shrink, save.
+$CHECK --exhaustive $SCENARIO --save="$DIR/lasso.wfdr" \
+  >"$DIR/found.out" 2>&1
+[ $? -eq 3 ] || fail "search did not exit 3: $(cat "$DIR/found.out")"
+grep -q "fair cycle avoiding the goal" "$DIR/found.out" ||
+  fail "no fair-cycle message: $(cat "$DIR/found.out")"
+grep -q "^loop=" "$DIR/lasso.wfdr" || fail "saved file has no loop= line"
+
+# 2. Replay confirms.
+$CHECK --replay="$DIR/lasso.wfdr" >"$DIR/replay.out" 2>&1
+[ $? -eq 3 ] || fail "replay did not exit 3: $(cat "$DIR/replay.out")"
+grep -q "lasso confirmed" "$DIR/replay.out" ||
+  fail "replay did not confirm: $(cat "$DIR/replay.out")"
+
+# 3. A corrupted loop must not confirm.
+sed 's/^loop=\([0-9]*\),/loop=/' "$DIR/lasso.wfdr" >"$DIR/broken.wfdr"
+cmp -s "$DIR/lasso.wfdr" "$DIR/broken.wfdr" &&
+  fail "corruption step was a no-op (single-entry loop?)"
+$CHECK --replay="$DIR/broken.wfdr" >"$DIR/broken.out" 2>&1
+[ $? -eq 0 ] || fail "broken replay did not exit 0: $(cat "$DIR/broken.out")"
+grep -q "lasso NOT confirmed" "$DIR/broken.out" ||
+  fail "broken lasso was confirmed: $(cat "$DIR/broken.out")"
+
+# 4. Split search reports the identical lasso.
+$CHECK --exhaustive $SCENARIO --budget-states=50 \
+  --save-state="$DIR/s.wfds" >"$DIR/split1.out" 2>&1
+[ $? -eq 4 ] || fail "first installment did not exit 4"
+$CHECK --exhaustive $SCENARIO --resume="$DIR/s.wfds" \
+  --save="$DIR/lasso2.wfdr" >"$DIR/split2.out" 2>&1
+[ $? -eq 3 ] || fail "resumed search did not exit 3: $(cat "$DIR/split2.out")"
+grep "^decisions=\|^loop=" "$DIR/lasso.wfdr" >"$DIR/a"
+grep "^decisions=\|^loop=" "$DIR/lasso2.wfdr" >"$DIR/b"
+cmp -s "$DIR/a" "$DIR/b" ||
+  fail "split search found a different lasso: $(cat "$DIR/a" "$DIR/b")"
+
+echo "lasso lifecycle OK"

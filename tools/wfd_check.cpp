@@ -27,6 +27,15 @@
 // problem/mode combination the scenario registry does not support exits
 // 2 (never a silent fallback to another mode).
 //
+// --liveness=<clause> switches the exhaustive search from bounded
+// safety to liveness: the explorer records the state graph it visits
+// and, once the tree is exhausted, searches it for a fair cycle that
+// avoids the clause's goal (explore/liveness.h). A found lasso is
+// shrunk (stem and loop separately), printed, saved as a replay file
+// with a loop= line, and exits 3; --replay on such a file re-validates
+// the fair cycle deterministically. A clean exhaust reports the graph
+// size and "no fair cycle avoids the goal".
+//
 // Exhaustive mode defaults to DPOR plus module-state fingerprints and
 // reports its coverage honestly: "complete" (every branch visited),
 // "modulo-fingerprints" (every branch visited or cut at a state whose
@@ -43,6 +52,7 @@
 // coverage=complete / modulo-fingerprints (0); see tools/resume_check.sh.
 // The split search visits exactly the states one uninterrupted run
 // would — as does a --threads=N run versus a serial one.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -109,7 +119,10 @@ void usage() {
       "turns every detector query into a worst-case choice against the\n"
       "evolving failure pattern. --deadline-ms converts a long exhaustive\n"
       "run into a cooperative cancel: partial report, frontier saved with\n"
-      "--save-state, exit 4.\n"
+      "--save-state, exit 4. --liveness=<clause> checks <>[]goal instead\n"
+      "of bounded safety: after exhausting the tree the explored state\n"
+      "graph is searched for a fair goal-avoiding cycle, reported as a\n"
+      "replayable (and shrinkable) stem+loop lasso.\n"
       "\n"
       "--threads=N runs the wave-scheduled exhaustive search on N worker\n"
       "threads (results are identical for every N); in campaign mode it\n"
@@ -187,6 +200,71 @@ std::string decisions_to_text(const sim::DecisionLog& log) {
     out += std::to_string(log[i]);
   }
   return out;
+}
+
+/// A liveness lasso: shrink (stem + loop), print, optionally save as a
+/// replay file with a loop= line. Returns the process exit status.
+/// Builds its own scenario with a widened horizon — the lasso may run
+/// past the search depth (probing already did), and under the liveness
+/// rules the horizon changes no transition.
+int report_lasso(const Args& a, explore::Counterexample cex,
+                 const char* how) {
+  explore::ScenarioOptions wide = a.cfg.scenario;
+  wide.max_steps =
+      std::max<std::uint64_t>(wide.max_steps,
+                              cex.decisions.size() + cex.loop.size() + 8);
+  const explore::ScenarioBuilder build =
+      explore::ScenarioFactory(wide).builder();
+  std::uint64_t stem_from = 0;
+  std::uint64_t loop_from = 0;
+  if (a.cfg.shrink) {
+    explore::ShrinkLassoResult s =
+        explore::shrink_lasso(build, cex.decisions, cex.loop);
+    stem_from = s.original_stem;
+    loop_from = s.original_loop;
+    cex.decisions = std::move(s.stem);
+    cex.loop = std::move(s.loop);
+  }
+  if (a.json) {
+    std::printf(
+        "{\"verdict\":\"violation\",\"property\":\"%s\",\"message\":\"%s\","
+        "\"mode\":\"%s\",\"decisions\":\"%s\",\"loop\":\"%s\","
+        "\"stem_shrunk_from\":%llu,\"loop_shrunk_from\":%llu}\n",
+        cex.violation.property.c_str(), cex.violation.message.c_str(), how,
+        decisions_to_text(cex.decisions).c_str(),
+        decisions_to_text(cex.loop).c_str(),
+        static_cast<unsigned long long>(stem_from),
+        static_cast<unsigned long long>(loop_from));
+  } else {
+    std::printf("VIOLATION of %s (%s)\n", cex.violation.property.c_str(),
+                how);
+    std::printf("  %s\n", cex.violation.message.c_str());
+    if (stem_from + loop_from != 0) {
+      std::printf("  shrunk: stem %llu -> %llu, loop %llu -> %llu decisions\n",
+                  static_cast<unsigned long long>(stem_from),
+                  static_cast<unsigned long long>(cex.decisions.size()),
+                  static_cast<unsigned long long>(loop_from),
+                  static_cast<unsigned long long>(cex.loop.size()));
+    }
+    std::printf("  stem: [%s]\n", decisions_to_text(cex.decisions).c_str());
+    std::printf("  loop: [%s]\n", decisions_to_text(cex.loop).c_str());
+  }
+  if (!a.save_path.empty()) {
+    explore::ReplayFile rf;
+    rf.scenario = a.cfg.scenario;
+    rf.decisions = cex.decisions;
+    rf.loop = cex.loop;
+    rf.note = cex.violation.property + ": " + cex.violation.message;
+    if (!explore::save_replay(a.save_path, rf)) {
+      std::fprintf(stderr, "cannot write %s\n", a.save_path.c_str());
+      return kExitUsage;
+    }
+    if (!a.json) {
+      std::printf("  saved: %s (re-run with --replay=%s)\n",
+                  a.save_path.c_str(), a.save_path.c_str());
+    }
+  }
+  return kExitViolation;
 }
 
 /// Shrink, print, optionally save. Returns the process exit status.
@@ -303,6 +381,15 @@ int run_exhaustive(const Args& a) {
       (cfg.budget_states != 0 || deadline_hit) && !st.exhausted &&
       !rep.cex.has_value();
   if (a.json && !rep.cex.has_value()) {
+    std::string liveness_json;
+    if (st.liveness) {
+      liveness_json = ",\"graph_states\":" + std::to_string(st.graph_states) +
+                      ",\"graph_edges\":" + std::to_string(st.graph_edges) +
+                      ",\"graph_truncated\":" +
+                      std::to_string(st.graph_truncated) +
+                      ",\"fair_cycle_checked\":" +
+                      (rep.fair_cycle_checked ? "true" : "false");
+    }
     std::printf(
         "{\"verdict\":\"clean\",\"mode\":\"exhaustive\",\"states\":%llu,"
         "\"runs\":%llu,\"steps\":%llu,\"sleep_skips\":%llu,"
@@ -312,7 +399,7 @@ int run_exhaustive(const Args& a) {
         "\"conservative_payloads\":%s,"
         "\"status\":\"%s\",\"coverage\":\"%s\","
         "\"resumed\":%s,\"resume_generation\":%llu,"
-        "\"config\":%s}\n",
+        "\"config\":%s%s}\n",
         static_cast<unsigned long long>(st.nodes),
         static_cast<unsigned long long>(st.runs),
         static_cast<unsigned long long>(st.steps),
@@ -330,7 +417,7 @@ int run_exhaustive(const Args& a) {
                        : "budget",
         cov.c_str(), rep.resumed ? "true" : "false",
         static_cast<unsigned long long>(rep.resume_generation),
-        explore::config_to_json(cfg).c_str());
+        explore::config_to_json(cfg).c_str(), liveness_json.c_str());
     if (save_failed) return kExitUsage;
     return budget_left ? kExitBudget : kExitClean;
   }
@@ -371,9 +458,23 @@ int run_exhaustive(const Args& a) {
       }
       std::printf("\n");
     }
+    if (st.liveness) {
+      std::printf("state graph: %llu states, %llu edges, %llu truncated\n",
+                  static_cast<unsigned long long>(st.graph_states),
+                  static_cast<unsigned long long>(st.graph_edges),
+                  static_cast<unsigned long long>(st.graph_truncated));
+    }
   }
   if (rep.cex.has_value()) {
+    if (!rep.cex->loop.empty()) {
+      return report_lasso(a, *rep.cex, "exhaustive");
+    }
     return report_cex(a, build, *rep.cex, "exhaustive", /*reshrink=*/true);
+  }
+  if (rep.fair_cycle_checked && !a.json) {
+    std::printf("no fair cycle avoids the goal (liveness=%s holds on the "
+                "explored graph)\n",
+                a.cfg.scenario.liveness.c_str());
   }
   if (!cfg.save_path.empty() && !save_failed) {
     std::printf("state saved: %s (continue with --resume=%s)\n",
@@ -432,6 +533,46 @@ int run_replay_mode(const Args& a) {
   if (!rf.has_value()) {
     std::fprintf(stderr, "bad replay file: %s\n", error.c_str());
     return kExitUsage;
+  }
+  if (!rf->loop.empty()) {
+    // Lasso replay: re-validate the fair cycle rather than just re-run
+    // the stem. The saved file keeps the scenario as searched; the
+    // horizon is widened here exactly as the probe that found the lasso
+    // widened it.
+    explore::ScenarioOptions wide = rf->scenario;
+    wide.max_steps = std::max<std::uint64_t>(
+        wide.max_steps, rf->decisions.size() + rf->loop.size() + 8);
+    const explore::ScenarioBuilder build =
+        explore::ScenarioFactory(wide).builder();
+    const explore::LassoOutcome out =
+        explore::run_lasso(build, rf->decisions, rf->loop);
+    if (out.ok) {
+      if (a.json) {
+        std::printf(
+            "{\"verdict\":\"violation\",\"property\":\"liveness(%s)\","
+            "\"mode\":\"lasso-replay\",\"stem_steps\":%llu,"
+            "\"loop_steps\":%llu}\n",
+            rf->scenario.liveness.c_str(),
+            static_cast<unsigned long long>(out.stem_steps),
+            static_cast<unsigned long long>(out.loop_steps));
+      } else {
+        std::printf(
+            "lasso confirmed: fair %llu-step loop entered after %llu steps, "
+            "goal liveness(%s) never converges\n",
+            static_cast<unsigned long long>(out.loop_steps),
+            static_cast<unsigned long long>(out.stem_steps),
+            rf->scenario.liveness.c_str());
+      }
+      return kExitViolation;
+    }
+    if (out.violation.has_value()) {
+      std::printf("VIOLATION of %s (lasso replay hit a safety violation)\n",
+                  out.violation->property.c_str());
+      std::printf("  %s\n", out.violation->message.c_str());
+      return kExitViolation;
+    }
+    std::printf("lasso NOT confirmed: %s\n", out.reason.c_str());
+    return kExitClean;
   }
   const explore::ScenarioBuilder build =
       explore::ScenarioFactory(rf->scenario).builder();
