@@ -70,6 +70,15 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
     /// breaks is the retry obligation Omega's eventual leadership is
     /// useless without. Off in every real configuration.
     bool give_up_when_opposed = false;
+    /// Seeded liveness bug (explore/seeded_bug.h): a would-be leader
+    /// that has promised a round owned by another process defers to
+    /// that owner forever instead of preempting it with a higher round
+    /// of its own. Harmless while the owner is alive (it retries or
+    /// decides), fatal when the owner crashed mid-round: the surviving
+    /// new leader waits on a dead process and never starts a round, so
+    /// nobody ever decides. Safety is untouched. Off in every real
+    /// configuration.
+    bool defer_to_promised_owner = false;
   };
 
   using typename ConsensusApi<V>::DecideCb;
@@ -189,6 +198,15 @@ class OmegaSigmaConsensusModule : public sim::Module, public ConsensusApi<V> {
     // the system in a quiescent undecided state — a fair cycle of no-op
     // steps that fair-cycle search must expose as a lasso.
     if (opt_.give_up_when_opposed && rounds_ > 0) return;
+    // Seeded liveness bug: defer forever to the promised round's owner.
+    // A leader's own Prepare (broadcast includes self) makes promised_
+    // its own round, so a stable leader still retries; the wedge needs
+    // the promised owner to crash after its Prepare reached us.
+    if (opt_.defer_to_promised_owner && promised_ != 0 &&
+        promised_ % static_cast<Round>(n()) !=
+            static_cast<Round>(self())) {
+      return;
+    }
     start_round();
   }
 

@@ -105,6 +105,32 @@ void ChoiceOracle::on_crash(ProcessId p, Time t) {
     }
     sigma_star_ = star;
   }
+  if (!opt_.per_query) {
+    // Static histories anticipate explored crash points: the values
+    // picked at begin_run were converged for the pre-crash correct set;
+    // when the crash invalidates one, re-pick from the survivors (a
+    // recorded kFd choice, so every alternative is explored and the
+    // decision is part of the crash step's edge). Crash edges never lie
+    // on a cycle (fault budgets decrease monotonically and are
+    // fingerprinted), so along any infinite unrolling the statics are
+    // the converged legal limit history of the final crash set — which
+    // makes --liveness sound when composed with --crash=explore.
+    if ((opt_.omega || opt_.psi) && !correct.contains(static_omega_)) {
+      std::vector<std::uint64_t> labels;
+      for (ProcessId q : correct.members()) {
+        labels.push_back(static_cast<std::uint64_t>(q));
+      }
+      static_omega_ = static_cast<ProcessId>(labels[pick(labels)]);
+    }
+    if ((opt_.sigma || opt_.psi) && !static_sigma_.is_subset_of(correct)) {
+      std::vector<std::uint64_t> labels;
+      for (const ProcessSet& q : majorities_) {
+        if (q.is_subset_of(correct)) labels.push_back(q.raw());
+      }
+      WFD_CHECK(!labels.empty());
+      static_sigma_ = ProcessSet::from_raw(labels[pick(labels)]);
+    }
+  }
 }
 
 ProcessId ChoiceOracle::omega_value(Time t) {

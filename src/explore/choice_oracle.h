@@ -59,7 +59,12 @@ class ChoiceOracle : public fd::Oracle {
     /// Track injected crashes: on_crash mutates the oracle's copy of the
     /// failure pattern and recomputes the canonical converged values, so
     /// failure-dependent menus (FS red, Ψ's FS branch) see crashes the
-    /// explorer injects mid-run. Requires stabilization == kNever when
+    /// explorer injects mid-run. In static mode it also re-picks
+    /// static_omega_ / static_sigma_ from the survivors when a crash
+    /// invalidates them (a recorded kFd choice), so static histories
+    /// anticipate explored crash points and stay converged for the
+    /// final correct set — the soundness basis of composing --liveness
+    /// with --crash=explore. Requires stabilization == kNever when
     /// crashes can arrive after a forced convergence point.
     bool live_pattern = false;
   };
@@ -94,7 +99,8 @@ class ChoiceOracle : public fd::Oracle {
   ProcessId omega_star_ = kNoProcess;  ///< Smallest correct process.
   ProcessSet sigma_star_;              ///< A majority of correct processes.
 
-  // Static-mode history, fixed at begin_run.
+  // Static-mode history, fixed at begin_run; re-picked at an explored
+  // crash that invalidates it (live_pattern).
   ProcessId static_omega_ = kNoProcess;
   ProcessSet static_sigma_;
 

@@ -945,14 +945,22 @@ class UnitEngine {
     // Non-fault labels with a message id are deliveries; id 0 is a
     // lambda or start step (sim/scheduler.h label encoding).
     e.deliver = !e.fault && sim::ReplayScheduler::label_message(label) != 0;
+    if (e.deliver) e.sender = sc.sim->last_step().from;
+    // The menu was captured before the step ran, so the one message the
+    // step consumed (delivered or dropped) is no longer in the network;
+    // its sender is on last_step(). Every other menu message still is.
+    const sim::Network& net = sc.sim->network();
+    const auto sender_of = [&](std::uint64_t id) -> ProcessId {
+      return net.contains(id) ? net.get(id).from : sc.sim->last_step().from;
+    };
     std::uint64_t enabled = 0;
     std::uint64_t deliverable = 0;
     for (const std::uint64_t l : menu_) {
       if (sim::ReplayScheduler::label_is_fault(l)) continue;
-      const std::uint64_t bit =
-          std::uint64_t{1} << sim::ReplayScheduler::label_process(l);
-      enabled |= bit;
-      if (sim::ReplayScheduler::label_message(l) != 0) deliverable |= bit;
+      const ProcessId to = sim::ReplayScheduler::label_process(l);
+      enabled |= std::uint64_t{1} << to;
+      const std::uint64_t id = sim::ReplayScheduler::label_message(l);
+      if (id != 0) deliverable |= live_channel_bit(sender_of(id), to);
     }
     {
       // Scoped: at() below may rehash and invalidate this reference.
@@ -1519,7 +1527,7 @@ ExploreReport Explorer::run() {
     // every exhausted (re)invocation.
     if (stats.exhausted && !rep.cex.has_value() && !rep.cancelled) {
       rep.fair_cycle_checked = true;
-      rep.cex = find_fair_lasso(graph, cfg_.scenario);
+      rep.cex = find_fair_lasso(graph, cfg_.scenario, &rep.lasso_error);
     }
   }
 

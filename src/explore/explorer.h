@@ -64,10 +64,12 @@
 //
 // Liveness mode (SearchConfig::scenario.liveness non-empty) grows the
 // fingerprint store into an explicit state graph while exploring —
-// per-step fingerprints, goal bits, enabled sets, decision-labelled
-// edges (explore/liveness.h) — and, once the tree is exhausted, runs a
-// fair-cycle search over it: a fair cycle avoiding the clause's goal is
-// a liveness violation, reported as a replayable stem+loop lasso. A
+// per-step fingerprints, goal bits, enabled sets, per-channel
+// deliverability bits, decision-labelled edges (explore/liveness.h) —
+// and, once the tree is exhausted, runs a fair-cycle search over it: a
+// cycle avoiding the clause's goal that is fair to every enabled
+// process and every pending directed channel is a liveness violation,
+// reported as a replayable stem+loop lasso. A
 // fingerprint revisit prunes regardless of time in this mode (the
 // liveness validate() rules make states time-free, so a prune is an
 // exact merge into an already-expanded graph node) and exhaustion
@@ -136,6 +138,11 @@ struct ExploreReport {
   /// verdict is then cex (a lasso) or — when cex is empty — "no fair
   /// cycle", exact up to stats.graph_truncated horizon cuts.
   bool fair_cycle_checked = false;
+  /// Non-empty: the fair-cycle search found a witness SCC but could not
+  /// concretize its lasso by probing (a graph/scenario mismatch — an
+  /// internal error, never a sound "no fair cycle"). Carries the
+  /// structured diagnostic from find_fair_lasso; cex stays empty.
+  std::string lasso_error;
   /// Identities of payload types observed in flight that still ship the
   /// conservative commutes_with default (empty kind()): the audit
   /// backlog of Dependence::kContent. Sorted for stable output.

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <sstream>
 #include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "explore/option_text.h"
 #include "sim/scheduler.h"
 #include "sim/simulator.h"
 
@@ -139,8 +141,9 @@ std::vector<std::vector<std::size_t>> sccs_of(const Indexed& g,
 struct FairWitness {
   std::vector<std::size_t> members;  ///< Sorted by insertion index.
   std::uint64_t sched_mask = 0;      ///< Fairness obligations to cover.
-  /// Processes with a pending delivery at EVERY member node: the loop
-  /// must deliver to each of them (communication fairness).
+  /// Directed channels (bit live_channel_bit(s, r)) with a pending
+  /// delivery at EVERY member node: the loop must deliver on each of
+  /// them (communication fairness).
   std::uint64_t deliver_mask = 0;
   std::size_t entry = 0;             ///< First goal-false member.
 };
@@ -178,17 +181,18 @@ std::optional<FairWitness> fair_goal_avoiding_scc(const Indexed& g) {
         internal = true;
         if (!e.fault && e.sched != kNoProcess) {
           sched |= std::uint64_t{1} << e.sched;
-          if (e.deliver) delivered |= std::uint64_t{1} << e.sched;
+          if (e.deliver) delivered |= live_channel_bit(e.sender, e.sched);
         }
       }
     }
     const std::uint64_t starved = enabled & ~sched;
     if (internal && starved == 0) {
-      // Communication fairness: a process whose pending delivery stays
-      // enabled at every member node must be delivered to by some
-      // internal edge. When it is not, the whole SCC is hopeless — any
-      // sub-SCC inherits the continuously-enabled obligation and has no
-      // delivering edge either — so it is discarded without refinement.
+      // Communication fairness: a directed channel whose pending
+      // delivery stays enabled at every member node must be served by
+      // some internal edge delivering on exactly that channel. When it
+      // is not, the whole SCC is hopeless — any sub-SCC inherits the
+      // continuously-enabled obligation and has no delivering edge
+      // either — so it is discarded without refinement.
       if ((deliverable_all & ~delivered) != 0) {
         for (const std::size_t v : comp) in_comp[v] = 0;
         continue;
@@ -260,37 +264,60 @@ std::vector<Hop> route(const Indexed& g, const std::vector<char>& mask,
 }
 
 /// A closed walk through the witness SCC from its entry node covering
-/// one scheduling edge per obligated process (ascending process order),
-/// then closing back on the entry — the fairness certificate made
-/// concrete as a fingerprint route.
+/// one delivering edge per obligated channel (ascending channel-bit
+/// order) and one scheduling edge per remaining obligated process
+/// (ascending process order), then closing back on the entry — the
+/// fairness certificate made concrete as a fingerprint route.
+template <typename MatchFn>
+void cover_edge(const Indexed& g, const FairWitness& w,
+                const std::vector<char>& in_comp, MatchFn match,
+                std::size_t& cur, std::vector<Hop>& out) {
+  const LiveGraphEdge* cover = nullptr;
+  std::size_t cover_src = 0;
+  for (const std::size_t v : w.members) {
+    for (const LiveGraphEdge& e : g.node[v]->edges) {
+      if (e.fault || !match(e)) continue;
+      if (in_comp[g.idx.at(e.dst)] == 0) continue;
+      cover = &e;
+      cover_src = v;
+      break;
+    }
+    if (cover != nullptr) break;
+  }
+  WFD_CHECK_MSG(cover != nullptr, "obligated cover edge missing in fair SCC");
+  std::vector<Hop> leg = route(g, in_comp, cur, cover_src);
+  out.insert(out.end(), leg.begin(), leg.end());
+  out.push_back(Hop{cover_src, cover});
+  cur = g.idx.at(cover->dst);
+}
+
 std::vector<Hop> loop_route(const Indexed& g, const FairWitness& w) {
   std::vector<char> in_comp(g.fps.size(), 0);
   for (const std::size_t v : w.members) in_comp[v] = 1;
   std::vector<Hop> out;
   std::size_t cur = w.entry;
+  // A channel with a continuously pending delivery must be covered by
+  // an edge delivering on exactly that channel; the delivery also
+  // discharges the receiver's scheduling obligation.
+  std::uint64_t sched_done = 0;
+  for (ProcessId s = 0; s < kLiveChannelStride; ++s) {
+    for (ProcessId r = 0; r < kLiveChannelStride; ++r) {
+      if ((w.deliver_mask & live_channel_bit(s, r)) == 0) continue;
+      cover_edge(
+          g, w, in_comp,
+          [&](const LiveGraphEdge& e) {
+            return e.deliver && e.sender == s && e.sched == r;
+          },
+          cur, out);
+      sched_done |= std::uint64_t{1} << r;
+    }
+  }
   for (ProcessId p = 0; p < kMaxProcesses; ++p) {
     if (((w.sched_mask >> p) & 1) == 0) continue;
-    // A process with a continuously pending delivery must be covered by
-    // a delivering edge (which discharges both obligations at once).
-    const bool need_deliver = ((w.deliver_mask >> p) & 1) != 0;
-    const LiveGraphEdge* cover = nullptr;
-    std::size_t cover_src = 0;
-    for (const std::size_t v : w.members) {
-      for (const LiveGraphEdge& e : g.node[v]->edges) {
-        if (e.fault || e.sched != p) continue;
-        if (need_deliver && !e.deliver) continue;
-        if (in_comp[g.idx.at(e.dst)] == 0) continue;
-        cover = &e;
-        cover_src = v;
-        break;
-      }
-      if (cover != nullptr) break;
-    }
-    WFD_CHECK_MSG(cover != nullptr, "obligated process has no cover edge");
-    std::vector<Hop> leg = route(g, in_comp, cur, cover_src);
-    out.insert(out.end(), leg.begin(), leg.end());
-    out.push_back(Hop{cover_src, cover});
-    cur = g.idx.at(cover->dst);
+    if (((sched_done >> p) & 1) != 0) continue;
+    cover_edge(
+        g, w, in_comp,
+        [&](const LiveGraphEdge& e) { return e.sched == p; }, cur, out);
   }
   std::vector<Hop> close = route(g, in_comp, cur, w.entry);
   out.insert(out.end(), close.begin(), close.end());
@@ -301,7 +328,8 @@ std::vector<Hop> loop_route(const Indexed& g, const FairWitness& w) {
 }  // namespace
 
 std::optional<Counterexample> find_fair_lasso(
-    const LiveGraph& g, const ScenarioOptions& scenario) {
+    const LiveGraph& g, const ScenarioOptions& scenario,
+    std::string* concretize_error) {
   if (!g.have_root || g.order.empty()) return std::nullopt;
   const Indexed ix(g);
   const std::optional<FairWitness> w = fair_goal_avoiding_scc(ix);
@@ -359,41 +387,95 @@ std::optional<Counterexample> find_fair_lasso(
     if ((sim::ReplayScheduler::label_message(ex) != 0) != want.deliver) {
       return false;
     }
+    // Channel identity: the delivered message's sender must match the
+    // edge's — the loop's fairness certificate serves channels, and two
+    // same-receiver deliveries at one state can land the same
+    // fingerprint while serving different channels.
+    if (want.deliver && sc.sim->last_step().from != want.sender) {
+      return false;
+    }
     const std::optional<std::uint64_t> fp = scenario_fingerprint(sc);
     return fp.has_value() && *fp == want.dst;
   };
 
+  // The schedule-menu width at the state the pinned prefix lands on:
+  // replay the prefix and take one (discarded) default step, whose
+  // note_enabled hook captures the menu even when it is forced.
+  const auto menu_width = [&]() -> std::size_t {
+    sim::MenuChoices src(log);
+    Scenario sc = probe.build(src);
+    for (std::uint64_t s = 0; s <= pinned; ++s) {
+      if (!sc.sim->step()) return 0;
+    }
+    return src.menu().size();
+  };
+
   // Pin one hop: recorded decision blocks for this transition first
   // (always exact when the pinned prefix walks the same menus the
-  // recorder saw), then a brute-force scan of single indices — past a
-  // run's first step every transition consumes exactly one schedule
-  // decision, whose *index* can differ from the recorded one when the
-  // pending-message menu at this fingerprint is ordered differently
-  // along the pinned stem than along the recording path.
-  const auto pin = [&](const Hop& hop) {
+  // recorder saw), then a rescan of the leading schedule index over the
+  // actual menu width at the probed state, keeping any recorded tail —
+  // the pending-message menu at a fingerprint can order message ids
+  // differently along the pinned stem than along the recording path,
+  // while trailing oracle picks (begin_run, crash re-picks) enumerate
+  // from the pattern and are path-independent.
+  const auto pin = [&](const Hop& hop) -> bool {
     for (const LiveGraphEdge& e : ix.node[hop.src]->edges) {
       if (e.dst != hop.edge->dst) continue;
       if (lands(e.choices, *hop.edge)) {
         log.insert(log.end(), e.choices.begin(), e.choices.end());
         ++pinned;
-        return;
+        return true;
       }
     }
-    for (std::uint32_t i = 0; i < 64; ++i) {
-      const sim::DecisionLog one = {i};
-      if (lands(one, *hop.edge)) {
-        log.push_back(i);
-        ++pinned;
-        return;
+    const std::size_t width = menu_width();
+    for (const LiveGraphEdge& e : ix.node[hop.src]->edges) {
+      if (e.dst != hop.edge->dst || e.choices.empty()) continue;
+      for (std::size_t i = 0; i < width; ++i) {
+        sim::DecisionLog block = {static_cast<std::uint32_t>(i)};
+        block.insert(block.end(), e.choices.begin() + 1, e.choices.end());
+        if (lands(block, *hop.edge)) {
+          log.insert(log.end(), block.begin(), block.end());
+          ++pinned;
+          return true;
+        }
       }
     }
-    WFD_CHECK_MSG(false, "failed to concretize a lasso transition");
+    return false;
   };
 
-  for (const Hop& hop : stem) pin(hop);
+  // A hop that cannot be concretized means the graph and the scenario
+  // disagree — an internal error, never a sound verdict. Surface a
+  // structured diagnostic instead of aborting the whole process.
+  const auto concretize_failed = [&](const char* part, std::size_t at,
+                                     std::size_t total, const Hop& hop) {
+    if (concretize_error == nullptr) return;
+    std::ostringstream err;
+    err << "failed to concretize a lasso transition (" << part << " hop "
+        << at << " of " << total << ": fingerprint "
+        << ix.fps[hop.src] << " -> " << hop.edge->dst << ")\n";
+    err << "partial lasso pinned so far: " << pinned << " steps, decisions=";
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      err << (i == 0 ? "" : ",") << log[i];
+    }
+    err << "\nscenario:\n";
+    detail::scenario_to_text(err, scenario);
+    *concretize_error = err.str();
+  };
+
+  for (std::size_t i = 0; i < stem.size(); ++i) {
+    if (!pin(stem[i])) {
+      concretize_failed("stem", i, stem.size(), stem[i]);
+      return std::nullopt;
+    }
+  }
   const sim::DecisionLog stem_log = log;
   const std::uint64_t stem_steps = pinned;
-  for (const Hop& hop : loop) pin(hop);
+  for (std::size_t i = 0; i < loop.size(); ++i) {
+    if (!pin(loop[i])) {
+      concretize_failed("loop", i, loop.size(), loop[i]);
+      return std::nullopt;
+    }
+  }
   const sim::DecisionLog loop_log(
       log.begin() + static_cast<std::ptrdiff_t>(stem_log.size()), log.end());
 
@@ -404,7 +486,7 @@ std::optional<Counterexample> find_fair_lasso(
               std::to_string(w->members.size()) +
               " states, entered after " + std::to_string(stem_steps) +
               " steps, schedules every enabled process and serves every "
-              "continuously pending delivery forever without the goal "
+              "continuously pending channel forever without the goal "
               "ever holding";
   v.at = static_cast<Time>(stem_steps);
 

@@ -26,15 +26,23 @@
 // infinite unrolling of a cycle is fair only if every process enabled
 // in the cycle is scheduled in it (under the liveness rules every alive
 // process always has at least a lambda move, so enabled sets are
-// constant along a cycle). (2) Communication fairness at receiver
-// granularity, the graph shadow of the quasi-reliable channel
-// assumption: a cycle that keeps some process's pending delivery
-// continuously enabled but never delivers anything to that process
-// starves an in-flight message forever — the scheduled process keeps
-// taking lambda steps past it — and is discarded as unfair. (This is
-// receiver- not channel-granular: a cycle that starves one sender's
-// channel while delivering another's to the same receiver still counts
-// as fair, a deliberate approximation noted in DESIGN.md §13.)
+// constant along a cycle). (2) Communication fairness at directed
+// channel granularity, the graph shadow of the quasi-reliable channel
+// assumption: a cycle that keeps some channel's pending delivery
+// continuously enabled but never delivers a message on that channel
+// starves an in-flight message forever — the receiver keeps taking
+// steps past it — and is discarded as unfair. Deliverability is an
+// n×n bitset over (sender, receiver) pairs (bit sender*8 + receiver;
+// n ≤ 8 enforced by validate()), so a cycle that starves one sender's
+// channel while serving another sender's messages to the same receiver
+// is correctly rejected.
+//
+// Crash-composed liveness: injected crash edges carry no fairness
+// credit and — because fault budgets decrease monotonically and are
+// fingerprinted — can never lie on a cycle, so every crash sits in the
+// lasso's stem. The oracle re-picks its static Ω leader / Σ quorum at
+// each crash (choice_oracle.cpp), so the history along any infinite
+// unrolling is a legal converged limit history of the final crash set.
 //
 // find_fair_lasso runs the classic SCC refinement: compute SCCs,
 // discard those in which some enabled process is never scheduled by an
@@ -49,19 +57,22 @@
 // The witness is a replayable lasso — a stem decision log from the
 // initial state to the cycle and a loop decision log that closes back
 // on the cycle-entry fingerprint while scheduling every enabled
-// process. Recorded edge decisions are *indices into per-state menus*,
-// and delivery menus at a fingerprint can order message ids differently
-// depending on the path that reached it, so the lasso is concretized by
-// probing: each route step is pinned by replaying a candidate decision
-// block and checking that the landed fingerprint is the route's next
-// node (recorded tuples first, then a brute-force scan of single
-// indices). Everything here is deterministic given the graph, and the
-// graph is merged in canonical slot order — so the reported lasso is
-// identical at any --threads.
+// process and serving every obligated channel. Recorded edge decisions
+// are *indices into per-state menus*, and delivery menus at a
+// fingerprint can order message ids differently depending on the path
+// that reached it, so the lasso is concretized by probing: each route
+// step is pinned by replaying a candidate decision block and checking
+// that the landed fingerprint AND edge identity (process, channel,
+// fault bit) match the route's next hop — recorded tuples first, then
+// a rescan of the leading schedule index over the actual menu width at
+// the probed state. Everything here is deterministic given the graph,
+// and the graph is merged in canonical slot order — so the reported
+// lasso is identical at any --threads.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -72,12 +83,28 @@
 
 namespace wfd::explore {
 
+/// Row stride of the channel bitset: bit sender*stride + receiver in a
+/// single uint64_t, so liveness checking requires n ≤ kLiveChannelStride
+/// (validate() rejects larger instances).
+inline constexpr int kLiveChannelStride = 8;
+
+/// The channel bit for a (sender, receiver) pair.
+[[nodiscard]] inline constexpr std::uint64_t live_channel_bit(
+    ProcessId sender, ProcessId receiver) {
+  return std::uint64_t{1}
+         << (sender * kLiveChannelStride + receiver);
+}
+
 /// One recorded transition: the decision block the step consumed, the
 /// destination fingerprint, the process the step ran.
 struct LiveGraphEdge {
   sim::DecisionLog choices;
   std::uint64_t dst = 0;
   ProcessId sched = kNoProcess;
+  /// Sender of the delivered message (deliver == true); kNoProcess for
+  /// λ/start/fault edges. (sender, sched) is the directed channel the
+  /// delivery serves.
+  ProcessId sender = kNoProcess;
   bool fault = false;    ///< Adversary move: no fairness credit.
   bool deliver = false;  ///< The step delivered a message to `sched`.
 };
@@ -86,9 +113,10 @@ struct LiveGraphEdge {
 struct LiveGraphNode {
   bool goal = false;          ///< The liveness clause's goal bit here.
   std::uint64_t enabled = 0;  ///< Processes with a move in the menu here.
-  /// Processes with a pending message delivery in the menu here — a
-  /// pure function of the fingerprinted state (the in-flight multiset
-  /// and the crash set are both encoded), like `goal`.
+  /// Directed channels with a pending message delivery in the menu here
+  /// (bit live_channel_bit(sender, receiver)) — a pure function of the
+  /// fingerprinted state (the in-flight multiset and the crash set are
+  /// both encoded), like `goal`.
   std::uint64_t deliverable = 0;
   bool expanded = false;      ///< At least one outgoing step recorded.
   bool truncated = false;     ///< Some run was cut by the horizon here.
@@ -147,8 +175,13 @@ void merge_live_graph(LiveGraph& into, const LiveGraph& from);
 /// was explored with; probes may raise max_steps (the horizon bounds
 /// neither menus nor fingerprints under the liveness rules, so the
 /// probed transitions are the recorded ones even past the original
-/// horizon).
+/// horizon). If a route hop cannot be concretized by probing — which
+/// indicates a graph/scenario mismatch, never a sound "no cycle" —
+/// the function returns nullopt and, when `concretize_error` is
+/// non-null, fills it with a structured diagnostic (the partial lasso
+/// pinned so far plus the scenario header) instead of aborting.
 [[nodiscard]] std::optional<Counterexample> find_fair_lasso(
-    const LiveGraph& g, const ScenarioOptions& scenario);
+    const LiveGraph& g, const ScenarioOptions& scenario,
+    std::string* concretize_error = nullptr);
 
 }  // namespace wfd::explore

@@ -1,10 +1,12 @@
 #include "explore/replay_io.h"
 
+#include <bit>
 #include <cstdint>
 #include <fstream>
 #include <sstream>
 
 #include "common/check.h"
+#include "explore/liveness.h"
 #include "explore/option_text.h"
 #include "sim/scheduler.h"
 
@@ -186,9 +188,11 @@ LassoOutcome run_lasso(const ScenarioBuilder& build,
   WFD_CHECK_MSG(entry.has_value(), "lasso replay without fingerprints");
 
   // Loop: one unrolling, collecting the fairness evidence. enabled /
-  // delivered accumulate by union over the loop's states and steps;
-  // deliverable intersects (the obligation is a delivery kept pending
-  // at EVERY state of the cycle).
+  // sched accumulate by union over the loop's states and steps;
+  // deliverable — an n×n channel bitset, bit live_channel_bit(s, r) —
+  // intersects (the obligation is a channel's delivery kept pending at
+  // EVERY state of the cycle) while delivered unions the channels the
+  // executed deliveries actually served.
   bool goal_false_seen = !clause.goal(*sc.sim);
   std::uint64_t enabled = 0;
   std::uint64_t sched = 0;
@@ -204,13 +208,19 @@ LassoOutcome run_lasso(const ScenarioBuilder& build,
       out.reason = "safety violation inside the loop";
       return out;
     }
+    // The menu predates the step, so the one message the step consumed
+    // is off the network now; its sender is on last_step().
+    const sim::Network& net = sc.sim->network();
+    const auto sender_of = [&](std::uint64_t id) -> ProcessId {
+      return net.contains(id) ? net.get(id).from : sc.sim->last_step().from;
+    };
     std::uint64_t dl = 0;
     for (const std::uint64_t l : choices.menu()) {
       if (sim::ReplayScheduler::label_is_fault(l)) continue;
-      const std::uint64_t bit =
-          std::uint64_t{1} << sim::ReplayScheduler::label_process(l);
-      enabled |= bit;
-      if (sim::ReplayScheduler::label_message(l) != 0) dl |= bit;
+      const ProcessId to = sim::ReplayScheduler::label_process(l);
+      enabled |= std::uint64_t{1} << to;
+      const std::uint64_t id = sim::ReplayScheduler::label_message(l);
+      if (id != 0) dl |= live_channel_bit(sender_of(id), to);
     }
     deliverable_all &= dl;
     const std::uint64_t ex = choices.executed();
@@ -222,7 +232,8 @@ LassoOutcome run_lasso(const ScenarioBuilder& build,
     }
     sched |= std::uint64_t{1} << sim::ReplayScheduler::label_process(ex);
     if (sim::ReplayScheduler::label_message(ex) != 0) {
-      delivered |= std::uint64_t{1} << sim::ReplayScheduler::label_process(ex);
+      delivered |= live_channel_bit(sc.sim->last_step().from,
+                                    sim::ReplayScheduler::label_process(ex));
     }
     if (!clause.goal(*sc.sim)) goal_false_seen = true;
   }
@@ -240,8 +251,11 @@ LassoOutcome run_lasso(const ScenarioBuilder& build,
     return out;
   }
   if ((deliverable_all & ~delivered) != 0) {
-    out.reason =
-        "unfair: a delivery stays pending through the whole loop unserved";
+    const int bit = std::countr_zero(deliverable_all & ~delivered);
+    out.reason = "unfair: channel " +
+                 std::to_string(bit / kLiveChannelStride) + "->" +
+                 std::to_string(bit % kLiveChannelStride) +
+                 " stays pending through the whole loop unserved";
     return out;
   }
   if (!goal_false_seen) {

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "consensus/omega_sigma_consensus.h"
 #include "explore/choice_oracle.h"
+#include "explore/liveness.h"
 #include "explore/seeded_bug.h"
 #include "fd/heartbeat_omega.h"
 #include "inject/fault_plan.h"
@@ -55,7 +56,8 @@ class UrbWaiter : public sim::Module {
 /// must keep a majority correct.
 bool needs_majority(const std::string& problem) {
   return problem == "consensus" || problem == "consensus-live-bug" ||
-         problem == "qc" || problem == "nbac" || problem == "sigma" ||
+         problem == "consensus-crash-live-bug" || problem == "qc" ||
+         problem == "nbac" || problem == "sigma" ||
          problem == "register" || problem == "register-regular" ||
          problem == "abcast";
 }
@@ -77,7 +79,7 @@ ScenarioFactory::ScenarioFactory(ScenarioOptions opt) : opt_(std::move(opt)) {
 const std::vector<ProblemSpec>& ScenarioFactory::problems() {
   static const std::vector<ProblemSpec> kProblems = {
       {"consensus"}, {"consensus-bug"},    {"consensus-crash-bug"},
-      {"consensus-live-bug"},
+      {"consensus-live-bug"},               {"consensus-crash-live-bug"},
       {"qc"},        {"nbac"},             {"sigma"},
       {"register"},  {"register-regular"}, {"abcast"},
       {"rb"},
@@ -179,20 +181,32 @@ std::string ScenarioFactory::validate(const ScenarioOptions& opt) {
       return "liveness fairness quantifies over tick steps and needs "
              "lambda_always";
     }
+    if (opt.n > kLiveChannelStride) {
+      return "liveness checking tracks communication fairness per "
+             "directed channel in an n x n bitset and supports n <= " +
+             std::to_string(kLiveChannelStride);
+    }
     // Among the liveness-capable problems, these consult an oracle
     // component (mirrors the table in build()).
     const bool oracle_backed = opt.problem == "consensus" ||
                                opt.problem == "consensus-live-bug" ||
+                               opt.problem == "consensus-crash-live-bug" ||
                                opt.problem == "qc" || opt.problem == "nbac";
     if (oracle_backed && opt.fd_per_query) {
       return "liveness checking requires --fd=static on oracle-backed "
              "problems: a cycle of per-query detector choices is a "
              "flapping history, illegal in the limit";
     }
-    if (oracle_backed && opt.crashes > 0) {
-      return "liveness checking on oracle-backed problems requires a "
-             "crash-free pattern: the static history converges from the "
-             "start and cannot anticipate later crashes";
+    // Static Omega/Sigma histories anticipate explored crashes (the
+    // oracle re-picks invalidated values at each crash point, so the
+    // limit history is converged for the final crash set), but FS has
+    // no such repair: a per-query green-after-crash choice is legal in
+    // every prefix yet illegal in the limit, so nbac's FS component
+    // cannot compose with a crash budget.
+    if (opt.problem == "nbac" && opt.crashes > 0) {
+      return "liveness checking on nbac requires a crash-free pattern: "
+             "the FS component's per-query choices are illegal in the "
+             "limit under explored crashes";
     }
     if (opt.crashes > 0 && opt.crash_mode != "explore") {
       return "liveness checking requires crash_mode 'explore' when "
@@ -214,11 +228,13 @@ std::vector<std::string> ScenarioFactory::liveness_clauses(
     const std::string& problem) {
   std::vector<std::string> out;
   if (problem == "consensus" || problem == "consensus-bug" ||
-      problem == "consensus-live-bug" || problem == "qc" ||
+      problem == "consensus-live-bug" ||
+      problem == "consensus-crash-live-bug" || problem == "qc" ||
       problem == "nbac" || problem == "rb") {
     out.emplace_back("termination");
   }
-  if (problem == "consensus" || problem == "consensus-live-bug") {
+  if (problem == "consensus" || problem == "consensus-live-bug" ||
+      problem == "consensus-crash-live-bug") {
     out.emplace_back("leadership");
   }
   if (problem == "omega-impl") out.emplace_back("fd-completeness");
@@ -320,7 +336,8 @@ Scenario ScenarioFactory::build(sim::ChoiceSource& choices) const {
   // Liveness mode: Psi must be a converged limit from the start (see
   // validate()); harmless when no Psi component is enabled.
   oo.psi_converged = !opt_.liveness.empty();
-  if (opt_.problem == "consensus" || opt_.problem == "consensus-live-bug") {
+  if (opt_.problem == "consensus" || opt_.problem == "consensus-live-bug" ||
+      opt_.problem == "consensus-crash-live-bug") {
     oo.omega = true;
     oo.sigma = true;
   } else if (opt_.problem == "qc") {
@@ -395,14 +412,18 @@ Scenario ScenarioFactory::build(sim::ChoiceSource& choices) const {
   std::vector<std::function<bool()>> leading_fns;
   std::vector<FdCompletenessClause::View> fd_views;
 
-  if (opt_.problem == "consensus" || opt_.problem == "consensus-live-bug") {
+  if (opt_.problem == "consensus" || opt_.problem == "consensus-live-bug" ||
+      opt_.problem == "consensus-crash-live-bug") {
     for (int i = 0; i < opt_.n; ++i) {
       auto& host = s.add_process<sim::ModularProcess>();
       consensus::OmegaSigmaConsensusModule<int>* c =
           opt_.problem == "consensus"
               ? &host.add_module<consensus::OmegaSigmaConsensusModule<int>>(
                     "cons")
-              : &host.add_module<GiveUpLeaderConsensusModule>("cons");
+          : opt_.problem == "consensus-live-bug"
+              ? static_cast<consensus::OmegaSigmaConsensusModule<int>*>(
+                    &host.add_module<GiveUpLeaderConsensusModule>("cons"))
+              : &host.add_module<DeferToPromisedConsensusModule>("cons");
       c->propose(i % 2, {});
       leading_fns.emplace_back([c] { return c->is_leading(); });
     }

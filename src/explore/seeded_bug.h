@@ -27,6 +27,17 @@
 // avoiding the termination goal, which only the fair-cycle (lasso)
 // search refutes (`wfd_check --problem=consensus-live-bug
 // --liveness=termination`).
+// DeferToPromisedConsensusModule is a fourth seeded bug, aimed at
+// *crash-composed* liveness: the real protocol with the
+// defer_to_promised_owner flag set, so a would-be leader that has
+// promised another process's round waits for that owner instead of
+// preempting it. Crash-free runs terminate (a stable leader's own
+// Prepare makes promised_ its own round) and bounded safety stays
+// clean, but a leader crash after its Prepare reached a survivor
+// wedges the re-elected leader forever — a fair goal-avoiding cycle
+// that only exists behind a crash edge, so only `--crash=explore`
+// composed with `--liveness=termination` can find it
+// (`wfd_check --problem=consensus-crash-live-bug`).
 #pragma once
 
 #include "consensus/consensus_api.h"
@@ -225,6 +236,31 @@ class GiveUpLeaderConsensusModule
     Options o;
     o.retry_interval = 2;
     o.give_up_when_opposed = true;
+    return o;
+  }
+};
+
+/// The crash-composed liveness bug (see the file comment): the
+/// unmodified OmegaSigmaConsensusModule run with the seeded
+/// defer-to-promised-owner flag. Without a crash the flag is inert
+/// enough to keep every liveness clause green — the static Ω leader's
+/// self-delivered Prepare keeps promised_ owned by itself — so the bug
+/// is invisible to crash-free `--liveness` runs and to bounded safety
+/// under any budget; it needs a leader crash between its Prepare
+/// reaching a survivor and its round closing, followed by Ω re-electing
+/// that survivor, which only `--crash=explore --liveness=termination`
+/// explores.
+class DeferToPromisedConsensusModule
+    : public consensus::OmegaSigmaConsensusModule<int> {
+ public:
+  DeferToPromisedConsensusModule()
+      : consensus::OmegaSigmaConsensusModule<int>(bug_options()) {}
+
+ private:
+  [[nodiscard]] static Options bug_options() {
+    Options o;
+    o.retry_interval = 2;
+    o.defer_to_promised_owner = true;
     return o;
   }
 };

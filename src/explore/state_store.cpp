@@ -159,8 +159,9 @@ bool parse_node(const std::string& s, NodeState* n) {
   return parse_labels(rest.substr(2), &n->assigned);
 }
 
-// gnode=<fp>;g=<goal>;en=<enabled>;x=<expanded>;t=<truncated>;
-//       edges=<count> — the next <count> gedge= lines belong to it.
+// gnode=<fp>;g=<goal>;en=<enabled>;dl=<channel bitset, bit sender*8 +
+//       receiver>;x=<expanded>;t=<truncated>;edges=<count> — the next
+//       <count> gedge= lines belong to it.
 void gnode_to_text(std::ostream& out, std::uint64_t fp,
                    const LiveGraphNode& n) {
   out << "gnode=" << fp << ";g=" << (n.goal ? 1 : 0) << ";en=" << n.enabled
@@ -207,11 +208,12 @@ bool parse_gnode(const std::string& s, std::uint64_t* fp, LiveGraphNode* n,
   return saw_fp && saw_edges;
 }
 
-// gedge=d=<dst>;p=<sched+1, 0 = none>;f=<fault>;c=<decision indices>
+// gedge=d=<dst>;p=<sched+1, 0 = none>;s=<sender+1, 0 = none>;f=<fault>;
+//       c=<decision indices>
 void gedge_to_text(std::ostream& out, const LiveGraphEdge& e) {
   out << "gedge=d=" << e.dst << ";p=" << (e.sched + 1)
-      << ";f=" << (e.fault ? 1 : 0) << ";dv=" << (e.deliver ? 1 : 0)
-      << ";c=";
+      << ";s=" << (e.sender + 1) << ";f=" << (e.fault ? 1 : 0)
+      << ";dv=" << (e.deliver ? 1 : 0) << ";c=";
   for (std::size_t i = 0; i < e.choices.size(); ++i) {
     if (i != 0) out << ",";
     out << e.choices[i];
@@ -235,6 +237,10 @@ bool parse_gedge(const std::string& s, LiveGraphEdge* e) {
       std::uint64_t v = 0;
       if (!parse_u64(val, &v) || v > INT32_MAX) return false;
       e->sched = static_cast<ProcessId>(v) - 1;
+    } else if (key == "s") {
+      std::uint64_t v = 0;
+      if (!parse_u64(val, &v) || v > INT32_MAX) return false;
+      e->sender = static_cast<ProcessId>(v) - 1;
     } else if (key == "f") {
       if (!parse_bool(val, &e->fault)) return false;
     } else if (key == "dv") {

@@ -111,8 +111,12 @@ struct StateSnapshot {
   /// scenario header field, the state graph (groot= / gnode= / gedge=
   /// lines) and the liveness stats counters; a v3 frontier lacks the
   /// graph edges its fingerprint prunes relied on, so it cannot seed a
-  /// liveness run.
-  static constexpr std::uint32_t kVersion = 4;
+  /// liveness run. v5 (channel-granular fairness) widened gnode dl=
+  /// bits from per-receiver to per-directed-channel (bit sender*8 +
+  /// receiver) and added the s= sender field to gedge= lines; v4's
+  /// receiver-granular bits and sender-less edges are unsound to reuse,
+  /// so v4 graphs are refused like any other version mismatch.
+  static constexpr std::uint32_t kVersion = 5;
   std::uint32_t version = kVersion;
 
   /// Only the search-header fields (scenario + reduction levers) are

@@ -73,6 +73,7 @@ bool Simulator::step() {
         Envelope env = net_.take(choice.message_id);
         WFD_CHECK(env.to == choice.p);
         last_step_.fault_msg = choice.message_id;
+        last_step_.from = env.from;
         faults_->note_drop(env.from, env.to);
         break;
       }
@@ -80,6 +81,7 @@ bool Simulator::step() {
         Envelope copy = net_.get(choice.message_id);
         WFD_CHECK(copy.to == choice.p);
         last_step_.fault_msg = choice.message_id;
+        last_step_.from = copy.from;
         faults_->note_dup(copy.from, copy.to);
         last_step_.dup_id = net_.send(std::move(copy));
         trace_.count_send();
@@ -109,6 +111,7 @@ bool Simulator::step() {
     WFD_CHECK(env.to == choice.p);
     trace_.count_delivery();
     last_step_.delivered = choice.message_id;
+    last_step_.from = env.from;
     if (env.meta != nullptr && proc.instrument() != nullptr) {
       proc.instrument()->incoming_meta(env.from, *env.meta);
     }

@@ -50,6 +50,10 @@ struct LastStep {
   std::uint64_t fault_msg = 0;
   /// Fresh id the duplicate was enqueued under (kDup only).
   std::uint64_t dup_id = 0;
+  /// Sender of the message the step consumed (delivered, dropped or
+  /// duplicated); kNoProcess for λ/start/crash. Identifies the directed
+  /// channel for channel-granular communication fairness.
+  ProcessId from = kNoProcess;
 };
 
 class Simulator {

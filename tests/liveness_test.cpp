@@ -1,0 +1,213 @@
+// Fixture tests for the fair-cycle search over hand-built LiveGraphs:
+// graphs constructed edge by edge, not explored, so each test isolates
+// one fairness rule of find_fair_lasso with a known-shape witness.
+//
+// Two outcomes are distinguishable through the public API without a
+// real exploration behind the graph. A graph whose only goal-avoiding
+// cycles are unfair makes find_fair_lasso return nullopt and leave the
+// concretize-error slot empty — the search never got past the SCC
+// refinement. A graph with a *fair* goal-avoiding cycle makes the
+// search accept a witness and try to concretize it against the real
+// scenario, which must fail (the fingerprints are synthetic) and fill
+// the error slot with the structured diagnostic instead of aborting.
+// "error empty" vs "error mentions concretization" therefore observes
+// exactly the graph-level accept/reject decision under test — and the
+// accept side doubles as coverage for the diagnostic path itself.
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "explore/liveness.h"
+#include "explore/scenario.h"
+#include "explore/types.h"
+
+namespace wfd::explore {
+namespace {
+
+ScenarioOptions live_options() {
+  ScenarioOptions opt;
+  opt.problem = "consensus";
+  opt.n = 3;
+  opt.liveness = "termination";
+  opt.fd_per_query = false;
+  opt.max_steps = 12;
+  return opt;
+}
+
+/// Two-node goal-avoiding cycle A <-> B with one obligated receiver.
+/// Both channels 0->2 and 1->2 hold a pending delivery at every node;
+/// the cycle's two edges both deliver to process 2, but `serve_both`
+/// decides whether they serve both senders' channels or only 1->2.
+LiveGraph two_sender_cycle(bool serve_both) {
+  LiveGraph g;
+  const std::uint64_t fp_a = 10;
+  const std::uint64_t fp_b = 11;
+  g.root = fp_a;
+  g.have_root = true;
+  const std::uint64_t pending =
+      live_channel_bit(0, 2) | live_channel_bit(1, 2);
+  LiveGraphNode& a = g.at(fp_a);
+  a.goal = false;
+  a.enabled = std::uint64_t{1} << 2;
+  a.deliverable = pending;
+  a.expanded = true;
+  LiveGraphEdge ab;
+  ab.choices = {0};
+  ab.dst = fp_b;
+  ab.sched = 2;
+  ab.sender = 1;
+  ab.deliver = true;
+  a.edges = {ab};
+  LiveGraphNode& b = g.at(fp_b);
+  b.goal = false;
+  b.enabled = std::uint64_t{1} << 2;
+  b.deliverable = pending;
+  b.expanded = true;
+  LiveGraphEdge ba;
+  ba.choices = {0};
+  ba.dst = fp_a;
+  ba.sched = 2;
+  ba.sender = serve_both ? ProcessId{0} : ProcessId{1};
+  ba.deliver = true;
+  b.edges = {ba};
+  return g;
+}
+
+TEST(LivenessFixtureTest, CycleStarvingOneSendersChannelIsUnfair) {
+  // The regression the channel-granular bitset exists for: the cycle
+  // delivers to the obligated receiver on every edge, so fairness
+  // tracked per *receiver* would accept it — yet channel 0->2 stays
+  // continuously pending and never served, i.e. some in-flight message
+  // from sender 0 is starved forever while process 2 keeps stepping
+  // past it. Quasi-reliable channels forbid that limit, so the lasso
+  // must be rejected at the graph level.
+  const LiveGraph g = two_sender_cycle(/*serve_both=*/false);
+  std::string err;
+  EXPECT_FALSE(find_fair_lasso(g, live_options(), &err).has_value());
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(LivenessFixtureTest, CycleServingBothChannelsIsAcceptedAsFair) {
+  // Positive control for the fixture above — the same cycle with the
+  // return edge serving sender 0's channel discharges both obligations
+  // and must survive the SCC refinement. Concretization then fails
+  // (synthetic fingerprints never replay against the real scenario)
+  // and must surface the structured diagnostic, not abort.
+  const LiveGraph g = two_sender_cycle(/*serve_both=*/true);
+  std::string err;
+  EXPECT_FALSE(find_fair_lasso(g, live_options(), &err).has_value());
+  ASSERT_FALSE(err.empty());
+  EXPECT_NE(err.find("failed to concretize a lasso transition"),
+            std::string::npos)
+      << err;
+  EXPECT_NE(err.find("scenario:"), std::string::npos) << err;
+}
+
+/// Two-node cycle whose edges schedule process 0; `fault` marks both
+/// edges as adversary moves.
+LiveGraph sched_cycle(bool fault) {
+  LiveGraph g;
+  const std::uint64_t fp_a = 20;
+  const std::uint64_t fp_b = 21;
+  g.root = fp_a;
+  g.have_root = true;
+  for (const std::uint64_t fp : {fp_a, fp_b}) {
+    LiveGraphNode& n = g.at(fp);
+    n.goal = false;
+    n.enabled = 1;  // Process 0 has a move everywhere.
+    n.expanded = true;
+    LiveGraphEdge e;
+    e.choices = {0};
+    e.dst = (fp == fp_a) ? fp_b : fp_a;
+    e.sched = 0;
+    e.fault = fault;
+    n.edges = {e};
+  }
+  return g;
+}
+
+TEST(LivenessFixtureTest, FaultEdgesEarnNoSchedulingCredit) {
+  // A cycle closed purely by adversary moves (fault edges carrying a
+  // process label) never runs process code, so the enabled process is
+  // starved and the cycle is unfair — crash/drop/dup steps must not
+  // discharge weak-fairness obligations.
+  std::string err;
+  EXPECT_FALSE(
+      find_fair_lasso(sched_cycle(/*fault=*/true), live_options(), &err)
+          .has_value());
+  EXPECT_TRUE(err.empty()) << err;
+
+  // The same cycle with real (non-fault) steps is fair.
+  EXPECT_FALSE(
+      find_fair_lasso(sched_cycle(/*fault=*/false), live_options(), &err)
+          .has_value());
+  EXPECT_NE(err.find("failed to concretize"), std::string::npos) << err;
+}
+
+/// Two-node cycle with channel 0->1 continuously pending; one edge
+/// delivers on it (optionally as a fault move, i.e. a duplication the
+/// adversary injects), the other is process 1's lambda step.
+LiveGraph deliver_cycle(bool deliver_is_fault) {
+  LiveGraph g;
+  const std::uint64_t fp_a = 30;
+  const std::uint64_t fp_b = 31;
+  g.root = fp_a;
+  g.have_root = true;
+  LiveGraphNode& a = g.at(fp_a);
+  a.goal = false;
+  a.enabled = std::uint64_t{1} << 1;
+  a.deliverable = live_channel_bit(0, 1);
+  a.expanded = true;
+  LiveGraphEdge ab;
+  ab.choices = {0};
+  ab.dst = fp_b;
+  ab.sched = 1;
+  ab.sender = 0;
+  ab.deliver = true;
+  ab.fault = deliver_is_fault;
+  a.edges = {ab};
+  LiveGraphNode& b = g.at(fp_b);
+  b.goal = false;
+  b.enabled = std::uint64_t{1} << 1;
+  b.deliverable = live_channel_bit(0, 1);
+  b.expanded = true;
+  LiveGraphEdge ba;  // Lambda step: keeps process 1 scheduled.
+  ba.choices = {0};
+  ba.dst = fp_a;
+  ba.sched = 1;
+  b.edges = {ba};
+  return g;
+}
+
+TEST(LivenessFixtureTest, FaultEdgesEarnNoChannelCredit) {
+  // Communication fairness wants the *channel* served by a real
+  // delivery; an adversary move that happens to carry a message (a
+  // duplication) is not the system serving the channel and earns no
+  // credit, so the obligation stays undischarged and the cycle dies.
+  std::string err;
+  EXPECT_FALSE(find_fair_lasso(deliver_cycle(/*deliver_is_fault=*/true),
+                               live_options(), &err)
+                   .has_value());
+  EXPECT_TRUE(err.empty()) << err;
+
+  // With the delivery as a real step the obligation is met.
+  EXPECT_FALSE(find_fair_lasso(deliver_cycle(/*deliver_is_fault=*/false),
+                               live_options(), &err)
+                   .has_value());
+  EXPECT_NE(err.find("failed to concretize"), std::string::npos) << err;
+}
+
+TEST(LivenessFixtureTest, GoalTrueCyclesRefuteNothing) {
+  // Sanity: a perfectly fair cycle whose every node satisfies the goal
+  // is not a counterexample to <>[]goal.
+  LiveGraph g = sched_cycle(/*fault=*/false);
+  for (const std::uint64_t fp : g.order) g.nodes.at(fp).goal = true;
+  std::string err;
+  EXPECT_FALSE(find_fair_lasso(g, live_options(), &err).has_value());
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+}  // namespace
+}  // namespace wfd::explore

@@ -140,9 +140,10 @@ TEST(StateStoreTest, TextRoundTripsEveryField) {
   EXPECT_EQ(to_text(*p), to_text(s));
 }
 
-/// A v4 snapshot with the liveness state graph populated: two nodes in
-/// insertion order, a self-loop, a cross edge, an adversary edge, and a
-/// truncated unexpanded frontier node.
+/// A v5 snapshot with the liveness state graph populated: two nodes in
+/// insertion order, a self-loop, a cross edge (a delivery carrying its
+/// sender — the channel half of the v5 format), an adversary edge, and
+/// a truncated unexpanded frontier node.
 StateSnapshot liveness_snapshot() {
   StateSnapshot s = sample_snapshot();
   s.config.scenario.problem = "consensus-live-bug";
@@ -159,7 +160,8 @@ StateSnapshot liveness_snapshot() {
   LiveGraphNode& a = s.graph.at(0xfeedull);
   a.goal = false;
   a.enabled = 0b11;
-  a.deliverable = 0b10;
+  // Channel bits (live_channel_bit): 0->1 and 1->0 both pending.
+  a.deliverable = live_channel_bit(0, 1) | live_channel_bit(1, 0);
   a.expanded = true;
   LiveGraphEdge self;
   self.choices = {0};
@@ -169,6 +171,7 @@ StateSnapshot liveness_snapshot() {
   hop.choices = {1, 2, 0};
   hop.dst = 0xbeefull;
   hop.sched = 1;
+  hop.sender = 0;
   hop.deliver = true;
   LiveGraphEdge crash;
   crash.choices = {3};
@@ -212,6 +215,8 @@ TEST(StateStoreTest, TextRoundTripsLivenessGraph) {
       EXPECT_EQ(got.edges[i].choices, want.edges[i].choices) << fp << "/" << i;
       EXPECT_EQ(got.edges[i].dst, want.edges[i].dst) << fp << "/" << i;
       EXPECT_EQ(got.edges[i].sched, want.edges[i].sched) << fp << "/" << i;
+      EXPECT_EQ(got.edges[i].sender, want.edges[i].sender)
+          << fp << "/" << i;
       EXPECT_EQ(got.edges[i].fault, want.edges[i].fault) << fp << "/" << i;
       EXPECT_EQ(got.edges[i].deliver, want.edges[i].deliver)
           << fp << "/" << i;
@@ -323,11 +328,16 @@ TEST(StateStoreTest, OldFormatVersionIsIncompatibleNotCorrupt) {
   // graph-backed stats: a v3 frontier lacks the graph edges its
   // fingerprint prunes already merged away, so resuming it under a v4
   // build could silently certify "no fair cycle" on a graph with holes.
+  // The v4->v5 bump (channel-granular fairness) rewired the graph's
+  // dl= bits from per-receiver to per-directed-channel and added the
+  // gedge sender field: a v4 graph read under v5 semantics would
+  // mistake receiver bits for sender-0 channel bits and carry
+  // sender-less delivery edges, so it is refused the same way.
   const std::string tag =
       "snapshot_version=" + std::to_string(StateSnapshot::kVersion);
   const std::string want_current =
       "version " + std::to_string(StateSnapshot::kVersion);
-  for (const int old_version : {2, 3}) {
+  for (const int old_version : {2, 3, 4}) {
     std::string old = to_text(sample_snapshot());
     const std::size_t at = old.find(tag);
     ASSERT_NE(at, std::string::npos);

@@ -12,16 +12,31 @@
 #     actually checks the cycle rather than rubber-stamping the file.
 #  4. The same search split across --budget-states/--save-state/--resume
 #     invocations reports the byte-identical stem and loop: the graph
-#     snapshot (v4 groot=/gnode=/gedge= lines) round-trips and the
-#     post-exhaustion search is deterministic on the merged graph.
+#     snapshot (v5 groot=/gnode=/gedge= lines, channel-granular dl=
+#     bits and per-edge senders) round-trips and the post-exhaustion
+#     search is deterministic on the merged graph.
+#  5. Channel starvation: the replay validator audits communication
+#     fairness per directed channel, so a confirmed lasso's loop must
+#     serve every continuously pending (sender, receiver) pair — the
+#     audit names the starved channel when it rejects.
+#  6. Crash-composed lasso: on consensus-crash-live-bug the search
+#     composed with --crash=explore finds the crash-wedged lasso
+#     (every crash in the stem, none in the loop), shrinks it, and
+#     --replay re-validates it; the crash-free liveness search on the
+#     same problem must stay silent — the bug lives behind a crash
+#     edge only.
 #
-# Plain POSIX sh, no timing assumptions — runs unchanged under the
-# asan/ubsan/tsan presets.
+# Plain POSIX sh, no timing assumptions — legs 1-5 run unchanged under
+# the asan/ubsan/tsan presets. Leg 6 explores a ~440k-state tree and
+# only runs when the second argument is "crash" (a separate ctest lane,
+# kept out of the sanitizer presets like the other heavyweight
+# exhausts).
 #
-# Usage: lasso_check.sh /path/to/wfd_check
+# Usage: lasso_check.sh /path/to/wfd_check [crash]
 set -u
 
-CHECK=${1:?usage: lasso_check.sh /path/to/wfd_check}
+CHECK=${1:?usage: lasso_check.sh /path/to/wfd_check [crash]}
+MODE=${2:-}
 DIR=$(mktemp -d) || exit 1
 trap 'rm -rf "$DIR"' EXIT
 
@@ -67,5 +82,55 @@ grep "^decisions=\|^loop=" "$DIR/lasso.wfdr" >"$DIR/a"
 grep "^decisions=\|^loop=" "$DIR/lasso2.wfdr" >"$DIR/b"
 cmp -s "$DIR/a" "$DIR/b" ||
   fail "split search found a different lasso: $(cat "$DIR/a" "$DIR/b")"
+
+# 5. Channel starvation. Drop the last stem decision — the step that
+# drains the final in-flight message before the quiescent wedge — so
+# the loop entry still has a delivery pending, then try every short
+# loop over the wedge's menu. A loop that delivers the message cannot
+# close the cycle (the network multiset changes), and one that avoids
+# it starves the channel; so no candidate may confirm, and at least one
+# must be rejected by the per-channel audit naming the starved channel
+# (not merely by process fairness — both lambdas are scheduled).
+STEM=$(grep "^decisions=" "$DIR/lasso.wfdr" | sed 's/,[0-9]*$//')
+CHANNEL_REJECT=0
+for LOOP in "0,1" "1,0" "1,2" "2,1" "0,2" "2,0" "0" "1" "2"; do
+  sed -e "s/^decisions=.*/$STEM/" -e "s/^loop=.*/loop=$LOOP/" \
+    "$DIR/lasso.wfdr" >"$DIR/starve.wfdr"
+  $CHECK --replay="$DIR/starve.wfdr" >"$DIR/starve.out" 2>&1
+  grep -q "lasso confirmed" "$DIR/starve.out" &&
+    fail "a channel-starving loop was confirmed (loop=$LOOP): \
+$(cat "$DIR/starve.out")"
+  grep -q "unfair: channel .* stays pending" "$DIR/starve.out" &&
+    CHANNEL_REJECT=1
+done
+[ "$CHANNEL_REJECT" -eq 1 ] ||
+  fail "no candidate loop was rejected by the per-channel audit"
+
+# 6. Crash-composed lasso (only with the "crash" argument): the search
+# composed with --crash=explore finds the crash-wedged lasso on
+# consensus-crash-live-bug, shrinks it, and --replay re-validates it.
+# Replay confirmation also proves every crash sits in the stem: a loop
+# containing an adversary move is rejected outright (finite budgets).
+if [ "$MODE" = "crash" ]; then
+  CRASH_SCENARIO="--problem=consensus-crash-live-bug --n=3
+                  --crash=explore --liveness=termination --fd=static
+                  --reduction=none --depth=14 --max-states=0
+                  --deadline-ms=300000"
+  $CHECK --exhaustive $CRASH_SCENARIO --threads=4 \
+    --save="$DIR/crash.wfdr" >"$DIR/crash_found.out" 2>&1
+  [ $? -eq 3 ] ||
+    fail "crash search did not exit 3: $(cat "$DIR/crash_found.out")"
+  grep -q "fair cycle avoiding the goal" "$DIR/crash_found.out" ||
+    fail "no crash fair-cycle message: $(cat "$DIR/crash_found.out")"
+  grep -q "shrunk:" "$DIR/crash_found.out" ||
+    fail "crash lasso was not shrunk: $(cat "$DIR/crash_found.out")"
+  grep -q "^loop=" "$DIR/crash.wfdr" ||
+    fail "saved crash lasso has no loop= line"
+  $CHECK --replay="$DIR/crash.wfdr" >"$DIR/crash_replay.out" 2>&1
+  [ $? -eq 3 ] ||
+    fail "crash replay did not exit 3: $(cat "$DIR/crash_replay.out")"
+  grep -q "lasso confirmed" "$DIR/crash_replay.out" ||
+    fail "crash replay did not confirm: $(cat "$DIR/crash_replay.out")"
+fi
 
 echo "lasso lifecycle OK"

@@ -1,0 +1,56 @@
+#!/bin/sh
+# FD strong-completeness liveness lane for the *implemented*
+# heartbeat/lease Omega (src/fd/heartbeat_omega.h), driven by ctest —
+# the ~3-minute run ROADMAP used to list as manual-only, promoted to a
+# label-gated lane (ctest -L completeness; kept out of the default and
+# sanitizer lane sets by its label and a preset guard in
+# tools/CMakeLists.txt).
+#
+# The scenario: omega-impl at n=3, depth 10, fair-cycle search for the
+# fd-completeness clause over the full ~4.8M-node state graph. A "no
+# fair cycle" verdict is the completeness statement: no fair schedule
+# keeps a crashed process trusted forever.
+#
+# The run is deliberately split into two --save-state/--resume
+# installments under the --deadline-ms watchdog, so the lane also
+# proves the snapshot path (v5 graph lines included) carries a
+# multi-million-node liveness search across invocations: installment 1
+# stops at a wave barrier on a states budget (exit 4, partial report),
+# installment 2 resumes and must exhaust with the completeness verdict.
+#
+# Usage: omega_completeness_check.sh /path/to/wfd_check
+set -u
+
+CHECK=${1:?usage: omega_completeness_check.sh /path/to/wfd_check}
+DIR=$(mktemp -d) || exit 1
+trap 'rm -rf "$DIR"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+SCENARIO="--problem=omega-impl --n=3 --exhaustive
+          --liveness=fd-completeness --reduction=none --depth=10
+          --max-states=0 --threads=4 --deadline-ms=600000"
+
+# Installment 1: pause at a wave barrier on a states budget.
+$CHECK $SCENARIO --budget-states=400000 \
+  --save-state="$DIR/omega.wfds" >"$DIR/part1.out" 2>&1
+[ $? -eq 4 ] || fail "first installment did not exit 4: \
+$(cat "$DIR/part1.out")"
+grep -q "budget" "$DIR/part1.out" ||
+  fail "first installment did not report a budget stop: \
+$(cat "$DIR/part1.out")"
+[ -f "$DIR/omega.wfds" ] || fail "no snapshot saved"
+
+# Installment 2: resume to exhaustion and the completeness verdict.
+$CHECK $SCENARIO --resume="$DIR/omega.wfds" >"$DIR/part2.out" 2>&1
+[ $? -eq 0 ] || fail "resumed installment did not exit 0: \
+$(cat "$DIR/part2.out")"
+grep -q "tree exhausted" "$DIR/part2.out" ||
+  fail "resumed installment did not exhaust: $(cat "$DIR/part2.out")"
+grep -q "no fair cycle" "$DIR/part2.out" ||
+  fail "no completeness verdict: $(cat "$DIR/part2.out")"
+
+echo "fd completeness OK"

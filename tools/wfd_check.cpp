@@ -80,6 +80,10 @@ constexpr int kExitUsage = 1;
 constexpr int kExitUnsupported = 2;
 constexpr int kExitViolation = 3;
 constexpr int kExitBudget = 4;
+/// The fair-cycle search found a witness SCC but could not pin its lasso
+/// by replay probing — a graph/scenario mismatch (internal error), never
+/// a sound "no fair cycle" verdict.
+constexpr int kExitConcretize = 5;
 
 struct Args {
   /// Scenario + search knobs: parsed exclusively by apply_cli_flag.
@@ -135,7 +139,10 @@ void usage() {
       "exit status: 0 no violation, 3 violation found, 1 usage error,\n"
       "             2 problem/mode combination not supported (or a\n"
       "               resume snapshot from a different scenario),\n"
-      "             4 state budget exhausted, frontier saved\n",
+      "             4 state budget exhausted, frontier saved,\n"
+      "             5 fair-cycle witness found but its lasso could not\n"
+      "               be concretized (internal error; diagnostic on\n"
+      "               stderr)\n",
       problems.c_str(), explore::cli_flags_help().c_str());
 }
 
@@ -372,6 +379,15 @@ int run_exhaustive(const Args& a) {
   const bool save_failed = !rep.save_error.empty();
   if (save_failed) {
     std::fprintf(stderr, "cannot save state: %s\n", rep.save_error.c_str());
+  }
+  // A concretization failure poisons the liveness verdict: the graph
+  // says a fair cycle exists but no replay pins it, so neither "lasso"
+  // nor "no fair cycle" would be honest. Diagnostic to stderr, own exit
+  // code.
+  if (!rep.lasso_error.empty()) {
+    std::fprintf(stderr, "lasso concretization failed: %s\n",
+                 rep.lasso_error.c_str());
+    return kExitConcretize;
   }
   // A deadline cancel is a budget-style verdict: the search stopped at a
   // clean wave boundary with frontier left, so the lane's save/resume
